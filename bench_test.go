@@ -1,0 +1,172 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at reduced scale (one testing.B bench per artifact; see cmd/dsbench for
+// the full-scale harness and EXPERIMENTS.md for paper-vs-measured shapes).
+package dataspread_test
+
+import (
+	"testing"
+
+	"dataspread/internal/exp"
+)
+
+// benchCfg keeps per-iteration work bounded so `go test -bench=.` finishes
+// in minutes while still exercising the full experiment code paths.
+func benchCfg() exp.Config {
+	return exp.Config{SheetsPerCorpus: 16, MaxRows: 20_000, Reps: 2, Seed: 2018, Actions: 2000}
+}
+
+func BenchmarkTable1Analysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Table1(benchCfg())
+	}
+}
+
+func BenchmarkFig2Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig2(benchCfg())
+	}
+}
+
+func BenchmarkFig3Tables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig3(benchCfg())
+	}
+}
+
+func BenchmarkFig4CCDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig4(benchCfg())
+	}
+}
+
+func BenchmarkFig5Formulae(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig5(benchCfg())
+	}
+}
+
+func BenchmarkTable2PositionAsIs(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxRows = 50_000
+	for i := 0; i < b.N; i++ {
+		exp.Table2(cfg)
+	}
+}
+
+func BenchmarkFig13aStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig13a(benchCfg())
+	}
+}
+
+func BenchmarkFig13bIdealStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig13b(benchCfg())
+	}
+}
+
+func BenchmarkFig14TableBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig14(benchCfg())
+	}
+}
+
+func BenchmarkFig15aOptimizerTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig15a(benchCfg())
+	}
+}
+
+func BenchmarkFig15bFormulaAccess(b *testing.B) {
+	cfg := benchCfg()
+	cfg.SheetsPerCorpus = 8
+	for i := 0; i < b.N; i++ {
+		exp.Fig15b(cfg)
+	}
+}
+
+func BenchmarkFig17Synthetic(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxRows = 100_000
+	for i := 0; i < b.N; i++ {
+		exp.Fig17(cfg)
+	}
+}
+
+func BenchmarkFig18PosMap(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxRows = 100_000
+	for i := 0; i < b.N; i++ {
+		exp.Fig18(cfg)
+	}
+}
+
+func BenchmarkFig22UpdateRange(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxRows = 30_000
+	for i := 0; i < b.N; i++ {
+		exp.Fig22(cfg)
+	}
+}
+
+func BenchmarkFig23InsertRow(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxRows = 30_000
+	for i := 0; i < b.N; i++ {
+		exp.Fig23(cfg)
+	}
+}
+
+func BenchmarkFig24Select(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxRows = 30_000
+	for i := 0; i < b.N; i++ {
+		exp.Fig24(cfg)
+	}
+}
+
+func BenchmarkFig25Samples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig25(benchCfg())
+	}
+}
+
+func BenchmarkFig26Incremental(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxRows = 15_000
+	for i := 0; i < b.N; i++ {
+		exp.Fig26a(cfg)
+		exp.Fig26b(cfg)
+	}
+}
+
+func BenchmarkGenomicsVCFScroll(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.VCFScroll(cfg)
+	}
+}
+
+func BenchmarkAblationWeighted(b *testing.B) {
+	cfg := benchCfg()
+	cfg.SheetsPerCorpus = 8
+	for i := 0; i < b.N; i++ {
+		exp.AblationWeighted(cfg)
+	}
+}
+
+func BenchmarkAblationBTreeOrder(b *testing.B) {
+	cfg := benchCfg()
+	cfg.MaxRows = 50_000
+	for i := 0; i < b.N; i++ {
+		exp.AblationBTreeOrder(cfg)
+	}
+}
+
+func BenchmarkAblationCostModel(b *testing.B) {
+	cfg := benchCfg()
+	cfg.SheetsPerCorpus = 8
+	for i := 0; i < b.N; i++ {
+		exp.AblationCostModel(cfg)
+	}
+}

@@ -1,0 +1,105 @@
+// Command dsgen generates the synthetic workloads used by the experiment
+// harness and writes them as CSV-like .grid files (one "row,col,content"
+// triple per line; formulas prefixed with '=').
+//
+//	dsgen -kind corpus -profile Enron -n 50 -out /tmp/enron
+//	dsgen -kind synthetic -rows 10000 -cols 100 -density 0.8 -out /tmp/syn
+//	dsgen -kind vcf -rows 100000 -out /tmp/vcf
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dataspread/internal/sheet"
+	"dataspread/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "corpus", "corpus | synthetic | vcf")
+		profile = flag.String("profile", "Enron", "corpus profile: Internet, ClueWeb09, Enron, Academic")
+		n       = flag.Int("n", 20, "number of sheets (corpus)")
+		rows    = flag.Int("rows", 10000, "rows (synthetic/vcf)")
+		cols    = flag.Int("cols", 100, "columns (synthetic)")
+		density = flag.Float64("density", 1.0, "region density (synthetic)")
+		seed    = flag.Int64("seed", 2018, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	switch *kind {
+	case "corpus":
+		var p workload.Profile
+		found := false
+		for _, cand := range workload.Profiles() {
+			if cand.Name == *profile {
+				p, found = cand, true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown profile %q", *profile))
+		}
+		for i, s := range workload.Corpus(p, *n, *seed) {
+			if err := writeSheet(s, filepath.Join(*out, fmt.Sprintf("%s-%03d.grid", p.Name, i))); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d %s sheets to %s\n", *n, p.Name, *out)
+	case "synthetic":
+		s, _ := workload.Synthetic(workload.SyntheticSpec{
+			Rows: *rows, Cols: *cols, Regions: 20, Formulas: 100, Density: *density, Seed: *seed,
+		})
+		path := filepath.Join(*out, "synthetic.grid")
+		if err := writeSheet(s, path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d cells)\n", path, s.Len())
+	case "vcf":
+		spec := workload.VCFSpec{Rows: *rows, Samples: 11, Seed: *seed}
+		path := filepath.Join(*out, "variants.vcf.grid")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		colsN := len(workload.VCFColumns(spec))
+		for i := 1; i <= *rows+1; i++ {
+			for j, v := range workload.VCFRow(spec, i) {
+				fmt.Fprintf(w, "%d,%d,%s\n", i, j+1, v.Text())
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d x %d)\n", path, *rows+1, colsN)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func writeSheet(s *sheet.Sheet, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := workload.WriteGrid(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsgen:", err)
+	os.Exit(1)
+}

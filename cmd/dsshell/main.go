@@ -1,0 +1,179 @@
+// Command dsshell is a minimal interactive shell over the DataSpread
+// engine: set cells and formulas, view regions, link tables and run SQL.
+//
+//	> set A1 42
+//	> set B1 =A1*2
+//	> view A1:C3
+//	> sql SELECT 1+1
+//	> link A1:C4 mytable
+//	> optimize agg
+//	> quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"dataspread/internal/core"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+	"dataspread/internal/workload"
+)
+
+func main() {
+	db := rdbms.Open(rdbms.Options{})
+	eng, err := core.New(db, "shell", core.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsshell:", err)
+		os.Exit(1)
+	}
+	fmt.Println("DataSpread shell. Commands: set <ref> <value|=formula>, view <range>,")
+	fmt.Println("sql <query>, link <range> <table>, optimize <dp|greedy|agg>, insrow <n>,")
+	fmt.Println("delrow <n>, inscol <n>, delcol <n>, load <file.grid>, quit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := dispatch(eng, line); err != nil {
+			if err == errQuit {
+				return
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func dispatch(eng *core.Engine, line string) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch strings.ToLower(cmd) {
+	case "quit", "exit":
+		return errQuit
+	case "set":
+		refText, val, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("usage: set <ref> <value>")
+		}
+		ref, err := sheet.ParseRef(refText)
+		if err != nil {
+			return err
+		}
+		return eng.Set(ref.Row, ref.Col, strings.TrimSpace(val))
+	case "view":
+		g, err := sheet.ParseRange(rest)
+		if err != nil {
+			return err
+		}
+		printGrid(eng, g)
+		return nil
+	case "sql":
+		tv, err := eng.SQL(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(tv.Cols, "\t"))
+		for _, row := range tv.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.Text()
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+		return nil
+	case "link":
+		rangeText, table, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("usage: link <range> <table>")
+		}
+		g, err := sheet.ParseRange(rangeText)
+		if err != nil {
+			return err
+		}
+		_, err = eng.LinkTable(g, strings.TrimSpace(table))
+		return err
+	case "optimize":
+		if rest == "" {
+			rest = "agg"
+		}
+		res, err := eng.Optimize(rest, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("decomposition: %d regions, cost %.0f, migrated %d cells\n",
+			len(res.Decomposition.Regions), res.StorageCost, res.MigratedCells)
+		return nil
+	case "load":
+		f, err := os.Open(rest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		s, err := workload.ReadGrid(f, rest)
+		if err != nil {
+			return err
+		}
+		var loadErr error
+		s.EachSorted(func(r sheet.Ref, c sheet.Cell) {
+			if loadErr != nil {
+				return
+			}
+			if c.HasFormula() {
+				loadErr = eng.SetFormula(r.Row, r.Col, c.Formula)
+			} else {
+				loadErr = eng.SetValue(r.Row, r.Col, c.Value)
+			}
+		})
+		if loadErr != nil {
+			return loadErr
+		}
+		fmt.Printf("loaded %d cells\n", s.Len())
+		return nil
+	case "insrow", "delrow", "inscol", "delcol":
+		var n int
+		if _, err := fmt.Sscanf(rest, "%d", &n); err != nil {
+			return fmt.Errorf("usage: %s <n>", cmd)
+		}
+		switch cmd {
+		case "insrow":
+			return eng.InsertRowAfter(n)
+		case "delrow":
+			return eng.DeleteRow(n)
+		case "inscol":
+			return eng.InsertColumnAfter(n)
+		default:
+			return eng.DeleteColumn(n)
+		}
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func printGrid(eng *core.Engine, g sheet.Range) {
+	cells := eng.GetCells(g)
+	// Header.
+	fmt.Printf("%6s", "")
+	for c := g.From.Col; c <= g.To.Col; c++ {
+		fmt.Printf(" %-12s", sheet.ColumnName(c))
+	}
+	fmt.Println()
+	for i, row := range cells {
+		fmt.Printf("%6d", g.From.Row+i)
+		for _, cell := range row {
+			text := cell.Value.Text()
+			if len(text) > 12 {
+				text = text[:11] + "…"
+			}
+			fmt.Printf(" %-12s", text)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,102 @@
+// Package dataspread is a from-scratch Go implementation of the DataSpread
+// storage engine for presentational data management (Bendre et al., ICDE
+// 2018): a spreadsheet engine whose cells live in a relational row store,
+// decomposed across row-oriented (ROM), column-oriented (COM),
+// row-column-value (RCV) and database-linked (TOM) tables by a cost-based
+// hybrid optimizer, with order-statistic positional indexes that make
+// fetch, insert and delete by position O(log N) without cascading updates.
+//
+// The primary entry points:
+//
+//	db := dataspread.OpenDB()
+//	eng, err := dataspread.NewEngine(db, "mysheet")
+//	eng.Set(1, 1, "42")
+//	eng.Set(1, 2, "=A1*2")
+//	cells := eng.GetCells(dataspread.MustRange("A1:B1"))
+//
+// See the examples directory for complete programs, internal/exp for the
+// paper's experiment harness, and DESIGN.md for the system inventory.
+package dataspread
+
+import (
+	"dataspread/internal/core"
+	"dataspread/internal/hybrid"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/rel"
+	"dataspread/internal/sheet"
+)
+
+// Re-exported core types. The facade keeps downstream imports to a single
+// package for common use; advanced callers may import the internal
+// packages directly (they are stable within this module).
+type (
+	// Engine is an open spreadsheet bound to a database.
+	Engine = core.Engine
+	// EngineOptions configures engine construction.
+	EngineOptions = core.Options
+	// DB is the backing relational store.
+	DB = rdbms.DB
+	// Sheet is the in-memory conceptual data model.
+	Sheet = sheet.Sheet
+	// Cell is a value with an optional formula.
+	Cell = sheet.Cell
+	// Value is a typed spreadsheet value.
+	Value = sheet.Value
+	// Ref addresses one cell.
+	Ref = sheet.Ref
+	// Range is a rectangular region.
+	Range = sheet.Range
+	// TableValue is a composite relational result.
+	TableValue = rel.TableValue
+	// CostParams carries the hybrid optimizer's cost constants.
+	CostParams = hybrid.CostParams
+	// Decomposition is a chosen physical layout.
+	Decomposition = hybrid.Decomposition
+)
+
+// OpenDB creates an empty in-memory database.
+func OpenDB() *DB { return rdbms.Open(rdbms.Options{}) }
+
+// NewEngine opens an empty spreadsheet on the database.
+func NewEngine(db *DB, name string) (*Engine, error) {
+	return core.New(db, name, core.Options{})
+}
+
+// OpenSheet loads an existing sheet, laying it out with the hybrid
+// optimizer ("agg" by default; see core.Open for other algorithms).
+func OpenSheet(db *DB, name string, s *Sheet, algo string) (*Engine, error) {
+	if algo == "" {
+		algo = "agg"
+	}
+	return core.Open(db, name, s, algo, core.Options{})
+}
+
+// NewSheet creates an empty in-memory sheet.
+func NewSheet(name string) *Sheet { return sheet.New(name) }
+
+// ParseRange parses "A1:B2" notation.
+func ParseRange(s string) (Range, error) { return sheet.ParseRange(s) }
+
+// MustRange is ParseRange that panics on malformed input (for literals).
+func MustRange(s string) Range {
+	g, err := sheet.ParseRange(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Number, Text and Bool build typed values.
+func Number(f float64) Value { return sheet.Number(f) }
+
+// Text builds a string value.
+func Text(s string) Value { return sheet.Str(s) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return sheet.Bool(b) }
+
+// PostgresCost and IdealCost are the paper's cost-constant presets.
+var (
+	PostgresCost = hybrid.PostgresCost
+	IdealCost    = hybrid.IdealCost
+)

@@ -1,0 +1,69 @@
+package dataspread_test
+
+import (
+	"testing"
+
+	"dataspread"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	db := dataspread.OpenDB()
+	eng, err := dataspread.NewEngine(db, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Set(1, 1, "42"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Set(1, 2, "=A1*2"); err != nil {
+		t.Fatal(err)
+	}
+	got := eng.GetCell(1, 2).Value
+	if f, _ := got.Num(); f != 84 {
+		t.Fatalf("B1 = %v", got)
+	}
+	cells := eng.GetCells(dataspread.MustRange("A1:B1"))
+	if len(cells) != 1 || len(cells[0]) != 2 {
+		t.Fatalf("viewport dims wrong")
+	}
+}
+
+func TestFacadeOpenSheet(t *testing.T) {
+	s := dataspread.NewSheet("src")
+	for i := 1; i <= 20; i++ {
+		s.SetValue(i, 1, dataspread.Number(float64(i)))
+	}
+	s.SetFormula(22, 1, "SUM(A1:A20)")
+	eng, err := dataspread.OpenSheet(dataspread.OpenDB(), "opened", s, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := eng.GetCell(22, 1).Value.Num(); f != 210 {
+		t.Fatalf("SUM = %v", eng.GetCell(22, 1).Value)
+	}
+}
+
+func TestFacadeValuesAndRanges(t *testing.T) {
+	if dataspread.Number(1).Text() != "1" || dataspread.Text("x").Text() != "x" {
+		t.Fatal("value constructors broken")
+	}
+	if b, _ := dataspread.Bool(true).BoolVal(); !b {
+		t.Fatal("Bool broken")
+	}
+	g, err := dataspread.ParseRange("B2:D4")
+	if err != nil || g.Rows() != 3 || g.Cols() != 3 {
+		t.Fatalf("ParseRange = %v, %v", g, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRange must panic on bad input")
+		}
+	}()
+	dataspread.MustRange("not a range")
+}
+
+func TestFacadeCostPresets(t *testing.T) {
+	if dataspread.PostgresCost.S1 != 8192 || dataspread.IdealCost.S5 != 3 {
+		t.Fatal("cost presets wrong")
+	}
+}

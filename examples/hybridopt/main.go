@@ -1,0 +1,112 @@
+// Hybrid decomposition, visualized: build the paper's Figure 9 sheet, run
+// the DP / greedy / aggressive-greedy optimizers under both cost models,
+// and render the chosen regions as ASCII.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dataspread/internal/hybrid"
+	"dataspread/internal/sheet"
+)
+
+func main() {
+	// Figure 9: two dense tables (B1:D4, D5:G7) plus strays at H1 and I2.
+	s := sheet.New("fig9")
+	fillRect(s, 1, 2, 4, 4)
+	fillRect(s, 5, 4, 7, 7)
+	s.SetValue(1, 8, sheet.Number(1))
+	s.SetValue(2, 9, sheet.Number(1))
+
+	fmt.Println("Sheet (Figure 9 of the paper):")
+	renderSheet(s)
+
+	for _, params := range []struct {
+		name string
+		p    hybrid.CostParams
+	}{
+		{"PostgreSQL costs", hybrid.PostgresCost},
+		{"ideal costs", hybrid.IdealCost},
+	} {
+		fmt.Printf("\n=== Cost model: %s (s1=%.0f s2=%.3f s3=%.0f s4=%.0f s5=%.0f)\n",
+			params.name, params.p.S1, params.p.S2, params.p.S3, params.p.S4, params.p.S5)
+		for _, algo := range []string{"rom", "rcv", "dp", "greedy", "agg"} {
+			d, err := hybrid.Decompose(s, algo, hybrid.Options{Params: params.p, Models: hybrid.AllModels})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := d.Verify(s); err != nil {
+				log.Fatalf("%s: not recoverable: %v", algo, err)
+			}
+			fmt.Printf("%-7s cost %9.1f, %d region(s): %v\n", algo, d.Cost, len(d.Regions), d.Regions)
+		}
+		lb := hybrid.OptLowerBound(s, params.p)
+		fmt.Printf("%-7s cost %9.1f (lower bound)\n", "OPT", lb)
+	}
+
+	// Render the DP decomposition under the ideal model.
+	d, _ := hybrid.Decompose(s, "dp", hybrid.Options{Params: hybrid.IdealCost, Models: hybrid.AllModels})
+	fmt.Println("\nDP decomposition under ideal costs (letters = regions):")
+	renderDecomposition(s, d)
+}
+
+func fillRect(s *sheet.Sheet, r1, c1, r2, c2 int) {
+	for r := r1; r <= r2; r++ {
+		for c := c1; c <= c2; c++ {
+			s.SetValue(r, c, sheet.Number(1))
+		}
+	}
+}
+
+func renderSheet(s *sheet.Sheet) {
+	box, ok := s.Bounds()
+	if !ok {
+		return
+	}
+	fmt.Print("    ")
+	for c := box.From.Col; c <= box.To.Col; c++ {
+		fmt.Printf("%2s", sheet.ColumnName(c))
+	}
+	fmt.Println()
+	for r := box.From.Row; r <= box.To.Row; r++ {
+		fmt.Printf("%3d ", r)
+		for c := box.From.Col; c <= box.To.Col; c++ {
+			if s.Filled(sheet.Ref{Row: r, Col: c}) {
+				fmt.Print(" x")
+			} else {
+				fmt.Print(" .")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func renderDecomposition(s *sheet.Sheet, d *hybrid.Decomposition) {
+	box, ok := s.Bounds()
+	if !ok {
+		return
+	}
+	fmt.Print("    ")
+	for c := box.From.Col; c <= box.To.Col; c++ {
+		fmt.Printf("%2s", sheet.ColumnName(c))
+	}
+	fmt.Println()
+	for r := box.From.Row; r <= box.To.Row; r++ {
+		fmt.Printf("%3d ", r)
+		for c := box.From.Col; c <= box.To.Col; c++ {
+			mark := " ."
+			for i, reg := range d.Regions {
+				if reg.Rect.Contains(sheet.Ref{Row: r, Col: c}) {
+					mark = fmt.Sprintf(" %c", 'A'+i%26)
+					break
+				}
+			}
+			fmt.Print(mark)
+		}
+		fmt.Println()
+	}
+	for i, reg := range d.Regions {
+		fmt.Printf("  %c: %s region %s\n", 'A'+i%26, reg.Kind, reg.Rect)
+	}
+}

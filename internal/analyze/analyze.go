@@ -1,0 +1,310 @@
+// Package analyze computes the corpus statistics of Section II of the
+// DataSpread paper: sheet density, connected components of filled cells,
+// tabular-region detection, and formula access patterns. It produces the
+// rows of Table I and the histograms of Figures 2-5 and 14.
+package analyze
+
+import (
+	"sort"
+
+	"dataspread/internal/formula"
+	"dataspread/internal/sheet"
+)
+
+// Component is a 4-adjacency connected component of filled cells.
+type Component struct {
+	Cells   int
+	Box     sheet.Range
+	Density float64 // Cells / Box.Area()
+	Empty   int     // empty cells inside Box
+}
+
+// TabularMinRows, TabularMinCols and TabularMinDensity define a tabular
+// region (Section II-B): a connected component spanning at least five rows
+// and two columns with density at least 0.7.
+const (
+	TabularMinRows    = 5
+	TabularMinCols    = 2
+	TabularMinDensity = 0.7
+)
+
+// IsTabular reports whether the component qualifies as a tabular region.
+func (c Component) IsTabular() bool {
+	return c.Box.Rows() >= TabularMinRows && c.Box.Cols() >= TabularMinCols &&
+		c.Density >= TabularMinDensity
+}
+
+// Components returns the connected components of the sheet's filled cells
+// (two cells are adjacent when they share an edge), largest first.
+func Components(s *sheet.Sheet) []Component {
+	visited := make(map[sheet.Ref]bool, s.Len())
+	var comps []Component
+	s.EachSorted(func(start sheet.Ref, _ sheet.Cell) {
+		if visited[start] {
+			return
+		}
+		// BFS flood fill.
+		box := sheet.Range{From: start, To: start}
+		cells := 0
+		queue := []sheet.Ref{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			cells++
+			if cur.Row < box.From.Row {
+				box.From.Row = cur.Row
+			}
+			if cur.Row > box.To.Row {
+				box.To.Row = cur.Row
+			}
+			if cur.Col < box.From.Col {
+				box.From.Col = cur.Col
+			}
+			if cur.Col > box.To.Col {
+				box.To.Col = cur.Col
+			}
+			for _, n := range [4]sheet.Ref{
+				{Row: cur.Row - 1, Col: cur.Col}, {Row: cur.Row + 1, Col: cur.Col},
+				{Row: cur.Row, Col: cur.Col - 1}, {Row: cur.Row, Col: cur.Col + 1},
+			} {
+				if !visited[n] && s.Filled(n) {
+					visited[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+		comps = append(comps, Component{
+			Cells:   cells,
+			Box:     box,
+			Density: float64(cells) / float64(box.Area()),
+			Empty:   box.Area() - cells,
+		})
+	})
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Cells > comps[j].Cells })
+	return comps
+}
+
+// SheetStats summarizes one sheet for the Table I columns.
+type SheetStats struct {
+	Filled   int
+	Density  float64
+	Formulas int
+	// FormulaFrac is Formulas / Filled (0 for empty sheets).
+	FormulaFrac float64
+	// Tables is the number of tabular regions.
+	Tables int
+	// TabularCells counts filled cells inside tabular regions.
+	TabularCells int
+	// CellsPerFormula is the mean number of cells each formula accesses
+	// (range areas; 0 when no formulas).
+	CellsPerFormula float64
+	// RegionsPerFormula is the mean number of contiguous regions accessed
+	// per formula.
+	RegionsPerFormula float64
+	// Functions counts formula function usage ("ARITH" for operator-only
+	// formulas).
+	Functions map[string]int
+	// Components are the sheet's connected components.
+	Components []Component
+}
+
+// Analyze computes per-sheet statistics.
+func Analyze(s *sheet.Sheet) SheetStats {
+	st := SheetStats{
+		Filled:    s.Len(),
+		Density:   s.Density(),
+		Functions: make(map[string]int),
+	}
+	st.Components = Components(s)
+	for _, c := range st.Components {
+		if c.IsTabular() {
+			st.Tables++
+			st.TabularCells += c.Cells
+		}
+	}
+	var cellSum, regionSum float64
+	s.Each(func(_ sheet.Ref, c sheet.Cell) {
+		if !c.HasFormula() {
+			return
+		}
+		st.Formulas++
+		expr, err := formula.Parse(c.Formula)
+		if err != nil {
+			return
+		}
+		countFunctions(expr, st.Functions)
+		refs := formula.Refs(expr)
+		cells := 0
+		for _, r := range refs {
+			cells += r.Area()
+		}
+		cellSum += float64(cells)
+		regionSum += float64(mergeRegions(refs))
+	})
+	if st.Filled > 0 {
+		st.FormulaFrac = float64(st.Formulas) / float64(st.Filled)
+	}
+	if st.Formulas > 0 {
+		st.CellsPerFormula = cellSum / float64(st.Formulas)
+		st.RegionsPerFormula = regionSum / float64(st.Formulas)
+	}
+	return st
+}
+
+// countFunctions tallies call names; a formula using only operators counts
+// once under "ARITH" (the paper's Figure 5 convention).
+func countFunctions(e formula.Expr, out map[string]int) {
+	found := tallyCalls(e, out)
+	if !found {
+		out["ARITH"]++
+	}
+}
+
+func tallyCalls(e formula.Expr, out map[string]int) bool {
+	switch v := e.(type) {
+	case *formula.Call:
+		out[v.Name]++
+		for _, a := range v.Args {
+			tallyCalls(a, out)
+		}
+		return true
+	case *formula.Binary:
+		l := tallyCalls(v.L, out)
+		r := tallyCalls(v.R, out)
+		return l || r
+	case *formula.Unary:
+		return tallyCalls(v.X, out)
+	}
+	return false
+}
+
+// mergeRegions counts connected groups among the referenced ranges, where
+// two ranges group together when they overlap or touch (the paper's
+// "connected components of accessed cells").
+func mergeRegions(refs []sheet.Range) int {
+	n := len(refs)
+	if n == 0 {
+		return 0
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if touches(refs[i], refs[j]) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := make(map[int]bool)
+	for i := range parent {
+		groups[find(i)] = true
+	}
+	return len(groups)
+}
+
+// touches reports whether ranges overlap or are edge-adjacent.
+func touches(a, b sheet.Range) bool {
+	grown := sheet.Range{
+		From: sheet.Ref{Row: a.From.Row - 1, Col: a.From.Col - 1},
+		To:   sheet.Ref{Row: a.To.Row + 1, Col: a.To.Col + 1},
+	}
+	return grown.Intersects(b)
+}
+
+// CorpusStats aggregates sheet statistics into one Table I row.
+type CorpusStats struct {
+	Sheets               int
+	SheetsWithFormulas   float64 // fraction
+	SheetsOver20PctForm  float64 // fraction of sheets with >20% formula coverage
+	FormulaCellFrac      float64 // formulas / filled cells, corpus-wide
+	SheetsUnder50Density float64
+	SheetsUnder20Density float64
+	Tables               int
+	TabularCoverage      float64 // tabular cells / filled cells
+	AvgCellsPerFormula   float64
+	AvgRegionsPerFormula float64
+	DensityHistogram     [10]int        // Figure 2 (bins of 0.1)
+	TablesHistogram      map[int]int    // Figure 3 (tables per sheet)
+	ComponentDensityHist [10]int        // Figure 4
+	FunctionDistribution map[string]int // Figure 5
+}
+
+// Aggregate combines per-sheet stats into corpus statistics.
+func Aggregate(stats []SheetStats) CorpusStats {
+	cs := CorpusStats{
+		Sheets:               len(stats),
+		TablesHistogram:      make(map[int]int),
+		FunctionDistribution: make(map[string]int),
+	}
+	var withForm, over20, under50, under20 int
+	var filled, formulas, tabularCells int
+	var cellsSum, regionsSum float64
+	var formulaSheets int
+	for _, st := range stats {
+		filled += st.Filled
+		formulas += st.Formulas
+		tabularCells += st.TabularCells
+		cs.Tables += st.Tables
+		if st.Formulas > 0 {
+			withForm++
+			formulaSheets++
+			cellsSum += st.CellsPerFormula
+			regionsSum += st.RegionsPerFormula
+			if st.FormulaFrac > 0.2 {
+				over20++
+			}
+		}
+		if st.Density < 0.5 {
+			under50++
+		}
+		if st.Density < 0.2 {
+			under20++
+		}
+		cs.DensityHistogram[histBin(st.Density)]++
+		cs.TablesHistogram[st.Tables]++
+		for _, c := range st.Components {
+			cs.ComponentDensityHist[histBin(c.Density)]++
+		}
+		for f, n := range st.Functions {
+			cs.FunctionDistribution[f] += n
+		}
+	}
+	n := float64(len(stats))
+	if n > 0 {
+		cs.SheetsWithFormulas = float64(withForm) / n
+		cs.SheetsOver20PctForm = float64(over20) / n
+		cs.SheetsUnder50Density = float64(under50) / n
+		cs.SheetsUnder20Density = float64(under20) / n
+	}
+	if filled > 0 {
+		cs.FormulaCellFrac = float64(formulas) / float64(filled)
+		cs.TabularCoverage = float64(tabularCells) / float64(filled)
+	}
+	if formulaSheets > 0 {
+		cs.AvgCellsPerFormula = cellsSum / float64(formulaSheets)
+		cs.AvgRegionsPerFormula = regionsSum / float64(formulaSheets)
+	}
+	return cs
+}
+
+func histBin(d float64) int {
+	b := int(d * 10)
+	if b > 9 {
+		b = 9
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package analyze
+
+import (
+	"testing"
+
+	"dataspread/internal/sheet"
+)
+
+func fill(s *sheet.Sheet, r1, c1, r2, c2 int) {
+	for row := r1; row <= r2; row++ {
+		for col := c1; col <= c2; col++ {
+			s.SetValue(row, col, sheet.Number(1))
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	s := sheet.New("t")
+	fill(s, 1, 1, 5, 3)     // 15 cells
+	fill(s, 10, 10, 11, 11) // 4 cells
+	s.SetValue(20, 1, sheet.Number(1))
+
+	comps := Components(s)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	// Largest first.
+	if comps[0].Cells != 15 || comps[1].Cells != 4 || comps[2].Cells != 1 {
+		t.Fatalf("component sizes = %v", []int{comps[0].Cells, comps[1].Cells, comps[2].Cells})
+	}
+	if comps[0].Density != 1.0 || comps[0].Box != sheet.NewRange(1, 1, 5, 3) {
+		t.Fatalf("component 0 = %+v", comps[0])
+	}
+	if comps[0].Empty != 0 {
+		t.Fatalf("dense component has %d empty", comps[0].Empty)
+	}
+}
+
+func TestComponentsDiagonalNotAdjacent(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(1, 1, sheet.Number(1))
+	s.SetValue(2, 2, sheet.Number(1))
+	if got := len(Components(s)); got != 2 {
+		t.Fatalf("diagonal cells must be separate components, got %d", got)
+	}
+}
+
+func TestTabularDetection(t *testing.T) {
+	s := sheet.New("t")
+	fill(s, 1, 1, 5, 2)   // exactly 5 rows x 2 cols, dense: tabular
+	fill(s, 10, 1, 13, 2) // 4 rows: too short
+	fill(s, 20, 1, 25, 1) // 1 col: too narrow
+	st := Analyze(s)
+	if st.Tables != 1 {
+		t.Fatalf("tables = %d", st.Tables)
+	}
+	if st.TabularCells != 10 {
+		t.Fatalf("tabular cells = %d", st.TabularCells)
+	}
+}
+
+func TestFormulaStats(t *testing.T) {
+	s := sheet.New("t")
+	fill(s, 1, 1, 10, 2)
+	s.SetFormula(12, 1, "SUM(A1:A10)")            // 10 cells, 1 region
+	s.SetFormula(12, 2, "A1+B1")                  // 2 cells, 1 region (adjacent)
+	s.SetFormula(13, 1, "SUM(A1:A10)+SUM(Z1:Z5)") // 15 cells, 2 regions
+	st := Analyze(s)
+	if st.Formulas != 3 {
+		t.Fatalf("formulas = %d", st.Formulas)
+	}
+	wantCells := (10.0 + 2.0 + 15.0) / 3.0
+	if diff := st.CellsPerFormula - wantCells; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cells/formula = %v want %v", st.CellsPerFormula, wantCells)
+	}
+	wantRegions := (1.0 + 1.0 + 2.0) / 3.0
+	if diff := st.RegionsPerFormula - wantRegions; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("regions/formula = %v want %v", st.RegionsPerFormula, wantRegions)
+	}
+	if st.Functions["SUM"] != 3 || st.Functions["ARITH"] != 1 {
+		t.Fatalf("functions = %v", st.Functions)
+	}
+}
+
+func TestMergeRegionsTouching(t *testing.T) {
+	// A1:A5 and B1:B5 are edge-adjacent: one region.
+	refs := []sheet.Range{sheet.NewRange(1, 1, 5, 1), sheet.NewRange(1, 2, 5, 2)}
+	if got := mergeRegions(refs); got != 1 {
+		t.Fatalf("adjacent ranges = %d regions", got)
+	}
+	// Far apart: two.
+	refs = []sheet.Range{sheet.NewRange(1, 1, 5, 1), sheet.NewRange(1, 10, 5, 10)}
+	if got := mergeRegions(refs); got != 2 {
+		t.Fatalf("distant ranges = %d regions", got)
+	}
+	if mergeRegions(nil) != 0 {
+		t.Fatal("no refs = 0 regions")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	dense := sheet.New("dense")
+	fill(dense, 1, 1, 10, 5)
+	sparse := sheet.New("sparse")
+	sparse.SetValue(1, 1, sheet.Number(1))
+	sparse.SetValue(50, 50, sheet.Number(1))
+	withFormula := sheet.New("f")
+	fill(withFormula, 1, 1, 6, 2)
+	withFormula.SetFormula(8, 1, "SUM(A1:A6)")
+
+	cs := Aggregate([]SheetStats{Analyze(dense), Analyze(sparse), Analyze(withFormula)})
+	if cs.Sheets != 3 {
+		t.Fatalf("sheets = %d", cs.Sheets)
+	}
+	if cs.SheetsWithFormulas < 0.33 || cs.SheetsWithFormulas > 0.34 {
+		t.Fatalf("formula sheets = %v", cs.SheetsWithFormulas)
+	}
+	// sparse has density ~0: bin 0 counted; dense has density 1: bin 9.
+	if cs.DensityHistogram[9] < 1 || cs.DensityHistogram[0] < 1 {
+		t.Fatalf("density histogram = %v", cs.DensityHistogram)
+	}
+	if cs.Tables < 2 {
+		t.Fatalf("tables = %d", cs.Tables)
+	}
+	if cs.FunctionDistribution["SUM"] != 1 {
+		t.Fatalf("functions = %v", cs.FunctionDistribution)
+	}
+	// Empty aggregate does not divide by zero.
+	empty := Aggregate(nil)
+	if empty.Sheets != 0 || empty.SheetsWithFormulas != 0 {
+		t.Fatalf("empty aggregate = %+v", empty)
+	}
+}
+
+func TestAnalyzeEmptySheet(t *testing.T) {
+	st := Analyze(sheet.New("empty"))
+	if st.Filled != 0 || st.Formulas != 0 || st.Tables != 0 || len(st.Components) != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}

@@ -1,0 +1,171 @@
+// Package cache provides the LRU cell cache of DataSpread's execution
+// engine (Section VI): cells fetched from the storage layer are kept in
+// memory in a read-through manner, and updates are pushed write-through to
+// the storage layer. Caching is block-granular (rectangular tiles of the
+// sheet), matching the scrolling access pattern where a viewport's worth of
+// cells is needed at once.
+package cache
+
+import (
+	"container/list"
+
+	"dataspread/internal/sheet"
+)
+
+// BlockRows and BlockCols define the cache tile size.
+const (
+	BlockRows = 64
+	BlockCols = 16
+)
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Hits, Misses, Evictions int64
+}
+
+// Backing is the storage layer underneath the cache.
+type Backing interface {
+	// LoadBlock returns the filled cells within the block range.
+	LoadBlock(g sheet.Range) map[sheet.Ref]sheet.Cell
+	// StoreCell persists one cell (write-through).
+	StoreCell(r sheet.Ref, c sheet.Cell) error
+}
+
+type blockKey struct{ br, bc int }
+
+type block struct {
+	key   blockKey
+	cells map[sheet.Ref]sheet.Cell
+}
+
+// Cache is an LRU cell cache. It is not safe for concurrent use; the engine
+// serializes access.
+type Cache struct {
+	backing  Backing
+	capacity int // max blocks
+	blocks   map[blockKey]*list.Element
+	lru      *list.List
+	stats    Stats
+}
+
+// New creates a cache holding up to capacity blocks (minimum 1; zero means
+// 256 blocks ≈ 256k cells).
+func New(backing Backing, capacity int) *Cache {
+	if capacity == 0 {
+		capacity = 256
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		backing:  backing,
+		capacity: capacity,
+		blocks:   make(map[blockKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+func keyFor(r sheet.Ref) blockKey {
+	return blockKey{br: (r.Row - 1) / BlockRows, bc: (r.Col - 1) / BlockCols}
+}
+
+func blockRange(k blockKey) sheet.Range {
+	return sheet.NewRange(
+		k.br*BlockRows+1, k.bc*BlockCols+1,
+		(k.br+1)*BlockRows, (k.bc+1)*BlockCols,
+	)
+}
+
+// Get returns the cell at r, loading its block on a miss.
+func (c *Cache) Get(r sheet.Ref) sheet.Cell {
+	b := c.load(keyFor(r))
+	return b.cells[r]
+}
+
+// GetRange materializes a rectangular range through the cache.
+func (c *Cache) GetRange(g sheet.Range) [][]sheet.Cell {
+	out := make([][]sheet.Cell, g.Rows())
+	for i := range out {
+		out[i] = make([]sheet.Cell, g.Cols())
+	}
+	k1 := keyFor(g.From)
+	k2 := keyFor(g.To)
+	for br := k1.br; br <= k2.br; br++ {
+		for bc := k1.bc; bc <= k2.bc; bc++ {
+			b := c.load(blockKey{br, bc})
+			for ref, cell := range b.cells {
+				if g.Contains(ref) {
+					out[ref.Row-g.From.Row][ref.Col-g.From.Col] = cell
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Put writes the cell through to the backing and updates the cached block
+// if present (loading it if not — write-allocate keeps subsequent reads
+// warm).
+func (c *Cache) Put(r sheet.Ref, cell sheet.Cell) error {
+	if err := c.backing.StoreCell(r, cell); err != nil {
+		return err
+	}
+	b := c.load(keyFor(r))
+	if cell.IsBlank() {
+		delete(b.cells, r)
+	} else {
+		b.cells[r] = cell
+	}
+	return nil
+}
+
+// Invalidate drops every cached block intersecting g (used after
+// structural edits, which move cells across blocks).
+func (c *Cache) Invalidate(g sheet.Range) {
+	for e := c.lru.Front(); e != nil; {
+		next := e.Next()
+		b := e.Value.(*block)
+		if blockRange(b.key).Intersects(g) {
+			delete(c.blocks, b.key)
+			c.lru.Remove(e)
+		}
+		e = next
+	}
+}
+
+// InvalidateAll empties the cache.
+func (c *Cache) InvalidateAll() {
+	c.blocks = make(map[blockKey]*list.Element)
+	c.lru.Init()
+}
+
+// Stats returns a snapshot of hit/miss counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) load(k blockKey) *block {
+	if e, ok := c.blocks[k]; ok {
+		c.lru.MoveToFront(e)
+		c.stats.Hits++
+		return e.Value.(*block)
+	}
+	c.stats.Misses++
+	cells := c.backing.LoadBlock(blockRange(k))
+	if cells == nil {
+		cells = make(map[sheet.Ref]sheet.Cell)
+	}
+	b := &block{key: k, cells: cells}
+	if c.lru.Len() >= c.capacity {
+		tail := c.lru.Back()
+		if tail != nil {
+			old := tail.Value.(*block)
+			delete(c.blocks, old.key)
+			c.lru.Remove(tail)
+			c.stats.Evictions++
+		}
+	}
+	c.blocks[k] = c.lru.PushFront(b)
+	return b
+}

@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"testing"
+
+	"dataspread/internal/sheet"
+)
+
+// sheetBacking adapts a plain sheet as the storage layer.
+type sheetBacking struct {
+	s     *sheet.Sheet
+	loads int
+}
+
+func (b *sheetBacking) LoadBlock(g sheet.Range) map[sheet.Ref]sheet.Cell {
+	b.loads++
+	out := make(map[sheet.Ref]sheet.Cell)
+	b.s.Each(func(r sheet.Ref, c sheet.Cell) {
+		if g.Contains(r) {
+			out[r] = c
+		}
+	})
+	return out
+}
+
+func (b *sheetBacking) StoreCell(r sheet.Ref, c sheet.Cell) error {
+	b.s.Set(r, c)
+	return nil
+}
+
+func TestCacheReadThrough(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(1, 1, sheet.Number(42))
+	b := &sheetBacking{s: s}
+	c := New(b, 4)
+
+	got := c.Get(sheet.Ref{Row: 1, Col: 1})
+	if !got.Value.Equal(sheet.Number(42)) {
+		t.Fatalf("Get = %v", got)
+	}
+	if b.loads != 1 {
+		t.Fatalf("loads = %d", b.loads)
+	}
+	// Second read from the same block: no new load.
+	c.Get(sheet.Ref{Row: 2, Col: 2})
+	if b.loads != 1 {
+		t.Fatalf("loads after warm read = %d", b.loads)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheWriteThrough(t *testing.T) {
+	s := sheet.New("t")
+	b := &sheetBacking{s: s}
+	c := New(b, 4)
+	if err := c.Put(sheet.Ref{Row: 1, Col: 1}, sheet.Cell{Value: sheet.Number(7)}); err != nil {
+		t.Fatal(err)
+	}
+	// Backing sees the write immediately.
+	if !s.GetRC(1, 1).Value.Equal(sheet.Number(7)) {
+		t.Fatal("write did not reach backing")
+	}
+	// Cached read agrees.
+	if !c.Get(sheet.Ref{Row: 1, Col: 1}).Value.Equal(sheet.Number(7)) {
+		t.Fatal("cached read disagrees")
+	}
+	// Blank write removes.
+	if err := c.Put(sheet.Ref{Row: 1, Col: 1}, sheet.Cell{}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(sheet.Ref{Row: 1, Col: 1}).IsBlank() {
+		t.Fatal("blank write did not clear")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	s := sheet.New("t")
+	for i := 0; i < 10; i++ {
+		s.SetValue(i*BlockRows+1, 1, sheet.Number(float64(i)))
+	}
+	b := &sheetBacking{s: s}
+	c := New(b, 2) // room for two blocks
+	for i := 0; i < 10; i++ {
+		c.Get(sheet.Ref{Row: i*BlockRows + 1, Col: 1})
+	}
+	if c.Stats().Evictions < 8 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+	// Re-reading the first block misses again.
+	before := b.loads
+	c.Get(sheet.Ref{Row: 1, Col: 1})
+	if b.loads != before+1 {
+		t.Fatal("evicted block should reload")
+	}
+}
+
+func TestCacheGetRangeSpansBlocks(t *testing.T) {
+	s := sheet.New("t")
+	for row := 1; row <= BlockRows*2; row++ {
+		for col := 1; col <= BlockCols*2; col++ {
+			s.SetValue(row, col, sheet.Number(float64(row*1000+col)))
+		}
+	}
+	b := &sheetBacking{s: s}
+	c := New(b, 16)
+	g := sheet.NewRange(BlockRows-2, BlockCols-2, BlockRows+2, BlockCols+2)
+	m := c.GetRange(g)
+	if len(m) != g.Rows() || len(m[0]) != g.Cols() {
+		t.Fatalf("dims = %dx%d", len(m), len(m[0]))
+	}
+	for i := range m {
+		for j := range m[i] {
+			row, col := g.From.Row+i, g.From.Col+j
+			want := sheet.Number(float64(row*1000 + col))
+			if !m[i][j].Value.Equal(want) {
+				t.Fatalf("cell (%d,%d) = %v want %v", row, col, m[i][j].Value, want)
+			}
+		}
+	}
+	// Four blocks touched.
+	if b.loads != 4 {
+		t.Fatalf("loads = %d want 4", b.loads)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(1, 1, sheet.Number(1))
+	b := &sheetBacking{s: s}
+	c := New(b, 8)
+	c.Get(sheet.Ref{Row: 1, Col: 1})
+
+	// Mutate the backing behind the cache's back (a structural edit).
+	s.SetValue(1, 1, sheet.Number(99))
+	if c.Get(sheet.Ref{Row: 1, Col: 1}).Value.Equal(sheet.Number(99)) {
+		t.Fatal("cache should still hold the stale value")
+	}
+	c.Invalidate(sheet.NewRange(1, 1, 1, 1))
+	if !c.Get(sheet.Ref{Row: 1, Col: 1}).Value.Equal(sheet.Number(99)) {
+		t.Fatal("invalidate did not take")
+	}
+
+	c.InvalidateAll()
+	before := b.loads
+	c.Get(sheet.Ref{Row: 1, Col: 1})
+	if b.loads != before+1 {
+		t.Fatal("InvalidateAll did not clear")
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dataspread/internal/rdbms"
+	"dataspread/internal/rel"
+	"dataspread/internal/sheet"
+	"dataspread/internal/workload"
+)
+
+func TestOpenFromSheet(t *testing.T) {
+	s := sheet.New("t")
+	for row := 1; row <= 10; row++ {
+		for col := 1; col <= 4; col++ {
+			s.SetValue(row, col, sheet.Number(float64(row*col)))
+		}
+	}
+	s.SetFormula(12, 1, "SUM(A1:A10)")
+	for _, algo := range []string{"agg", "rom", "rcv"} {
+		e, err := Open(rdbms.Open(rdbms.Options{}), "open_"+algo, s, algo, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if got := cellNum(t, e, 12, 1); got != 55 {
+			t.Fatalf("%s: formula on open = %v want 55", algo, got)
+		}
+		if got := cellNum(t, e, 10, 4); got != 40 {
+			t.Fatalf("%s: data cell = %v", algo, got)
+		}
+	}
+}
+
+func TestLinkTableCreateFromRange(t *testing.T) {
+	e := newEngine(t)
+	// A small customer table typed on the grid (Example 2).
+	rows := [][]string{
+		{"invid", "amount", "memo"},
+		{"1", "100.5", "first"},
+		{"2", "200", "second"},
+	}
+	for i, r := range rows {
+		for j, v := range r {
+			if err := e.Set(i+1, j+1, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tom, err := e.LinkTable(sheet.NewRange(1, 1, 3, 3), "invoice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tom.Table().Name != "invoice" || tom.Table().RowCount() != 2 {
+		t.Fatalf("linked table = %s with %d rows", tom.Table().Name, tom.Table().RowCount())
+	}
+	// Inferred types: numbers become DOUBLE.
+	if tom.Table().Schema.Cols[1].Type != rdbms.DTFloat {
+		t.Fatalf("amount type = %v", tom.Table().Schema.Cols[1].Type)
+	}
+	// Grid edit reaches the database.
+	if err := e.SetValue(2, 2, sheet.Number(150)); err != nil {
+		t.Fatal(err)
+	}
+	res := e.DB().MustExec("SELECT amount FROM invoice WHERE invid = 1")
+	if res.Rows[0][0].Float64() != 150 {
+		t.Fatalf("db sees %v", res.Rows[0][0])
+	}
+	// Database query sees the grid state through SQL.
+	tv, err := e.SQL("SELECT SUM(amount) FROM invoice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tv.Index(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.Num(); f != 350 { // 150 (edited) + 200
+		t.Fatalf("SUM = %v", v)
+	}
+}
+
+func TestLinkExistingTable(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	db.MustExec("CREATE TABLE supp (suppid BIGINT, name TEXT)")
+	db.MustExec("INSERT INTO supp VALUES (1,'Acme'),(2,'Globex'),(3,'Initech')")
+	e, err := New(db, "t", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LinkTable(sheet.NewRange(2, 2, 2, 3), "supp"); err != nil {
+		t.Fatal(err)
+	}
+	// Header row at the anchor, then data.
+	if got := e.GetCell(2, 2).Value.Text(); got != "suppid" {
+		t.Fatalf("header = %q", got)
+	}
+	if got := e.GetCell(3, 3).Value.Text(); got != "Acme" {
+		t.Fatalf("first row = %q", got)
+	}
+	if got := e.GetCell(5, 3).Value.Text(); got != "Initech" {
+		t.Fatalf("last row = %q", got)
+	}
+}
+
+func TestSQLWithParams(t *testing.T) {
+	e := newEngine(t)
+	e.DB().MustExec("CREATE TABLE nums (x BIGINT)")
+	e.DB().MustExec("INSERT INTO nums VALUES (1),(2),(3)")
+	tv, err := e.SQL("SELECT x FROM nums WHERE x >= ? ORDER BY x", sheet.Number(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv.Len() != 2 {
+		t.Fatalf("rows = %d", tv.Len())
+	}
+	if _, err := e.SQL("SELECT nope FROM nums"); err == nil {
+		t.Fatal("bad SQL must error")
+	}
+}
+
+func TestRangeTableAndRelationalOps(t *testing.T) {
+	e := newEngine(t)
+	grid := [][]string{
+		{"name", "city"},
+		{"Acme", "Champaign"},
+		{"Globex", "Urbana"},
+		{"Initech", "Champaign"},
+	}
+	for i, r := range grid {
+		for j, v := range r {
+			if err := e.Set(i+1, j+1, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tv := e.RangeTable(sheet.NewRange(1, 1, 4, 2), true)
+	if tv.Arity() != 2 || tv.Len() != 3 {
+		t.Fatalf("table value %dx%d", tv.Arity(), tv.Len())
+	}
+	pred, err := rel.ParsePredicate("city = Champaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := rel.Select(tv, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Len() != 2 {
+		t.Fatalf("filtered rows = %d", filtered.Len())
+	}
+	proj, err := rel.Project(filtered, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place the result back on the grid (index function family).
+	placed, err := e.PlaceTable(proj, sheet.Ref{Row: 10, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != sheet.NewRange(10, 1, 12, 1) {
+		t.Fatalf("placed range = %v", placed)
+	}
+	if got := e.GetCell(11, 1).Value.Text(); got != "Acme" {
+		t.Fatalf("placed cell = %q", got)
+	}
+}
+
+func TestOptimizeMigratesContents(t *testing.T) {
+	// Start everything in the overflow RCV, then optimize: contents must
+	// survive the migration and the layout must improve.
+	e := newEngine(t)
+	for row := 1; row <= 30; row++ {
+		for col := 1; col <= 6; col++ {
+			if err := e.SetValue(row, col, sheet.Number(float64(row*10+col))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := e.Store().StorageBytes()
+	res, err := e.Optimize("agg", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decomposition.Regions) == 0 {
+		t.Fatal("optimize produced no regions")
+	}
+	// Contents intact.
+	if got := cellNum(t, e, 30, 6); got != 306 {
+		t.Fatalf("cell after migrate = %v", got)
+	}
+	if got := cellNum(t, e, 1, 1); got != 11 {
+		t.Fatalf("cell after migrate = %v", got)
+	}
+	after := e.Store().StorageBytes()
+	if after > before {
+		t.Fatalf("dense sheet should shrink after optimize: %d -> %d", before, after)
+	}
+}
+
+func TestEngineWithWorkloadSheet(t *testing.T) {
+	// An end-to-end smoke test: open a generated corpus sheet and read it
+	// back through the engine.
+	s := workload.GenSheet(workload.Enron, newRand(5), "enron-0")
+	e, err := Open(rdbms.Open(rdbms.Options{}), "wl", s, "agg", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := e.Bounds()
+	if rows == 0 || cols == 0 {
+		t.Fatal("empty bounds")
+	}
+	mismatches := 0
+	s.Each(func(r sheet.Ref, c sheet.Cell) {
+		got := e.GetCell(r.Row, r.Col)
+		if c.HasFormula() {
+			if got.Formula != c.Formula {
+				mismatches++
+			}
+			return
+		}
+		if !got.Value.Equal(c.Value) {
+			mismatches++
+		}
+	})
+	if mismatches > 0 {
+		t.Fatalf("%d cells diverged", mismatches)
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,346 @@
+// Package core implements the DATASPREAD engine of Section VI: the
+// execution engine (formula parser, dependency graph, evaluator, LRU cell
+// cache) layered on the storage engine (hybrid translator over ROM / COM /
+// RCV / TOM regions with positional mapping). It exposes the
+// spreadsheet-oriented and database-oriented operations of Section III.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dataspread/internal/cache"
+	"dataspread/internal/depgraph"
+	"dataspread/internal/formula"
+	"dataspread/internal/hybrid"
+	"dataspread/internal/model"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Scheme selects the positional mapping ("hierarchical" default;
+	// "position-as-is" and "monotonic" reproduce the paper's baselines).
+	Scheme string
+	// CacheBlocks caps the LRU cell cache (0: default).
+	CacheBlocks int
+	// CostParams drives the hybrid optimizer (zero value: PostgresCost).
+	CostParams hybrid.CostParams
+}
+
+// Engine is one open spreadsheet bound to a database.
+type Engine struct {
+	name  string
+	db    *rdbms.DB
+	store *model.HybridStore
+	cache *cache.Cache
+	deps  *depgraph.Graph
+	// exprs holds parsed formulas by cell.
+	exprs map[sheet.Ref]formula.Expr
+	// bounds tracks the content extent.
+	maxRow, maxCol int
+	params         hybrid.CostParams
+	seq            int
+	cacheBlocks    int
+}
+
+// storeBacking adapts the hybrid store to the cache's Backing interface.
+type storeBacking struct{ hs *model.HybridStore }
+
+func (b storeBacking) LoadBlock(g sheet.Range) (map[sheet.Ref]sheet.Cell, error) {
+	cells, err := b.hs.GetCells(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[sheet.Ref]sheet.Cell)
+	for i := range cells {
+		for j := range cells[i] {
+			if !cells[i][j].IsBlank() {
+				out[sheet.Ref{Row: g.From.Row + i, Col: g.From.Col + j}] = cells[i][j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// backing implements cache.Backing (which has no error returns) by
+// remembering the last load error for the engine to surface.
+type backing struct {
+	inner   storeBacking
+	lastErr error
+}
+
+func (b *backing) LoadBlock(g sheet.Range) map[sheet.Ref]sheet.Cell {
+	m, err := b.inner.LoadBlock(g)
+	if err != nil {
+		b.lastErr = err
+	}
+	return m
+}
+
+func (b *backing) StoreCell(r sheet.Ref, c sheet.Cell) error {
+	return b.inner.hs.Update(r.Row, r.Col, c)
+}
+
+// New opens an empty spreadsheet named name on the database.
+func New(db *rdbms.DB, name string, opts Options) (*Engine, error) {
+	if opts.CostParams == (hybrid.CostParams{}) {
+		opts.CostParams = hybrid.PostgresCost
+	}
+	hs, err := model.NewHybridStore(db, name, opts.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		name:        name,
+		db:          db,
+		store:       hs,
+		deps:        depgraph.New(),
+		exprs:       make(map[sheet.Ref]formula.Expr),
+		params:      opts.CostParams,
+		cacheBlocks: opts.CacheBlocks,
+	}
+	e.cache = newEngineCache(e)
+	return e, nil
+}
+
+// newEngineCache builds the LRU cell cache over the engine's current store.
+func newEngineCache(e *Engine) *cache.Cache {
+	return cache.New(&backing{inner: storeBacking{e.store}}, e.cacheBlocks)
+}
+
+// Open loads a sheet into a new engine, choosing the physical layout with
+// the hybrid optimizer (algo: "dp", "greedy", "agg", "rom", "com", "rcv").
+func Open(db *rdbms.DB, name string, s *sheet.Sheet, algo string, opts Options) (*Engine, error) {
+	if opts.CostParams == (hybrid.CostParams{}) {
+		opts.CostParams = hybrid.PostgresCost
+	}
+	d, err := hybrid.Decompose(s, algo, hybrid.Options{Params: opts.CostParams, Models: hybrid.AllModels})
+	if err != nil {
+		return nil, err
+	}
+	hs, err := model.Materialize(db, name, opts.Scheme, s, d)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		name:        name,
+		db:          db,
+		store:       hs,
+		deps:        depgraph.New(),
+		exprs:       make(map[sheet.Ref]formula.Expr),
+		params:      opts.CostParams,
+		cacheBlocks: opts.CacheBlocks,
+	}
+	e.cache = newEngineCache(e)
+	// Register formulas and evaluate the sheet once.
+	var regErr error
+	s.EachSorted(func(r sheet.Ref, c sheet.Cell) {
+		e.grow(r.Row, r.Col)
+		if c.HasFormula() && regErr == nil {
+			if err := e.registerFormula(r, c.Formula); err != nil {
+				regErr = err
+			}
+		}
+	})
+	if regErr != nil {
+		return nil, regErr
+	}
+	if err := e.RecalcAll(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// DB exposes the backing database.
+func (e *Engine) DB() *rdbms.DB { return e.db }
+
+// Store exposes the hybrid store (for storage accounting in benchmarks).
+func (e *Engine) Store() *model.HybridStore { return e.store }
+
+// Bounds returns the tracked content extent.
+func (e *Engine) Bounds() (rows, cols int) { return e.maxRow, e.maxCol }
+
+func (e *Engine) grow(row, col int) {
+	if row > e.maxRow {
+		e.maxRow = row
+	}
+	if col > e.maxCol {
+		e.maxCol = col
+	}
+}
+
+// CellValue implements formula.Resolver through the cache.
+func (e *Engine) CellValue(r sheet.Ref) sheet.Value { return e.cache.Get(r).Value }
+
+// VisitRange implements formula.Resolver.
+func (e *Engine) VisitRange(g sheet.Range, fn func(sheet.Ref, sheet.Value) bool) {
+	// Clip to content bounds to avoid materializing vast empty ranges.
+	if g.To.Row > e.maxRow {
+		g.To.Row = e.maxRow
+	}
+	if g.To.Col > e.maxCol {
+		g.To.Col = e.maxCol
+	}
+	if g.To.Row < g.From.Row || g.To.Col < g.From.Col {
+		return
+	}
+	cells := e.cache.GetRange(g)
+	for i := range cells {
+		for j := range cells[i] {
+			if cells[i][j].IsBlank() {
+				continue
+			}
+			ref := sheet.Ref{Row: g.From.Row + i, Col: g.From.Col + j}
+			if !fn(ref, cells[i][j].Value) {
+				return
+			}
+		}
+	}
+}
+
+// GetCell returns one cell.
+func (e *Engine) GetCell(row, col int) sheet.Cell {
+	return e.cache.Get(sheet.Ref{Row: row, Col: col})
+}
+
+// GetCells is the getCells(range) primitive of Section III.
+func (e *Engine) GetCells(g sheet.Range) [][]sheet.Cell { return e.cache.GetRange(g) }
+
+// Set writes user input: text beginning with '=' installs a formula,
+// anything else a literal value; empty text clears the cell.
+func (e *Engine) Set(row, col int, input string) error {
+	if strings.HasPrefix(input, "=") {
+		return e.SetFormula(row, col, input[1:])
+	}
+	return e.SetValue(row, col, sheet.ParseLiteral(input))
+}
+
+// SetValue writes a plain value and recomputes dependents (updateCell of
+// Section III).
+func (e *Engine) SetValue(row, col int, v sheet.Value) error {
+	ref := sheet.Ref{Row: row, Col: col}
+	e.dropFormula(ref)
+	if err := e.cache.Put(ref, sheet.Cell{Value: v}); err != nil {
+		return err
+	}
+	e.grow(row, col)
+	return e.propagate(ref)
+}
+
+// Clear blanks a cell.
+func (e *Engine) Clear(row, col int) error {
+	ref := sheet.Ref{Row: row, Col: col}
+	e.dropFormula(ref)
+	if err := e.cache.Put(ref, sheet.Cell{}); err != nil {
+		return err
+	}
+	return e.propagate(ref)
+}
+
+// SetFormula installs a formula (source without '='), evaluates it, and
+// recomputes dependents. Cycles poison the cell with #CYCLE!.
+func (e *Engine) SetFormula(row, col int, src string) error {
+	ref := sheet.Ref{Row: row, Col: col}
+	expr, err := formula.Parse(src)
+	if err != nil {
+		return err
+	}
+	reads := formula.Refs(expr)
+	e.dropFormula(ref)
+	if e.deps.HasCycleAt(ref, reads) {
+		if err := e.cache.Put(ref, sheet.Cell{Value: sheet.ErrCycle, Formula: src}); err != nil {
+			return err
+		}
+		e.grow(row, col)
+		return nil
+	}
+	e.exprs[ref] = expr
+	e.deps.Set(ref, reads)
+	v := formula.Eval(expr, e)
+	if err := e.cache.Put(ref, sheet.Cell{Value: v, Formula: src}); err != nil {
+		return err
+	}
+	e.grow(row, col)
+	return e.propagate(ref)
+}
+
+func (e *Engine) dropFormula(ref sheet.Ref) {
+	delete(e.exprs, ref)
+	e.deps.Remove(ref)
+}
+
+// propagate re-evaluates every formula affected by a change at ref, in
+// topological order; cells on cycles get #CYCLE!.
+func (e *Engine) propagate(ref sheet.Ref) error {
+	order, cycles := e.deps.Affected(ref)
+	for _, dep := range order {
+		if err := e.reevaluate(dep); err != nil {
+			return err
+		}
+	}
+	for _, dep := range cycles {
+		old := e.cache.Get(dep)
+		if err := e.cache.Put(dep, sheet.Cell{Value: sheet.ErrCycle, Formula: old.Formula}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) reevaluate(ref sheet.Ref) error {
+	expr, ok := e.exprs[ref]
+	if !ok {
+		return nil
+	}
+	v := formula.Eval(expr, e)
+	old := e.cache.Get(ref)
+	if old.Value.Equal(v) {
+		return nil
+	}
+	return e.cache.Put(ref, sheet.Cell{Value: v, Formula: old.Formula})
+}
+
+// RecalcAll evaluates every formula (initial load, or after structural
+// edits), respecting dependencies.
+func (e *Engine) RecalcAll() error {
+	// Evaluate in dependency order by repeatedly relaxing; with the
+	// dependency graph acyclic this converges in one topological pass via
+	// Affected from a virtual change covering everything.
+	order, cycles := e.deps.AffectedByRange(sheet.NewRange(1, 1, e.maxRow+1, e.maxCol+1))
+	seen := make(map[sheet.Ref]bool, len(order))
+	for _, ref := range order {
+		seen[ref] = true
+		if err := e.reevaluate(ref); err != nil {
+			return err
+		}
+	}
+	for _, ref := range cycles {
+		seen[ref] = true
+		old := e.cache.Get(ref)
+		if err := e.cache.Put(ref, sheet.Cell{Value: sheet.ErrCycle, Formula: old.Formula}); err != nil {
+			return err
+		}
+	}
+	// Formulas reading nothing inside bounds (constants) may be missed by
+	// the range trigger; evaluate any leftovers.
+	for ref := range e.exprs {
+		if !seen[ref] {
+			if err := e.reevaluate(ref); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) registerFormula(ref sheet.Ref, src string) error {
+	expr, err := formula.Parse(src)
+	if err != nil {
+		return fmt.Errorf("core: formula at %v: %w", ref, err)
+	}
+	e.exprs[ref] = expr
+	e.deps.Set(ref, formula.Refs(expr))
+	return nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sort"
+
+	"dataspread/internal/formula"
+	"dataspread/internal/sheet"
+)
+
+// InsertRowAfter inserts one spreadsheet row after `row` (Section III:
+// insertRowAfter). Stored regions shift through their positional maps (no
+// cascading updates); formula references are rewritten; the cache is
+// invalidated below the edit.
+func (e *Engine) InsertRowAfter(row int) error {
+	if err := e.store.InsertRowAfter(row); err != nil {
+		return err
+	}
+	e.maxRow++
+	// Structural edits move cells across cache blocks; drop everything
+	// before formulas re-read their surroundings.
+	e.cache.InvalidateAll()
+	if err := e.shiftFormulas(formula.InsertRows(row+1, 1), shiftRows, row+1, 1); err != nil {
+		return err
+	}
+	return e.RecalcAll()
+}
+
+// DeleteRow removes one spreadsheet row.
+func (e *Engine) DeleteRow(row int) error {
+	if err := e.store.DeleteRow(row); err != nil {
+		return err
+	}
+	if e.maxRow > 0 {
+		e.maxRow--
+	}
+	e.cache.InvalidateAll()
+	if err := e.shiftFormulas(formula.DeleteRows(row, 1), shiftRows, row, -1); err != nil {
+		return err
+	}
+	return e.RecalcAll()
+}
+
+// InsertColumnAfter inserts one spreadsheet column after `col`.
+func (e *Engine) InsertColumnAfter(col int) error {
+	if err := e.store.InsertColumnAfter(col); err != nil {
+		return err
+	}
+	e.maxCol++
+	e.cache.InvalidateAll()
+	if err := e.shiftFormulas(formula.InsertCols(col+1, 1), shiftCols, col+1, 1); err != nil {
+		return err
+	}
+	return e.RecalcAll()
+}
+
+// DeleteColumn removes one spreadsheet column.
+func (e *Engine) DeleteColumn(col int) error {
+	if err := e.store.DeleteColumn(col); err != nil {
+		return err
+	}
+	if e.maxCol > 0 {
+		e.maxCol--
+	}
+	e.cache.InvalidateAll()
+	if err := e.shiftFormulas(formula.DeleteCols(col, 1), shiftCols, col, -1); err != nil {
+		return err
+	}
+	return e.RecalcAll()
+}
+
+type shiftAxis int
+
+const (
+	shiftRows shiftAxis = iota
+	shiftCols
+)
+
+// shiftFormulas relocates formula registrations whose cells moved and
+// rewrites every formula's references under the structural edit. at/delta
+// describe the cell relocation: for inserts, cells with index >= at move by
+// +1; for deletes (delta = -1), cells at `at` vanish and higher ones move
+// down.
+func (e *Engine) shiftFormulas(sh formula.Shift, axis shiftAxis, at, delta int) error {
+	type entry struct {
+		ref  sheet.Ref
+		expr formula.Expr
+	}
+	old := make([]entry, 0, len(e.exprs))
+	for ref, expr := range e.exprs {
+		old = append(old, entry{ref, expr})
+	}
+	sort.Slice(old, func(i, j int) bool {
+		if old[i].ref.Row != old[j].ref.Row {
+			return old[i].ref.Row < old[j].ref.Row
+		}
+		return old[i].ref.Col < old[j].ref.Col
+	})
+	e.exprs = make(map[sheet.Ref]formula.Expr, len(old))
+	for _, ent := range old {
+		e.deps.Remove(ent.ref)
+	}
+	for _, ent := range old {
+		ref := ent.ref
+		idx := ref.Col
+		if axis == shiftRows {
+			idx = ref.Row
+		}
+		if delta < 0 {
+			if idx == at {
+				continue // the formula's own cell was deleted
+			}
+			if idx > at {
+				idx--
+			}
+		} else if idx >= at {
+			idx += delta
+		}
+		if axis == shiftRows {
+			ref.Row = idx
+		} else {
+			ref.Col = idx
+		}
+		shifted := sh.Apply(ent.expr)
+		e.exprs[ref] = shifted
+		e.deps.Set(ref, formula.Refs(shifted))
+		// Persist the rewritten source (the stored cell moved with the
+		// region; only its formula text changes).
+		cell := e.cache.Get(ref)
+		cell.Formula = shifted.String()
+		if err := e.cache.Put(ref, cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package depgraph maintains the formula dependency graph of DataSpread's
+// execution engine (Section VI): for each formula cell, which cells/ranges
+// it reads, and — inverted — which formula cells must be recomputed when a
+// cell changes. Recomputation order is topological; cycles are detected and
+// reported so the engine can poison the affected cells with #CYCLE!.
+package depgraph
+
+import (
+	"sort"
+
+	"dataspread/internal/sheet"
+)
+
+// Graph tracks dependencies between cells. Precedents are stored as ranges
+// (a compact representation of formula reads — takeaway 4); dependents are
+// resolved by scanning the range list, which stays small per sheet because
+// formulas reference few rectangular regions (Table I, column 11).
+type Graph struct {
+	// deps maps a formula cell to the ranges it reads.
+	deps map[sheet.Ref][]sheet.Range
+}
+
+// New returns an empty dependency graph.
+func New() *Graph {
+	return &Graph{deps: make(map[sheet.Ref][]sheet.Range)}
+}
+
+// Set registers (or replaces) the ranges read by the formula at ref.
+func (g *Graph) Set(ref sheet.Ref, reads []sheet.Range) {
+	if len(reads) == 0 {
+		delete(g.deps, ref)
+		return
+	}
+	g.deps[ref] = reads
+}
+
+// Remove drops the formula at ref.
+func (g *Graph) Remove(ref sheet.Ref) { delete(g.deps, ref) }
+
+// Len returns the number of tracked formula cells.
+func (g *Graph) Len() int { return len(g.deps) }
+
+// Precedents returns the ranges the formula at ref reads (nil when ref has
+// no formula).
+func (g *Graph) Precedents(ref sheet.Ref) []sheet.Range { return g.deps[ref] }
+
+// DirectDependents returns formula cells that directly read any cell in
+// the changed range, in deterministic order.
+func (g *Graph) DirectDependents(changed sheet.Range) []sheet.Ref {
+	var out []sheet.Ref
+	for ref, reads := range g.deps {
+		for _, r := range reads {
+			if r.Intersects(changed) {
+				out = append(out, ref)
+				break
+			}
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// Affected returns every formula cell that must be recomputed when the
+// given cell changes, in a valid evaluation order (precedents before
+// dependents). Cells participating in a dependency cycle are returned
+// separately.
+func (g *Graph) Affected(changed sheet.Ref) (order []sheet.Ref, cycles []sheet.Ref) {
+	return g.AffectedByRange(sheet.Range{From: changed, To: changed})
+}
+
+// AffectedByRange is Affected for a rectangular change.
+func (g *Graph) AffectedByRange(changed sheet.Range) (order []sheet.Ref, cycles []sheet.Ref) {
+	// Collect the reachable set via BFS over direct-dependent edges.
+	reach := make(map[sheet.Ref]bool)
+	frontier := g.DirectDependents(changed)
+	for len(frontier) > 0 {
+		var next []sheet.Ref
+		for _, ref := range frontier {
+			if reach[ref] {
+				continue
+			}
+			reach[ref] = true
+			next = append(next, g.DirectDependents(sheet.Range{From: ref, To: ref})...)
+		}
+		frontier = next
+	}
+	if len(reach) == 0 {
+		return nil, nil
+	}
+
+	// Topologically sort the reachable subgraph: edge u -> v when formula v
+	// reads formula cell u.
+	indeg := make(map[sheet.Ref]int, len(reach))
+	adj := make(map[sheet.Ref][]sheet.Ref, len(reach))
+	for v := range reach {
+		for _, r := range g.deps[v] {
+			for u := range reach {
+				if u != v && r.Contains(u) {
+					adj[u] = append(adj[u], v)
+					indeg[v]++
+				}
+			}
+		}
+	}
+	var queue []sheet.Ref
+	for v := range reach {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	sortRefs(queue)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		next := adj[v]
+		sortRefs(next)
+		for _, w := range next {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) < len(reach) {
+		for v := range reach {
+			if indeg[v] > 0 {
+				cycles = append(cycles, v)
+			}
+		}
+		sortRefs(cycles)
+	}
+	return order, cycles
+}
+
+// HasCycleAt reports whether installing a formula at ref that reads the
+// given ranges would create a dependency cycle (including self-reference).
+// The walk follows precedent edges: from a formula cell to the formula
+// cells located inside the ranges it reads; reaching ref closes a cycle.
+func (g *Graph) HasCycleAt(ref sheet.Ref, reads []sheet.Range) bool {
+	for _, r := range reads {
+		if r.Contains(ref) {
+			return true
+		}
+	}
+	seen := make(map[sheet.Ref]bool)
+	var stack []sheet.Ref
+	seed := func(ranges []sheet.Range) bool {
+		for dep := range g.deps {
+			if seen[dep] {
+				continue
+			}
+			for _, r := range ranges {
+				if r.Contains(dep) {
+					if dep == ref {
+						return true
+					}
+					seen[dep] = true
+					stack = append(stack, dep)
+					break
+				}
+			}
+		}
+		return false
+	}
+	if seed(reads) {
+		return true
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range g.deps[cur] {
+			if r.Contains(ref) {
+				return true
+			}
+		}
+		if seed(g.deps[cur]) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortRefs(refs []sheet.Ref) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Row != refs[j].Row {
+			return refs[i].Row < refs[j].Row
+		}
+		return refs[i].Col < refs[j].Col
+	})
+}

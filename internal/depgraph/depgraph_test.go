@@ -1,0 +1,139 @@
+package depgraph
+
+import (
+	"testing"
+
+	"dataspread/internal/sheet"
+)
+
+func ref(row, col int) sheet.Ref { return sheet.Ref{Row: row, Col: col} }
+
+func cellRange(row, col int) []sheet.Range {
+	return []sheet.Range{sheet.NewRange(row, col, row, col)}
+}
+
+func TestDirectDependents(t *testing.T) {
+	g := New()
+	// B1 = A1+1 ; C1 = B1*2 ; D1 = SUM(A1:B1)
+	g.Set(ref(1, 2), cellRange(1, 1))
+	g.Set(ref(1, 3), cellRange(1, 2))
+	g.Set(ref(1, 4), []sheet.Range{sheet.NewRange(1, 1, 1, 2)})
+
+	deps := g.DirectDependents(sheet.NewRange(1, 1, 1, 1))
+	if len(deps) != 2 || deps[0] != ref(1, 2) || deps[1] != ref(1, 4) {
+		t.Fatalf("dependents of A1 = %v", deps)
+	}
+	deps = g.DirectDependents(sheet.NewRange(9, 9, 9, 9))
+	if len(deps) != 0 {
+		t.Fatalf("dependents of unrelated cell = %v", deps)
+	}
+}
+
+func TestAffectedTopologicalOrder(t *testing.T) {
+	g := New()
+	// Chain: B1 <- A1, C1 <- B1, D1 <- C1.
+	g.Set(ref(1, 2), cellRange(1, 1))
+	g.Set(ref(1, 3), cellRange(1, 2))
+	g.Set(ref(1, 4), cellRange(1, 3))
+
+	order, cycles := g.Affected(ref(1, 1))
+	if len(cycles) != 0 {
+		t.Fatalf("unexpected cycles: %v", cycles)
+	}
+	want := []sheet.Ref{ref(1, 2), ref(1, 3), ref(1, 4)}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v want %v", order, want)
+		}
+	}
+}
+
+func TestAffectedDiamond(t *testing.T) {
+	g := New()
+	// B1 and C1 read A1; D1 reads both.
+	g.Set(ref(1, 2), cellRange(1, 1))
+	g.Set(ref(1, 3), cellRange(1, 1))
+	g.Set(ref(1, 4), []sheet.Range{sheet.NewRange(1, 2, 1, 3)})
+
+	order, cycles := g.Affected(ref(1, 1))
+	if len(cycles) != 0 || len(order) != 3 {
+		t.Fatalf("order=%v cycles=%v", order, cycles)
+	}
+	if order[2] != ref(1, 4) {
+		t.Fatalf("D1 must evaluate last: %v", order)
+	}
+}
+
+func TestAffectedCycleDetection(t *testing.T) {
+	g := New()
+	// B1 <- A1; C1 <- B1; B1 also <- C1 (cycle between B1 and C1).
+	g.Set(ref(1, 2), []sheet.Range{sheet.NewRange(1, 1, 1, 1), sheet.NewRange(1, 3, 1, 3)})
+	g.Set(ref(1, 3), cellRange(1, 2))
+
+	order, cycles := g.Affected(ref(1, 1))
+	if len(cycles) != 2 {
+		t.Fatalf("want 2 cycle members, got order=%v cycles=%v", order, cycles)
+	}
+}
+
+func TestHasCycleAt(t *testing.T) {
+	g := New()
+	// B1 = A1. Adding A1 = B1 closes a cycle.
+	g.Set(ref(1, 2), cellRange(1, 1))
+	if !g.HasCycleAt(ref(1, 1), cellRange(1, 2)) {
+		t.Fatal("cycle not detected")
+	}
+	// Self-reference.
+	if !g.HasCycleAt(ref(5, 5), cellRange(5, 5)) {
+		t.Fatal("self-reference not detected")
+	}
+	// Range containing itself.
+	if !g.HasCycleAt(ref(2, 2), []sheet.Range{sheet.NewRange(1, 1, 3, 3)}) {
+		t.Fatal("range self-inclusion not detected")
+	}
+	// Harmless addition.
+	if g.HasCycleAt(ref(9, 9), cellRange(1, 1)) {
+		t.Fatal("false cycle")
+	}
+	// Transitive cycle: C1 = B1, B1 = A1, adding A1 = C1.
+	g2 := New()
+	g2.Set(ref(1, 3), cellRange(1, 2))
+	g2.Set(ref(1, 2), cellRange(1, 1))
+	if !g2.HasCycleAt(ref(1, 1), cellRange(1, 3)) {
+		t.Fatal("transitive cycle not detected")
+	}
+}
+
+func TestSetRemove(t *testing.T) {
+	g := New()
+	g.Set(ref(1, 1), cellRange(2, 2))
+	if g.Len() != 1 || len(g.Precedents(ref(1, 1))) != 1 {
+		t.Fatal("Set failed")
+	}
+	g.Remove(ref(1, 1))
+	if g.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+	// Set with empty reads removes.
+	g.Set(ref(1, 1), cellRange(2, 2))
+	g.Set(ref(1, 1), nil)
+	if g.Len() != 0 {
+		t.Fatal("Set(nil) should remove")
+	}
+}
+
+func TestRangeDependencyGranularity(t *testing.T) {
+	g := New()
+	// F1 = SUM(A1:A100). A change to A50 must trigger it; a change to B50
+	// must not.
+	g.Set(ref(1, 6), []sheet.Range{sheet.NewRange(1, 1, 100, 1)})
+	if deps := g.DirectDependents(sheet.NewRange(50, 1, 50, 1)); len(deps) != 1 {
+		t.Fatalf("A50 change: deps = %v", deps)
+	}
+	if deps := g.DirectDependents(sheet.NewRange(50, 2, 50, 2)); len(deps) != 0 {
+		t.Fatalf("B50 change: deps = %v", deps)
+	}
+}

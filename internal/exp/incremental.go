@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"time"
+
+	"dataspread/internal/hybrid"
+	"dataspread/internal/sheet"
+	"dataspread/internal/workload"
+)
+
+// Fig26aPoint is one eta setting of the migration/storage trade-off.
+type Fig26aPoint struct {
+	Eta           float64
+	MigratedCells int
+	MigrationTime time.Duration
+	StorageCost   float64
+}
+
+// Fig26a reproduces Figure 26(a): the trade-off between migration effort
+// and storage cost as eta varies, on a sheet that has drifted from its
+// original Agg decomposition.
+func Fig26a(cfg Config) []Fig26aPoint {
+	cfg = cfg.Resolve()
+	rows := clampInt(cfg.MaxRows/250, 120, 400)
+	s, _ := workload.Synthetic(workload.SyntheticSpec{
+		Rows: rows, Cols: 60, Regions: 8, Formulas: 0, Density: 1.0, Seed: cfg.Seed,
+	})
+	base, err := hybrid.Decompose(s, "agg", hybrid.Options{Params: hybrid.PostgresCost, Models: hybrid.AllModels})
+	if err != nil {
+		return nil
+	}
+	// Drift: apply a batch of user operations, shifting the old regions
+	// with row/column inserts the way a live store would.
+	regions := base.Regions
+	for _, op := range workload.UpdateStream(s, cfg.Actions/7, cfg.Seed+1) {
+		applyOpWithRegions(s, op, &regions)
+	}
+	cfg.printf("Figure 26(a): Incremental decomposition trade-off vs eta\n")
+	cfg.printf("%10s %14s %14s %14s\n", "eta", "migrated", "migr. time", "storage cost")
+	var out []Fig26aPoint
+	for _, eta := range []float64{0, 0.1, 1, 10, 100, 1e4, 1e8} {
+		start := time.Now()
+		res, err := hybrid.DecomposeIncremental(s, "agg", hybrid.IncrementalOptions{
+			Options: hybrid.Options{Params: hybrid.PostgresCost, Models: hybrid.AllModels},
+			Eta:     eta,
+			Old:     regions,
+		})
+		if err != nil {
+			continue
+		}
+		pt := Fig26aPoint{
+			Eta:           eta,
+			MigratedCells: res.MigratedCells,
+			MigrationTime: time.Since(start),
+			StorageCost:   res.StorageCost,
+		}
+		out = append(out, pt)
+		cfg.printf("%10.2g %14d %14s %14.0f\n", eta, pt.MigratedCells, pt.MigrationTime, pt.StorageCost)
+	}
+	return out
+}
+
+// Fig26bPoint is one batch of the maintenance timeline.
+type Fig26bPoint struct {
+	Actions     int
+	ActualCost  float64 // storage under the incrementally maintained layout
+	OptimalCost float64 // storage under a from-scratch re-optimization
+	Migrated    bool    // whether this batch triggered a migration
+}
+
+// Fig26b reproduces Figure 26(b): storage over 10k user actions with
+// incremental maintenance every 1000 actions at eta = 1 — the sawtooth of
+// the paper, with the eta=0 (always-migrate) line as "Optimal".
+func Fig26b(cfg Config) []Fig26bPoint {
+	cfg = cfg.Resolve()
+	// The sheet must dwarf one batch of drift or migration trivially pays
+	// every batch and the sawtooth degenerates (the paper's sheet has 100M+
+	// cells against 1000-action batches).
+	rows := clampInt(cfg.MaxRows/500, 100, 2400)
+	s, _ := workload.Synthetic(workload.SyntheticSpec{
+		Rows: rows, Cols: 50, Regions: 6, Formulas: 0, Density: 1.0, Seed: cfg.Seed,
+	})
+	current, err := hybrid.Decompose(s, "agg", hybrid.Options{Params: hybrid.PostgresCost, Models: hybrid.AllModels})
+	if err != nil {
+		return nil
+	}
+	ops := workload.UpdateStream(s, cfg.Actions, cfg.Seed+2)
+	// eta = 1.0, the paper's setting: one unit of migration per cell,
+	// weighed against byte-denominated storage savings. Migration is
+	// adopted only when the incremental solution's storage plus the
+	// migration term beats keeping the current layout.
+	const eta = 1.0
+	cfg.printf("Figure 26(b): User operations vs. Storage (%d actions in 10 batches, eta = 1)\n", cfg.Actions)
+	cfg.printf("%10s %14s %14s %10s\n", "actions", "actual", "optimal", "migrated")
+	var out []Fig26bPoint
+	regions := current.Regions
+	batchSize := cfg.Actions / 10
+	for batch := 0; batch < len(ops)/batchSize; batch++ {
+		for _, op := range ops[batch*batchSize : (batch+1)*batchSize] {
+			applyOpWithRegions(s, op, &regions)
+		}
+		res, err := hybrid.DecomposeIncremental(s, "agg", hybrid.IncrementalOptions{
+			Options: hybrid.Options{Params: hybrid.PostgresCost, Models: hybrid.AllModels},
+			Eta:     eta,
+			Old:     regions,
+		})
+		if err != nil {
+			continue
+		}
+		// "Optimal" is the paper's non-incremental variant: incremental
+		// decomposition with eta = 0 (Appendix C-A2) — re-optimization with
+		// the current layout available at zero migration weight.
+		opt, err := hybrid.DecomposeIncremental(s, "agg", hybrid.IncrementalOptions{
+			Options: hybrid.Options{Params: hybrid.PostgresCost, Models: hybrid.AllModels},
+			Eta:     0,
+			Old:     regions,
+		})
+		if err != nil {
+			continue
+		}
+		keepCost := actualCost(s, regions, hybrid.PostgresCost)
+		migrate := res.MigratedCells > 0 &&
+			res.StorageCost+eta*float64(res.MigratedCells) < keepCost
+		pt := Fig26bPoint{
+			Actions:     (batch + 1) * batchSize,
+			OptimalCost: opt.StorageCost,
+			Migrated:    migrate,
+		}
+		if migrate {
+			regions = res.Decomposition.Regions
+		}
+		pt.ActualCost = actualCost(s, regions, hybrid.PostgresCost)
+		out = append(out, pt)
+		cfg.printf("%10d %14.0f %14.0f %10v\n", pt.Actions, pt.ActualCost, pt.OptimalCost, pt.Migrated)
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// actualCost prices the drifted layout: the regions' storage plus the
+// cells that fell outside every region, which live in the overflow RCV
+// table until the next migration.
+func actualCost(s *sheet.Sheet, regions []hybrid.Region, p hybrid.CostParams) float64 {
+	cost := hybrid.CostOf(s, regions, p)
+	uncovered := 0
+	s.Each(func(r sheet.Ref, _ sheet.Cell) {
+		for _, reg := range regions {
+			if reg.Rect.Contains(r) {
+				return
+			}
+		}
+		uncovered++
+	})
+	if uncovered > 0 {
+		cost += p.S1 + p.RCVCost(uncovered)
+	}
+	return cost
+}
+
+// applyOpWithRegions applies a user op to the sheet and keeps the region
+// rectangles aligned under row/column inserts (regions shift like cells).
+func applyOpWithRegions(s *sheet.Sheet, op workload.UpdateOp, regions *[]hybrid.Region) {
+	workload.ApplyOp(s, op)
+	switch op.Kind {
+	case workload.OpAddRow:
+		for i := range *regions {
+			r := &(*regions)[i]
+			if r.Rect.From.Row > op.Row {
+				r.Rect.From.Row++
+				r.Rect.To.Row++
+			} else if r.Rect.To.Row > op.Row {
+				r.Rect.To.Row++
+			}
+		}
+	case workload.OpAddColumn:
+		for i := range *regions {
+			r := &(*regions)[i]
+			if r.Rect.From.Col > op.Col {
+				r.Rect.From.Col++
+				r.Rect.To.Col++
+			} else if r.Rect.To.Col > op.Col {
+				r.Rect.To.Col++
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"dataspread/internal/analyze"
+	"dataspread/internal/hybrid"
+	"dataspread/internal/workload"
+)
+
+// Table1Row is one dataset row of Table I.
+type Table1Row struct {
+	Dataset              string
+	Sheets               int
+	SheetsWithFormulas   float64
+	SheetsOver20PctForm  float64
+	FormulaCellFrac      float64
+	SheetsUnder50Density float64
+	SheetsUnder20Density float64
+	Tables               int
+	TabularCoverage      float64
+	CellsPerFormula      float64
+	RegionsPerFormula    float64
+}
+
+// Table1 reproduces Table I (corpus statistics) on the generated corpora.
+func Table1(cfg Config) []Table1Row {
+	cfg = cfg.Resolve()
+	corp := cfg.buildCorpora()
+	cfg.printf("Table I: Spreadsheet Datasets: Preliminary Statistics (generated corpora)\n")
+	cfg.printf("%-10s %7s %9s %9s %9s %9s %9s %8s %9s %9s %9s\n",
+		"Dataset", "Sheets", "w/form", ">20%form", "%formula", "<50%dens", "<20%dens",
+		"Tables", "%coverage", "cells/f", "regions/f")
+	var out []Table1Row
+	for _, name := range corp.names {
+		cs := analyze.Aggregate(corp.stats[name])
+		row := Table1Row{
+			Dataset:              name,
+			Sheets:               cs.Sheets,
+			SheetsWithFormulas:   cs.SheetsWithFormulas,
+			SheetsOver20PctForm:  cs.SheetsOver20PctForm,
+			FormulaCellFrac:      cs.FormulaCellFrac,
+			SheetsUnder50Density: cs.SheetsUnder50Density,
+			SheetsUnder20Density: cs.SheetsUnder20Density,
+			Tables:               cs.Tables,
+			TabularCoverage:      cs.TabularCoverage,
+			CellsPerFormula:      cs.AvgCellsPerFormula,
+			RegionsPerFormula:    cs.AvgRegionsPerFormula,
+		}
+		out = append(out, row)
+		cfg.printf("%-10s %7d %8.1f%% %8.1f%% %8.2f%% %8.1f%% %8.1f%% %8d %8.1f%% %9.2f %9.2f\n",
+			row.Dataset, row.Sheets, row.SheetsWithFormulas*100, row.SheetsOver20PctForm*100,
+			row.FormulaCellFrac*100, row.SheetsUnder50Density*100, row.SheetsUnder20Density*100,
+			row.Tables, row.TabularCoverage*100, row.CellsPerFormula, row.RegionsPerFormula)
+	}
+	return out
+}
+
+// Histogram is a labeled histogram series for one dataset.
+type Histogram struct {
+	Dataset string
+	Labels  []string
+	Counts  []int
+}
+
+// Fig2 reproduces Figure 2: per-dataset sheet density histograms.
+func Fig2(cfg Config) []Histogram {
+	cfg = cfg.Resolve()
+	corp := cfg.buildCorpora()
+	var out []Histogram
+	cfg.printf("Figure 2: Data Density histograms (#sheets per 0.1 density bin)\n")
+	for _, name := range corp.names {
+		cs := analyze.Aggregate(corp.stats[name])
+		h := Histogram{Dataset: name}
+		for b := 0; b < 10; b++ {
+			h.Labels = append(h.Labels, fmt.Sprintf("%.1f", float64(b+1)/10))
+			h.Counts = append(h.Counts, cs.DensityHistogram[b])
+		}
+		out = append(out, h)
+		cfg.printf("%-10s %v\n", name, h.Counts)
+	}
+	return out
+}
+
+// Fig3 reproduces Figure 3: tabular regions per sheet.
+func Fig3(cfg Config) []Histogram {
+	cfg = cfg.Resolve()
+	corp := cfg.buildCorpora()
+	var out []Histogram
+	cfg.printf("Figure 3: Tabular Region Distribution (#sheets per #tables)\n")
+	for _, name := range corp.names {
+		cs := analyze.Aggregate(corp.stats[name])
+		h := Histogram{Dataset: name}
+		maxT := 0
+		for k := range cs.TablesHistogram {
+			if k > maxT {
+				maxT = k
+			}
+		}
+		if maxT > 7 {
+			maxT = 7
+		}
+		for k := 0; k <= maxT; k++ {
+			h.Labels = append(h.Labels, fmt.Sprintf("%d", k))
+			h.Counts = append(h.Counts, cs.TablesHistogram[k])
+		}
+		out = append(out, h)
+		cfg.printf("%-10s %v\n", name, h.Counts)
+	}
+	return out
+}
+
+// Fig4 reproduces Figure 4: connected-component density histograms.
+func Fig4(cfg Config) []Histogram {
+	cfg = cfg.Resolve()
+	corp := cfg.buildCorpora()
+	var out []Histogram
+	cfg.printf("Figure 4: Connected Component Data Density (#components per 0.1 bin)\n")
+	for _, name := range corp.names {
+		cs := analyze.Aggregate(corp.stats[name])
+		h := Histogram{Dataset: name}
+		for b := 0; b < 10; b++ {
+			h.Labels = append(h.Labels, fmt.Sprintf("%.1f", float64(b+1)/10))
+			h.Counts = append(h.Counts, cs.ComponentDensityHist[b])
+		}
+		out = append(out, h)
+		cfg.printf("%-10s %v\n", name, h.Counts)
+	}
+	return out
+}
+
+// Fig5 reproduces Figure 5: formula function distribution.
+func Fig5(cfg Config) []Histogram {
+	cfg = cfg.Resolve()
+	corp := cfg.buildCorpora()
+	var out []Histogram
+	cfg.printf("Figure 5: Formulae Distribution (top functions per dataset)\n")
+	for _, name := range corp.names {
+		cs := analyze.Aggregate(corp.stats[name])
+		type fc struct {
+			f string
+			n int
+		}
+		var fcs []fc
+		for f, n := range cs.FunctionDistribution {
+			fcs = append(fcs, fc{f, n})
+		}
+		sort.Slice(fcs, func(i, j int) bool {
+			if fcs[i].n != fcs[j].n {
+				return fcs[i].n > fcs[j].n
+			}
+			return fcs[i].f < fcs[j].f
+		})
+		if len(fcs) > 7 {
+			fcs = fcs[:7]
+		}
+		h := Histogram{Dataset: name}
+		cfg.printf("%-10s", name)
+		for _, x := range fcs {
+			h.Labels = append(h.Labels, x.f)
+			h.Counts = append(h.Counts, x.n)
+			cfg.printf(" %s:%d", x.f, x.n)
+		}
+		cfg.printf("\n")
+		out = append(out, h)
+	}
+	return out
+}
+
+// Fig6 reprints Figure 6: the published survey distribution.
+func Fig6(cfg Config) []Histogram {
+	cfg = cfg.Resolve()
+	cfg.printf("Figure 6: Operations performed on spreadsheets (30 participants; answers 1..5)\n")
+	var out []Histogram
+	for _, q := range workloadSurvey() {
+		h := Histogram{Dataset: q.Operation,
+			Labels: []string{"1", "2", "3", "4", "5"},
+			Counts: q.Counts[:],
+		}
+		out = append(out, h)
+		cfg.printf("%-28s %v\n", q.Operation, q.Counts)
+	}
+	return out
+}
+
+// Fig14Row is one dataset's distribution of the Theorem 4 bound.
+type Fig14Row struct {
+	Dataset string
+	// CDF[k] = number of sheets whose optimal-table upper bound
+	// (summed over connected components) is <= k+1, k = 0..9.
+	CDF [10]int
+	// Under10Frac is the fraction of sheets with bound < 10 (the paper:
+	// "90% of spreadsheets have fewer than 10 tables").
+	Under10Frac float64
+}
+
+// Fig14 reproduces Figure 14: the upper bound on the number of tables in
+// the optimal decomposition, sum over components of floor(e*s2/s1 + 1).
+func Fig14(cfg Config) []Fig14Row {
+	cfg = cfg.Resolve()
+	corp := cfg.buildCorpora()
+	p := hybrid.PostgresCost
+	cfg.printf("Figure 14: Upper bound for #Tables in the optimal decomposition\n")
+	var out []Fig14Row
+	for _, name := range corp.names {
+		var row Fig14Row
+		row.Dataset = name
+		under10 := 0
+		for _, st := range corp.stats[name] {
+			bound := 0
+			for _, comp := range st.Components {
+				bound += hybrid.TableBound(comp.Empty, p)
+			}
+			if bound < 10 {
+				under10++
+			}
+			for k := 0; k < 10; k++ {
+				if bound <= k+1 {
+					row.CDF[k]++
+				}
+			}
+		}
+		row.Under10Frac = float64(under10) / float64(len(corp.stats[name]))
+		out = append(out, row)
+		cfg.printf("%-10s bound<=1..10: %v  (<10 tables: %.0f%%)\n", name, row.CDF, row.Under10Frac*100)
+	}
+	return out
+}
+
+func workloadSurvey() []workload.SurveyQuestion { return workload.Survey() }

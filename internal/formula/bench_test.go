@@ -1,0 +1,60 @@
+package formula
+
+import (
+	"testing"
+
+	"dataspread/internal/sheet"
+)
+
+const benchFormula = `IF(SUM(B2:B500)>100,AVERAGE(C2:C500)*1.08,VLOOKUP("key",A1:F500,3))`
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchFormula); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalArithmetic(b *testing.B) {
+	e := MustParse("A1*2+B1/3-C1^2")
+	s := sheet.New("b")
+	s.SetValue(1, 1, sheet.Number(5))
+	s.SetValue(1, 2, sheet.Number(9))
+	s.SetValue(1, 3, sheet.Number(2))
+	res := mapResolver{s}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Eval(e, res)
+	}
+}
+
+func BenchmarkEvalSumRange(b *testing.B) {
+	s := sheet.New("b")
+	for i := 1; i <= 500; i++ {
+		s.SetValue(i, 2, sheet.Number(float64(i)))
+	}
+	e := MustParse("SUM(B1:B500)")
+	res := mapResolver{s}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Eval(e, res)
+	}
+}
+
+func BenchmarkShiftRewrite(b *testing.B) {
+	sh := InsertRows(10, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := sh.AdjustText(benchFormula); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefsExtraction(b *testing.B) {
+	e := MustParse(benchFormula)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Refs(e)
+	}
+}

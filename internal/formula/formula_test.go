@@ -1,0 +1,391 @@
+package formula
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dataspread/internal/sheet"
+)
+
+// mapResolver backs the evaluator with a plain sheet.
+type mapResolver struct{ s *sheet.Sheet }
+
+func (m mapResolver) CellValue(r sheet.Ref) sheet.Value { return m.s.Get(r).Value }
+
+func (m mapResolver) VisitRange(g sheet.Range, fn func(sheet.Ref, sheet.Value) bool) {
+	for row := g.From.Row; row <= g.To.Row; row++ {
+		for col := g.From.Col; col <= g.To.Col; col++ {
+			r := sheet.Ref{Row: row, Col: col}
+			if m.s.Filled(r) {
+				if !fn(r, m.s.Get(r).Value) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func gradeSheet() *sheet.Sheet {
+	s := sheet.New("grades")
+	// Figure 7's layout: ID, HW1, HW2, MidTerm, Final, Total.
+	headers := []string{"ID", "HW1", "HW2", "MidTerm", "Final", "Total"}
+	for i, h := range headers {
+		s.SetValue(1, i+1, sheet.Str(h))
+	}
+	rows := [][]float64{
+		{10, 10, 30, 35}, // Alice
+		{8, 9, 25, 30},   // Bob
+		{9, 10, 28, 33},  // Carol
+	}
+	names := []string{"Alice", "Bob", "Carol"}
+	for i, r := range rows {
+		s.SetValue(i+2, 1, sheet.Str(names[i]))
+		for j, v := range r {
+			s.SetValue(i+2, j+2, sheet.Number(v))
+		}
+	}
+	return s
+}
+
+func evalText(t *testing.T, s *sheet.Sheet, src string) sheet.Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return Eval(e, mapResolver{s})
+}
+
+func TestEvalFigure7Formula(t *testing.T) {
+	s := gradeSheet()
+	// F2 from the paper: =AVERAGE(B2:C2)+D2+E2 = (10+10)/2 + 30 + 35 = 75.
+	v := evalText(t, s, "AVERAGE(B2:C2)+D2+E2")
+	if f, _ := v.Num(); f != 75 {
+		t.Fatalf("AVERAGE(B2:C2)+D2+E2 = %v want 75", v)
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	s := sheet.New("t")
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"2^3^2", 512}, // right-assoc
+		{"-3+5", 2},
+		{"10/4", 2.5},
+		{"50%", 0.5},
+		{"200%%", 0.02},
+		{"1+2+3+4", 10},
+		{"10-2-3", 5},
+		{"2*-3", -6},
+	}
+	for _, c := range cases {
+		v := evalText(t, s, c.src)
+		if f, ok := v.Num(); !ok || f != c.want {
+			t.Errorf("%q = %v want %v", c.src, v, c.want)
+		}
+	}
+}
+
+func TestEvalComparisonsAndLogic(t *testing.T) {
+	s := sheet.New("t")
+	trueCases := []string{
+		"1<2", "2<=2", "3>2", "3>=3", "1=1", "1<>2",
+		`"abc"="ABC"`, `"a"<"b"`,
+		"AND(TRUE,1<2)", "OR(FALSE,TRUE)", "NOT(FALSE)",
+		"IF(1<2,TRUE,FALSE)",
+	}
+	for _, src := range trueCases {
+		v := evalText(t, s, src)
+		if b, ok := v.BoolVal(); !ok || !b {
+			t.Errorf("%q = %v want TRUE", src, v)
+		}
+	}
+}
+
+func TestEvalStringFunctions(t *testing.T) {
+	s := sheet.New("t")
+	cases := []struct {
+		src, want string
+	}{
+		{`"foo"&"bar"`, "foobar"},
+		{`CONCATENATE("a","b","c")`, "abc"},
+		{`UPPER("hi")`, "HI"},
+		{`LOWER("HI")`, "hi"},
+		{`TRIM("  x  ")`, "x"},
+		{`LEFT("hello",2)`, "he"},
+		{`RIGHT("hello",3)`, "llo"},
+		{`MID("hello",2,3)`, "ell"},
+		{`"n="&5`, "n=5"},
+	}
+	for _, c := range cases {
+		if got := evalText(t, s, c.src).Text(); got != c.want {
+			t.Errorf("%q = %q want %q", c.src, got, c.want)
+		}
+	}
+	if f, _ := evalText(t, s, `LEN("hello")`).Num(); f != 5 {
+		t.Error("LEN broken")
+	}
+	if f, _ := evalText(t, s, `SEARCH("lo","hello")`).Num(); f != 4 {
+		t.Error("SEARCH broken")
+	}
+	if !evalText(t, s, `SEARCH("zz","hello")`).IsError() {
+		t.Error("SEARCH miss must be error")
+	}
+}
+
+func TestEvalNumericFunctions(t *testing.T) {
+	s := sheet.New("t")
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"ABS(-3)", 3},
+		{"LN(EXP(2))", 2},
+		{"LOG(100)", 2},
+		{"LOG(8,2)", 3},
+		{"LOG10(1000)", 3},
+		{"SQRT(16)", 4},
+		{"ROUND(2.567,2)", 2.57},
+		{"ROUND(2.4)", 2},
+		{"FLOOR(2.9)", 2},
+		{"CEILING(2.1)", 3},
+		{"INT(-2.5)", -3},
+		{"MOD(7,3)", 1},
+		{"POWER(2,10)", 1024},
+		{"SIGN(-9)", -1},
+	}
+	for _, c := range cases {
+		v := evalText(t, s, c.src)
+		f, ok := v.Num()
+		if !ok || f != c.want {
+			t.Errorf("%q = %v want %v", c.src, v, c.want)
+		}
+	}
+	if !evalText(t, s, "LN(0)").IsError() || !evalText(t, s, "SQRT(-1)").IsError() {
+		t.Error("domain errors not reported")
+	}
+	if !evalText(t, s, "1/0").IsError() || !evalText(t, s, "MOD(1,0)").IsError() {
+		t.Error("division by zero not reported")
+	}
+}
+
+func TestEvalRangeAggregates(t *testing.T) {
+	s := gradeSheet()
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"SUM(B2:C4)", 10 + 10 + 8 + 9 + 9 + 10},
+		{"AVERAGE(B2:B4)", 9},
+		{"MIN(B2:E4)", 8},
+		{"MAX(B2:E4)", 35},
+		{"COUNT(A1:F4)", 12},  // numbers only
+		{"COUNTA(A1:F4)", 21}, // 6 headers + 3 names + 12 numbers
+		{"COUNTBLANK(A1:F4)", 24 - 21},
+		{"SUM(B2:C2,D2:E2)", 85},
+		{"SUM(B2,C2,1)", 21},
+	}
+	for _, c := range cases {
+		v := evalText(t, s, c.src)
+		f, ok := v.Num()
+		if !ok || f != c.want {
+			t.Errorf("%q = %v want %v", c.src, v, c.want)
+		}
+	}
+	if !evalText(t, s, "AVERAGE(Z100:Z200)").IsError() {
+		t.Error("AVERAGE of empty range must error")
+	}
+}
+
+func TestEvalVlookup(t *testing.T) {
+	s := gradeSheet()
+	v := evalText(t, s, `VLOOKUP("Bob",A2:F4,4)`)
+	if f, _ := v.Num(); f != 25 {
+		t.Fatalf("VLOOKUP Bob midterm = %v want 25", v)
+	}
+	if !evalText(t, s, `VLOOKUP("Zed",A2:F4,2)`).Equal(sheet.ErrNA) {
+		t.Fatal("VLOOKUP miss must be #N/A")
+	}
+	if !evalText(t, s, `VLOOKUP("Bob",A2:F4,99)`).IsError() {
+		t.Fatal("VLOOKUP out-of-range column must error")
+	}
+}
+
+func TestEvalSumif(t *testing.T) {
+	s := gradeSheet()
+	// Sum of HW1 where HW1 >= 9.
+	v := evalText(t, s, `SUMIF(B2:B4,">=9")`)
+	if f, _ := v.Num(); f != 19 {
+		t.Fatalf("SUMIF = %v want 19", v)
+	}
+	// Criteria with sum range: final scores of students with HW1=10.
+	v = evalText(t, s, `SUMIF(B2:B4,10,E2:E4)`)
+	if f, _ := v.Num(); f != 35 {
+		t.Fatalf("SUMIF with range = %v want 35", v)
+	}
+}
+
+func TestEvalErrorPropagation(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(1, 1, sheet.ErrRef)
+	for _, src := range []string{"A1+1", "SUM(A1,2)", "IF(A1,1,2)", "-A1", "ABS(A1)"} {
+		if !evalText(t, s, src).IsError() {
+			t.Errorf("%q must propagate the error", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1+", "(1", `"open`, "SUM(1", "SUM(1,)", "FOO BAR", "A1:",
+		"@", "1..2", "#WHAT!", "$", "A0", "SUM(1;)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestUnknownFunctionIsNameError(t *testing.T) {
+	s := sheet.New("t")
+	if !evalText(t, s, "NOSUCHFN(1)").Equal(sheet.ErrName) {
+		t.Fatal("unknown function must be #NAME?")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"AVERAGE(B2:C2)+D2+E2",
+		"SUM($A$1:B2)*3",
+		`IF(A1>=10,"big","small")`,
+		"-A1+B2%",
+		`VLOOKUP("x",A1:C9,2)`,
+		"1.5e3+2",
+		"TRUE",
+		"#REF!+1",
+		`"quoted ""inner"" text"`,
+	}
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		text := e1.String()
+		e2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q -> %q failed: %v", src, text, err)
+		}
+		if e2.String() != text {
+			t.Fatalf("unstable round trip: %q -> %q -> %q", src, text, e2.String())
+		}
+	}
+}
+
+func TestRefsExtraction(t *testing.T) {
+	e := MustParse("AVERAGE(B2:C2)+D2+E2*SUM($A$1:$A$9)")
+	refs := Refs(e)
+	want := []sheet.Range{
+		sheet.NewRange(2, 2, 2, 3),
+		sheet.NewRange(2, 4, 2, 4),
+		sheet.NewRange(2, 5, 2, 5),
+		sheet.NewRange(1, 1, 9, 1),
+	}
+	if len(refs) != len(want) {
+		t.Fatalf("Refs = %v", refs)
+	}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("Refs[%d] = %v want %v", i, refs[i], want[i])
+		}
+	}
+}
+
+func TestShiftInsertRows(t *testing.T) {
+	sh := InsertRows(3, 2)
+	got, err := sh.AdjustText("A2+A3+A10+SUM(B1:B5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "A2+A5+A12+SUM(B1:B7)"
+	if got != want {
+		t.Fatalf("shifted = %q want %q", got, want)
+	}
+}
+
+func TestShiftDeleteRows(t *testing.T) {
+	sh := DeleteRows(3, 2)
+	// A3 deleted -> #REF!; A10 -> A8; range clips.
+	got, err := sh.AdjustText("A3+A10+SUM(B2:B4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "#REF!+A8+SUM(B2:B2)"
+	if got != want {
+		t.Fatalf("shifted = %q want %q", got, want)
+	}
+	// Range fully inside the deleted span.
+	got, _ = sh.AdjustText("SUM(C3:C4)")
+	if got != "SUM(#REF!)" {
+		t.Fatalf("fully deleted range = %q", got)
+	}
+}
+
+func TestShiftColumns(t *testing.T) {
+	ins := InsertCols(2, 1)
+	got, _ := ins.AdjustText("A1+B1+C1")
+	if got != "A1+C1+D1" {
+		t.Fatalf("insert col shift = %q", got)
+	}
+	del := DeleteCols(2, 1)
+	got, _ = del.AdjustText("A1+B1+C1")
+	if got != "A1+#REF!+B1" {
+		t.Fatalf("delete col shift = %q", got)
+	}
+}
+
+func TestShiftPreservesAbsoluteness(t *testing.T) {
+	sh := InsertRows(1, 1)
+	got, _ := sh.AdjustText("$A$1+$B2+C$3")
+	if got != "$A$2+$B3+C$4" {
+		t.Fatalf("abs shift = %q", got)
+	}
+}
+
+func TestShiftInsertThenDeleteIsIdentity(t *testing.T) {
+	f := func(rowRaw, atRaw uint8) bool {
+		row := int(rowRaw%20) + 1
+		at := int(atRaw%20) + 1
+		src := (&RefNode{Ref: sheet.Ref{Row: row, Col: 3}}).String()
+		ins, err := InsertRows(at, 1).AdjustText(src)
+		if err != nil {
+			return false
+		}
+		back, err := DeleteRows(at, 1).AdjustText(ins)
+		if err != nil {
+			return false
+		}
+		return back == src
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalRangeInScalarContext(t *testing.T) {
+	s := gradeSheet()
+	if !evalText(t, s, "B2:C4+1").IsError() {
+		t.Fatal("range in scalar context must be #VALUE!")
+	}
+}
+
+func TestIsBlank(t *testing.T) {
+	s := gradeSheet()
+	if b, _ := evalText(t, s, "ISBLANK(Z99)").BoolVal(); !b {
+		t.Fatal("ISBLANK of empty cell must be TRUE")
+	}
+	if b, _ := evalText(t, s, "ISBLK(A1)").BoolVal(); b {
+		t.Fatal("ISBLK of filled cell must be FALSE")
+	}
+}

@@ -1,0 +1,103 @@
+package formula
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dataspread/internal/sheet"
+)
+
+// TestParseNeverPanics feeds arbitrary byte soup to the parser: it must
+// return (expr, nil) or (nil, error), never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		expr, err := Parse(src)
+		if err == nil && expr == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParsedAlwaysEvaluates: anything that parses must evaluate to some
+// value (possibly an error value) without panicking, on an empty resolver.
+func TestParsedAlwaysEvaluates(t *testing.T) {
+	empty := mapResolver{sheet.New("e")}
+	srcs := []string{
+		"1", "A1", "A1:B2", "SUM()", "IF(1)", "-(-(-1))", "1%%%%",
+		`""&""&""`, "TRUE=FALSE", "#N/A", "SUM(A1:Z1000)",
+		"POWER(99,999)", "0^0", "IF(TRUE,A1:B2,1)",
+	}
+	for _, src := range srcs {
+		expr, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Eval(%q) panicked: %v", src, r)
+				}
+			}()
+			Eval(expr, empty)
+		}()
+	}
+}
+
+// TestShiftNeverPanics: structural rewrites tolerate any parsed expression.
+func TestShiftNeverPanics(t *testing.T) {
+	f := func(src string, at, count uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		expr, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		for _, sh := range []Shift{
+			InsertRows(int(at%50)+1, int(count%3)+1),
+			DeleteRows(int(at%50)+1, int(count%3)+1),
+			InsertCols(int(at%50)+1, 1),
+			DeleteCols(int(at%50)+1, 1),
+		} {
+			out := sh.Apply(expr)
+			// The rewritten text must re-parse.
+			if _, err := Parse(out.String()); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripProperty: parse -> String -> parse is a fixed point.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src string) bool {
+		e1, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		text := e1.String()
+		e2, err := Parse(text)
+		if err != nil {
+			return false
+		}
+		return e2.String() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,412 @@
+package formula
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dataspread/internal/sheet"
+)
+
+// Parse parses formula text (without the leading '='). The grammar, lowest
+// to highest precedence: comparison (= <> < <= > >=), concatenation (&),
+// additive (+ -), multiplicative (* /), exponent (^, right-assoc), unary
+// (- +), percent postfix (%), primary.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	p.ws()
+	e, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("formula: unexpected %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for tests; it panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peekByte() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseCompare() (Expr, error) {
+	l, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		var op string
+		switch {
+		case p.hasPrefix("<>"):
+			op = "<>"
+		case p.hasPrefix("<="):
+			op = "<="
+		case p.hasPrefix(">="):
+			op = ">="
+		case p.peekByte() == '=':
+			op = "="
+		case p.peekByte() == '<':
+			op = "<"
+		case p.peekByte() == '>':
+			op = ">"
+		default:
+			return l, nil
+		}
+		p.pos += len(op)
+		r, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseConcat() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		if p.peekByte() != '&' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&", L: l, R: r}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		c := p.peekByte()
+		if c != '+' && c != '-' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: string(c), L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parsePow()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		c := p.peekByte()
+		if c != '*' && c != '/' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parsePow()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: string(c), L: l, R: r}
+	}
+}
+
+func (p *parser) parsePow() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.peekByte() == '^' {
+		p.pos++
+		r, err := p.parsePow() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "^", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	p.ws()
+	c := p.peekByte()
+	if c == '-' || c == '+' {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: string(c), X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	for p.peekByte() == '%' {
+		p.pos++
+		x = &Unary{Op: "%", X: x}
+		p.ws()
+	}
+	return x, nil
+}
+
+func (p *parser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *parser) parsePrimary() (Expr, error) {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("formula: unexpected end of input")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c >= '0' && c <= '9' || c == '.':
+		return p.parseNumber()
+	case c == '"':
+		return p.parseString()
+	case c == '(':
+		p.pos++
+		e, err := p.parseCompare()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.peekByte() != ')' {
+			return nil, fmt.Errorf("formula: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case c == '#':
+		return p.parseErrorLit()
+	case c == '$' || isAlpha(c):
+		return p.parseIdentLike()
+	}
+	return nil, fmt.Errorf("formula: unexpected character %q at offset %d", c, p.pos)
+}
+
+func (p *parser) parseNumber() (Expr, error) {
+	start := p.pos
+	seenDot, seenExp := false, false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			p.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			p.pos++
+		case (c == 'e' || c == 'E') && !seenExp && p.pos > start:
+			// Only treat as exponent if followed by digit or sign+digit.
+			rest := p.src[p.pos+1:]
+			if len(rest) > 0 && (rest[0] >= '0' && rest[0] <= '9') {
+				seenExp = true
+				p.pos++
+			} else if len(rest) > 1 && (rest[0] == '+' || rest[0] == '-') && rest[1] >= '0' && rest[1] <= '9' {
+				seenExp = true
+				p.pos += 2
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, fmt.Errorf("formula: bad number %q", p.src[start:p.pos])
+	}
+	return &NumberLit{Val: f}, nil
+}
+
+func (p *parser) parseString() (Expr, error) {
+	p.pos++ // opening quote
+	var sb strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("formula: unterminated string")
+		}
+		c := p.src[p.pos]
+		if c == '"' {
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '"' {
+				sb.WriteByte('"')
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			return &StringLit{Val: sb.String()}, nil
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+}
+
+func (p *parser) parseErrorLit() (Expr, error) {
+	for _, code := range []string{"#DIV/0!", "#REF!", "#VALUE!", "#NAME?", "#N/A", "#CYCLE!"} {
+		if p.hasPrefix(code) {
+			p.pos += len(code)
+			return &ErrorLit{Code: code}, nil
+		}
+	}
+	return nil, fmt.Errorf("formula: unknown error literal at offset %d", p.pos)
+}
+
+// parseIdentLike handles cell refs ($A$1), ranges (A1:B2), booleans, and
+// function calls.
+func (p *parser) parseIdentLike() (Expr, error) {
+	start := p.pos
+	// Try a cell reference first: [$]letters[$]digits.
+	if ref, ok := p.tryRef(); ok {
+		p.ws()
+		if p.peekByte() == ':' {
+			p.pos++
+			p.ws()
+			to, ok := p.tryRef()
+			if !ok {
+				return nil, fmt.Errorf("formula: expected cell after ':' at offset %d", p.pos)
+			}
+			return &RangeNode{From: ref, To: to}, nil
+		}
+		return &ref, nil
+	}
+	p.pos = start
+	// Identifier: letters, digits, underscores, dots (e.g. LOG10).
+	for p.pos < len(p.src) && (isAlpha(p.src[p.pos]) || isDigit(p.src[p.pos]) || p.src[p.pos] == '_' || p.src[p.pos] == '.') {
+		p.pos++
+	}
+	word := p.src[start:p.pos]
+	if word == "" {
+		return nil, fmt.Errorf("formula: unexpected '$' at offset %d", start)
+	}
+	up := strings.ToUpper(word)
+	p.ws()
+	if p.peekByte() == '(' {
+		p.pos++
+		call := &Call{Name: up}
+		p.ws()
+		if p.peekByte() == ')' {
+			p.pos++
+			return call, nil
+		}
+		for {
+			a, err := p.parseCompare()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			p.ws()
+			switch p.peekByte() {
+			case ',', ';':
+				p.pos++
+			case ')':
+				p.pos++
+				return call, nil
+			default:
+				return nil, fmt.Errorf("formula: expected ',' or ')' at offset %d", p.pos)
+			}
+		}
+	}
+	switch up {
+	case "TRUE":
+		return &BoolLit{Val: true}, nil
+	case "FALSE":
+		return &BoolLit{Val: false}, nil
+	}
+	return nil, fmt.Errorf("formula: unknown identifier %q (functions need parentheses)", word)
+}
+
+// tryRef attempts to parse [$]letters[$]digits at the cursor.
+func (p *parser) tryRef() (RefNode, bool) {
+	start := p.pos
+	var r RefNode
+	if p.peekByte() == '$' {
+		r.AbsCol = true
+		p.pos++
+	}
+	colStart := p.pos
+	for p.pos < len(p.src) && isAlpha(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == colStart {
+		p.pos = start
+		return RefNode{}, false
+	}
+	col := sheet.ColumnNumber(p.src[colStart:p.pos])
+	if col == 0 {
+		p.pos = start
+		return RefNode{}, false
+	}
+	if p.peekByte() == '$' {
+		r.AbsRow = true
+		p.pos++
+	}
+	rowStart := p.pos
+	for p.pos < len(p.src) && isDigit(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == rowStart {
+		p.pos = start
+		return RefNode{}, false
+	}
+	row, err := strconv.Atoi(p.src[rowStart:p.pos])
+	if err != nil || row < 1 {
+		p.pos = start
+		return RefNode{}, false
+	}
+	// A reference must not be followed by more identifier characters
+	// (that would make it a name like SUM2 or a function), nor by '(' —
+	// LOG10(…) is the function LOG10, not a call on cell LOG10.
+	if p.pos < len(p.src) && (isAlpha(p.src[p.pos]) || p.src[p.pos] == '_' || p.src[p.pos] == '.' || p.src[p.pos] == '(') {
+		p.pos = start
+		return RefNode{}, false
+	}
+	r.Ref = sheet.Ref{Row: row, Col: col}
+	return r, true
+}
+
+func isAlpha(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

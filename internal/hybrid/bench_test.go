@@ -1,0 +1,72 @@
+package hybrid
+
+import (
+	"testing"
+
+	"dataspread/internal/sheet"
+)
+
+func benchSheet(seed int64) *sheet.Sheet {
+	return randomSheet(seed, 40, 40, 6, 0.05)
+}
+
+func BenchmarkDecomposeDP(b *testing.B) {
+	s := benchSheet(1)
+	opts := Options{Params: PostgresCost, Models: AllModels}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(s, "dp", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeGreedy(b *testing.B) {
+	s := benchSheet(1)
+	opts := Options{Params: PostgresCost, Models: AllModels}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(s, "greedy", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeAgg(b *testing.B) {
+	s := benchSheet(1)
+	opts := Options{Params: PostgresCost, Models: AllModels}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(s, "agg", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridBuildCollapsed(b *testing.B) {
+	s := benchSheet(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewGrid(s, true)
+	}
+}
+
+func BenchmarkIncrementalAgg(b *testing.B) {
+	s := benchSheet(3)
+	base, err := Decompose(s, "agg", Options{Params: PostgresCost, Models: AllModels})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetValue(45, 45, sheet.Number(1)) // drift
+	io := IncrementalOptions{
+		Options: Options{Params: PostgresCost, Models: AllModels},
+		Eta:     1,
+		Old:     base.Regions,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecomposeIncremental(s, "agg", io); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package hybrid implements the presentational-awareness layer of the
+// DataSpread paper (Section IV): choosing how to decompose a spreadsheet
+// into ROM / COM / RCV / TOM tables so that a cost combining storage (and
+// optionally access) is minimized.
+//
+// The exact problem is NP-HARD (Theorem 1); the package implements the
+// paper's tractable alternatives over the space of recursive
+// decompositions: an optimal dynamic program (Theorem 2) accelerated by
+// weighted row/column collapsing (Theorem 5), a top-down greedy heuristic,
+// and the aggressive-greedy variant (Section IV-E), plus the OPT lower
+// bound and the Theorem 4 bound on the number of tables, and incremental
+// re-decomposition under a migration-cost trade-off η (Appendix A-C2).
+package hybrid
+
+import "dataspread/internal/sheet"
+
+// Kind identifies the physical data model of one region.
+type Kind uint8
+
+const (
+	// ROM is the row-oriented model: one tuple per spreadsheet row.
+	ROM Kind = iota
+	// COM is the column-oriented model: one tuple per spreadsheet column.
+	COM
+	// RCV is the row-column-value model: one tuple per filled cell.
+	RCV
+	// TOM is a database-linked table (handled as ROM with catalog-owned
+	// schema; the optimizer treats its area as immovable).
+	TOM
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ROM:
+		return "ROM"
+	case COM:
+		return "COM"
+	case RCV:
+		return "RCV"
+	case TOM:
+		return "TOM"
+	}
+	return "?"
+}
+
+// CostParams carries the storage cost constants of Equation 1 and Appendix
+// A-C1. All units are bytes (or abstract units for the ideal model).
+type CostParams struct {
+	S1 float64 // fixed cost of instantiating a table
+	S2 float64 // cost per cell slot (empty or not) in a ROM/COM table
+	S3 float64 // cost per column (schema entry)
+	S4 float64 // cost per row (tuple overhead / RowID)
+	S5 float64 // cost per RCV tuple
+}
+
+// PostgresCost holds the constants the paper measured on PostgreSQL 9.6
+// (Section VII-B.a): s1 = 8 KB, s2 = 1 bit, s3 = 40 B, s4 = 50 B, s5 = 52 B.
+var PostgresCost = CostParams{S1: 8192, S2: 0.125, S3: 40, S4: 50, S5: 52}
+
+// IdealCost is the paper's "ideal database" model (Section VII-B.b): a
+// ROM/COM table costs its cell count plus its length and breadth; an RCV
+// tuple costs 3 units.
+var IdealCost = CostParams{S1: 0, S2: 1, S3: 1, S4: 1, S5: 3}
+
+// ROMCost returns Equation 1's cost of a single ROM table of r rows and c
+// columns.
+func (p CostParams) ROMCost(r, c int) float64 {
+	return p.S1 + p.S2*float64(r)*float64(c) + p.S3*float64(c) + p.S4*float64(r)
+}
+
+// COMCost is the transpose of ROMCost (Appendix A-C1).
+func (p CostParams) COMCost(r, c int) float64 {
+	return p.S1 + p.S2*float64(r)*float64(c) + p.S4*float64(c) + p.S3*float64(r)
+}
+
+// RCVCost returns the marginal cost of storing filled cells in the single
+// shared RCV table. The one-off S1 for that table is added once per
+// decomposition, not per region (Appendix A-C1).
+func (p CostParams) RCVCost(filled int) float64 { return p.S5 * float64(filled) }
+
+// Region is one table in a hybrid decomposition, in absolute sheet
+// coordinates.
+type Region struct {
+	Rect sheet.Range
+	Kind Kind
+}
+
+// Decomposition is a physical data model: a set of disjoint regions
+// covering every filled cell, with its total cost under the params that
+// produced it.
+type Decomposition struct {
+	Regions []Region
+	Cost    float64
+	// Algorithm records which optimizer produced this decomposition
+	// ("dp", "greedy", "agg", "rom", "com", "rcv").
+	Algorithm string
+}
+
+// Tables returns the number of ROM/COM/TOM tables plus one if any RCV
+// region exists (RCV regions share one physical table).
+func (d *Decomposition) Tables() int {
+	n := 0
+	rcv := false
+	for _, r := range d.Regions {
+		if r.Kind == RCV {
+			rcv = true
+			continue
+		}
+		n++
+	}
+	if rcv {
+		n++
+	}
+	return n
+}
+
+// Options configures the optimizers.
+type Options struct {
+	Params CostParams
+	// Models enables per-region model choices. Empty means ROM only
+	// (Problem 1). RCV and COM extend the search per Appendix A-C1.
+	Models []Kind
+	// MaxDPCells caps the collapsed grid area the DP will attempt
+	// (rows*cols). Beyond it, Decompose falls back from DP to Agg, mirroring
+	// the paper's practice of terminating DP on oversized sheets. Zero
+	// means 20000.
+	MaxDPCells int
+	// AccessRanges optionally extends the objective with access cost
+	// (Theorem 7): each range models one formula's rectangular read.
+	AccessRanges []sheet.Range
+	// AccessWeight scales the access-cost term; zero disables it.
+	AccessWeight float64
+	// MaxTableCols bounds the width of any ROM (or height of any COM)
+	// table, modelling the column-count limits of real databases
+	// (Theorem 8; e.g. PostgreSQL allows at most 1600 columns). Zero means
+	// unlimited. Candidate tables beyond the limit cost +Inf, forcing the
+	// optimizer to split or fall back to RCV.
+	MaxTableCols int
+}
+
+func (o Options) models() []Kind {
+	if len(o.Models) == 0 {
+		return []Kind{ROM}
+	}
+	return o.Models
+}
+
+func (o Options) maxDPCells() int {
+	if o.MaxDPCells <= 0 {
+		return 20000
+	}
+	return o.MaxDPCells
+}
+
+// AllModels enables ROM, COM and RCV region choices.
+var AllModels = []Kind{ROM, COM, RCV}

@@ -1,0 +1,189 @@
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"dataspread/internal/sheet"
+)
+
+// Decompose chooses a hybrid data model for the sheet using the named
+// algorithm:
+//
+//	"dp"     — optimal recursive decomposition (Theorem 2), falling back to
+//	           "agg" when the collapsed grid exceeds Options.MaxDPCells
+//	           (mirroring the paper's DP timeout on oversized sheets);
+//	"greedy" — top-down greedy (Section IV-E);
+//	"agg"    — aggressive greedy (Section IV-E);
+//	"rom", "com", "rcv" — primitive single-table baselines (Section IV-B).
+func Decompose(s *sheet.Sheet, algo string, opts Options) (*Decomposition, error) {
+	// Collapsing is exact for storage (Theorem 5) but may split access
+	// ranges, and can merge more columns than MaxTableCols into one
+	// uncuttable group; disable it in both cases.
+	collapse := opts.AccessWeight == 0 && opts.MaxTableCols == 0
+	g, ok := NewGrid(s, collapse)
+	if !ok {
+		return &Decomposition{Algorithm: algo}, nil
+	}
+	surcharge := accessSurcharge(g, opts.AccessRanges, opts.AccessWeight)
+	return decomposeGrid(g, algo, opts, surcharge)
+}
+
+func decomposeGrid(g *Grid, algo string, opts Options, surcharge surchargeFn) (*Decomposition, error) {
+	switch algo {
+	case "dp", "greedy", "agg":
+		return runOptimizer(g, algo, opts, surcharge), nil
+	case "rom", "com", "rcv":
+		return primitive(g, algo, opts, surcharge), nil
+	}
+	return nil, fmt.Errorf("hybrid: unknown algorithm %q", algo)
+}
+
+// runOptimizer dispatches one optimizer run. When RCV is enabled, regions
+// price RCV at its marginal per-tuple cost and the shared table's one-off
+// S1 is added afterwards (Appendix A-C1: "paying a fixed up-front cost to
+// have one RCV table"). That post-hoc S1 can make an RCV-using solution
+// worse than never touching RCV, so the optimizer also runs without RCV and
+// keeps the cheaper of the two.
+func runOptimizer(g *Grid, algo string, opts Options, surcharge surchargeFn) *Decomposition {
+	run := func(o Options) *Decomposition {
+		switch algo {
+		case "dp":
+			if g.R*g.C > o.maxDPCells() {
+				d := agg(g, o, surcharge)
+				d.Algorithm = "agg(dp-fallback)"
+				return d
+			}
+			return dp(g, o, surcharge)
+		case "greedy":
+			return greedy(g, o, surcharge)
+		}
+		return agg(g, o, surcharge)
+	}
+	best := run(opts)
+	models := opts.models()
+	withoutRCV := make([]Kind, 0, len(models))
+	for _, k := range models {
+		if k != RCV {
+			withoutRCV = append(withoutRCV, k)
+		}
+	}
+	if len(withoutRCV) < len(models) && len(withoutRCV) > 0 {
+		o2 := opts
+		o2.Models = withoutRCV
+		if alt := run(o2); alt.Cost < best.Cost {
+			best = alt
+		}
+	}
+	return best
+}
+
+// primitive stores the whole bounding box as a single table of the given
+// model — the baselines of Section IV-B.
+func primitive(g *Grid, algo string, opts Options, surcharge surchargeFn) *Decomposition {
+	var kind Kind
+	switch algo {
+	case "rom":
+		kind = ROM
+	case "com":
+		kind = COM
+	case "rcv":
+		kind = RCV
+	}
+	full := g.full()
+	cost := regionCost(g, opts.Params, full, kind, opts.MaxTableCols)
+	if kind == RCV {
+		cost += opts.Params.S1 // sole RCV table pays its own setup
+	}
+	if surcharge != nil {
+		cost += surcharge(g, full, kind)
+	}
+	return &Decomposition{
+		Regions:   []Region{{Rect: g.ToRange(full), Kind: kind}},
+		Cost:      cost,
+		Algorithm: algo,
+	}
+}
+
+// OptLowerBound returns the paper's OPT baseline (Section VII-B.a): the
+// cost of storing only the non-empty cells in a single ROM table, ignoring
+// the overhead of extra tables and of empty cells. No hybrid decomposition
+// can beat it.
+func OptLowerBound(s *sheet.Sheet, p CostParams) float64 {
+	g, ok := NewGrid(s, true)
+	if !ok {
+		return 0
+	}
+	nr, nc := g.NonEmptyRowsCols()
+	return p.S1 + p.S2*float64(g.FilledTotal()) + p.S3*float64(nc) + p.S4*float64(nr)
+}
+
+// TableBound returns Theorem 4's upper bound on the number of tables in the
+// optimal decomposition of one connected component's bounding rectangle:
+// floor(e*s2/s1 + 1), where e is the number of empty cells in that
+// rectangle.
+func TableBound(emptyCells int, p CostParams) int {
+	if p.S1 <= 0 {
+		return math.MaxInt32
+	}
+	return int(float64(emptyCells)*p.S2/p.S1) + 1
+}
+
+// Verify checks recoverability (Section IV-A): every filled cell of the
+// sheet is covered by exactly one region, and no region strays outside the
+// bounding box. It returns an error describing the first violation.
+func (d *Decomposition) Verify(s *sheet.Sheet) error {
+	covered := make(map[sheet.Ref]int)
+	for _, reg := range d.Regions {
+		for row := reg.Rect.From.Row; row <= reg.Rect.To.Row; row++ {
+			for col := reg.Rect.From.Col; col <= reg.Rect.To.Col; col++ {
+				r := sheet.Ref{Row: row, Col: col}
+				if s.Filled(r) {
+					covered[r]++
+				}
+			}
+		}
+	}
+	bad := false
+	var badRef sheet.Ref
+	var badCount int
+	s.Each(func(r sheet.Ref, _ sheet.Cell) {
+		if covered[r] != 1 && !bad {
+			bad = true
+			badRef = r
+			badCount = covered[r]
+		}
+	})
+	if bad {
+		return fmt.Errorf("hybrid: cell %v covered %d times, want exactly 1", badRef, badCount)
+	}
+	return nil
+}
+
+// CostOf recomputes the decomposition's cost from scratch under the params
+// (used by tests to validate the optimizer bookkeeping and by incremental
+// maintenance to compare candidates).
+func CostOf(s *sheet.Sheet, regions []Region, p CostParams) float64 {
+	total := 0.0
+	hasRCV := false
+	for _, reg := range regions {
+		switch reg.Kind {
+		case ROM, TOM:
+			total += p.ROMCost(reg.Rect.Rows(), reg.Rect.Cols())
+		case COM:
+			total += p.COMCost(reg.Rect.Rows(), reg.Rect.Cols())
+		case RCV:
+			hasRCV = true
+			total += p.RCVCost(s.CountInRange(reg.Rect))
+		}
+	}
+	if hasRCV {
+		total += p.S1
+	}
+	return total
+}
+
+// DPOnGrid runs the dynamic program directly on a prepared grid. It exists
+// for ablation studies that contrast collapsed and raw grids; regular
+// callers should use Decompose.
+func DPOnGrid(g *Grid, opts Options) *Decomposition { return dp(g, opts, nil) }

@@ -1,0 +1,227 @@
+package hybrid
+
+import "dataspread/internal/sheet"
+
+// Access-cost constants instantiating Theorem 7: accessing a region through
+// a table costs a fixed per-table charge, a per-fetched-tuple charge, and a
+// per-fetched-cell charge (tuples are fetched whole, so a narrow probe into
+// a wide ROM table pays for the full row). All three are scaled by
+// Options.AccessWeight.
+const (
+	accessPerTable = 1.0
+	accessPerTuple = 0.2
+	accessPerCell  = 0.01
+)
+
+// dpChoice encodes the optimal action for a rectangle.
+const (
+	dpEmpty int32 = iota
+	dpROM
+	dpCOM
+	dpRCV
+	dpCutBase // dpCutBase+i: horizontal cut below collapsed row i;
+	// dpCutBase+R+j: vertical cut right of collapsed column j.
+)
+
+// surchargeFn lets callers add region-dependent cost (incremental
+// migration, access cost). nil means no surcharge.
+type surchargeFn func(g *Grid, r rect, k Kind) float64
+
+// dp runs the bottom-up dynamic program of Section IV-D over all collapsed
+// rectangles and reconstructs the optimal recursive decomposition.
+func dp(g *Grid, opts Options, surcharge surchargeFn) *Decomposition {
+	R, C := g.R, g.C
+	models := opts.models()
+	nRect := R * R * C * C
+	cost := make([]float64, nRect)
+	choice := make([]int32, nRect)
+
+	idx := func(r rect) int {
+		return ((r.r1*C+r.c1)*R+r.r2)*C + r.c2
+	}
+
+	leaf := func(r rect) (float64, int32) {
+		best, kind := bestSingleWithSurcharge(g, opts, r, models, surcharge)
+		switch kind {
+		case COM:
+			return best, dpCOM
+		case RCV:
+			return best, dpRCV
+		}
+		return best, dpROM
+	}
+
+	// Bottom-up over rectangle heights and widths.
+	for h := 1; h <= R; h++ {
+		for w := 1; w <= C; w++ {
+			for r1 := 0; r1+h <= R; r1++ {
+				r2 := r1 + h - 1
+				for c1 := 0; c1+w <= C; c1++ {
+					c2 := c1 + w - 1
+					r := rect{r1, c1, r2, c2}
+					i := idx(r)
+					if g.Filled(r) == 0 {
+						cost[i] = 0
+						choice[i] = dpEmpty
+						continue
+					}
+					best, ch := leaf(r)
+					// Horizontal cuts.
+					for k := r1; k < r2; k++ {
+						c := cost[idx(rect{r1, c1, k, c2})] + cost[idx(rect{k + 1, c1, r2, c2})]
+						if c < best {
+							best = c
+							ch = dpCutBase + int32(k)
+						}
+					}
+					// Vertical cuts.
+					for k := c1; k < c2; k++ {
+						c := cost[idx(rect{r1, c1, r2, k})] + cost[idx(rect{r1, k + 1, r2, c2})]
+						if c < best {
+							best = c
+							ch = dpCutBase + int32(R) + int32(k)
+						}
+					}
+					cost[i] = best
+					choice[i] = ch
+				}
+			}
+		}
+	}
+
+	d := &Decomposition{Algorithm: "dp"}
+	full := g.full()
+	if g.FilledTotal() > 0 {
+		var emit func(r rect)
+		emit = func(r rect) {
+			switch ch := choice[idx(r)]; {
+			case ch == dpEmpty:
+			case ch == dpROM:
+				d.Regions = append(d.Regions, Region{Rect: g.ToRange(r), Kind: ROM})
+			case ch == dpCOM:
+				d.Regions = append(d.Regions, Region{Rect: g.ToRange(r), Kind: COM})
+			case ch == dpRCV:
+				d.Regions = append(d.Regions, Region{Rect: g.ToRange(r), Kind: RCV})
+			case ch >= dpCutBase+int32(g.R):
+				k := int(ch - dpCutBase - int32(g.R))
+				emit(rect{r.r1, r.c1, r.r2, k})
+				emit(rect{r.r1, k + 1, r.r2, r.c2})
+			default:
+				k := int(ch - dpCutBase)
+				emit(rect{r.r1, r.c1, k, r.c2})
+				emit(rect{k + 1, r.c1, r.r2, r.c2})
+			}
+		}
+		emit(full)
+		d.Cost = cost[idx(full)]
+	}
+	finalizeRCV(d, opts.Params)
+	return d
+}
+
+// bestSingleWithSurcharge returns the cheapest admissible single-table
+// choice for the region among the enabled models, including any surcharge.
+func bestSingleWithSurcharge(g *Grid, opts Options, r rect, models []Kind, surcharge surchargeFn) (float64, Kind) {
+	best := 0.0
+	kind := models[0]
+	for i, k := range models {
+		c := regionCost(g, opts.Params, r, k, opts.MaxTableCols)
+		if surcharge != nil {
+			c += surcharge(g, r, k)
+		}
+		if i == 0 || c < best {
+			best = c
+			kind = k
+		}
+	}
+	return best, kind
+}
+
+// finalizeRCV adds the one-off S1 for the shared RCV table when any RCV
+// region was chosen (Appendix A-C1).
+func finalizeRCV(d *Decomposition, p CostParams) {
+	for _, r := range d.Regions {
+		if r.Kind == RCV {
+			d.Cost += p.S1
+			return
+		}
+	}
+}
+
+// accessSurcharge builds a surcharge implementing the Theorem 7 access-cost
+// extension for the given formula access ranges (absolute coordinates).
+// The grid must be built without collapsing so range boundaries align.
+func accessSurcharge(g *Grid, ranges []sheet.Range, weight float64) surchargeFn {
+	if weight == 0 || len(ranges) == 0 {
+		return nil
+	}
+	return func(g *Grid, r rect, k Kind) float64 {
+		region := g.ToRange(r)
+		total := 0.0
+		for _, a := range ranges {
+			overlap, ok := region.Intersect(a)
+			if !ok {
+				continue
+			}
+			var tuples, cells float64
+			switch k {
+			case ROM, TOM:
+				tuples = float64(overlap.Rows())
+				cells = float64(overlap.Rows() * region.Cols())
+			case COM:
+				tuples = float64(overlap.Cols())
+				cells = float64(overlap.Cols() * region.Rows())
+			case RCV:
+				// Key-value probes fetch only matching cells; approximate
+				// the filled count by the overlap area share.
+				or, _ := g.locate(overlap)
+				f := float64(g.Filled(or))
+				tuples = f
+				cells = f
+			}
+			total += accessPerTable + accessPerTuple*tuples + accessPerCell*cells
+		}
+		return weight * total
+	}
+}
+
+// locate maps an absolute range to the smallest covering collapsed
+// rectangle, clipped to the grid.
+func (g *Grid) locate(a sheet.Range) (rect, bool) {
+	r1 := searchStart(g.rowStart, g.rowW, a.From.Row)
+	r2 := searchEnd(g.rowStart, g.rowW, a.To.Row)
+	c1 := searchStart(g.colStart, g.colW, a.From.Col)
+	c2 := searchEnd(g.colStart, g.colW, a.To.Col)
+	if r1 > r2 || c1 > c2 || r1 >= g.R || c1 >= g.C {
+		return rect{}, false
+	}
+	return rect{r1, c1, r2, c2}, true
+}
+
+// searchStart returns the first group whose span ends at or after abs.
+func searchStart(start []int, w []int, abs int) int {
+	lo, hi := 0, len(start)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if start[mid]+w[mid]-1 < abs {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchEnd returns the last group whose span starts at or before abs.
+func searchEnd(start []int, w []int, abs int) int {
+	lo, hi := 0, len(start)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if start[mid] <= abs {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}

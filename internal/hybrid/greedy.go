@@ -1,0 +1,248 @@
+package hybrid
+
+import "math"
+
+// cutScore orders candidate cuts. Size constraints (Theorem 8) can make
+// costs infinite — fewer infinite halves win. Dimensional costs are linear
+// in the cut position, so interior cuts frequently tie on sum; ties prefer
+// the cut closest to the region's weighted middle (balance), which makes
+// the aggressive descent a recursive halving that exposes empty bands a
+// single level of lookahead cannot see.
+type cutScore struct {
+	infs    int
+	sum     float64
+	balance float64 // |left size - right size|, tie-break only
+}
+
+func scoreOf(a, b float64, balance float64) cutScore {
+	sc := cutScore{balance: balance}
+	for _, v := range [2]float64{a, b} {
+		if math.IsInf(v, 1) {
+			sc.infs++
+		} else {
+			sc.sum += v
+		}
+	}
+	return sc
+}
+
+func (s cutScore) less(o cutScore) bool {
+	if s.infs != o.infs {
+		return s.infs < o.infs
+	}
+	const eps = 1e-9
+	if s.sum < o.sum-eps {
+		return true
+	}
+	if s.sum > o.sum+eps {
+		return false
+	}
+	return s.balance < o.balance
+}
+
+// total is the plain cost when finite, +Inf otherwise.
+func (s cutScore) total() float64 {
+	if s.infs > 0 {
+		return math.Inf(1)
+	}
+	return s.sum
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// cutHalf scores one half of a candidate cut the way the paper's
+// heuristics do: the dimensional romCost (Section IV-E, "Opt() replaced
+// with romCost()"), zero for empty halves, plus any surcharge. Keeping the
+// score dimensional (never the filled-count-based RCV cost) makes interior
+// cuts tie exactly, so the balance tie-break drives a recursive halving
+// that exposes empty bands; RCV enters only at leaf decisions.
+func cutHalf(g *Grid, opts Options, r rect, surcharge surchargeFn) float64 {
+	if g.Filled(r) == 0 {
+		return 0
+	}
+	c := regionCost(g, opts.Params, r, ROM, opts.MaxTableCols)
+	if surcharge != nil {
+		c += surcharge(g, r, ROM)
+	}
+	return c
+}
+
+// splitCannotPay reports the Theorem 4 stopping rule: inside a rectangle
+// with no fully-empty row or column, splitting can save at most s2 per
+// empty cell (the per-row/per-column edge costs only ever duplicate), so
+// when e*s2 < s1 no decomposition recoups even one extra table's fixed
+// cost and a single table is optimal for the area. Rectangles containing
+// whole empty rows/columns are exempt — cutting those away saves their
+// s4/s3 costs, which e*s2 does not bound.
+func splitCannotPay(g *Grid, p CostParams, r rect, filled int) bool {
+	empty := g.Area(r) - filled
+	if float64(empty)*p.S2 >= p.S1 {
+		return false
+	}
+	for i := r.r1; i <= r.r2; i++ {
+		if g.Filled(rect{i, r.c1, i, r.c2}) == 0 {
+			return false
+		}
+	}
+	for j := r.c1; j <= r.c2; j++ {
+		if g.Filled(rect{r.r1, j, r.r2, j}) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// greedy implements the top-down greedy heuristic of Section IV-E: at each
+// area, compare not splitting (stored as the single best table) against the
+// best horizontal and vertical cuts, scoring cuts with the single-table
+// cost of each half (Opt() replaced by romCost() — the locally optimal,
+// worst-case-safe decision). The chosen action is applied and recursion
+// continues on the produced halves. Complexity O(n^2).
+func greedy(g *Grid, opts Options, surcharge surchargeFn) *Decomposition {
+	d := &Decomposition{Algorithm: "greedy"}
+	models := opts.models()
+	p := opts.Params
+
+	single := func(r rect) float64 { return cutHalf(g, opts, r, surcharge) }
+
+	var recurse func(r rect)
+	recurse = func(r rect) {
+		if g.Filled(r) == 0 {
+			return
+		}
+		noSplit, kind := bestSingleWithSurcharge(g, opts, r, models, surcharge)
+		bestCut := -1 // 0: horizontal; 1: vertical
+		bestAt := 0
+		var bestScore cutScore
+		first := true
+		consider := func(cut, at int, sc cutScore) {
+			if first || sc.less(bestScore) {
+				bestScore, bestCut, bestAt, first = sc, cut, at, false
+			}
+		}
+		for k := r.r1; k < r.r2; k++ {
+			top := rect{r.r1, r.c1, k, r.c2}
+			bot := rect{k + 1, r.c1, r.r2, r.c2}
+			consider(0, k, scoreOf(single(top), single(bot), absF(float64(g.Rows(top)-g.Rows(bot)))))
+		}
+		for k := r.c1; k < r.c2; k++ {
+			l := rect{r.r1, r.c1, r.r2, k}
+			rr := rect{r.r1, k + 1, r.r2, r.c2}
+			consider(1, k, scoreOf(single(l), single(rr), absF(float64(g.Cols(l)-g.Cols(rr)))))
+		}
+		// Split when the best cut is cheaper, or when not splitting is
+		// inadmissible (infinite) and any cut exists.
+		split := bestCut >= 0 && (bestScore.total() < noSplit ||
+			(math.IsInf(noSplit, 1) && bestScore.infs < 2))
+		if !split {
+			d.Regions = append(d.Regions, Region{Rect: g.ToRange(r), Kind: kind})
+			d.Cost += noSplit
+			return
+		}
+		if bestCut == 0 {
+			recurse(rect{r.r1, r.c1, bestAt, r.c2})
+			recurse(rect{bestAt + 1, r.c1, r.r2, r.c2})
+		} else {
+			recurse(rect{r.r1, r.c1, r.r2, bestAt})
+			recurse(rect{r.r1, bestAt + 1, r.r2, r.c2})
+		}
+	}
+	if g.FilledTotal() > 0 {
+		recurse(g.full())
+	}
+	finalizeRCV(d, p)
+	return d
+}
+
+// agg implements aggressive greedy (Section IV-E): keep applying the best
+// local cut — even when not splitting looks locally cheaper — until every
+// remaining area is fully dense (in the collapsed grid, homogeneous), then
+// backtrack up the decomposition tree assembling the cheapest combination
+// of "store whole" versus "use the cut".
+func agg(g *Grid, opts Options, surcharge surchargeFn) *Decomposition {
+	d := &Decomposition{Algorithm: "agg"}
+	models := opts.models()
+	p := opts.Params
+
+	single := func(r rect) float64 { return cutHalf(g, opts, r, surcharge) }
+
+	// assemble returns the assembled cost and appends the chosen regions.
+	var assemble func(r rect) (float64, []Region)
+	assemble = func(r rect) (float64, []Region) {
+		filled := g.Filled(r)
+		if filled == 0 {
+			return 0, nil
+		}
+		noSplit, kind := bestSingleWithSurcharge(g, opts, r, models, surcharge)
+		leaf := []Region{{Rect: g.ToRange(r), Kind: kind}}
+		if !math.IsInf(noSplit, 1) &&
+			(filled == g.Area(r) || splitCannotPay(g, opts.Params, r, filled)) {
+			// Descent stops at fully dense areas (Section IV-E) and, by the
+			// Theorem 4 argument, at areas whose empty cells cannot recoup
+			// one extra table's fixed cost — unless a surcharge (migration,
+			// access) penalizes this leaf, in which case interior cuts
+			// (e.g. along an old region's edge) may still pay.
+			stop := true
+			if surcharge != nil {
+				plain, _ := bestSingleWithSurcharge(g, opts, r, models, nil)
+				stop = noSplit <= plain+1e-9
+			}
+			if stop {
+				return noSplit, leaf
+			}
+		}
+		// Find the best cut by the greedy local criterion (Inf-aware so
+		// size constraints keep the descent moving).
+		bestCut := -1 // 0 horizontal, 1 vertical
+		bestAt := 0
+		var bestScore cutScore
+		first := true
+		consider := func(cut, at int, sc cutScore) {
+			if first || sc.less(bestScore) {
+				bestScore, bestCut, bestAt, first = sc, cut, at, false
+			}
+		}
+		for k := r.r1; k < r.r2; k++ {
+			top := rect{r.r1, r.c1, k, r.c2}
+			bot := rect{k + 1, r.c1, r.r2, r.c2}
+			consider(0, k, scoreOf(single(top), single(bot), absF(float64(g.Rows(top)-g.Rows(bot)))))
+		}
+		for k := r.c1; k < r.c2; k++ {
+			l := rect{r.r1, r.c1, r.r2, k}
+			rr := rect{r.r1, k + 1, r.r2, r.c2}
+			consider(1, k, scoreOf(single(l), single(rr), absF(float64(g.Cols(l)-g.Cols(rr)))))
+		}
+		if bestCut == -1 {
+			// Single collapsed cell that is not fully dense cannot happen
+			// (collapsed cells are homogeneous), but guard anyway.
+			return noSplit, leaf
+		}
+		var l1, l2 rect
+		if bestCut == 0 {
+			l1 = rect{r.r1, r.c1, bestAt, r.c2}
+			l2 = rect{bestAt + 1, r.c1, r.r2, r.c2}
+		} else {
+			l1 = rect{r.r1, r.c1, r.r2, bestAt}
+			l2 = rect{r.r1, bestAt + 1, r.r2, r.c2}
+		}
+		c1, rg1 := assemble(l1)
+		c2, rg2 := assemble(l2)
+		if c1+c2 < noSplit {
+			return c1 + c2, append(rg1, rg2...)
+		}
+		return noSplit, leaf
+	}
+
+	if g.FilledTotal() > 0 {
+		cost, regions := assemble(g.full())
+		d.Cost = cost
+		d.Regions = regions
+	}
+	finalizeRCV(d, p)
+	return d
+}

@@ -1,0 +1,196 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"dataspread/internal/sheet"
+)
+
+// IncrementalOptions configures re-decomposition of an evolving sheet
+// (Appendix A-C2). Eta trades migration cost against storage: the objective
+// becomes cost(T) + Eta * migratedCells, where a region that exactly
+// reuses an existing table of the same kind migrates nothing and everything
+// else migrates its populated cells.
+type IncrementalOptions struct {
+	Options
+	// Eta is the migration-cost weight (Appendix A-C2; Figure 26 sweeps it).
+	Eta float64
+	// Old is the currently materialized decomposition.
+	Old []Region
+}
+
+// IncrementalResult reports the chosen decomposition and its migration.
+type IncrementalResult struct {
+	Decomposition *Decomposition
+	// MigratedCells counts populated cells that must move into new tables.
+	MigratedCells int
+	// StorageCost is the pure storage part (Decomposition.Cost minus the
+	// Eta-weighted migration term).
+	StorageCost float64
+}
+
+// DecomposeIncremental re-optimizes the sheet with the migration-aware
+// objective, using the named algorithm ("dp", "greedy", "agg").
+func DecomposeIncremental(s *sheet.Sheet, algo string, io IncrementalOptions) (*IncrementalResult, error) {
+	// Collapse with the old regions' edges as mandatory group boundaries:
+	// every old rectangle stays exactly representable, so "keep as-is"
+	// candidates survive the weighted reduction.
+	var g *Grid
+	var ok bool
+	if io.AccessWeight != 0 {
+		g, ok = NewGrid(s, false)
+	} else {
+		var rowBreaks, colBreaks []int
+		for _, r := range io.Old {
+			rowBreaks = append(rowBreaks, r.Rect.From.Row, r.Rect.To.Row+1)
+			colBreaks = append(colBreaks, r.Rect.From.Col, r.Rect.To.Col+1)
+		}
+		g, ok = NewGridConstrained(s, rowBreaks, colBreaks)
+	}
+	if !ok {
+		return &IncrementalResult{Decomposition: &Decomposition{Algorithm: algo}}, nil
+	}
+
+	old := make(map[regionKey]bool, len(io.Old))
+	var oldRects []rect
+	for _, r := range io.Old {
+		old[regionKey{r.Rect, normalizeKind(r.Kind)}] = true
+		if or, ok := g.locate(r.Rect); ok {
+			oldRects = append(oldRects, or)
+		}
+	}
+
+	// coveredByOld counts filled cells of a candidate rectangle that lie in
+	// any old region. Cells outside every old region already live in the
+	// shared overflow RCV, so moving them into an RCV region costs nothing.
+	coveredByOld := func(r rect) int {
+		n := 0
+		for _, or := range oldRects {
+			if ir, ok := intersectRects(r, or); ok {
+				n += g.Filled(ir)
+			}
+		}
+		return n
+	}
+
+	access := accessSurcharge(g, io.AccessRanges, io.AccessWeight)
+	surcharge := func(g *Grid, r rect, k Kind) float64 {
+		c := 0.0
+		if access != nil {
+			c += access(g, r, k)
+		}
+		if io.Eta <= 0 {
+			return c
+		}
+		if k == RCV {
+			// Only cells leaving an old ROM/COM table migrate into RCV.
+			c += io.Eta * float64(coveredByOld(r))
+			return c
+		}
+		if !old[regionKey{g.ToRange(r), normalizeKind(k)}] {
+			c += io.Eta * float64(g.Filled(r))
+		}
+		return c
+	}
+
+	d, err := decomposeGrid(g, algo, io.Options, surcharge)
+	if err != nil {
+		return nil, err
+	}
+
+	// The global "keep the decomposition as-is" candidate of Eq. 21: reuse
+	// every old region unchanged and leave cells outside them in the shared
+	// RCV table (represented as merged RCV rectangles so the candidate is
+	// recoverable). Zero migration by construction; compare under the eta
+	// objective and keep the cheaper plan. This guarantees that a
+	// prohibitive eta degenerates to no-op maintenance regardless of how
+	// the heuristic descent fares.
+	if len(io.Old) > 0 {
+		keepRegions := append(append([]Region(nil), io.Old...), uncoveredRCVRects(s, io.Old)...)
+		keepCost := CostOf(s, keepRegions, io.Params)
+		if keepCost <= d.Cost {
+			return &IncrementalResult{
+				Decomposition: &Decomposition{
+					Regions:   keepRegions,
+					Cost:      keepCost,
+					Algorithm: algo + "(keep)",
+				},
+				MigratedCells: 0,
+				StorageCost:   keepCost,
+			}, nil
+		}
+	}
+
+	migrated := 0
+	for _, r := range d.Regions {
+		if r.Kind == RCV {
+			// Cells already outside every old table were in the overflow
+			// RCV; only previously-covered cells migrate.
+			for _, o := range io.Old {
+				if o.Kind == RCV {
+					continue
+				}
+				if overlap, ok := r.Rect.Intersect(o.Rect); ok {
+					migrated += s.CountInRange(overlap)
+				}
+			}
+			continue
+		}
+		if !old[regionKey{r.Rect, normalizeKind(r.Kind)}] {
+			migrated += s.CountInRange(r.Rect)
+		}
+	}
+	return &IncrementalResult{
+		Decomposition: d,
+		MigratedCells: migrated,
+		StorageCost:   d.Cost - io.Eta*float64(migrated),
+	}, nil
+}
+
+// uncoveredRCVRects covers every filled cell outside the old regions with
+// RCV rectangles: one per horizontal run of adjacent uncovered cells. RCV
+// regions share one physical table (Appendix A-C1), so fragmentation into
+// runs carries no extra fixed cost.
+func uncoveredRCVRects(s *sheet.Sheet, old []Region) []Region {
+	covered := func(ref sheet.Ref) bool {
+		for _, o := range old {
+			if o.Rect.Contains(ref) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Region
+	havePrev := false
+	var prev sheet.Ref
+	s.EachSorted(func(ref sheet.Ref, _ sheet.Cell) {
+		if covered(ref) {
+			return
+		}
+		if havePrev && prev.Row == ref.Row && prev.Col == ref.Col-1 {
+			out[len(out)-1].Rect.To.Col = ref.Col
+		} else {
+			out = append(out, Region{Rect: sheet.Range{From: ref, To: ref}, Kind: RCV})
+		}
+		prev = ref
+		havePrev = true
+	})
+	return out
+}
+
+type regionKey struct {
+	rect sheet.Range
+	kind Kind
+}
+
+// normalizeKind treats TOM as ROM for reuse comparisons (Section VI: "the
+// TOM data model is handled as a special case of ROM").
+func normalizeKind(k Kind) Kind {
+	if k == TOM {
+		return ROM
+	}
+	return k
+}
+
+// String renders a region for diagnostics.
+func (r Region) String() string { return fmt.Sprintf("%s[%s]", r.Kind, r.Rect) }

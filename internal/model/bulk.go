@@ -1,0 +1,113 @@
+package model
+
+import (
+	"fmt"
+
+	"dataspread/internal/hybrid"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// AppendRow bulk-inserts one full row at the end of the ROM region: a
+// single tuple write instead of one tuple rewrite per cell. The slice
+// length must match the region width.
+func (r *ROM) AppendRow(cells []sheet.Cell) error {
+	if len(cells) != len(r.colPos) {
+		return fmt.Errorf("model: ROM AppendRow arity %d != %d columns", len(cells), len(r.colPos))
+	}
+	tuple := make(rdbms.Row, r.table.Schema.Arity())
+	for i, c := range cells {
+		tuple[r.colPos[i]] = encodeCell(c)
+	}
+	rid, err := r.table.Insert(tuple)
+	if err != nil {
+		return err
+	}
+	if !r.rowMap.Insert(r.rowMap.Len()+1, rid) {
+		return fmt.Errorf("model: ROM rowMap append failed")
+	}
+	return nil
+}
+
+// LoadRect bulk-loads a local rectangle starting at (1,1) into an empty ROM
+// region.
+func (r *ROM) LoadRect(cells [][]sheet.Cell) error {
+	for _, row := range cells {
+		if err := r.AppendRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadRect bulk-loads into an empty COM region (transposing).
+func (c *COM) LoadRect(cells [][]sheet.Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	colBuf := make([]sheet.Cell, len(cells))
+	for j := range cells[0] {
+		for i := range cells {
+			colBuf[i] = cells[i][j]
+		}
+		if err := c.inner.AppendRow(colBuf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadRect bulk-loads into an RCV region (filled cells only; the region's
+// surrogate extent must already cover the rectangle).
+func (r *RCV) LoadRect(cells [][]sheet.Cell) error {
+	for i := range cells {
+		for j := range cells[i] {
+			if cells[i][j].IsBlank() {
+				continue
+			}
+			if err := r.Update(i+1, j+1, cells[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rectLoader is implemented by translators with a bulk-load fast path.
+type rectLoader interface {
+	LoadRect([][]sheet.Cell) error
+}
+
+// addRegionBulk creates a region translator and bulk-loads its contents.
+func (h *HybridStore) addRegionBulk(rect sheet.Range, kind hybrid.Kind, cells [][]sheet.Cell) error {
+	for _, r := range h.regions {
+		if r.rect.Intersects(rect) {
+			return fmt.Errorf("model: region %v overlaps existing %v", rect, r.rect)
+		}
+	}
+	h.seq++
+	cfg := Config{DB: h.db, Scheme: h.scheme, TableName: fmt.Sprintf("%s_r%d", h.name, h.seq)}
+	var tr Translator
+	var err error
+	switch kind {
+	case hybrid.ROM, hybrid.TOM:
+		tr, err = NewROM(cfg, rect.Cols())
+	case hybrid.COM:
+		tr, err = NewCOM(cfg, rect.Rows())
+	case hybrid.RCV:
+		tr, err = NewRCV(cfg, rect.Rows(), rect.Cols())
+	default:
+		return fmt.Errorf("model: unsupported region kind %v", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tr.(rectLoader).LoadRect(cells); err != nil {
+		return err
+	}
+	// COM regions still need their full column extent even when trailing
+	// columns are blank; ROM likewise for rows. LoadRect established the
+	// extent of whatever was passed, which covers the full rectangle.
+	h.regions = append(h.regions, storeRegion{rect: rect, tr: tr})
+	return nil
+}

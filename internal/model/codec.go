@@ -1,0 +1,113 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// Cell wire format inside database values: a one-character kind tag, the
+// escaped value text, and — when a formula is attached — a unit separator
+// (0x1F) followed by the formula source. Value text escapes the separator
+// (and the escape character itself) so arbitrary strings round-trip.
+// Self-describing so any translator can decode any other translator's cells
+// during migration.
+const (
+	formulaSep = "\x1f"
+	escChar    = "\x1b"
+)
+
+func escapeBody(s string) string {
+	s = strings.ReplaceAll(s, escChar, escChar+escChar)
+	return strings.ReplaceAll(s, formulaSep, escChar+"_")
+}
+
+func unescapeBody(s string) string {
+	if !strings.Contains(s, escChar) {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == escChar[0] && i+1 < len(s) {
+			i++
+			if s[i] == '_' {
+				sb.WriteString(formulaSep)
+			} else {
+				sb.WriteByte(s[i])
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// encodeCell converts a cell to its stored datum; blank cells become NULL.
+func encodeCell(c sheet.Cell) rdbms.Datum {
+	if c.IsBlank() {
+		return rdbms.Null
+	}
+	var sb strings.Builder
+	switch c.Value.Kind() {
+	case sheet.KindEmpty:
+		sb.WriteByte('E')
+	case sheet.KindNumber:
+		sb.WriteByte('N')
+		f, _ := c.Value.Num()
+		sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	case sheet.KindString:
+		sb.WriteByte('S')
+		sb.WriteString(escapeBody(c.Value.Text()))
+	case sheet.KindBool:
+		if b, _ := c.Value.BoolVal(); b {
+			sb.WriteByte('T')
+		} else {
+			sb.WriteByte('F')
+		}
+	case sheet.KindError:
+		sb.WriteByte('X')
+		sb.WriteString(escapeBody(c.Value.Text()))
+	}
+	if c.Formula != "" {
+		sb.WriteString(formulaSep)
+		sb.WriteString(c.Formula)
+	}
+	return rdbms.Text(sb.String())
+}
+
+// decodeCell parses a stored datum back into a cell.
+func decodeCell(d rdbms.Datum) (sheet.Cell, error) {
+	if d.IsNull() {
+		return sheet.Cell{}, nil
+	}
+	s := d.Str()
+	if s == "" {
+		return sheet.Cell{}, fmt.Errorf("model: empty cell encoding")
+	}
+	body, form, _ := strings.Cut(s[1:], formulaSep)
+	var v sheet.Value
+	switch s[0] {
+	case 'E':
+		v = sheet.Empty
+	case 'N':
+		f, err := strconv.ParseFloat(body, 64)
+		if err != nil {
+			return sheet.Cell{}, fmt.Errorf("model: bad number encoding %q", body)
+		}
+		v = sheet.Number(f)
+	case 'S':
+		v = sheet.Str(unescapeBody(body))
+	case 'T':
+		v = sheet.Bool(true)
+	case 'F':
+		v = sheet.Bool(false)
+	case 'X':
+		v = sheet.Errorf(unescapeBody(body))
+	default:
+		return sheet.Cell{}, fmt.Errorf("model: unknown cell tag %q", s[0])
+	}
+	return sheet.Cell{Value: v, Formula: form}, nil
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"dataspread/internal/hybrid"
+	"dataspread/internal/sheet"
+)
+
+// COM is the column-oriented translator (Section IV-B): one database tuple
+// per spreadsheet column — the transpose of ROM. It is implemented as a
+// coordinate-transposing adapter over ROM, so every positional-mapping and
+// schema-indirection property of ROM carries over with rows and columns
+// swapped.
+type COM struct {
+	inner *ROM
+}
+
+// NewCOM creates an empty COM region of the given height (number of
+// spreadsheet rows; each backing tuple has one attribute per row).
+func NewCOM(cfg Config, rows int) (*COM, error) {
+	inner, err := NewROM(cfg, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &COM{inner: inner}, nil
+}
+
+// Kind implements Translator.
+func (c *COM) Kind() hybrid.Kind { return hybrid.COM }
+
+// Rows implements Translator (the transposed inner's column count).
+func (c *COM) Rows() int { return c.inner.Cols() }
+
+// Cols implements Translator (the transposed inner's row count).
+func (c *COM) Cols() int { return c.inner.Rows() }
+
+// Get implements Translator.
+func (c *COM) Get(row, col int) (sheet.Cell, error) { return c.inner.Get(col, row) }
+
+// GetCells implements Translator.
+func (c *COM) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
+	t, err := c.inner.GetCells(transposeRange(g))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]sheet.Cell, g.Rows())
+	for i := range out {
+		out[i] = make([]sheet.Cell, g.Cols())
+		for j := range out[i] {
+			out[i][j] = t[j][i]
+		}
+	}
+	return out, nil
+}
+
+// Update implements Translator.
+func (c *COM) Update(row, col int, cell sheet.Cell) error {
+	return c.inner.Update(col, row, cell)
+}
+
+// UpdateRect implements Translator (transposed: one tuple per column).
+func (c *COM) UpdateRect(g sheet.Range, cells [][]sheet.Cell) error {
+	t := make([][]sheet.Cell, g.Cols())
+	for j := range t {
+		t[j] = make([]sheet.Cell, g.Rows())
+		for i := range t[j] {
+			t[j][i] = cells[i][j]
+		}
+	}
+	return c.inner.UpdateRect(transposeRange(g), t)
+}
+
+// InsertRowAfter implements Translator (a column insert in the inner ROM).
+func (c *COM) InsertRowAfter(row int) error { return c.inner.InsertColAfter(row) }
+
+// DeleteRow implements Translator.
+func (c *COM) DeleteRow(row int) error { return c.inner.DeleteCol(row) }
+
+// InsertColAfter implements Translator (a row insert in the inner ROM).
+func (c *COM) InsertColAfter(col int) error { return c.inner.InsertRowAfter(col) }
+
+// DeleteCol implements Translator.
+func (c *COM) DeleteCol(col int) error { return c.inner.DeleteRow(col) }
+
+// StorageBytes implements Translator.
+func (c *COM) StorageBytes() int64 { return c.inner.StorageBytes() }
+
+// Drop implements Translator.
+func (c *COM) Drop() error { return c.inner.Drop() }
+
+func transposeRange(g sheet.Range) sheet.Range {
+	return sheet.NewRange(g.From.Col, g.From.Row, g.To.Col, g.To.Row)
+}

@@ -1,0 +1,119 @@
+// Package model implements the physical data models of Section IV-B — ROM,
+// COM, RCV and TOM translators — over the rdbms substrate, with positional
+// access provided by internal/posmap. Each translator serves one
+// rectangular region of a spreadsheet in region-local 1-based coordinates;
+// the HybridStore multiplexes a whole sheet across a set of translators
+// according to a hybrid.Decomposition (the "hybrid translator" of the
+// DataSpread architecture, Section VI).
+package model
+
+import (
+	"fmt"
+
+	"dataspread/internal/hybrid"
+	"dataspread/internal/posmap"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// Translator is the "collection of cells" abstraction of Section VI: a
+// region of the sheet stored physically in the database. Coordinates are
+// region-local and 1-based.
+type Translator interface {
+	// Kind identifies the physical model.
+	Kind() hybrid.Kind
+	// Rows and Cols return the region's current logical dimensions.
+	Rows() int
+	Cols() int
+	// Get returns the cell at the local position (blank when unfilled).
+	Get(row, col int) (sheet.Cell, error)
+	// GetCells materializes a local rectangular range (getCells of
+	// Section III).
+	GetCells(g sheet.Range) ([][]sheet.Cell, error)
+	// Update writes the cell at the local position (updateCell).
+	Update(row, col int, c sheet.Cell) error
+	// UpdateRect writes a rectangular block of cells at once. Row-oriented
+	// models rewrite each covered tuple a single time (one "query" per
+	// row, as in the paper's Figure 22 setup), instead of once per cell.
+	UpdateRect(g sheet.Range, cells [][]sheet.Cell) error
+	// InsertRowAfter makes room for one row after the local row (0 inserts
+	// at the top).
+	InsertRowAfter(row int) error
+	// DeleteRow removes the local row.
+	DeleteRow(row int) error
+	// InsertColAfter makes room for one column after the local column.
+	InsertColAfter(col int) error
+	// DeleteCol removes the local column.
+	DeleteCol(col int) error
+	// StorageBytes reports the physical footprint of the region.
+	StorageBytes() int64
+	// Drop removes the backing tables.
+	Drop() error
+}
+
+// Config carries construction parameters shared by the translators.
+type Config struct {
+	DB *rdbms.DB
+	// Scheme selects the positional mapping ("hierarchical" by default).
+	Scheme string
+	// TableName is the backing table's name; it must be unique per
+	// translator instance.
+	TableName string
+}
+
+func (c Config) scheme() string {
+	if c.Scheme == "" {
+		return "hierarchical"
+	}
+	return c.Scheme
+}
+
+func (c Config) validate() error {
+	if c.DB == nil {
+		return fmt.Errorf("model: Config.DB is required")
+	}
+	if c.TableName == "" {
+		return fmt.Errorf("model: Config.TableName is required")
+	}
+	return nil
+}
+
+// idMap adapts posmap.Map (which stores tuple pointers) to carry stable
+// 48-bit surrogate identifiers, used by RCV where one ordered position
+// (a row or column) corresponds to many tuples rather than one. The
+// surrogate is packed into the RID's 32-bit page and 16-bit slot fields.
+type idMap struct{ m posmap.Map }
+
+func newIDMap(scheme string) idMap { return idMap{m: posmap.New(scheme)} }
+
+func idToRID(id int64) rdbms.RID {
+	return rdbms.RID{Page: rdbms.PageID(uint32(id >> 16)), Slot: uint16(id & 0xFFFF)}
+}
+
+func ridToID(r rdbms.RID) int64 { return int64(r.Page)<<16 | int64(r.Slot) }
+
+func (im idMap) Len() int { return im.m.Len() }
+
+func (im idMap) At(pos int) (int64, bool) {
+	rid, ok := im.m.Fetch(pos)
+	if !ok {
+		return 0, false
+	}
+	return ridToID(rid), true
+}
+
+func (im idMap) Range(pos, count int) []int64 {
+	rids := im.m.FetchRange(pos, count)
+	out := make([]int64, len(rids))
+	for i, r := range rids {
+		out[i] = ridToID(r)
+	}
+	return out
+}
+
+func (im idMap) Insert(pos int, id int64) bool { return im.m.Insert(pos, idToRID(id)) }
+
+func (im idMap) Delete(pos int) (int64, bool) {
+	rid, ok := im.m.Delete(pos)
+	return ridToID(rid), ok
+}

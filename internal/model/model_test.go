@@ -1,0 +1,429 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+func testCfg(t *testing.T, name string) Config {
+	t.Helper()
+	return Config{DB: rdbms.Open(rdbms.Options{}), TableName: name}
+}
+
+func newTranslators(t *testing.T) []Translator {
+	t.Helper()
+	db := rdbms.Open(rdbms.Options{})
+	rom, err := NewROM(Config{DB: db, TableName: "rom"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	com, err := NewCOM(Config{DB: db, TableName: "com"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewRCV(Config{DB: db, TableName: "rcv"}, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Translator{rom, com, rcv}
+}
+
+func num(f float64) sheet.Cell { return sheet.Cell{Value: sheet.Number(f)} }
+
+func TestCellCodecRoundTrip(t *testing.T) {
+	cells := []sheet.Cell{
+		{},
+		{Value: sheet.Number(42)},
+		{Value: sheet.Number(-2.5)},
+		{Value: sheet.Str("hello")},
+		{Value: sheet.Str("with \x1f separator and 'quotes'")},
+		{Value: sheet.Bool(true)},
+		{Value: sheet.Bool(false)},
+		{Value: sheet.Errorf("#REF!")},
+		{Value: sheet.Number(85), Formula: "AVERAGE(B2:C2)+D2+E2"},
+		{Formula: "SUM(A1:A9)"},
+	}
+	for _, c := range cells {
+		got, err := decodeCell(encodeCell(c))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", c, err)
+		}
+		if !got.Value.Equal(c.Value) || got.Formula != c.Formula {
+			t.Fatalf("round trip %+v -> %+v", c, got)
+		}
+	}
+	if _, err := decodeCell(rdbms.Text("")); err == nil {
+		t.Fatal("empty encoding must fail")
+	}
+	if _, err := decodeCell(rdbms.Text("Zbogus")); err == nil {
+		t.Fatal("unknown tag must fail")
+	}
+	if _, err := decodeCell(rdbms.Text("Nnotanumber")); err == nil {
+		t.Fatal("bad number must fail")
+	}
+}
+
+func TestTranslatorBasicReadWrite(t *testing.T) {
+	for _, tr := range newTranslators(t) {
+		name := tr.Kind().String()
+		if err := tr.Update(2, 3, num(7)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := tr.Get(2, 3)
+		if err != nil || !got.Value.Equal(sheet.Number(7)) {
+			t.Fatalf("%s: Get = %+v, %v", name, got, err)
+		}
+		// Unfilled cells are blank.
+		got, err = tr.Get(1, 1)
+		if err != nil || !got.IsBlank() {
+			t.Fatalf("%s: blank Get = %+v, %v", name, got, err)
+		}
+		// Formula cells round-trip.
+		if err := tr.Update(1, 1, sheet.Cell{Value: sheet.Number(85), Formula: "SUM(A1:B2)"}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, _ = tr.Get(1, 1)
+		if got.Formula != "SUM(A1:B2)" {
+			t.Fatalf("%s: formula lost: %+v", name, got)
+		}
+		// Blanking removes.
+		if err := tr.Update(2, 3, sheet.Cell{}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, _ = tr.Get(2, 3)
+		if !got.IsBlank() {
+			t.Fatalf("%s: blank write did not clear", name)
+		}
+	}
+}
+
+func TestTranslatorGetCells(t *testing.T) {
+	for _, tr := range newTranslators(t) {
+		name := tr.Kind().String()
+		for row := 1; row <= 4; row++ {
+			for col := 1; col <= 4; col++ {
+				if err := tr.Update(row, col, num(float64(row*10+col))); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+		}
+		cells, err := tr.GetCells(sheet.NewRange(2, 2, 3, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(cells) != 2 || len(cells[0]) != 3 {
+			t.Fatalf("%s: dims %dx%d", name, len(cells), len(cells[0]))
+		}
+		if !cells[0][0].Value.Equal(sheet.Number(22)) || !cells[1][2].Value.Equal(sheet.Number(34)) {
+			t.Fatalf("%s: contents wrong: %v", name, cells)
+		}
+	}
+}
+
+// TestTranslatorEquivalence drives all three translators through one random
+// operation sequence mirrored on a plain sheet.
+func TestTranslatorEquivalence(t *testing.T) {
+	trs := newTranslators(t)
+	ref := sheet.New("ref")
+	rng := rand.New(rand.NewSource(77))
+	const maxDim = 12
+
+	apply := func(op func(Translator) error, mirror func()) {
+		t.Helper()
+		for _, tr := range trs {
+			if err := op(tr); err != nil {
+				t.Fatalf("%s: %v", tr.Kind(), err)
+			}
+		}
+		mirror()
+	}
+
+	rows, cols := 8, 8
+	// Materialize the full extent first: ROM/COM materialize rows lazily,
+	// and structural ops address the logical grid.
+	for _, tr := range trs {
+		if err := tr.Update(rows, cols, num(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Update(rows, cols, sheet.Cell{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < 600; step++ {
+		switch r := rng.Float64(); {
+		case r < 0.55: // update
+			row, col := rng.Intn(rows)+1, rng.Intn(cols)+1
+			c := num(float64(step))
+			if rng.Float64() < 0.2 {
+				c = sheet.Cell{Value: sheet.Str(fmt.Sprintf("s%d", step)), Formula: "SUM(A1:B2)"}
+			}
+			if rng.Float64() < 0.1 {
+				c = sheet.Cell{}
+			}
+			apply(
+				func(tr Translator) error { return tr.Update(row, col, c) },
+				func() { ref.Set(sheet.Ref{Row: row, Col: col}, c) },
+			)
+		case r < 0.70 && rows < maxDim: // insert row
+			at := rng.Intn(rows + 1)
+			apply(
+				func(tr Translator) error { return tr.InsertRowAfter(at) },
+				func() { ref.InsertRowAfter(at); rows++ },
+			)
+		case r < 0.80 && rows > 2: // delete row
+			at := rng.Intn(rows) + 1
+			apply(
+				func(tr Translator) error { return tr.DeleteRow(at) },
+				func() { ref.DeleteRow(at); rows-- },
+			)
+		case r < 0.92 && cols < maxDim: // insert col
+			at := rng.Intn(cols + 1)
+			apply(
+				func(tr Translator) error { return tr.InsertColAfter(at) },
+				func() { ref.InsertColumnAfter(at); cols++ },
+			)
+		case cols > 2: // delete col
+			at := rng.Intn(cols) + 1
+			apply(
+				func(tr Translator) error { return tr.DeleteCol(at) },
+				func() { ref.DeleteColumn(at); cols-- },
+			)
+		}
+		if step%100 == 99 {
+			compareAll(t, trs, ref, rows, cols)
+		}
+	}
+	compareAll(t, trs, ref, rows, cols)
+}
+
+func compareAll(t *testing.T, trs []Translator, ref *sheet.Sheet, rows, cols int) {
+	t.Helper()
+	for _, tr := range trs {
+		for row := 1; row <= rows; row++ {
+			for col := 1; col <= cols; col++ {
+				got, err := tr.Get(row, col)
+				if err != nil {
+					t.Fatalf("%s: Get(%d,%d): %v", tr.Kind(), row, col, err)
+				}
+				want := ref.GetRC(row, col)
+				if !got.Value.Equal(want.Value) || got.Formula != want.Formula {
+					t.Fatalf("%s: cell (%d,%d) = %+v want %+v", tr.Kind(), row, col, got, want)
+				}
+			}
+		}
+		// GetCells agrees with point reads.
+		cells, err := tr.GetCells(sheet.NewRange(1, 1, rows, cols))
+		if err != nil {
+			t.Fatalf("%s: GetCells: %v", tr.Kind(), err)
+		}
+		for i := range cells {
+			for j := range cells[i] {
+				want := ref.GetRC(i+1, j+1)
+				if !cells[i][j].Value.Equal(want.Value) {
+					t.Fatalf("%s: GetCells(%d,%d) = %+v want %+v", tr.Kind(), i+1, j+1, cells[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestROMColumnOps(t *testing.T) {
+	rom, err := NewROM(testCfg(t, "r"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom.Update(1, 1, num(1))
+	rom.Update(1, 2, num(2))
+	rom.Update(1, 3, num(3))
+	// Insert between 1 and 2.
+	if err := rom.InsertColAfter(1); err != nil {
+		t.Fatal(err)
+	}
+	if rom.Cols() != 4 {
+		t.Fatalf("Cols = %d", rom.Cols())
+	}
+	got, _ := rom.Get(1, 2)
+	if !got.IsBlank() {
+		t.Fatalf("inserted column not blank: %+v", got)
+	}
+	got, _ = rom.Get(1, 3)
+	if !got.Value.Equal(sheet.Number(2)) {
+		t.Fatalf("old column 2 should be at 3: %+v", got)
+	}
+	// Write into the new column, then delete it.
+	rom.Update(1, 2, num(99))
+	if err := rom.DeleteCol(2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = rom.Get(1, 2)
+	if !got.Value.Equal(sheet.Number(2)) {
+		t.Fatalf("after delete col 2: %+v", got)
+	}
+	// Cannot delete below one column.
+	rom2, _ := NewROM(testCfg(t, "r2"), 1)
+	if err := rom2.DeleteCol(1); err == nil {
+		t.Fatal("deleting last column must fail")
+	}
+}
+
+func TestROMBoundsErrors(t *testing.T) {
+	rom, _ := NewROM(testCfg(t, "r"), 2)
+	if _, err := rom.Get(1, 5); err == nil {
+		t.Fatal("column out of range must error")
+	}
+	if err := rom.Update(0, 1, num(1)); err == nil {
+		t.Fatal("row 0 must error")
+	}
+	if err := rom.InsertRowAfter(5); err == nil {
+		t.Fatal("insert beyond extent must error")
+	}
+	if err := rom.DeleteRow(1); err == nil {
+		t.Fatal("delete of missing row must error")
+	}
+	if _, err := NewROM(testCfg(t, "r0"), 0); err == nil {
+		t.Fatal("zero-column ROM must fail")
+	}
+	if _, err := NewROM(Config{}, 2); err == nil {
+		t.Fatal("missing DB must fail")
+	}
+}
+
+func TestRCVSparseStorageProportionalToCells(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	rcv, _ := NewRCV(Config{DB: db, TableName: "sparse"}, 10000, 100)
+	// 20 cells scattered in a 10000x100 region.
+	for i := 0; i < 20; i++ {
+		if err := rcv.Update(i*500+1, i*5+1, num(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rcv.CellCount() != 20 {
+		t.Fatalf("CellCount = %d", rcv.CellCount())
+	}
+	// One page of tuples plus catalog and index: far less than a ROM of the
+	// same extent would need.
+	if rcv.StorageBytes() > 3*8192 {
+		t.Fatalf("sparse RCV storage = %d bytes", rcv.StorageBytes())
+	}
+}
+
+func TestTOMLinkedTable(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	db.MustExec("CREATE TABLE invoice (invid BIGINT, amount DOUBLE, memo TEXT)")
+	db.MustExec("INSERT INTO invoice VALUES (1, 100.0, 'a'), (2, 250.5, 'b')")
+	tom := LinkTOM(db.Table("invoice"), "", true)
+
+	if tom.Rows() != 3 || tom.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", tom.Rows(), tom.Cols())
+	}
+	// Header row.
+	h, err := tom.Get(1, 2)
+	if err != nil || h.Value.Text() != "amount" {
+		t.Fatalf("header = %+v, %v", h, err)
+	}
+	// Data row.
+	c, _ := tom.Get(2, 2)
+	if !c.Value.Equal(sheet.Number(100)) {
+		t.Fatalf("data = %+v", c)
+	}
+
+	// Spreadsheet edit flows into the table (two-way sync).
+	if err := tom.Update(2, 2, num(175)); err != nil {
+		t.Fatal(err)
+	}
+	r := db.MustExec("SELECT amount FROM invoice WHERE invid = 1")
+	if r.Rows[0][0].Float64() != 175 {
+		t.Fatalf("update did not reach table: %v", r.Rows)
+	}
+
+	// Type checking.
+	if err := tom.Update(2, 1, sheet.Cell{Value: sheet.Str("oops")}); err == nil {
+		t.Fatal("non-integer into BIGINT must fail")
+	}
+	if err := tom.Update(1, 1, num(1)); err == nil {
+		t.Fatal("header row must be read-only")
+	}
+	if err := tom.Update(2, 2, sheet.Cell{Value: sheet.Number(1), Formula: "SUM(A1)"}); err == nil {
+		t.Fatal("formulas must be rejected on linked regions")
+	}
+
+	// Row insert adds a NULL tuple; row delete removes a tuple.
+	if err := tom.InsertRowAfter(3); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("invoice").RowCount() != 3 {
+		t.Fatal("insert did not reach table")
+	}
+	if err := tom.DeleteRow(4); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("invoice").RowCount() != 2 {
+		t.Fatal("delete did not reach table")
+	}
+	// Schema is fixed.
+	if err := tom.InsertColAfter(1); err == nil {
+		t.Fatal("TOM column insert must fail")
+	}
+
+	// External DML + Refresh.
+	db.MustExec("INSERT INTO invoice VALUES (9, 9.0, 'ext')")
+	tom.Refresh()
+	if tom.Rows() != 4 {
+		t.Fatalf("Refresh missed external insert: rows = %d", tom.Rows())
+	}
+}
+
+func TestUpdateRectEquivalence(t *testing.T) {
+	// UpdateRect must produce exactly the same state as per-cell updates,
+	// for every translator.
+	for _, tr := range newTranslators(t) {
+		// Materialize a 6x6 extent.
+		if err := tr.Update(6, 6, num(0)); err != nil {
+			t.Fatal(err)
+		}
+		g := sheet.NewRange(2, 2, 5, 4)
+		cells := make([][]sheet.Cell, g.Rows())
+		for i := range cells {
+			cells[i] = make([]sheet.Cell, g.Cols())
+			for j := range cells[i] {
+				cells[i][j] = num(float64(i*10 + j))
+			}
+		}
+		if err := tr.UpdateRect(g, cells); err != nil {
+			t.Fatalf("%s: %v", tr.Kind(), err)
+		}
+		for i := 0; i < g.Rows(); i++ {
+			for j := 0; j < g.Cols(); j++ {
+				got, err := tr.Get(g.From.Row+i, g.From.Col+j)
+				if err != nil || !got.Value.Equal(cells[i][j].Value) {
+					t.Fatalf("%s: cell (%d,%d) = %+v, %v", tr.Kind(), g.From.Row+i, g.From.Col+j, got, err)
+				}
+			}
+		}
+		// Blank cells in the rect clear existing content.
+		blank := make([][]sheet.Cell, g.Rows())
+		for i := range blank {
+			blank[i] = make([]sheet.Cell, g.Cols())
+		}
+		if err := tr.UpdateRect(g, blank); err != nil {
+			t.Fatalf("%s: %v", tr.Kind(), err)
+		}
+		got, _ := tr.Get(2, 2)
+		if !got.IsBlank() {
+			t.Fatalf("%s: blank UpdateRect did not clear", tr.Kind())
+		}
+	}
+}
+
+func TestUpdateRectBounds(t *testing.T) {
+	rom, _ := NewROM(testCfg(t, "r"), 3)
+	g := sheet.NewRange(1, 1, 2, 5) // 5 columns > 3
+	cells := [][]sheet.Cell{make([]sheet.Cell, 5), make([]sheet.Cell, 5)}
+	if err := rom.UpdateRect(g, cells); err == nil {
+		t.Fatal("out-of-range UpdateRect must error")
+	}
+}

@@ -1,0 +1,311 @@
+package model
+
+import (
+	"fmt"
+
+	"dataspread/internal/hybrid"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// rcvColBits packs the column surrogate into the low bits of the composite
+// key: key = rowID<<rcvColBits | colID. This bounds an RCV region to 2^20
+// (~1M) column surrogates and 2^43 row surrogates — ample for spreadsheets.
+const rcvColBits = 20
+
+// RCV is the row-column-value translator (Section IV-B): one tuple per
+// filled cell, keyed by stable row/column surrogates. Positions map to
+// surrogates through positional maps, so row and column inserts touch no
+// tuples at all; the key index makes point and row-range access O(log N).
+type RCV struct {
+	cfg    Config
+	table  *rdbms.Table
+	rowIDs idMap
+	colIDs idMap
+	// Row and column surrogates draw from separate counters: the packed
+	// key caps column surrogates at 2^20 while row surrogates are
+	// unbounded (43 bits).
+	nextRowID int64
+	nextColID int64
+	// key -> heap RID, maintained alongside the table. The table also
+	// carries the key attribute so the region is self-describing.
+	index *rdbms.BTree
+	cells int
+}
+
+// NewRCV creates an empty RCV region of the given initial dimensions.
+func NewRCV(cfg Config, rows, cols int) (*RCV, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cols >= 1<<rcvColBits {
+		return nil, fmt.Errorf("model: RCV supports at most %d columns", 1<<rcvColBits-1)
+	}
+	t, err := cfg.DB.CreateTable(cfg.TableName, rdbms.NewSchema(
+		rdbms.Column{Name: "rck", Type: rdbms.DTInt},
+		rdbms.Column{Name: "val", Type: rdbms.DTText},
+	))
+	if err != nil {
+		return nil, err
+	}
+	r := &RCV{
+		cfg:       cfg,
+		table:     t,
+		rowIDs:    newIDMap(cfg.scheme()),
+		colIDs:    newIDMap(cfg.scheme()),
+		nextRowID: 1,
+		nextColID: 1,
+		index:     rdbms.NewBTree(64),
+	}
+	for i := 0; i < rows; i++ {
+		r.rowIDs.Insert(i+1, r.allocRow())
+	}
+	for j := 0; j < cols; j++ {
+		id, err := r.allocCol()
+		if err != nil {
+			return nil, err
+		}
+		r.colIDs.Insert(j+1, id)
+	}
+	return r, nil
+}
+
+func (r *RCV) allocRow() int64 {
+	id := r.nextRowID
+	r.nextRowID++
+	return id
+}
+
+func (r *RCV) allocCol() (int64, error) {
+	if r.nextColID >= 1<<rcvColBits {
+		return 0, fmt.Errorf("model: RCV column capacity exceeded")
+	}
+	id := r.nextColID
+	r.nextColID++
+	return id, nil
+}
+
+// Kind implements Translator.
+func (r *RCV) Kind() hybrid.Kind { return hybrid.RCV }
+
+// Rows implements Translator.
+func (r *RCV) Rows() int { return r.rowIDs.Len() }
+
+// Cols implements Translator.
+func (r *RCV) Cols() int { return r.colIDs.Len() }
+
+// CellCount returns the number of stored (filled) cells.
+func (r *RCV) CellCount() int { return r.cells }
+
+func key(rowID, colID int64) int64 { return rowID<<rcvColBits | colID }
+
+// Get implements Translator.
+func (r *RCV) Get(row, col int) (sheet.Cell, error) {
+	rowID, okR := r.rowIDs.At(row)
+	colID, okC := r.colIDs.At(col)
+	if !okR || !okC {
+		return sheet.Cell{}, nil
+	}
+	rid, ok := r.index.Search(key(rowID, colID))
+	if !ok {
+		return sheet.Cell{}, nil
+	}
+	tuple, ok := r.table.Get(rid)
+	if !ok {
+		return sheet.Cell{}, fmt.Errorf("model: RCV dangling pointer %v", rid)
+	}
+	return decodeCell(tuple[1])
+}
+
+// GetCells implements Translator: one index range scan per row in the
+// range, mapping column surrogates back to display positions.
+func (r *RCV) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
+	out := make([][]sheet.Cell, g.Rows())
+	for i := range out {
+		out[i] = make([]sheet.Cell, g.Cols())
+	}
+	// Reverse map: column surrogate -> offset within the requested range.
+	colIDs := r.colIDs.Range(g.From.Col, g.Cols())
+	rev := make(map[int64]int, len(colIDs))
+	for j, id := range colIDs {
+		rev[id] = j
+	}
+	rowIDs := r.rowIDs.Range(g.From.Row, g.Rows())
+	var firstErr error
+	for i, rowID := range rowIDs {
+		lo := key(rowID, 0)
+		hi := key(rowID, 1<<rcvColBits-1)
+		r.index.Scan(lo, hi, func(k int64, rid rdbms.RID) bool {
+			j, want := rev[k&(1<<rcvColBits-1)]
+			if !want {
+				return true
+			}
+			tuple, ok := r.table.Get(rid)
+			if !ok {
+				firstErr = fmt.Errorf("model: RCV dangling pointer %v", rid)
+				return false
+			}
+			c, err := decodeCell(tuple[1])
+			if err != nil {
+				firstErr = err
+				return false
+			}
+			out[i][j] = c
+			return true
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	return out, nil
+}
+
+// Update implements Translator. Blank cells delete the tuple; new cells
+// insert; existing cells update in place.
+func (r *RCV) Update(row, col int, c sheet.Cell) error {
+	// Grow the surrogate maps on demand (writing beyond the current extent
+	// extends the region).
+	for r.rowIDs.Len() < row {
+		r.rowIDs.Insert(r.rowIDs.Len()+1, r.allocRow())
+	}
+	for r.colIDs.Len() < col {
+		id, err := r.allocCol()
+		if err != nil {
+			return err
+		}
+		r.colIDs.Insert(r.colIDs.Len()+1, id)
+	}
+	rowID, okR := r.rowIDs.At(row)
+	colID, okC := r.colIDs.At(col)
+	if !okR || !okC {
+		return fmt.Errorf("model: RCV position (%d,%d) out of range", row, col)
+	}
+	k := key(rowID, colID)
+	rid, exists := r.index.Search(k)
+	if c.IsBlank() {
+		if exists {
+			r.table.Delete(rid)
+			r.index.DeleteKey(k)
+			r.cells--
+		}
+		return nil
+	}
+	tuple := rdbms.Row{rdbms.Int(k), encodeCell(c)}
+	if exists {
+		newRID, err := r.table.Update(rid, tuple)
+		if err != nil {
+			return err
+		}
+		if newRID != rid {
+			r.index.DeleteKey(k)
+			r.index.Insert(k, newRID)
+		}
+		return nil
+	}
+	newRID, err := r.table.Insert(tuple)
+	if err != nil {
+		return err
+	}
+	r.index.Insert(k, newRID)
+	r.cells++
+	return nil
+}
+
+// UpdateRect implements Translator: the key-value model has no batching
+// lever — one tuple operation per cell (the paper's 2000-query behaviour).
+func (r *RCV) UpdateRect(g sheet.Range, cells [][]sheet.Cell) error {
+	for i := range cells {
+		for j := range cells[i] {
+			if err := r.Update(g.From.Row+i, g.From.Col+j, cells[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// InsertRowAfter implements Translator: a single positional-map insert.
+func (r *RCV) InsertRowAfter(row int) error {
+	if row < 0 || row > r.rowIDs.Len() {
+		return fmt.Errorf("model: RCV insert after row %d out of range", row)
+	}
+	r.rowIDs.Insert(row+1, r.allocRow())
+	return nil
+}
+
+// DeleteRow implements Translator: removes the row's tuples then the
+// surrogate.
+func (r *RCV) DeleteRow(row int) error {
+	rowID, ok := r.rowIDs.At(row)
+	if !ok {
+		return fmt.Errorf("model: RCV delete of missing row %d", row)
+	}
+	r.deleteKeyRange(key(rowID, 0), key(rowID, 1<<rcvColBits-1))
+	r.rowIDs.Delete(row)
+	return nil
+}
+
+// InsertColAfter implements Translator.
+func (r *RCV) InsertColAfter(col int) error {
+	if col < 0 || col > r.colIDs.Len() {
+		return fmt.Errorf("model: RCV insert after column %d out of range", col)
+	}
+	id, err := r.allocCol()
+	if err != nil {
+		return err
+	}
+	r.colIDs.Insert(col+1, id)
+	return nil
+}
+
+// DeleteCol implements Translator: scans the whole index (cells of a column
+// are scattered across row key ranges).
+func (r *RCV) DeleteCol(col int) error {
+	colID, ok := r.colIDs.At(col)
+	if !ok {
+		return fmt.Errorf("model: RCV delete of missing column %d", col)
+	}
+	var victims []int64
+	r.index.Scan(0, 1<<62, func(k int64, _ rdbms.RID) bool {
+		if k&(1<<rcvColBits-1) == colID {
+			victims = append(victims, k)
+		}
+		return true
+	})
+	for _, k := range victims {
+		if rid, ok := r.index.Search(k); ok {
+			r.table.Delete(rid)
+			r.index.DeleteKey(k)
+			r.cells--
+		}
+	}
+	r.colIDs.Delete(col)
+	return nil
+}
+
+func (r *RCV) deleteKeyRange(lo, hi int64) {
+	type ent struct {
+		k   int64
+		rid rdbms.RID
+	}
+	var victims []ent
+	r.index.Scan(lo, hi, func(k int64, rid rdbms.RID) bool {
+		victims = append(victims, ent{k, rid})
+		return true
+	})
+	for _, v := range victims {
+		r.table.Delete(v.rid)
+		r.index.Delete(v.k, v.rid)
+		r.cells--
+	}
+}
+
+// StorageBytes implements Translator (index entries are costed by the
+// catalog via the table's key attribute; the in-memory B+ tree mirrors a
+// database index of 16 bytes per entry).
+func (r *RCV) StorageBytes() int64 {
+	return r.table.StorageBytes() + int64(r.index.Len())*16
+}
+
+// Drop implements Translator.
+func (r *RCV) Drop() error { return r.cfg.DB.DropTable(r.cfg.TableName) }

@@ -1,0 +1,260 @@
+package model
+
+import (
+	"fmt"
+
+	"dataspread/internal/hybrid"
+	"dataspread/internal/posmap"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// ROM is the row-oriented translator (Section IV-B): one database tuple per
+// spreadsheet row. There is no stored RowID attribute — row order lives
+// exclusively in the positional map, which is what eliminates cascading
+// updates (Section V). Column order is kept in colPos, a display-position
+// to physical-attribute indirection, so column inserts/deletes never
+// rewrite tuples.
+type ROM struct {
+	cfg    Config
+	table  *rdbms.Table
+	rowMap posmap.Map
+	// colPos[display-1] = physical attribute index in the table schema.
+	colPos []int
+	// nextCol numbers physical attributes (they are append-only; deleted
+	// display columns orphan their attribute, like a dropped column in
+	// PostgreSQL).
+	nextCol int
+}
+
+// NewROM creates an empty ROM region of the given width.
+func NewROM(cfg Config, cols int) (*ROM, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cols < 1 {
+		return nil, fmt.Errorf("model: ROM needs at least one column")
+	}
+	schema := rdbms.Schema{}
+	for i := 0; i < cols; i++ {
+		schema.Cols = append(schema.Cols, rdbms.Column{Name: colName(i), Type: rdbms.DTText})
+	}
+	t, err := cfg.DB.CreateTable(cfg.TableName, schema)
+	if err != nil {
+		return nil, err
+	}
+	r := &ROM{cfg: cfg, table: t, rowMap: posmap.New(cfg.scheme()), nextCol: cols}
+	for i := 0; i < cols; i++ {
+		r.colPos = append(r.colPos, i)
+	}
+	return r, nil
+}
+
+func colName(i int) string { return fmt.Sprintf("c%d", i) }
+
+// Kind implements Translator.
+func (r *ROM) Kind() hybrid.Kind { return hybrid.ROM }
+
+// Rows implements Translator.
+func (r *ROM) Rows() int { return r.rowMap.Len() }
+
+// Cols implements Translator.
+func (r *ROM) Cols() int { return len(r.colPos) }
+
+// Get implements Translator.
+func (r *ROM) Get(row, col int) (sheet.Cell, error) {
+	if col < 1 || col > len(r.colPos) {
+		return sheet.Cell{}, fmt.Errorf("model: ROM column %d out of range", col)
+	}
+	rid, ok := r.rowMap.Fetch(row)
+	if !ok {
+		return sheet.Cell{}, nil // row not materialized: blank
+	}
+	tuple, ok := r.table.Get(rid)
+	if !ok {
+		return sheet.Cell{}, fmt.Errorf("model: ROM row %d dangling pointer %v", row, rid)
+	}
+	return decodeCell(attr(tuple, r.colPos[col-1]))
+}
+
+// GetCells implements Translator.
+func (r *ROM) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
+	out := make([][]sheet.Cell, g.Rows())
+	for i := range out {
+		out[i] = make([]sheet.Cell, g.Cols())
+	}
+	rids := r.rowMap.FetchRange(g.From.Row, g.Rows())
+	for i, rid := range rids {
+		tuple, ok := r.table.Get(rid)
+		if !ok {
+			return nil, fmt.Errorf("model: ROM dangling pointer %v", rid)
+		}
+		for j := 0; j < g.Cols(); j++ {
+			col := g.From.Col + j
+			if col < 1 || col > len(r.colPos) {
+				continue
+			}
+			c, err := decodeCell(attr(tuple, r.colPos[col-1]))
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = c
+		}
+	}
+	return out, nil
+}
+
+// Update implements Translator. Rows are materialized on demand: writing to
+// a row beyond the current extent appends empty tuples up to it.
+func (r *ROM) Update(row, col int, c sheet.Cell) error {
+	if col < 1 || col > len(r.colPos) {
+		return fmt.Errorf("model: ROM column %d out of range", col)
+	}
+	if row < 1 {
+		return fmt.Errorf("model: ROM row %d out of range", row)
+	}
+	for r.rowMap.Len() < row {
+		rid, err := r.table.Insert(r.emptyRow())
+		if err != nil {
+			return err
+		}
+		if !r.rowMap.Insert(r.rowMap.Len()+1, rid) {
+			return fmt.Errorf("model: ROM rowMap append failed")
+		}
+	}
+	rid, _ := r.rowMap.Fetch(row)
+	tuple, ok := r.table.Get(rid)
+	if !ok {
+		return fmt.Errorf("model: ROM row %d dangling pointer %v", row, rid)
+	}
+	tuple = padRow(tuple, r.table.Schema.Arity())
+	tuple[r.colPos[col-1]] = encodeCell(c)
+	newRID, err := r.table.Update(rid, tuple)
+	if err != nil {
+		return err
+	}
+	if newRID != rid {
+		r.rowMap.Update(row, newRID)
+	}
+	return nil
+}
+
+// UpdateRect implements Translator: one tuple rewrite per covered row.
+func (r *ROM) UpdateRect(g sheet.Range, cells [][]sheet.Cell) error {
+	if g.From.Col < 1 || g.To.Col > len(r.colPos) {
+		return fmt.Errorf("model: ROM UpdateRect columns %d..%d out of range", g.From.Col, g.To.Col)
+	}
+	for r.rowMap.Len() < g.To.Row {
+		rid, err := r.table.Insert(r.emptyRow())
+		if err != nil {
+			return err
+		}
+		if !r.rowMap.Insert(r.rowMap.Len()+1, rid) {
+			return fmt.Errorf("model: ROM rowMap append failed")
+		}
+	}
+	rids := r.rowMap.FetchRange(g.From.Row, g.Rows())
+	for i, rid := range rids {
+		tuple, ok := r.table.Get(rid)
+		if !ok {
+			return fmt.Errorf("model: ROM dangling pointer %v", rid)
+		}
+		tuple = padRow(tuple, r.table.Schema.Arity())
+		for j := 0; j < g.Cols(); j++ {
+			tuple[r.colPos[g.From.Col-1+j]] = encodeCell(cells[i][j])
+		}
+		newRID, err := r.table.Update(rid, tuple)
+		if err != nil {
+			return err
+		}
+		if newRID != rid {
+			r.rowMap.Update(g.From.Row+i, newRID)
+		}
+	}
+	return nil
+}
+
+// InsertRowAfter implements Translator: one tuple insert plus one
+// positional-map insert — no cascading updates.
+func (r *ROM) InsertRowAfter(row int) error {
+	if row < 0 || row > r.rowMap.Len() {
+		return fmt.Errorf("model: ROM insert after row %d out of range", row)
+	}
+	rid, err := r.table.Insert(r.emptyRow())
+	if err != nil {
+		return err
+	}
+	if !r.rowMap.Insert(row+1, rid) {
+		return fmt.Errorf("model: ROM rowMap insert failed")
+	}
+	return nil
+}
+
+// DeleteRow implements Translator.
+func (r *ROM) DeleteRow(row int) error {
+	rid, ok := r.rowMap.Delete(row)
+	if !ok {
+		return fmt.Errorf("model: ROM delete of missing row %d", row)
+	}
+	if !r.table.Delete(rid) {
+		return fmt.Errorf("model: ROM dangling pointer %v on delete", rid)
+	}
+	return nil
+}
+
+// InsertColAfter implements Translator: appends a physical attribute and
+// splices it into the display order. Existing tuples are untouched (reads
+// pad missing attributes with NULL).
+func (r *ROM) InsertColAfter(col int) error {
+	if col < 0 || col > len(r.colPos) {
+		return fmt.Errorf("model: ROM insert after column %d out of range", col)
+	}
+	phys := r.nextCol
+	r.nextCol++
+	if err := r.table.AddColumn(rdbms.Column{Name: colName(phys), Type: rdbms.DTText}); err != nil {
+		return err
+	}
+	r.colPos = append(r.colPos, 0)
+	copy(r.colPos[col+1:], r.colPos[col:])
+	r.colPos[col] = r.table.Schema.Arity() - 1
+	return nil
+}
+
+// DeleteCol implements Translator: drops the display mapping; the physical
+// attribute is orphaned (its storage is reclaimed only on migration,
+// mirroring dropped-column behaviour in row stores).
+func (r *ROM) DeleteCol(col int) error {
+	if col < 1 || col > len(r.colPos) {
+		return fmt.Errorf("model: ROM delete of missing column %d", col)
+	}
+	r.colPos = append(r.colPos[:col-1], r.colPos[col:]...)
+	if len(r.colPos) == 0 {
+		return fmt.Errorf("model: ROM cannot delete its last column")
+	}
+	return nil
+}
+
+// StorageBytes implements Translator.
+func (r *ROM) StorageBytes() int64 { return r.table.StorageBytes() }
+
+// Drop implements Translator.
+func (r *ROM) Drop() error { return r.cfg.DB.DropTable(r.cfg.TableName) }
+
+func (r *ROM) emptyRow() rdbms.Row {
+	return make(rdbms.Row, r.table.Schema.Arity())
+}
+
+// attr returns the i-th attribute, padding short (pre-AddColumn) tuples.
+func attr(row rdbms.Row, i int) rdbms.Datum {
+	if i >= len(row) {
+		return rdbms.Null
+	}
+	return row[i]
+}
+
+func padRow(row rdbms.Row, arity int) rdbms.Row {
+	for len(row) < arity {
+		row = append(row, rdbms.Null)
+	}
+	return row
+}

@@ -1,0 +1,241 @@
+package model
+
+import (
+	"fmt"
+
+	"dataspread/internal/hybrid"
+	"dataspread/internal/posmap"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// TOM is the table-oriented translator: a database-linked table
+// (Section IV-B "Database-Linked Tables", Section VI "TOM is handled as a
+// special case of ROM"). The region's schema is owned by the database
+// catalog; spreadsheet edits translate into typed DML on the linked table,
+// and external DML is re-synchronized with Refresh. Row 1 of the region
+// renders the column headers; column structure is fixed (linked relations
+// do not gain or lose attributes from the grid side).
+type TOM struct {
+	db     *rdbms.Table
+	rowMap posmap.Map
+	// headers reports whether the region's first row shows column names.
+	headers bool
+}
+
+// LinkTOM wraps an existing database table as a linked region. Its initial
+// row order is heap order, matching what linkTable displays on first load.
+func LinkTOM(table *rdbms.Table, scheme string, headers bool) *TOM {
+	if scheme == "" {
+		scheme = "hierarchical"
+	}
+	t := &TOM{db: table, rowMap: posmap.New(scheme), headers: headers}
+	t.Refresh()
+	return t
+}
+
+// Refresh rebuilds the positional map from the current table contents
+// (two-way sync after external DML).
+func (t *TOM) Refresh() {
+	t.rowMap = posmap.New(t.rowMap.Name())
+	pos := 0
+	t.db.Scan(func(rid rdbms.RID, _ rdbms.Row) bool {
+		pos++
+		t.rowMap.Insert(pos, rid)
+		return true
+	})
+}
+
+// Table exposes the linked catalog table.
+func (t *TOM) Table() *rdbms.Table { return t.db }
+
+// Kind implements Translator.
+func (t *TOM) Kind() hybrid.Kind { return hybrid.TOM }
+
+// Rows implements Translator: data rows plus the header row if shown.
+func (t *TOM) Rows() int { return t.rowMap.Len() + t.headerRows() }
+
+// Cols implements Translator.
+func (t *TOM) Cols() int { return t.db.Schema.Arity() }
+
+func (t *TOM) headerRows() int {
+	if t.headers {
+		return 1
+	}
+	return 0
+}
+
+// Get implements Translator.
+func (t *TOM) Get(row, col int) (sheet.Cell, error) {
+	if col < 1 || col > t.Cols() {
+		return sheet.Cell{}, fmt.Errorf("model: TOM column %d out of range", col)
+	}
+	if t.headers && row == 1 {
+		return sheet.Cell{Value: sheet.Str(t.db.Schema.Cols[col-1].Name)}, nil
+	}
+	rid, ok := t.rowMap.Fetch(row - t.headerRows())
+	if !ok {
+		return sheet.Cell{}, nil
+	}
+	tuple, ok := t.db.Get(rid)
+	if !ok {
+		return sheet.Cell{}, fmt.Errorf("model: TOM dangling pointer %v", rid)
+	}
+	return sheet.Cell{Value: datumToValue(tuple[col-1])}, nil
+}
+
+// GetCells implements Translator.
+func (t *TOM) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
+	out := make([][]sheet.Cell, g.Rows())
+	for i := range out {
+		out[i] = make([]sheet.Cell, g.Cols())
+		for j := range out[i] {
+			c, err := t.Get(g.From.Row+i, g.From.Col+j)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = c
+		}
+	}
+	return out, nil
+}
+
+// Update implements Translator: a typed in-place update of the linked
+// relation — the two-way synchronization of linkTable.
+func (t *TOM) Update(row, col int, c sheet.Cell) error {
+	if col < 1 || col > t.Cols() {
+		return fmt.Errorf("model: TOM column %d out of range", col)
+	}
+	if t.headers && row == 1 {
+		return fmt.Errorf("model: TOM header row is read-only")
+	}
+	if c.Formula != "" {
+		return fmt.Errorf("model: TOM cells cannot hold formulas (linked table data only)")
+	}
+	dataRow := row - t.headerRows()
+	rid, ok := t.rowMap.Fetch(dataRow)
+	if !ok {
+		return fmt.Errorf("model: TOM row %d out of range", row)
+	}
+	tuple, ok := t.db.Get(rid)
+	if !ok {
+		return fmt.Errorf("model: TOM dangling pointer %v", rid)
+	}
+	d, err := valueToDatum(c.Value, t.db.Schema.Cols[col-1].Type)
+	if err != nil {
+		return err
+	}
+	nt := tuple.Clone()
+	nt[col-1] = d
+	newRID, err := t.db.Update(rid, nt)
+	if err != nil {
+		return err
+	}
+	if newRID != rid {
+		t.rowMap.Update(dataRow, newRID)
+	}
+	return nil
+}
+
+// UpdateRect implements Translator: typed per-cell updates (linked tables
+// validate each attribute).
+func (t *TOM) UpdateRect(g sheet.Range, cells [][]sheet.Cell) error {
+	for i := range cells {
+		for j := range cells[i] {
+			if err := t.Update(g.From.Row+i, g.From.Col+j, cells[i][j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// InsertRowAfter implements Translator: inserts a NULL row into the linked
+// table.
+func (t *TOM) InsertRowAfter(row int) error {
+	dataRow := row - t.headerRows()
+	if dataRow < 0 || dataRow > t.rowMap.Len() {
+		return fmt.Errorf("model: TOM insert after row %d out of range", row)
+	}
+	rid, err := t.db.Insert(make(rdbms.Row, t.db.Schema.Arity()))
+	if err != nil {
+		return err
+	}
+	if !t.rowMap.Insert(dataRow+1, rid) {
+		return fmt.Errorf("model: TOM rowMap insert failed")
+	}
+	return nil
+}
+
+// DeleteRow implements Translator: deletes the tuple from the linked table.
+func (t *TOM) DeleteRow(row int) error {
+	if t.headers && row == 1 {
+		return fmt.Errorf("model: TOM header row cannot be deleted")
+	}
+	rid, ok := t.rowMap.Delete(row - t.headerRows())
+	if !ok {
+		return fmt.Errorf("model: TOM delete of missing row %d", row)
+	}
+	if !t.db.Delete(rid) {
+		return fmt.Errorf("model: TOM dangling pointer %v on delete", rid)
+	}
+	return nil
+}
+
+// InsertColAfter implements Translator; linked relations have fixed schemas.
+func (t *TOM) InsertColAfter(int) error {
+	return fmt.Errorf("model: TOM regions have a fixed schema; alter the table instead")
+}
+
+// DeleteCol implements Translator; linked relations have fixed schemas.
+func (t *TOM) DeleteCol(int) error {
+	return fmt.Errorf("model: TOM regions have a fixed schema; alter the table instead")
+}
+
+// StorageBytes implements Translator.
+func (t *TOM) StorageBytes() int64 { return t.db.StorageBytes() }
+
+// Drop implements Translator. Linked tables outlive their link; dropping
+// the region only severs it.
+func (t *TOM) Drop() error { return nil }
+
+// datumToValue converts a database datum to a spreadsheet value.
+func datumToValue(d rdbms.Datum) sheet.Value {
+	switch d.Type() {
+	case rdbms.DTNull:
+		return sheet.Empty
+	case rdbms.DTInt, rdbms.DTFloat:
+		return sheet.Number(d.Float64())
+	case rdbms.DTBool:
+		return sheet.Bool(d.BoolVal())
+	}
+	return sheet.Str(d.Str())
+}
+
+// valueToDatum converts a spreadsheet value into the column's type.
+func valueToDatum(v sheet.Value, t rdbms.DType) (rdbms.Datum, error) {
+	if v.IsEmpty() {
+		return rdbms.Null, nil
+	}
+	switch t {
+	case rdbms.DTInt:
+		f, ok := v.Num()
+		if !ok {
+			return rdbms.Null, fmt.Errorf("model: %q is not an integer", v.Text())
+		}
+		return rdbms.Int(int64(f)), nil
+	case rdbms.DTFloat:
+		f, ok := v.Num()
+		if !ok {
+			return rdbms.Null, fmt.Errorf("model: %q is not a number", v.Text())
+		}
+		return rdbms.Float(f), nil
+	case rdbms.DTBool:
+		b, ok := v.BoolVal()
+		if !ok {
+			return rdbms.Null, fmt.Errorf("model: %q is not a boolean", v.Text())
+		}
+		return rdbms.Bool(b), nil
+	}
+	return rdbms.Text(v.Text()), nil
+}

@@ -1,0 +1,72 @@
+package posmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"dataspread/internal/rdbms"
+)
+
+func benchMap(b *testing.B, scheme string, n int, op func(m Map, rng *rand.Rand)) {
+	b.Helper()
+	m := New(scheme)
+	for i := 1; i <= n; i++ {
+		m.Insert(i, rdbms.RID{Page: rdbms.PageID(i)})
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op(m, rng)
+	}
+}
+
+func BenchmarkHierarchicalFetch1M(b *testing.B) {
+	benchMap(b, "hierarchical", 1_000_000, func(m Map, rng *rand.Rand) {
+		m.Fetch(rng.Intn(m.Len()) + 1)
+	})
+}
+
+func BenchmarkHierarchicalInsert1M(b *testing.B) {
+	benchMap(b, "hierarchical", 1_000_000, func(m Map, rng *rand.Rand) {
+		m.Insert(rng.Intn(m.Len()+1)+1, rdbms.RID{})
+	})
+}
+
+func BenchmarkHierarchicalDelete1M(b *testing.B) {
+	benchMap(b, "hierarchical", 1_000_000, func(m Map, rng *rand.Rand) {
+		if m.Len() > 0 {
+			m.Delete(rng.Intn(m.Len()) + 1)
+		}
+	})
+}
+
+func BenchmarkHierarchicalFetchRange1M(b *testing.B) {
+	benchMap(b, "hierarchical", 1_000_000, func(m Map, rng *rand.Rand) {
+		m.FetchRange(rng.Intn(m.Len()-100)+1, 100)
+	})
+}
+
+func BenchmarkPositionAsIsFetch100k(b *testing.B) {
+	benchMap(b, "position-as-is", 100_000, func(m Map, rng *rand.Rand) {
+		m.Fetch(rng.Intn(m.Len()) + 1)
+	})
+}
+
+func BenchmarkPositionAsIsInsert10k(b *testing.B) {
+	// The cascading baseline: kept small or the benchmark never ends.
+	benchMap(b, "position-as-is", 10_000, func(m Map, rng *rand.Rand) {
+		m.Insert(rng.Intn(m.Len()+1)+1, rdbms.RID{})
+	})
+}
+
+func BenchmarkMonotonicFetch100k(b *testing.B) {
+	benchMap(b, "monotonic", 100_000, func(m Map, rng *rand.Rand) {
+		m.Fetch(rng.Intn(m.Len()) + 1)
+	})
+}
+
+func BenchmarkMonotonicInsert100k(b *testing.B) {
+	benchMap(b, "monotonic", 100_000, func(m Map, rng *rand.Rand) {
+		m.Insert(rng.Intn(m.Len()+1)+1, rdbms.RID{})
+	})
+}

@@ -1,0 +1,179 @@
+package rdbms
+
+import "sort"
+
+// BTree is an in-memory B+ tree mapping int64 keys to RIDs. It backs
+// secondary indexes and the "position-as-is" positional scheme of Section V
+// (a traditional index on the explicit row-number attribute): lookups are
+// O(log N) but a row insertion in the spreadsheet forces key updates on all
+// subsequent rows, which is exactly the cascading-update behaviour Table II
+// quantifies.
+//
+// Duplicate keys are allowed; equal keys are adjacent in the leaf chain.
+type BTree struct {
+	order int
+	root  btNode
+	size  int
+}
+
+type btNode interface {
+	// insert returns (newRight, splitKey, grew) when the node split.
+	insert(key int64, rid RID, order int) (btNode, int64, bool)
+}
+
+type btLeaf struct {
+	keys []int64
+	rids []RID
+	next *btLeaf
+}
+
+type btInner struct {
+	keys     []int64 // len(children)-1 separators
+	children []btNode
+}
+
+// NewBTree returns a B+ tree of the given order (max children per inner
+// node; max entries per leaf). Orders below 4 are raised to 4.
+func NewBTree(order int) *BTree {
+	if order < 4 {
+		order = 4
+	}
+	return &BTree{order: order, root: &btLeaf{}}
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// Insert adds the entry.
+func (t *BTree) Insert(key int64, rid RID) {
+	right, sep, split := t.root.insert(key, rid, t.order)
+	if split {
+		t.root = &btInner{keys: []int64{sep}, children: []btNode{t.root, right}}
+	}
+	t.size++
+}
+
+// Delete removes one entry matching both key and rid, reporting whether one
+// was found. The tree tolerates underfull leaves (no merge on delete);
+// height only grows via inserts, so lookups stay O(log N).
+func (t *BTree) Delete(key int64, rid RID) bool { return t.deleteWhere(key, rid, true) }
+
+// DeleteKey removes one entry with the key regardless of RID.
+func (t *BTree) DeleteKey(key int64) bool { return t.deleteWhere(key, RID{}, false) }
+
+func (t *BTree) deleteWhere(key int64, rid RID, matchRID bool) bool {
+	leaf, i := t.seek(key)
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			if leaf.keys[i] > key {
+				return false
+			}
+			if !matchRID || leaf.rids[i] == rid {
+				leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+				leaf.rids = append(leaf.rids[:i], leaf.rids[i+1:]...)
+				t.size--
+				return true
+			}
+		}
+		leaf = leaf.next
+		i = 0
+	}
+	return false
+}
+
+// Search returns the RID of the first entry with the key.
+func (t *BTree) Search(key int64) (RID, bool) {
+	leaf, i := t.seek(key)
+	if leaf == nil || i >= len(leaf.keys) || leaf.keys[i] != key {
+		return RID{}, false
+	}
+	return leaf.rids[i], true
+}
+
+// Scan calls fn for entries with lo <= key <= hi in ascending key order.
+// Returning false stops the scan.
+func (t *BTree) Scan(lo, hi int64, fn func(int64, RID) bool) {
+	leaf, i := t.seek(lo)
+	for leaf != nil {
+		for ; i < len(leaf.keys); i++ {
+			k := leaf.keys[i]
+			if k > hi {
+				return
+			}
+			if !fn(k, leaf.rids[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		i = 0
+	}
+}
+
+// seek finds the leftmost leaf position holding the first entry >= key.
+func (t *BTree) seek(key int64) (*btLeaf, int) {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *btLeaf:
+			i := sort.Search(len(v.keys), func(i int) bool { return v.keys[i] >= key })
+			if i == len(v.keys) && v.next != nil {
+				return v.next, 0
+			}
+			return v, i
+		case *btInner:
+			// >= so that duplicates equal to a separator, which may sit in
+			// the child left of it, are not skipped.
+			i := sort.Search(len(v.keys), func(i int) bool { return v.keys[i] >= key })
+			n = v.children[i]
+		}
+	}
+}
+
+func (l *btLeaf) insert(key int64, rid RID, order int) (btNode, int64, bool) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] > key })
+	l.keys = append(l.keys, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = key
+	l.rids = append(l.rids, RID{})
+	copy(l.rids[i+1:], l.rids[i:])
+	l.rids[i] = rid
+	if len(l.keys) <= order {
+		return nil, 0, false
+	}
+	mid := len(l.keys) / 2
+	right := &btLeaf{
+		keys: append([]int64(nil), l.keys[mid:]...),
+		rids: append([]RID(nil), l.rids[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid]
+	l.rids = l.rids[:mid]
+	l.next = right
+	return right, right.keys[0], true
+}
+
+func (n *btInner) insert(key int64, rid RID, order int) (btNode, int64, bool) {
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	right, sep, split := n.children[i].insert(key, rid, order)
+	if !split {
+		return nil, 0, false
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	if len(n.children) <= order {
+		return nil, 0, false
+	}
+	mid := len(n.children) / 2
+	sepUp := n.keys[mid-1]
+	rightInner := &btInner{
+		keys:     append([]int64(nil), n.keys[mid:]...),
+		children: append([]btNode(nil), n.children[mid:]...),
+	}
+	n.keys = n.keys[:mid-1]
+	n.children = n.children[:mid]
+	return rightInner, sepUp, true
+}

@@ -1,0 +1,191 @@
+package rdbms
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	bt := NewBTree(4)
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(i, RID{Page: PageID(i), Slot: 0})
+	}
+	if bt.Len() != 100 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for i := int64(0); i < 100; i++ {
+		rid, ok := bt.Search(i)
+		if !ok || rid.Page != PageID(i) {
+			t.Fatalf("Search(%d) = %v,%v", i, rid, ok)
+		}
+	}
+	if _, ok := bt.Search(100); ok {
+		t.Fatal("Search of absent key must fail")
+	}
+}
+
+func TestBTreeScanRange(t *testing.T) {
+	bt := NewBTree(8)
+	for i := int64(0); i < 1000; i += 2 { // even keys only
+		bt.Insert(i, RID{Page: PageID(i)})
+	}
+	var got []int64
+	bt.Scan(100, 110, func(k int64, _ RID) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{100, 102, 104, 106, 108, 110}
+	if len(got) != len(want) {
+		t.Fatalf("Scan got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scan got %v want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	bt.Scan(0, 1000, func(_ int64, _ RID) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop scanned %d", n)
+	}
+	// Odd lo lands on next even.
+	got = got[:0]
+	bt.Scan(101, 103, func(k int64, _ RID) bool { got = append(got, k); return true })
+	if len(got) != 1 || got[0] != 102 {
+		t.Fatalf("Scan(101,103) = %v", got)
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	bt := NewBTree(4)
+	// Insert many duplicates straddling splits.
+	for i := 0; i < 50; i++ {
+		bt.Insert(5, RID{Page: PageID(i)})
+	}
+	bt.Insert(1, RID{Page: 100})
+	bt.Insert(9, RID{Page: 101})
+	count := 0
+	bt.Scan(5, 5, func(_ int64, _ RID) bool { count++; return true })
+	if count != 50 {
+		t.Fatalf("found %d duplicates, want 50", count)
+	}
+	// Delete each specific RID.
+	for i := 0; i < 50; i++ {
+		if !bt.Delete(5, RID{Page: PageID(i)}) {
+			t.Fatalf("Delete(5, page %d) failed", i)
+		}
+	}
+	if _, ok := bt.Search(5); ok {
+		t.Fatal("all duplicates deleted but Search still finds one")
+	}
+	if bt.Len() != 2 {
+		t.Fatalf("Len = %d want 2", bt.Len())
+	}
+}
+
+func TestBTreeDeleteAbsent(t *testing.T) {
+	bt := NewBTree(4)
+	bt.Insert(1, RID{})
+	if bt.Delete(2, RID{}) {
+		t.Fatal("deleting absent key must fail")
+	}
+	if bt.Delete(1, RID{Page: 9}) {
+		t.Fatal("deleting wrong RID must fail")
+	}
+	if !bt.DeleteKey(1) {
+		t.Fatal("DeleteKey failed")
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+}
+
+func TestBTreeRandomizedAgainstModel(t *testing.T) {
+	for _, order := range []int{4, 8, 64} {
+		rng := rand.New(rand.NewSource(42))
+		bt := NewBTree(order)
+		model := make(map[int64]RID)
+		for op := 0; op < 20000; op++ {
+			k := int64(rng.Intn(2000))
+			switch {
+			case rng.Float64() < 0.6:
+				rid := RID{Page: PageID(rng.Intn(1 << 20)), Slot: uint16(rng.Intn(100))}
+				if old, ok := model[k]; ok {
+					bt.Delete(k, old)
+				}
+				bt.Insert(k, rid)
+				model[k] = rid
+			default:
+				if rid, ok := model[k]; ok {
+					if !bt.Delete(k, rid) {
+						t.Fatalf("order %d: Delete(%d) failed", order, k)
+					}
+					delete(model, k)
+				} else if bt.Delete(k, RID{}) {
+					t.Fatalf("order %d: Delete of absent key %d succeeded", order, k)
+				}
+			}
+		}
+		if bt.Len() != len(model) {
+			t.Fatalf("order %d: Len %d != model %d", order, bt.Len(), len(model))
+		}
+		for k, want := range model {
+			got, ok := bt.Search(k)
+			if !ok || got != want {
+				t.Fatalf("order %d: Search(%d) = %v,%v want %v", order, k, got, ok, want)
+			}
+		}
+		// Full scan must be sorted and complete.
+		var keys []int64
+		bt.Scan(-1<<62, 1<<62, func(k int64, _ RID) bool {
+			keys = append(keys, k)
+			return true
+		})
+		if len(keys) != len(model) {
+			t.Fatalf("order %d: scan found %d, want %d", order, len(keys), len(model))
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatalf("order %d: scan not sorted", order)
+		}
+	}
+}
+
+func TestBTreeScanMatchesSortProperty(t *testing.T) {
+	f := func(keys []int16, loRaw, hiRaw int16) bool {
+		bt := NewBTree(4)
+		for i, k := range keys {
+			bt.Insert(int64(k), RID{Page: PageID(i)})
+		}
+		lo, hi := int64(loRaw), int64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var got []int64
+		bt.Scan(lo, hi, func(k int64, _ RID) bool { got = append(got, k); return true })
+		var want []int64
+		for _, k := range keys {
+			if int64(k) >= lo && int64(k) <= hi {
+				want = append(want, int64(k))
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

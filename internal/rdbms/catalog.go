@@ -1,0 +1,288 @@
+package rdbms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Catalog overhead constants emulate the system-table footprint that the
+// paper's cost model captures: s3 (per-column cost, pg_attribute) and part
+// of s4 (per-row cost). They feed DB.StorageBytes so that measured storage
+// tracks the analytic cost model of internal/hybrid.
+const (
+	// ColumnCatalogBytes is the catalog cost of one column (paper: s3 = 40 B).
+	ColumnCatalogBytes = 40
+	// TableCatalogBytes is the catalog cost of one table entry.
+	TableCatalogBytes = 128
+)
+
+// Table is a named heap with a schema and optional B+ tree indexes.
+type Table struct {
+	Name   string
+	Schema Schema
+
+	db      *DB
+	heap    *heapFile
+	indexes map[string]*tableIndex // by indexed column name (lower-cased)
+}
+
+type tableIndex struct {
+	col  int
+	tree *BTree
+}
+
+// DB is the database: a pager, a buffer pool and a catalog of tables.
+type DB struct {
+	mu     sync.RWMutex
+	disk   *pager
+	pool   *BufferPool
+	tables map[string]*Table // lower-cased name
+}
+
+// Options configures a DB.
+type Options struct {
+	// BufferPoolPages caps the buffer pool; 0 means 1024 pages (8 MiB).
+	BufferPoolPages int
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	if opts.BufferPoolPages == 0 {
+		opts.BufferPoolPages = 1024
+	}
+	disk := &pager{}
+	return &DB{
+		disk:   disk,
+		pool:   newBufferPool(disk, opts.BufferPoolPages),
+		tables: make(map[string]*Table),
+	}
+}
+
+// Pool exposes the buffer pool for I/O statistics.
+func (db *DB) Pool() *BufferPool { return db.pool }
+
+// CreateTable registers a new table. The heap is allocated lazily except
+// for its first page, matching the paper's fixed per-table cost s1 = 8 KB.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("rdbms: table %q already exists", name)
+	}
+	if len(schema.Cols) == 0 {
+		return nil, fmt.Errorf("rdbms: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range schema.Cols {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("rdbms: duplicate column %q in table %q", c.Name, name)
+		}
+		seen[lc] = true
+	}
+	t := &Table{
+		Name:    name,
+		Schema:  schema,
+		db:      db,
+		heap:    newHeapFile(db.disk, db.pool),
+		indexes: make(map[string]*tableIndex),
+	}
+	// Allocate the first page up front: a table always costs one page.
+	id := db.disk.alloc()
+	t.heap.pages = append(t.heap.pages, id)
+	db.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes the table. Its pages are abandoned (no free list in the
+// simulator; dropped footprint is excluded from storage accounting).
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return fmt.Errorf("rdbms: table %q does not exist", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames lists tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StorageBytes returns the database footprint: heap pages of live tables
+// plus catalog overhead per table and column and index footprints.
+func (db *DB) StorageBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	for _, t := range db.tables {
+		n += t.StorageBytes()
+	}
+	return n
+}
+
+// Insert appends a row, maintaining indexes. The row arity must match the
+// schema; datum types are checked loosely (NULL fits anywhere, ints fit
+// float columns).
+func (t *Table) Insert(r Row) (RID, error) {
+	if len(r) != t.Schema.Arity() {
+		return RID{}, fmt.Errorf("rdbms: %s: row arity %d != schema arity %d", t.Name, len(r), t.Schema.Arity())
+	}
+	for i, d := range r {
+		if !datumFits(d, t.Schema.Cols[i].Type) {
+			return RID{}, fmt.Errorf("rdbms: %s: column %s expects %v, got %v",
+				t.Name, t.Schema.Cols[i].Name, t.Schema.Cols[i].Type, d.Type())
+		}
+	}
+	rid, err := t.heap.insert(r)
+	if err != nil {
+		return RID{}, err
+	}
+	for _, idx := range t.indexes {
+		idx.tree.Insert(indexKey(r[idx.col]), rid)
+	}
+	return rid, nil
+}
+
+// Get fetches the row at rid.
+func (t *Table) Get(rid RID) (Row, bool) { return t.heap.get(rid) }
+
+// Update rewrites the row at rid, returning the (possibly moved) RID.
+func (t *Table) Update(rid RID, r Row) (RID, error) {
+	if len(r) != t.Schema.Arity() {
+		return RID{}, fmt.Errorf("rdbms: %s: row arity %d != schema arity %d", t.Name, len(r), t.Schema.Arity())
+	}
+	old, ok := t.heap.get(rid)
+	if !ok {
+		return RID{}, fmt.Errorf("rdbms: %s: update of missing tuple %v", t.Name, rid)
+	}
+	newRID, err := t.heap.update(rid, r)
+	if err != nil {
+		return RID{}, err
+	}
+	for _, idx := range t.indexes {
+		if !old[idx.col].Equal(r[idx.col]) || newRID != rid {
+			idx.tree.Delete(indexKey(old[idx.col]), rid)
+			idx.tree.Insert(indexKey(r[idx.col]), newRID)
+		}
+	}
+	return newRID, nil
+}
+
+// Delete tombstones the row at rid.
+func (t *Table) Delete(rid RID) bool {
+	old, ok := t.heap.get(rid)
+	if !ok {
+		return false
+	}
+	if !t.heap.del(rid) {
+		return false
+	}
+	for _, idx := range t.indexes {
+		idx.tree.Delete(indexKey(old[idx.col]), rid)
+	}
+	return true
+}
+
+// Scan iterates live rows in heap order. Returning false stops early.
+func (t *Table) Scan(fn func(RID, Row) bool) { t.heap.scan(fn) }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return t.heap.tupleCount() }
+
+// AddColumn appends an attribute to the schema. Existing tuples are not
+// rewritten: reads of old tuples yield NULL for the new attribute (callers
+// pad on decode), matching how row stores implement ALTER TABLE ADD COLUMN
+// without a table rewrite.
+func (t *Table) AddColumn(c Column) error {
+	if t.Schema.ColIndex(c.Name) >= 0 {
+		return fmt.Errorf("rdbms: %s: column %q already exists", t.Name, c.Name)
+	}
+	t.Schema.Cols = append(t.Schema.Cols, c)
+	return nil
+}
+
+// CreateIndex builds a B+ tree index over an integer column.
+func (t *Table) CreateIndex(col string) error {
+	i := t.Schema.ColIndex(col)
+	if i < 0 {
+		return fmt.Errorf("rdbms: %s: no column %q", t.Name, col)
+	}
+	key := strings.ToLower(col)
+	if _, ok := t.indexes[key]; ok {
+		return fmt.Errorf("rdbms: %s: index on %q already exists", t.Name, col)
+	}
+	idx := &tableIndex{col: i, tree: NewBTree(64)}
+	t.heap.scan(func(rid RID, r Row) bool {
+		idx.tree.Insert(indexKey(r[i]), rid)
+		return true
+	})
+	t.indexes[key] = idx
+	return nil
+}
+
+// IndexScan iterates rows with lo <= col value <= hi using the index.
+// It returns false when no index exists on the column.
+func (t *Table) IndexScan(col string, lo, hi int64, fn func(RID, Row) bool) bool {
+	idx, ok := t.indexes[strings.ToLower(col)]
+	if !ok {
+		return false
+	}
+	idx.tree.Scan(lo, hi, func(_ int64, rid RID) bool {
+		row, ok := t.heap.get(rid)
+		if !ok {
+			return true
+		}
+		return fn(rid, row)
+	})
+	return true
+}
+
+// StorageBytes returns the table footprint: heap pages + catalog entries +
+// index entries (16 bytes per index entry, key + RID).
+func (t *Table) StorageBytes() int64 {
+	n := t.heap.storageBytes()
+	n += TableCatalogBytes
+	n += int64(t.Schema.Arity()) * ColumnCatalogBytes
+	for _, idx := range t.indexes {
+		n += int64(idx.tree.Len()) * 16
+	}
+	return n
+}
+
+// LiveBytes returns bytes held by live tuples (with headers), a tighter
+// measure than page-granular StorageBytes.
+func (t *Table) LiveBytes() int64 { return t.heap.liveBytes() }
+
+// indexKey maps a datum to its index key. Only numerics are indexable.
+func indexKey(d Datum) int64 { return d.Int64() }
+
+func datumFits(d Datum, t DType) bool {
+	if d.typ == DTNull {
+		return true
+	}
+	if t == DTFloat && d.typ == DTInt {
+		return true
+	}
+	return d.typ == t
+}

@@ -1,0 +1,173 @@
+package rdbms
+
+import (
+	"strings"
+	"testing"
+)
+
+func testDB() *DB { return Open(Options{}) }
+
+func TestCreateDropTable(t *testing.T) {
+	db := testDB()
+	tab, err := db.CreateTable("t1", NewSchema(Column{"id", DTInt}, Column{"name", DTText}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name != "t1" || tab.Schema.Arity() != 2 {
+		t.Fatalf("table = %+v", tab)
+	}
+	if _, err := db.CreateTable("T1", NewSchema(Column{"x", DTInt})); err == nil {
+		t.Fatal("duplicate table (case-insensitive) must fail")
+	}
+	if _, err := db.CreateTable("bad", NewSchema()); err == nil {
+		t.Fatal("empty schema must fail")
+	}
+	if _, err := db.CreateTable("bad", NewSchema(Column{"a", DTInt}, Column{"A", DTText})); err == nil {
+		t.Fatal("duplicate columns must fail")
+	}
+	if err := db.DropTable("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("t1") != nil {
+		t.Fatal("dropped table still visible")
+	}
+	if err := db.DropTable("t1"); err == nil {
+		t.Fatal("double drop must fail")
+	}
+}
+
+func TestTableInsertTypeChecks(t *testing.T) {
+	db := testDB()
+	tab, _ := db.CreateTable("t", NewSchema(Column{"id", DTInt}, Column{"v", DTFloat}))
+	if _, err := tab.Insert(Row{Int(1)}); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if _, err := tab.Insert(Row{Text("x"), Float(1)}); err == nil {
+		t.Fatal("type mismatch must fail")
+	}
+	// Int fits float column; NULL fits anywhere.
+	if _, err := tab.Insert(Row{Int(1), Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(Row{Null, Null}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableCRUD(t *testing.T) {
+	db := testDB()
+	tab, _ := db.CreateTable("t", NewSchema(Column{"id", DTInt}, Column{"name", DTText}))
+	rid, err := tab.Insert(Row{Int(1), Text("alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tab.Get(rid)
+	if !ok || r[1].Str() != "alice" {
+		t.Fatalf("Get = %v,%v", r, ok)
+	}
+	nrid, err := tab.Update(rid, Row{Int(1), Text("bob")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ = tab.Get(nrid)
+	if r[1].Str() != "bob" {
+		t.Fatalf("after update: %v", r)
+	}
+	if !tab.Delete(nrid) {
+		t.Fatal("Delete failed")
+	}
+	if tab.RowCount() != 0 {
+		t.Fatalf("RowCount = %d", tab.RowCount())
+	}
+	if tab.Delete(nrid) {
+		t.Fatal("double delete must fail")
+	}
+}
+
+func TestTableIndex(t *testing.T) {
+	db := testDB()
+	tab, _ := db.CreateTable("t", NewSchema(Column{"id", DTInt}, Column{"v", DTText}))
+	for i := 0; i < 100; i++ {
+		if _, err := tab.Insert(Row{Int(int64(i)), Text("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("id"); err == nil {
+		t.Fatal("duplicate index must fail")
+	}
+	if err := tab.CreateIndex("zzz"); err == nil {
+		t.Fatal("index on missing column must fail")
+	}
+	var got []int64
+	ok := tab.IndexScan("id", 10, 14, func(_ RID, r Row) bool {
+		got = append(got, r[0].Int64())
+		return true
+	})
+	if !ok || len(got) != 5 || got[0] != 10 || got[4] != 14 {
+		t.Fatalf("IndexScan = %v ok=%v", got, ok)
+	}
+	if tab.IndexScan("v", 0, 1, func(RID, Row) bool { return true }) {
+		t.Fatal("IndexScan on unindexed column must report false")
+	}
+	// Index maintenance on update/delete.
+	var rid RID
+	tab.Scan(func(r RID, row Row) bool {
+		if row[0].Int64() == 10 {
+			rid = r
+			return false
+		}
+		return true
+	})
+	if _, err := tab.Update(rid, Row{Int(1000), Text("moved")}); err != nil {
+		t.Fatal(err)
+	}
+	got = got[:0]
+	tab.IndexScan("id", 10, 10, func(_ RID, r Row) bool { got = append(got, r[0].Int64()); return true })
+	if len(got) != 0 {
+		t.Fatalf("index still finds old key after update: %v", got)
+	}
+	tab.IndexScan("id", 1000, 1000, func(_ RID, r Row) bool { got = append(got, r[0].Int64()); return true })
+	if len(got) != 1 {
+		t.Fatalf("index does not find new key: %v", got)
+	}
+}
+
+func TestStorageBytesAccounting(t *testing.T) {
+	db := testDB()
+	tab, _ := db.CreateTable("t", NewSchema(Column{"id", DTInt}, Column{"v", DTText}))
+	base := tab.StorageBytes()
+	// One fresh page + catalog.
+	want := int64(PageSize) + TableCatalogBytes + 2*ColumnCatalogBytes
+	if base != want {
+		t.Fatalf("fresh table storage = %d want %d", base, want)
+	}
+	// Fill enough rows to overflow one page.
+	for i := 0; i < 2000; i++ {
+		if _, err := tab.Insert(Row{Int(int64(i)), Text(strings.Repeat("x", 50))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := tab.StorageBytes()
+	if grown <= base+PageSize {
+		t.Fatalf("storage did not grow page-granularly: %d -> %d", base, grown)
+	}
+	if tab.LiveBytes() <= 0 || tab.LiveBytes() >= grown {
+		t.Fatalf("LiveBytes %d out of range (storage %d)", tab.LiveBytes(), grown)
+	}
+	if db.StorageBytes() < grown {
+		t.Fatal("DB storage must include the table")
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	db := testDB()
+	db.CreateTable("zeta", NewSchema(Column{"a", DTInt}))
+	db.CreateTable("alpha", NewSchema(Column{"a", DTInt}))
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("TableNames = %v", names)
+	}
+}

@@ -1,0 +1,131 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row wire format (within a page tuple):
+//
+//	uvarint column count
+//	per column: 1 type byte, then payload:
+//	    DTNull  -> nothing
+//	    DTInt   -> varint
+//	    DTFloat -> 8 bytes IEEE-754 little-endian
+//	    DTText  -> uvarint length + bytes
+//	    DTBool  -> 1 byte
+//
+// The codec is self-describing so heap tuples can be decoded without the
+// schema, which keeps tombstoned or migrated tuples recoverable.
+
+// encodeRow appends the row encoding to dst and returns the result.
+func encodeRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, d := range r {
+		dst = append(dst, byte(d.typ))
+		switch d.typ {
+		case DTNull:
+		case DTInt:
+			dst = binary.AppendVarint(dst, d.i)
+		case DTFloat:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(d.f))
+			dst = append(dst, b[:]...)
+		case DTText:
+			dst = binary.AppendUvarint(dst, uint64(len(d.s)))
+			dst = append(dst, d.s...)
+		case DTBool:
+			dst = append(dst, byte(d.i))
+		}
+	}
+	return dst
+}
+
+// decodeRow parses a row from buf.
+func decodeRow(buf []byte) (Row, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("rdbms: corrupt tuple header")
+	}
+	buf = buf[sz:]
+	if n > 1<<20 {
+		return nil, fmt.Errorf("rdbms: implausible column count %d", n)
+	}
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("rdbms: truncated tuple at column %d", i)
+		}
+		typ := DType(buf[0])
+		buf = buf[1:]
+		switch typ {
+		case DTNull:
+			row = append(row, Null)
+		case DTInt:
+			v, sz := binary.Varint(buf)
+			if sz <= 0 {
+				return nil, fmt.Errorf("rdbms: corrupt int at column %d", i)
+			}
+			buf = buf[sz:]
+			row = append(row, Int(v))
+		case DTFloat:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("rdbms: corrupt float at column %d", i)
+			}
+			row = append(row, Float(math.Float64frombits(binary.LittleEndian.Uint64(buf))))
+			buf = buf[8:]
+		case DTText:
+			l, sz := binary.Uvarint(buf)
+			if sz <= 0 || uint64(len(buf)-sz) < l {
+				return nil, fmt.Errorf("rdbms: corrupt text at column %d", i)
+			}
+			buf = buf[sz:]
+			row = append(row, Text(string(buf[:l])))
+			buf = buf[l:]
+		case DTBool:
+			row = append(row, Bool(buf[0] != 0))
+			buf = buf[1:]
+		default:
+			return nil, fmt.Errorf("rdbms: unknown datum type %d at column %d", typ, i)
+		}
+	}
+	return row, nil
+}
+
+// encodedSize returns the byte size of the row encoding without
+// materializing it.
+func encodedSize(r Row) int {
+	n := uvarintLen(uint64(len(r)))
+	for _, d := range r {
+		n++ // type byte
+		switch d.typ {
+		case DTInt:
+			n += varintLen(d.i)
+		case DTFloat:
+			n += 8
+		case DTText:
+			n += uvarintLen(uint64(len(d.s))) + len(d.s)
+		case DTBool:
+			n++
+		}
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
+}

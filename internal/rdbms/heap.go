@@ -1,0 +1,307 @@
+package rdbms
+
+import (
+	"fmt"
+)
+
+// Tuple storage prefixes every stored record with a one-byte kind so rows
+// larger than a page can be chunked across pages (the moral equivalent of
+// PostgreSQL's TOAST):
+//
+//	tupInline — the complete row encoding follows.
+//	tupHead   — first chunk of an oversized row: 6-byte next-RID, then data.
+//	tupMid    — continuation chunk: 6-byte next-RID (or the end sentinel),
+//	            then data. Never a row start; scans skip it.
+const (
+	tupInline byte = iota
+	tupHead
+	tupMid
+)
+
+// chunkPtrSize encodes a continuation RID: 4-byte page + 2-byte slot.
+const chunkPtrSize = 6
+
+// endChunk marks the last chunk of a chain.
+var endChunk = RID{Page: ^PageID(0), Slot: ^uint16(0)}
+
+// maxInline is the largest stored record payload that fits a fresh page.
+const maxInline = PageSize - pageHeaderSize - slotSize - TupleHeaderSize
+
+// heapFile is an unordered collection of tuples across pages, the physical
+// body of one table. It keeps a simple free-space hint list so inserts
+// don't scan every page.
+type heapFile struct {
+	disk  *pager
+	pool  *BufferPool
+	pages []PageID // pages owned by this heap, in allocation order
+	// freeHint is the index into pages from which to try inserting.
+	freeHint int
+	tuples   int
+}
+
+func newHeapFile(disk *pager, pool *BufferPool) *heapFile {
+	return &heapFile{disk: disk, pool: pool}
+}
+
+// insertRaw places one already-framed record and returns its RID.
+func (h *heapFile) insertRaw(payload []byte) (RID, error) {
+	for i := h.freeHint; i < len(h.pages); i++ {
+		id := h.pages[i]
+		p := h.pool.fetch(id)
+		if slot, ok := p.insert(payload); ok {
+			h.pool.markDirty(id)
+			h.freeHint = i
+			return RID{Page: id, Slot: slot}, nil
+		}
+	}
+	id := h.disk.alloc()
+	h.pages = append(h.pages, id)
+	h.freeHint = len(h.pages) - 1
+	p := h.pool.fetch(id)
+	slot, ok := p.insert(payload)
+	if !ok {
+		return RID{}, fmt.Errorf("rdbms: fresh page cannot fit %d-byte record", len(payload))
+	}
+	h.pool.markDirty(id)
+	return RID{Page: id, Slot: slot}, nil
+}
+
+func putChunkPtr(dst []byte, rid RID) {
+	dst[0] = byte(rid.Page)
+	dst[1] = byte(rid.Page >> 8)
+	dst[2] = byte(rid.Page >> 16)
+	dst[3] = byte(rid.Page >> 24)
+	dst[4] = byte(rid.Slot)
+	dst[5] = byte(rid.Slot >> 8)
+}
+
+func getChunkPtr(src []byte) RID {
+	return RID{
+		Page: PageID(src[0]) | PageID(src[1])<<8 | PageID(src[2])<<16 | PageID(src[3])<<24,
+		Slot: uint16(src[4]) | uint16(src[5])<<8,
+	}
+}
+
+// insert stores the row and returns its RID. Rows whose encoding exceeds a
+// page are chunked across pages; the returned RID addresses the head chunk.
+func (h *heapFile) insert(r Row) (RID, error) {
+	payload := encodeRow(nil, r)
+	rid, err := h.insertPayload(payload)
+	if err != nil {
+		return RID{}, err
+	}
+	h.tuples++
+	return rid, nil
+}
+
+func (h *heapFile) insertPayload(payload []byte) (RID, error) {
+	if len(payload)+1 <= maxInline {
+		return h.insertRaw(append([]byte{tupInline}, payload...))
+	}
+	// Chunk: build the chain back-to-front so each chunk knows its
+	// successor's RID.
+	const chunkData = maxInline - 1 - chunkPtrSize
+	nChunks := (len(payload) + chunkData - 1) / chunkData
+	next := endChunk
+	var rid RID
+	for i := nChunks - 1; i >= 0; i-- {
+		lo := i * chunkData
+		hi := lo + chunkData
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		kind := tupMid
+		if i == 0 {
+			kind = tupHead
+		}
+		rec := make([]byte, 1+chunkPtrSize+hi-lo)
+		rec[0] = kind
+		putChunkPtr(rec[1:], next)
+		copy(rec[1+chunkPtrSize:], payload[lo:hi])
+		var err error
+		rid, err = h.insertRaw(rec)
+		if err != nil {
+			return RID{}, err
+		}
+		next = rid
+	}
+	return rid, nil
+}
+
+// readPayload reassembles the row encoding at rid; ok is false for
+// tombstones, continuation chunks and bad RIDs.
+func (h *heapFile) readPayload(rid RID) ([]byte, bool) {
+	p := h.pool.fetch(rid.Page)
+	if p == nil {
+		return nil, false
+	}
+	buf := p.read(rid.Slot)
+	if len(buf) == 0 {
+		return nil, false
+	}
+	switch buf[0] {
+	case tupInline:
+		return buf[1:], true
+	case tupHead:
+		out := append([]byte(nil), buf[1+chunkPtrSize:]...)
+		next := getChunkPtr(buf[1:])
+		for next != endChunk {
+			np := h.pool.fetch(next.Page)
+			if np == nil {
+				return nil, false
+			}
+			nb := np.read(next.Slot)
+			if len(nb) == 0 || nb[0] != tupMid {
+				return nil, false
+			}
+			out = append(out, nb[1+chunkPtrSize:]...)
+			next = getChunkPtr(nb[1:])
+		}
+		return out, true
+	}
+	return nil, false // tupMid: not a row start
+}
+
+// get decodes the row at rid; ok is false for tombstones and bad RIDs.
+func (h *heapFile) get(rid RID) (Row, bool) {
+	buf, ok := h.readPayload(rid)
+	if !ok {
+		return nil, false
+	}
+	row, err := decodeRow(buf)
+	if err != nil {
+		return nil, false
+	}
+	return row, true
+}
+
+// delRecord tombstones one stored record and refreshes the free hint.
+func (h *heapFile) delRecord(rid RID) bool {
+	p := h.pool.fetch(rid.Page)
+	if p == nil || !p.del(rid.Slot) {
+		return false
+	}
+	h.pool.markDirty(rid.Page)
+	for i, id := range h.pages {
+		if id == rid.Page {
+			if i < h.freeHint {
+				h.freeHint = i
+			}
+			break
+		}
+	}
+	return true
+}
+
+// del tombstones the tuple at rid, including every chunk of an oversized
+// row.
+func (h *heapFile) del(rid RID) bool {
+	p := h.pool.fetch(rid.Page)
+	if p == nil {
+		return false
+	}
+	buf := p.read(rid.Slot)
+	if len(buf) == 0 || buf[0] == tupMid {
+		return false
+	}
+	next := endChunk
+	if buf[0] == tupHead {
+		next = getChunkPtr(buf[1:])
+	}
+	if !h.delRecord(rid) {
+		return false
+	}
+	for next != endChunk {
+		np := h.pool.fetch(next.Page)
+		if np == nil {
+			break
+		}
+		nb := np.read(next.Slot)
+		if len(nb) == 0 {
+			break
+		}
+		following := endChunk
+		if nb[0] == tupMid {
+			following = getChunkPtr(nb[1:])
+		}
+		h.delRecord(next)
+		next = following
+	}
+	h.tuples--
+	return true
+}
+
+// update rewrites the tuple, in place when the existing record is inline
+// and the new encoding fits its slot, otherwise by delete+insert
+// (returning the possibly new RID).
+func (h *heapFile) update(rid RID, r Row) (RID, error) {
+	payload := encodeRow(nil, r)
+	p := h.pool.fetch(rid.Page)
+	if p != nil && len(payload)+1 <= maxInline {
+		if buf := p.read(rid.Slot); len(buf) > 0 && buf[0] == tupInline {
+			if p.updateInPlace(rid.Slot, append([]byte{tupInline}, payload...)) {
+				h.pool.markDirty(rid.Page)
+				return rid, nil
+			}
+		}
+	}
+	if !h.del(rid) {
+		return RID{}, fmt.Errorf("rdbms: update of missing tuple %v", rid)
+	}
+	newRID, err := h.insertPayload(payload)
+	if err != nil {
+		return RID{}, err
+	}
+	h.tuples++
+	return newRID, nil
+}
+
+// scan calls fn for every live tuple in page order, skipping continuation
+// chunks. Returning false stops the scan.
+func (h *heapFile) scan(fn func(RID, Row) bool) {
+	for _, id := range h.pages {
+		p := h.pool.fetch(id)
+		if p == nil {
+			continue
+		}
+		n := p.slotCount()
+		for s := 0; s < n; s++ {
+			buf := p.read(uint16(s))
+			if len(buf) == 0 || buf[0] == tupMid {
+				continue
+			}
+			rid := RID{Page: id, Slot: uint16(s)}
+			payload, ok := h.readPayload(rid)
+			if !ok {
+				continue
+			}
+			row, err := decodeRow(payload)
+			if err != nil {
+				continue
+			}
+			if !fn(rid, row) {
+				return
+			}
+		}
+	}
+}
+
+// storageBytes returns the heap's on-disk footprint: full pages, matching
+// how PostgreSQL storage is measured in the paper (relation size, not live
+// tuple bytes).
+func (h *heapFile) storageBytes() int64 {
+	return int64(len(h.pages)) * PageSize
+}
+
+// liveBytes returns bytes occupied by live tuples including headers.
+func (h *heapFile) liveBytes() int64 {
+	var n int64
+	for _, id := range h.pages {
+		if p := h.pool.fetch(id); p != nil {
+			n += int64(p.liveBytes())
+		}
+	}
+	return n
+}
+
+func (h *heapFile) tupleCount() int { return h.tuples }

@@ -1,0 +1,125 @@
+package rdbms
+
+import (
+	"container/list"
+	"sync"
+)
+
+// IOStats counts simulated I/O through the buffer pool. The paper's access
+// experiments report wall-clock time on PostgreSQL; our substrate exposes
+// both time and these logical I/O counters so benches can report a
+// machine-independent signal alongside timings.
+type IOStats struct {
+	Reads  int64 // page fetches that missed the pool
+	Writes int64 // page evictions that wrote back a dirty page
+	Hits   int64 // page fetches served from the pool
+}
+
+// pager is the stable-storage layer: a growable array of 8 KiB pages held
+// in memory (the simulated disk).
+type pager struct {
+	pages []*page
+}
+
+func (d *pager) alloc() PageID {
+	p := &page{}
+	p.init()
+	d.pages = append(d.pages, p)
+	return PageID(len(d.pages) - 1)
+}
+
+func (d *pager) get(id PageID) *page {
+	if int(id) >= len(d.pages) {
+		return nil
+	}
+	return d.pages[id]
+}
+
+func (d *pager) pageCount() int { return len(d.pages) }
+
+// BufferPool caches page frames with LRU eviction and pin accounting. In
+// this in-memory simulator frames alias the pager's pages, so "eviction"
+// only drops the cache entry and counts a write when the frame was dirtied;
+// what matters for the experiments is the hit/miss accounting.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	disk     *pager
+	frames   map[PageID]*list.Element // -> *frame
+	lru      *list.List
+	stats    IOStats
+}
+
+type frame struct {
+	id    PageID
+	page  *page
+	dirty bool
+}
+
+// newBufferPool creates a pool caching up to capacity pages.
+func newBufferPool(disk *pager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		disk:     disk,
+		frames:   make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// fetch returns the page, loading it into the pool if absent.
+func (b *BufferPool) fetch(id PageID) *page {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.frames[id]; ok {
+		b.lru.MoveToFront(e)
+		b.stats.Hits++
+		return e.Value.(*frame).page
+	}
+	b.stats.Reads++
+	p := b.disk.get(id)
+	if p == nil {
+		return nil
+	}
+	if b.lru.Len() >= b.capacity {
+		tail := b.lru.Back()
+		if tail != nil {
+			f := tail.Value.(*frame)
+			if f.dirty {
+				b.stats.Writes++
+			}
+			delete(b.frames, f.id)
+			b.lru.Remove(tail)
+		}
+	}
+	b.frames[id] = b.lru.PushFront(&frame{id: id, page: p})
+	return p
+}
+
+// markDirty records that the page was modified while cached.
+func (b *BufferPool) markDirty(id PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.frames[id]; ok {
+		e.Value.(*frame).dirty = true
+	} else {
+		// Write-through for uncached pages.
+		b.stats.Writes++
+	}
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (b *BufferPool) Stats() IOStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// ResetStats zeroes the I/O counters (used between benchmark phases).
+func (b *BufferPool) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats = IOStats{}
+}

@@ -1,0 +1,857 @@
+package rdbms
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of a SQL statement. SELECT fills Columns and Rows;
+// DML fills RowsAffected.
+type Result struct {
+	Columns      []string
+	Rows         []Row
+	RowsAffected int
+}
+
+// Exec parses and runs a SQL statement. '?' placeholders are substituted
+// from params in order (prepared-statement style, as the paper's sql()
+// spreadsheet function requires).
+func (db *DB) Exec(query string, params ...Datum) (*Result, error) {
+	stmt, nparams, err := parseSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	if nparams != len(params) {
+		return nil, fmt.Errorf("sql: query has %d parameters, got %d", nparams, len(params))
+	}
+	switch s := stmt.(type) {
+	case *selectStmt:
+		return db.execSelect(s, params)
+	case *createStmt:
+		if _, err := db.CreateTable(s.Table, Schema{Cols: s.Cols}); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *dropStmt:
+		if err := db.DropTable(s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *insertStmt:
+		return db.execInsert(s, params)
+	case *updateStmt:
+		return db.execUpdate(s, params)
+	case *deleteStmt:
+		return db.execDelete(s, params)
+	}
+	return nil, fmt.Errorf("sql: unhandled statement type %T", stmt)
+}
+
+// MustExec is Exec for tests and examples; it panics on error.
+func (db *DB) MustExec(query string, params ...Datum) *Result {
+	r, err := db.Exec(query, params...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// binding maps qualified column names to flat row positions.
+type binding struct {
+	quals []string // per position: table alias (lower-cased)
+	names []string // per position: column name (lower-cased)
+	disp  []string // display name per position
+}
+
+func (b *binding) resolve(qual, name string) (int, error) {
+	qual = strings.ToLower(qual)
+	name = strings.ToLower(name)
+	found := -1
+	for i := range b.names {
+		if b.names[i] != name {
+			continue
+		}
+		if qual != "" && b.quals[i] != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, fmt.Errorf("sql: unknown column %s.%s", qual, name)
+		}
+		return 0, fmt.Errorf("sql: unknown column %q", name)
+	}
+	return found, nil
+}
+
+type evalCtx struct {
+	bind   *binding
+	params []Datum
+	row    Row   // current row (non-grouped / per-member)
+	group  []Row // group members when aggregating; nil otherwise
+}
+
+func (db *DB) execSelect(s *selectStmt, params []Datum) (*Result, error) {
+	// Resolve tables and build the combined binding.
+	tables := make([]*Table, len(s.From))
+	bind := &binding{}
+	for i, tr := range s.From {
+		t := db.Table(tr.Table)
+		if t == nil {
+			return nil, fmt.Errorf("sql: table %q does not exist", tr.Table)
+		}
+		tables[i] = t
+		qual := tr.Alias
+		if qual == "" {
+			qual = tr.Table
+		}
+		for _, c := range t.Schema.Cols {
+			bind.quals = append(bind.quals, strings.ToLower(qual))
+			bind.names = append(bind.names, strings.ToLower(c.Name))
+			bind.disp = append(bind.disp, c.Name)
+		}
+	}
+
+	// Materialize the joined row stream with nested loops.
+	rows := make([]Row, 0, 64)
+	tables[0].Scan(func(_ RID, r Row) bool {
+		rows = append(rows, r.Clone())
+		return true
+	})
+	for i := 1; i < len(tables); i++ {
+		var next []Row
+		var right []Row
+		tables[i].Scan(func(_ RID, r Row) bool {
+			right = append(right, r.Clone())
+			return true
+		})
+		cond := s.Joins[i-1]
+		for _, l := range rows {
+			for _, r := range right {
+				combined := append(append(Row{}, l...), r...)
+				if cond != nil {
+					v, err := evalSQL(cond, &evalCtx{bind: bind, params: params, row: combined})
+					if err != nil {
+						return nil, err
+					}
+					if !truthy(v) {
+						continue
+					}
+				}
+				next = append(next, combined)
+			}
+		}
+		rows = next
+	}
+
+	// WHERE.
+	if s.Where != nil {
+		kept := rows[:0]
+		for _, r := range rows {
+			v, err := evalSQL(s.Where, &evalCtx{bind: bind, params: params, row: r})
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	grouped := len(s.GroupBy) > 0 || s.Having != nil || anyAggregate(s)
+
+	// Expand the select list (stars) into concrete output expressions.
+	type outCol struct {
+		expr sqlExpr
+		name string
+	}
+	var out []outCol
+	for _, item := range s.Items {
+		if item.Star {
+			for i := range bind.names {
+				if item.Qual != "" && bind.quals[i] != strings.ToLower(item.Qual) {
+					continue
+				}
+				idx := i
+				out = append(out, outCol{expr: &colRefByIndex{idx}, name: bind.disp[i]})
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			name = exprDisplayName(item.Expr)
+		}
+		out = append(out, outCol{expr: item.Expr, name: name})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sql: empty select list")
+	}
+
+	res := &Result{}
+	for _, c := range out {
+		res.Columns = append(res.Columns, c.name)
+	}
+
+	// ORDER BY may reference select-list aliases ("ORDER BY total") or
+	// 1-based output positions ("ORDER BY 2"); rewrite those to the
+	// underlying expressions.
+	for i, ob := range s.OrderBy {
+		if ce, ok := ob.Expr.(*colExpr); ok && ce.Qual == "" {
+			for _, c := range out {
+				if strings.EqualFold(c.name, ce.Name) {
+					s.OrderBy[i].Expr = c.expr
+					break
+				}
+			}
+			continue
+		}
+		if le, ok := ob.Expr.(*litExpr); ok && le.Val.Type() == DTInt {
+			pos := int(le.Val.Int64())
+			if pos < 1 || pos > len(out) {
+				return nil, fmt.Errorf("sql: ORDER BY position %d out of range", pos)
+			}
+			s.OrderBy[i].Expr = out[pos-1].expr
+		}
+	}
+
+	type sortable struct {
+		row  Row
+		keys Row
+	}
+	var results []sortable
+
+	project := func(ctx *evalCtx) error {
+		if s.Having != nil {
+			hv, err := evalSQL(s.Having, ctx)
+			if err != nil {
+				return err
+			}
+			if !truthy(hv) {
+				return nil
+			}
+		}
+		r := make(Row, len(out))
+		for i, c := range out {
+			v, err := evalSQL(c.expr, ctx)
+			if err != nil {
+				return err
+			}
+			r[i] = v
+		}
+		var keys Row
+		for _, ob := range s.OrderBy {
+			v, err := evalSQL(ob.Expr, ctx)
+			if err != nil {
+				return err
+			}
+			keys = append(keys, v)
+		}
+		results = append(results, sortable{row: r, keys: keys})
+		return nil
+	}
+
+	if grouped {
+		// Hash rows into groups by the GROUP BY key.
+		groups := make(map[string][]Row)
+		var order []string
+		for _, r := range rows {
+			var key strings.Builder
+			for _, g := range s.GroupBy {
+				v, err := evalSQL(g, &evalCtx{bind: bind, params: params, row: r})
+				if err != nil {
+					return nil, err
+				}
+				key.WriteString(v.String())
+				key.WriteByte(0)
+			}
+			k := key.String()
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], r)
+		}
+		if len(s.GroupBy) == 0 && len(rows) == 0 {
+			// Global aggregate over empty input still yields one row.
+			groups[""] = nil
+			order = append(order, "")
+		}
+		for _, k := range order {
+			members := groups[k]
+			ctx := &evalCtx{bind: bind, params: params, group: members}
+			if len(members) > 0 {
+				ctx.row = members[0]
+			}
+			if err := project(ctx); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, r := range rows {
+			if err := project(&evalCtx{bind: bind, params: params, row: r}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if s.Distinct {
+		seen := make(map[string]bool)
+		kept := results[:0]
+		for _, r := range results {
+			var key strings.Builder
+			for _, d := range r.row {
+				key.WriteString(d.String())
+				key.WriteByte(0)
+			}
+			if !seen[key.String()] {
+				seen[key.String()] = true
+				kept = append(kept, r)
+			}
+		}
+		results = kept
+	}
+
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(results, func(i, j int) bool {
+			for k, ob := range s.OrderBy {
+				c := results[i].keys[k].Compare(results[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	if s.Limit >= 0 && len(results) > s.Limit {
+		results = results[:s.Limit]
+	}
+	for _, r := range results {
+		res.Rows = append(res.Rows, r.row)
+	}
+	return res, nil
+}
+
+// colRefByIndex is an internal expression used for star expansion.
+type colRefByIndex struct{ idx int }
+
+func (*colRefByIndex) isExpr() {}
+
+func (db *DB) execInsert(s *insertStmt, params []Datum) (*Result, error) {
+	t := db.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+	}
+	colIdx := make([]int, 0, len(s.Cols))
+	for _, c := range s.Cols {
+		i := t.Schema.ColIndex(c)
+		if i < 0 {
+			return nil, fmt.Errorf("sql: table %q has no column %q", s.Table, c)
+		}
+		colIdx = append(colIdx, i)
+	}
+	n := 0
+	for _, exprs := range s.Rows {
+		row := make(Row, t.Schema.Arity())
+		if len(s.Cols) > 0 {
+			if len(exprs) != len(s.Cols) {
+				return nil, fmt.Errorf("sql: INSERT arity mismatch: %d values for %d columns", len(exprs), len(s.Cols))
+			}
+			for j, e := range exprs {
+				v, err := evalSQL(e, &evalCtx{params: params})
+				if err != nil {
+					return nil, err
+				}
+				row[colIdx[j]] = coerce(v, t.Schema.Cols[colIdx[j]].Type)
+			}
+		} else {
+			if len(exprs) != t.Schema.Arity() {
+				return nil, fmt.Errorf("sql: INSERT arity mismatch: %d values for %d columns", len(exprs), t.Schema.Arity())
+			}
+			for j, e := range exprs {
+				v, err := evalSQL(e, &evalCtx{params: params})
+				if err != nil {
+					return nil, err
+				}
+				row[j] = coerce(v, t.Schema.Cols[j].Type)
+			}
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (db *DB) execUpdate(s *updateStmt, params []Datum) (*Result, error) {
+	t := db.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+	}
+	bind := tableBinding(t, s.Table)
+	setIdx := make([]int, len(s.Set))
+	for i, sc := range s.Set {
+		j := t.Schema.ColIndex(sc.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("sql: table %q has no column %q", s.Table, sc.Col)
+		}
+		setIdx[i] = j
+	}
+	type change struct {
+		rid RID
+		row Row
+	}
+	var changes []change
+	var scanErr error
+	t.Scan(func(rid RID, r Row) bool {
+		ctx := &evalCtx{bind: bind, params: params, row: r}
+		if s.Where != nil {
+			v, err := evalSQL(s.Where, ctx)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		nr := r.Clone()
+		for i, sc := range s.Set {
+			v, err := evalSQL(sc.Expr, ctx)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			nr[setIdx[i]] = coerce(v, t.Schema.Cols[setIdx[i]].Type)
+		}
+		changes = append(changes, change{rid, nr})
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for _, c := range changes {
+		if _, err := t.Update(c.rid, c.row); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: len(changes)}, nil
+}
+
+func (db *DB) execDelete(s *deleteStmt, params []Datum) (*Result, error) {
+	t := db.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sql: table %q does not exist", s.Table)
+	}
+	bind := tableBinding(t, s.Table)
+	var rids []RID
+	var scanErr error
+	t.Scan(func(rid RID, r Row) bool {
+		if s.Where != nil {
+			v, err := evalSQL(s.Where, &evalCtx{bind: bind, params: params, row: r})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		rids = append(rids, rid)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for _, rid := range rids {
+		t.Delete(rid)
+	}
+	return &Result{RowsAffected: len(rids)}, nil
+}
+
+func tableBinding(t *Table, qual string) *binding {
+	b := &binding{}
+	for _, c := range t.Schema.Cols {
+		b.quals = append(b.quals, strings.ToLower(qual))
+		b.names = append(b.names, strings.ToLower(c.Name))
+		b.disp = append(b.disp, c.Name)
+	}
+	return b
+}
+
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+func anyAggregate(s *selectStmt) bool {
+	for _, it := range s.Items {
+		if it.Expr != nil && exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	if s.Having != nil && exprHasAggregate(s.Having) {
+		return true
+	}
+	for _, ob := range s.OrderBy {
+		if exprHasAggregate(ob.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e sqlExpr) bool {
+	switch v := e.(type) {
+	case *funcExpr:
+		if aggregateFuncs[v.Name] {
+			return true
+		}
+		for _, a := range v.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *binExpr:
+		return exprHasAggregate(v.L) || exprHasAggregate(v.R)
+	case *unaryExpr:
+		return exprHasAggregate(v.X)
+	case *isNullExpr:
+		return exprHasAggregate(v.X)
+	}
+	return false
+}
+
+func exprDisplayName(e sqlExpr) string {
+	switch v := e.(type) {
+	case *colExpr:
+		return v.Name
+	case *funcExpr:
+		return strings.ToLower(v.Name)
+	}
+	return "?column?"
+}
+
+func truthy(d Datum) bool {
+	if d.IsNull() {
+		return false
+	}
+	return d.BoolVal() || (d.typ == DTText && d.s != "")
+}
+
+func coerce(d Datum, t DType) Datum {
+	if d.IsNull() {
+		return d
+	}
+	switch t {
+	case DTInt:
+		if d.typ == DTFloat {
+			return Int(int64(d.f))
+		}
+	case DTFloat:
+		if d.typ == DTInt {
+			return Float(float64(d.i))
+		}
+	}
+	return d
+}
+
+func evalSQL(e sqlExpr, ctx *evalCtx) (Datum, error) {
+	switch v := e.(type) {
+	case *litExpr:
+		return v.Val, nil
+	case *paramExpr:
+		if v.Index >= len(ctx.params) {
+			return Null, fmt.Errorf("sql: missing parameter %d", v.Index+1)
+		}
+		return ctx.params[v.Index], nil
+	case *colRefByIndex:
+		if ctx.row == nil || v.idx >= len(ctx.row) {
+			return Null, nil
+		}
+		return ctx.row[v.idx], nil
+	case *colExpr:
+		if ctx.bind == nil {
+			return Null, fmt.Errorf("sql: column %q not allowed here", v.Name)
+		}
+		i, err := ctx.bind.resolve(v.Qual, v.Name)
+		if err != nil {
+			return Null, err
+		}
+		if ctx.row == nil || i >= len(ctx.row) {
+			return Null, nil
+		}
+		return ctx.row[i], nil
+	case *unaryExpr:
+		x, err := evalSQL(v.X, ctx)
+		if err != nil {
+			return Null, err
+		}
+		switch v.Op {
+		case "-":
+			if x.IsNull() {
+				return Null, nil
+			}
+			if x.typ == DTInt {
+				return Int(-x.i), nil
+			}
+			return Float(-x.Float64()), nil
+		case "NOT":
+			if x.IsNull() {
+				return Null, nil
+			}
+			return Bool(!truthy(x)), nil
+		}
+		return Null, fmt.Errorf("sql: unknown unary op %q", v.Op)
+	case *isNullExpr:
+		x, err := evalSQL(v.X, ctx)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(x.IsNull() != v.Not), nil
+	case *binExpr:
+		return evalBin(v, ctx)
+	case *funcExpr:
+		return evalFunc(v, ctx)
+	}
+	return Null, fmt.Errorf("sql: unhandled expression %T", e)
+}
+
+func evalBin(v *binExpr, ctx *evalCtx) (Datum, error) {
+	// Short-circuit logical operators.
+	if v.Op == "AND" || v.Op == "OR" {
+		l, err := evalSQL(v.L, ctx)
+		if err != nil {
+			return Null, err
+		}
+		lt := truthy(l)
+		if v.Op == "AND" && !lt {
+			return Bool(false), nil
+		}
+		if v.Op == "OR" && lt {
+			return Bool(true), nil
+		}
+		r, err := evalSQL(v.R, ctx)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(truthy(r)), nil
+	}
+	l, err := evalSQL(v.L, ctx)
+	if err != nil {
+		return Null, err
+	}
+	r, err := evalSQL(v.R, ctx)
+	if err != nil {
+		return Null, err
+	}
+	switch v.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		c := l.Compare(r)
+		switch v.Op {
+		case "=":
+			return Bool(c == 0), nil
+		case "!=":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		case ">=":
+			return Bool(c >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		if v.Op == "+" && (l.typ == DTText || r.typ == DTText) {
+			return Text(l.String() + r.String()), nil
+		}
+		if !l.IsNumeric() || !r.IsNumeric() {
+			return Null, fmt.Errorf("sql: %s on non-numeric values", v.Op)
+		}
+		if l.typ == DTInt && r.typ == DTInt && v.Op != "/" {
+			a, b := l.i, r.i
+			switch v.Op {
+			case "+":
+				return Int(a + b), nil
+			case "-":
+				return Int(a - b), nil
+			case "*":
+				return Int(a * b), nil
+			case "%":
+				if b == 0 {
+					return Null, fmt.Errorf("sql: division by zero")
+				}
+				return Int(a % b), nil
+			}
+		}
+		a, b := l.Float64(), r.Float64()
+		switch v.Op {
+		case "+":
+			return Float(a + b), nil
+		case "-":
+			return Float(a - b), nil
+		case "*":
+			return Float(a * b), nil
+		case "/":
+			if b == 0 {
+				return Null, fmt.Errorf("sql: division by zero")
+			}
+			return Float(a / b), nil
+		case "%":
+			if b == 0 {
+				return Null, fmt.Errorf("sql: division by zero")
+			}
+			return Float(math.Mod(a, b)), nil
+		}
+	}
+	return Null, fmt.Errorf("sql: unknown operator %q", v.Op)
+}
+
+func evalFunc(v *funcExpr, ctx *evalCtx) (Datum, error) {
+	if aggregateFuncs[v.Name] {
+		return evalAggregate(v, ctx)
+	}
+	args := make([]Datum, len(v.Args))
+	for i, a := range v.Args {
+		d, err := evalSQL(a, ctx)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = d
+	}
+	switch v.Name {
+	case "ABS":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sql: ABS takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		if args[0].typ == DTInt {
+			if args[0].i < 0 {
+				return Int(-args[0].i), nil
+			}
+			return args[0], nil
+		}
+		return Float(math.Abs(args[0].Float64())), nil
+	case "UPPER":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sql: UPPER takes 1 argument")
+		}
+		return Text(strings.ToUpper(args[0].String())), nil
+	case "LOWER":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sql: LOWER takes 1 argument")
+		}
+		return Text(strings.ToLower(args[0].String())), nil
+	case "LENGTH":
+		if len(args) != 1 {
+			return Null, fmt.Errorf("sql: LENGTH takes 1 argument")
+		}
+		return Int(int64(len(args[0].String()))), nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null, nil
+	case "ROUND":
+		if len(args) < 1 {
+			return Null, fmt.Errorf("sql: ROUND takes at least 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		scale := 0.0
+		if len(args) > 1 {
+			scale = args[1].Float64()
+		}
+		m := math.Pow(10, scale)
+		return Float(math.Round(args[0].Float64()*m) / m), nil
+	}
+	return Null, fmt.Errorf("sql: unknown function %q", v.Name)
+}
+
+func evalAggregate(v *funcExpr, ctx *evalCtx) (Datum, error) {
+	if ctx.group == nil && !v.Star && len(v.Args) == 0 {
+		return Null, fmt.Errorf("sql: %s needs an argument", v.Name)
+	}
+	members := ctx.group
+	if members == nil {
+		// Aggregate outside a grouped context (e.g. in HAVING of a global
+		// aggregate with zero rows).
+		members = []Row{}
+	}
+	if v.Name == "COUNT" && v.Star {
+		return Int(int64(len(members))), nil
+	}
+	if len(v.Args) != 1 {
+		return Null, fmt.Errorf("sql: %s takes 1 argument", v.Name)
+	}
+	var (
+		count int64
+		sum   float64
+		best  Datum
+		first = true
+		isInt = true
+	)
+	for _, m := range members {
+		d, err := evalSQL(v.Args[0], &evalCtx{bind: ctx.bind, params: ctx.params, row: m})
+		if err != nil {
+			return Null, err
+		}
+		if d.IsNull() {
+			continue
+		}
+		count++
+		if d.typ != DTInt {
+			isInt = false
+		}
+		sum += d.Float64()
+		if first || (v.Name == "MIN" && d.Compare(best) < 0) || (v.Name == "MAX" && d.Compare(best) > 0) {
+			best = d
+			first = false
+		}
+	}
+	switch v.Name {
+	case "COUNT":
+		return Int(count), nil
+	case "SUM":
+		if count == 0 {
+			return Null, nil
+		}
+		if isInt {
+			return Int(int64(sum)), nil
+		}
+		return Float(sum), nil
+	case "AVG":
+		if count == 0 {
+			return Null, nil
+		}
+		return Float(sum / float64(count)), nil
+	case "MIN", "MAX":
+		if first {
+			return Null, nil
+		}
+		return best, nil
+	}
+	return Null, fmt.Errorf("sql: unknown aggregate %q", v.Name)
+}

@@ -1,0 +1,66 @@
+package rdbms
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSQLParserNeverPanics: arbitrary input must yield a statement or an
+// error, never a panic.
+func TestSQLParserNeverPanics(t *testing.T) {
+	f := func(query string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		parseSQL(query) //nolint:errcheck // robustness only
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSQLExecNeverPanics drives mangled variants of real queries through
+// the executor against a live catalog.
+func TestSQLExecNeverPanics(t *testing.T) {
+	db := Open(Options{})
+	db.MustExec("CREATE TABLE f (a BIGINT, b TEXT)")
+	db.MustExec("INSERT INTO f VALUES (1,'x')")
+	queries := []string{
+		"SELECT", "SELECT *", "SELECT * FROM", "SELECT * FROM f WHERE",
+		"SELECT a a a FROM f", "SELECT (a FROM f", "SELECT * FROM f GROUP BY",
+		"SELECT COUNT(*) FROM f HAVING a", "SELECT * FROM f ORDER BY 99",
+		"SELECT * FROM f LIMIT a", "SELECT a+ FROM f", "SELECT MIN() FROM f",
+		"SELECT 'b FROM f", "SELECT a FROM f JOIN f ON", "UPDATE f SET",
+		"INSERT INTO f (a) VALUES", "DELETE FROM", "DROP", "CREATE TABLE",
+		"SELECT * FROM f WHERE a = 'text' + 1", "SELECT a % 0 FROM f",
+		"SELECT ? FROM f", "SELECT a FROM f, f",
+	}
+	for _, q := range queries {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Exec(%q) panicked: %v", q, r)
+				}
+			}()
+			db.Exec(q) //nolint:errcheck // robustness only
+		}()
+	}
+}
+
+// TestLexerProperty: the lexer either errors or tokenizes everything
+// including an EOF sentinel.
+func TestLexerProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := lexSQL(s)
+		if err != nil {
+			return true
+		}
+		return len(toks) >= 1 && toks[len(toks)-1].kind == tkEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

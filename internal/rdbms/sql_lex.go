@@ -1,0 +1,142 @@
+package rdbms
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates SQL token kinds.
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkPunct   // ( ) , . * ? etc.
+	tkOp      // = != <> < <= > >= + - / %
+	tkKeyword // recognized keyword, upper-cased in text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "CREATE": true, "TABLE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "DROP": true, "DISTINCT": true, "IS": true,
+	"BIGINT": true, "INT": true, "INTEGER": true, "DOUBLE": true,
+	"FLOAT": true, "TEXT": true, "VARCHAR": true, "BOOLEAN": true, "BOOL": true,
+}
+
+// lexSQL splits the input into tokens.
+func lexSQL(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9'):
+			j := i
+			seenDot, seenExp := false, false
+			for j < len(s) {
+				d := s[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < len(s) && (s[j] == '+' || s[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tkNumber, s[i:j], i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(s) {
+					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				}
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			toks = append(toks, token{tkString, sb.String(), i})
+			i = j + 1
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isIdentPart(s[j]) {
+				j++
+			}
+			word := s[i:j]
+			up := strings.ToUpper(word)
+			if sqlKeywords[up] {
+				toks = append(toks, token{tkKeyword, up, i})
+			} else {
+				toks = append(toks, token{tkIdent, word, i})
+			}
+			i = j
+		case c == '"': // quoted identifier
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at %d", i)
+			}
+			toks = append(toks, token{tkIdent, s[i+1 : j], i})
+			i = j + 1
+		case c == '<' || c == '>' || c == '!' || c == '=':
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || (c == '<' && s[j] == '>')) {
+				j++
+			}
+			toks = append(toks, token{tkOp, s[i:j], i})
+			i = j
+		case c == '+' || c == '-' || c == '/' || c == '%':
+			toks = append(toks, token{tkOp, string(c), i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == '?' || c == ';':
+			toks = append(toks, token{tkPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tkEOF, "", len(s)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }

@@ -1,0 +1,672 @@
+package rdbms
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type sqlParser struct {
+	toks   []token
+	pos    int
+	params int // number of '?' seen
+}
+
+func parseSQL(query string) (sqlStmt, int, error) {
+	toks, err := lexSQL(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().kind == tkPunct && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tkEOF {
+		return nil, 0, fmt.Errorf("sql: unexpected trailing input at %q", p.peek().text)
+	}
+	return stmt, p.params, nil
+}
+
+func (p *sqlParser) peek() token { return p.toks[p.pos] }
+func (p *sqlParser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *sqlParser) atKw(k string) bool {
+	t := p.peek()
+	return t.kind == tkKeyword && t.text == k
+}
+
+func (p *sqlParser) acceptKw(k string) bool {
+	if p.atKw(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(k string) error {
+	if !p.acceptKw(k) {
+		return fmt.Errorf("sql: expected %s, got %q", k, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) acceptPunct(s string) bool {
+	t := p.peek()
+	if t.kind == tkPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("sql: expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tkIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *sqlParser) parseStmt() (sqlStmt, error) {
+	switch {
+	case p.atKw("SELECT"):
+		return p.parseSelect()
+	case p.atKw("CREATE"):
+		return p.parseCreate()
+	case p.atKw("INSERT"):
+		return p.parseInsert()
+	case p.atKw("UPDATE"):
+		return p.parseUpdate()
+	case p.atKw("DELETE"):
+		return p.parseDelete()
+	case p.atKw("DROP"):
+		return p.parseDrop()
+	}
+	return nil, fmt.Errorf("sql: expected statement, got %q", p.peek().text)
+}
+
+func (p *sqlParser) parseSelect() (*selectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &selectStmt{Limit: -1}
+	s.Distinct = p.acceptKw("DISTINCT")
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	s.From = append(s.From, tr)
+
+	for {
+		// [INNER] JOIN t ON expr  |  ',' t (cross join)
+		if p.acceptKw("INNER") {
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKw("JOIN") {
+			if p.acceptPunct(",") {
+				tr, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				s.From = append(s.From, tr)
+				s.Joins = append(s.Joins, nil)
+				continue
+			}
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, tr)
+		s.Joins = append(s.Joins, cond)
+	}
+
+	if p.acceptKw("WHERE") {
+		if s.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		if s.Having, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := orderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t := p.peek()
+		if t.kind != tkNumber {
+			return nil, fmt.Errorf("sql: LIMIT expects a number, got %q", t.text)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *sqlParser) parseSelectItem() (selectItem, error) {
+	// '*' or 't.*'
+	if p.peek().kind == tkPunct && p.peek().text == "*" {
+		p.pos++
+		return selectItem{Star: true}, nil
+	}
+	if p.peek().kind == tkIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tkPunct && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tkPunct && p.toks[p.pos+2].text == "*" {
+		qual := p.next().text
+		p.next()
+		p.next()
+		return selectItem{Star: true, Qual: qual}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return selectItem{}, err
+	}
+	item := selectItem{Expr: e}
+	if p.acceptKw("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return selectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().kind == tkIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *sqlParser) parseTableRef() (tableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return tableRef{}, err
+	}
+	tr := tableRef{Table: name}
+	if p.acceptKw("AS") {
+		if tr.Alias, err = p.expectIdent(); err != nil {
+			return tableRef{}, err
+		}
+	} else if p.peek().kind == tkIdent {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+func (p *sqlParser) parseCreate() (sqlStmt, error) {
+	if err := p.expectKw("CREATE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	st := &createStmt{Table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tkKeyword {
+			return nil, fmt.Errorf("sql: expected column type, got %q", t.text)
+		}
+		p.pos++
+		var dt DType
+		switch t.text {
+		case "BIGINT", "INT", "INTEGER":
+			dt = DTInt
+		case "DOUBLE", "FLOAT":
+			dt = DTFloat
+		case "TEXT", "VARCHAR":
+			dt = DTText
+			// Allow VARCHAR(n).
+			if p.acceptPunct("(") {
+				if p.peek().kind != tkNumber {
+					return nil, fmt.Errorf("sql: expected length in VARCHAR(n)")
+				}
+				p.pos++
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+		case "BOOLEAN", "BOOL":
+			dt = DTBool
+		default:
+			return nil, fmt.Errorf("sql: unsupported column type %q", t.text)
+		}
+		st.Cols = append(st.Cols, Column{Name: col, Type: dt})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseInsert() (sqlStmt, error) {
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &insertStmt{Table: name}
+	if p.acceptPunct("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []sqlExpr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseUpdate() (sqlStmt, error) {
+	if err := p.expectKw("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	st := &updateStmt{Table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tkOp || t.text != "=" {
+			return nil, fmt.Errorf("sql: expected '=' in SET, got %q", t.text)
+		}
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, setClause{Col: col, Expr: e})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseDelete() (sqlStmt, error) {
+	if err := p.expectKw("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &deleteStmt{Table: name}
+	if p.acceptKw("WHERE") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseDrop() (sqlStmt, error) {
+	if err := p.expectKw("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &dropStmt{Table: name}, nil
+}
+
+// Expression grammar: OR > AND > NOT > comparison > additive > multiplicative > unary.
+
+func (p *sqlParser) parseExpr() (sqlExpr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (sqlExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (sqlExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseNot() (sqlExpr, error) {
+	if p.acceptKw("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *sqlParser) parseCmp() (sqlExpr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKw("IS") {
+		not := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &isNullExpr{X: l, Not: not}, nil
+	}
+	t := p.peek()
+	if t.kind == tkOp {
+		switch t.text {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "<>" {
+				op = "!="
+			}
+			return &binExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAdd() (sqlExpr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkOp && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &binExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *sqlParser) parseMul() (sqlExpr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		isStar := t.kind == tkPunct && t.text == "*"
+		if (t.kind == tkOp && (t.text == "/" || t.text == "%")) || isStar {
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			l = &binExpr{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *sqlParser) parseUnary() (sqlExpr, error) {
+	t := p.peek()
+	if t.kind == tkOp && t.text == "-" {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *sqlParser) parsePrimary() (sqlExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tkNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &litExpr{Val: Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &litExpr{Val: Float(f)}, nil
+		}
+		return &litExpr{Val: Int(n)}, nil
+	case t.kind == tkString:
+		p.pos++
+		return &litExpr{Val: Text(t.text)}, nil
+	case t.kind == tkKeyword && t.text == "NULL":
+		p.pos++
+		return &litExpr{Val: Null}, nil
+	case t.kind == tkKeyword && t.text == "TRUE":
+		p.pos++
+		return &litExpr{Val: Bool(true)}, nil
+	case t.kind == tkKeyword && t.text == "FALSE":
+		p.pos++
+		return &litExpr{Val: Bool(false)}, nil
+	case t.kind == tkPunct && t.text == "?":
+		p.pos++
+		e := &paramExpr{Index: p.params}
+		p.params++
+		return e, nil
+	case t.kind == tkPunct && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tkIdent:
+		name := p.next().text
+		// Function call?
+		if p.acceptPunct("(") {
+			f := &funcExpr{Name: strings.ToUpper(name)}
+			if p.peek().kind == tkPunct && p.peek().text == "*" {
+				p.pos++
+				f.Star = true
+			} else if !(p.peek().kind == tkPunct && p.peek().text == ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, a)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+		// Qualified column?
+		if p.acceptPunct(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &colExpr{Qual: name, Name: col}, nil
+		}
+		return &colExpr{Name: name}, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
+}

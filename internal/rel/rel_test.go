@@ -1,0 +1,194 @@
+package rel
+
+import (
+	"testing"
+
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+func tv(cols []string, rows ...[]sheet.Value) *TableValue {
+	return &TableValue{Cols: cols, Rows: rows}
+}
+
+func row(vs ...interface{}) []sheet.Value {
+	out := make([]sheet.Value, len(vs))
+	for i, v := range vs {
+		switch x := v.(type) {
+		case int:
+			out[i] = sheet.Number(float64(x))
+		case float64:
+			out[i] = sheet.Number(x)
+		case string:
+			out[i] = sheet.Str(x)
+		case bool:
+			out[i] = sheet.Bool(x)
+		}
+	}
+	return out
+}
+
+func suppliers() *TableValue {
+	return tv([]string{"id", "name", "city"},
+		row(1, "Acme", "Champaign"),
+		row(2, "Globex", "Urbana"),
+		row(3, "Initech", "Champaign"),
+	)
+}
+
+func TestIndex(t *testing.T) {
+	s := suppliers()
+	v, err := s.Index(0, 2)
+	if err != nil || v.Text() != "name" {
+		t.Fatalf("header = %v, %v", v, err)
+	}
+	v, err = s.Index(2, 2)
+	if err != nil || v.Text() != "Globex" {
+		t.Fatalf("data = %v, %v", v, err)
+	}
+	if _, err := s.Index(9, 1); err == nil {
+		t.Fatal("row out of range must error")
+	}
+	if _, err := s.Index(1, 0); err == nil {
+		t.Fatal("column 0 must error")
+	}
+}
+
+func TestUnionDifferenceIntersection(t *testing.T) {
+	a := tv([]string{"x"}, row(1), row(2), row(2), row(3))
+	b := tv([]string{"x"}, row(3), row(4))
+
+	u, err := Union(a, b)
+	if err != nil || u.Len() != 4 { // 1,2,3,4 deduped
+		t.Fatalf("union = %v, %v", u, err)
+	}
+	d, err := Difference(a, b)
+	if err != nil || d.Len() != 2 { // 1,2
+		t.Fatalf("difference = %v, %v", d, err)
+	}
+	i, err := Intersection(a, b)
+	if err != nil || i.Len() != 1 || i.Rows[0][0].Text() != "3" {
+		t.Fatalf("intersection = %v, %v", i, err)
+	}
+	// Arity mismatch.
+	if _, err := Union(a, suppliers()); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+}
+
+func TestCrossProductAndJoin(t *testing.T) {
+	a := tv([]string{"id", "v"}, row(1, "a"), row(2, "b"))
+	b := tv([]string{"id", "w"}, row(1, "x"), row(2, "y"))
+	cp := CrossProduct(a, b)
+	if cp.Len() != 4 || cp.Arity() != 4 {
+		t.Fatalf("cross = %dx%d", cp.Len(), cp.Arity())
+	}
+	// Name collision prefixed.
+	if cp.Cols[2] != "r_id" {
+		t.Fatalf("cols = %v", cp.Cols)
+	}
+	pred := func(r map[string]sheet.Value) (bool, error) {
+		return r["id"].Equal(r["r_id"]), nil
+	}
+	j, err := Join(a, b, pred)
+	if err != nil || j.Len() != 2 {
+		t.Fatalf("join = %v, %v", j, err)
+	}
+	// Nil predicate = cross join.
+	j2, _ := Join(a, b, nil)
+	if j2.Len() != 4 {
+		t.Fatal("nil-predicate join should be cross product")
+	}
+}
+
+func TestSelectProjectRename(t *testing.T) {
+	s := suppliers()
+	pred, err := ParsePredicate("city = 'Champaign'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Select(s, pred)
+	if err != nil || f.Len() != 2 {
+		t.Fatalf("select = %v, %v", f, err)
+	}
+	p, err := Project(f, "name")
+	if err != nil || p.Arity() != 1 || p.Rows[0][0].Text() != "Acme" {
+		t.Fatalf("project = %v, %v", p, err)
+	}
+	if _, err := Project(f, "nope"); err == nil {
+		t.Fatal("projecting missing column must error")
+	}
+	r, err := Rename(s, "city", "location")
+	if err != nil || r.ColIndex("location") != 2 {
+		t.Fatalf("rename = %v, %v", r, err)
+	}
+	if _, err := Rename(s, "nope", "x"); err == nil {
+		t.Fatal("renaming missing column must error")
+	}
+}
+
+func TestParsePredicateOperators(t *testing.T) {
+	s := tv([]string{"n"}, row(1), row(5), row(10))
+	cases := []struct {
+		cond string
+		want int
+	}{
+		{"n > 4", 2},
+		{"n >= 5", 2},
+		{"n < 5", 1},
+		{"n <= 5", 2},
+		{"n = 5", 1},
+		{"n != 5", 2},
+		{"n <> 5", 2},
+	}
+	for _, c := range cases {
+		pred, err := ParsePredicate(c.cond)
+		if err != nil {
+			t.Fatalf("%q: %v", c.cond, err)
+		}
+		got, err := Select(s, pred)
+		if err != nil || got.Len() != c.want {
+			t.Errorf("%q -> %d rows want %d", c.cond, got.Len(), c.want)
+		}
+	}
+	if _, err := ParsePredicate("no operator here"); err == nil {
+		t.Fatal("unparsable predicate must error")
+	}
+	// Unknown column surfaces at evaluation.
+	pred, _ := ParsePredicate("ghost = 1")
+	if _, err := Select(s, pred); err == nil {
+		t.Fatal("unknown predicate column must error")
+	}
+}
+
+func TestFromResultAndFromCells(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	db.MustExec("CREATE TABLE t (a BIGINT, b TEXT, c BOOLEAN, d DOUBLE)")
+	db.MustExec("INSERT INTO t VALUES (1, 'x', true, 2.5), (NULL, NULL, NULL, NULL)")
+	tv1 := FromResult(db.MustExec("SELECT * FROM t"))
+	if tv1.Arity() != 4 || tv1.Len() != 2 {
+		t.Fatalf("FromResult dims = %dx%d", tv1.Len(), tv1.Arity())
+	}
+	if tv1.Rows[0][0].Kind() != sheet.KindNumber || tv1.Rows[0][2].Kind() != sheet.KindBool {
+		t.Fatalf("types = %v", tv1.Rows[0])
+	}
+	if !tv1.Rows[1][0].IsEmpty() {
+		t.Fatal("NULL must map to Empty")
+	}
+
+	cells := [][]sheet.Cell{
+		{{Value: sheet.Str("h1")}, {Value: sheet.Str("h2")}},
+		{{Value: sheet.Number(1)}, {Value: sheet.Str("a")}},
+	}
+	tv2 := FromCells(cells, true)
+	if tv2.Cols[0] != "h1" || tv2.Len() != 1 {
+		t.Fatalf("FromCells = %v", tv2)
+	}
+	tv3 := FromCells(cells, false)
+	if tv3.Cols[0] != "col1" || tv3.Len() != 2 {
+		t.Fatalf("FromCells no headers = %v", tv3)
+	}
+	if FromCells(nil, true).Len() != 0 {
+		t.Fatal("empty cells must produce empty table")
+	}
+}

@@ -1,0 +1,179 @@
+package sheet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColumnName(t *testing.T) {
+	cases := []struct {
+		col  int
+		want string
+	}{
+		{1, "A"}, {2, "B"}, {26, "Z"}, {27, "AA"}, {28, "AB"},
+		{52, "AZ"}, {53, "BA"}, {702, "ZZ"}, {703, "AAA"}, {0, "?"}, {-5, "?"},
+	}
+	for _, c := range cases {
+		if got := ColumnName(c.col); got != c.want {
+			t.Errorf("ColumnName(%d) = %q, want %q", c.col, got, c.want)
+		}
+	}
+}
+
+func TestColumnNumber(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{"A", 1}, {"z", 26}, {"AA", 27}, {"aB", 28}, {"ZZ", 702}, {"AAA", 703},
+		{"", 0}, {"A1", 0}, {"$", 0},
+	}
+	for _, c := range cases {
+		if got := ColumnNumber(c.name); got != c.want {
+			t.Errorf("ColumnNumber(%q) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestColumnRoundTrip(t *testing.T) {
+	f := func(col uint16) bool {
+		c := int(col%20000) + 1
+		return ColumnNumber(ColumnName(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Ref
+		ok   bool
+	}{
+		{"A1", Ref{1, 1}, true},
+		{"B12", Ref{12, 2}, true},
+		{"$C$3", Ref{3, 3}, true},
+		{"AA100", Ref{100, 27}, true},
+		{"1A", Ref{}, false},
+		{"A", Ref{}, false},
+		{"12", Ref{}, false},
+		{"A0", Ref{}, false},
+		{"A1B", Ref{}, false},
+		{"", Ref{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseRef(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseRef(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseRef(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRefRoundTrip(t *testing.T) {
+	f := func(row, col uint16) bool {
+		r := Ref{Row: int(row%5000) + 1, Col: int(col%500) + 1}
+		got, err := ParseRef(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	g, err := ParseRange("B2:D10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.From != (Ref{2, 2}) || g.To != (Ref{10, 4}) {
+		t.Fatalf("ParseRange(B2:D10) = %v", g)
+	}
+	if g.Rows() != 9 || g.Cols() != 3 || g.Area() != 27 {
+		t.Fatalf("dims = %d x %d (area %d)", g.Rows(), g.Cols(), g.Area())
+	}
+	single, err := ParseRange("C3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.From != single.To || single.From != (Ref{3, 3}) {
+		t.Fatalf("single-cell range = %v", single)
+	}
+	if _, err := ParseRange("C3:"); err == nil {
+		t.Fatal("want error for dangling colon")
+	}
+}
+
+func TestRangeNormalization(t *testing.T) {
+	g := NewRange(10, 4, 2, 2)
+	if g.From != (Ref{2, 2}) || g.To != (Ref{10, 4}) {
+		t.Fatalf("NewRange did not normalize: %v", g)
+	}
+}
+
+func TestRangeContainsIntersect(t *testing.T) {
+	a := NewRange(1, 1, 4, 4)
+	b := NewRange(3, 3, 6, 6)
+	c := NewRange(5, 5, 8, 8)
+
+	if !a.Contains(Ref{1, 1}) || !a.Contains(Ref{4, 4}) || a.Contains(Ref{5, 4}) {
+		t.Fatal("Contains is wrong at corners")
+	}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a and c should not intersect")
+	}
+	got, ok := a.Intersect(b)
+	if !ok || got != NewRange(3, 3, 4, 4) {
+		t.Fatalf("Intersect = %v ok=%v", got, ok)
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint Intersect should report false")
+	}
+}
+
+func TestRangeIntersectProperty(t *testing.T) {
+	f := func(r1, c1, r2, c2, r3, c3, r4, c4 uint8) bool {
+		a := NewRange(int(r1%20)+1, int(c1%20)+1, int(r2%20)+1, int(c2%20)+1)
+		b := NewRange(int(r3%20)+1, int(c3%20)+1, int(r4%20)+1, int(c4%20)+1)
+		got, ok := a.Intersect(b)
+		// Cross-check against brute force cell membership.
+		count := 0
+		for row := 1; row <= 20; row++ {
+			for col := 1; col <= 20; col++ {
+				r := Ref{row, col}
+				if a.Contains(r) && b.Contains(r) {
+					count++
+					if !ok || !got.Contains(r) {
+						return false
+					}
+				}
+			}
+		}
+		if !ok {
+			return count == 0
+		}
+		return count == got.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if got := (Ref{12, 28}).String(); got != "AB12" {
+		t.Fatalf("Ref.String = %q", got)
+	}
+	if got := NewRange(1, 1, 2, 2).String(); got != "A1:B2" {
+		t.Fatalf("Range.String = %q", got)
+	}
+	if got := NewRange(3, 3, 3, 3).String(); got != "C3" {
+		t.Fatalf("degenerate Range.String = %q", got)
+	}
+}

@@ -1,0 +1,260 @@
+package sheet
+
+import (
+	"sort"
+)
+
+// Cell is the unit of the conceptual data model: a location with a value
+// and, optionally, the formula text that produced it (without the leading
+// '='). A cell with only a formula and an empty value is awaiting
+// evaluation.
+type Cell struct {
+	Value   Value
+	Formula string // empty when the cell holds a plain value
+}
+
+// HasFormula reports whether the cell carries a formula.
+func (c Cell) HasFormula() bool { return c.Formula != "" }
+
+// IsBlank reports whether the cell has neither content nor formula.
+func (c Cell) IsBlank() bool { return c.Value.IsEmpty() && c.Formula == "" }
+
+// Sheet is a sparse in-memory spreadsheet: the ground-truth collection of
+// cells C = {C1..Cm} of Section IV-A. Physical data models are recoverable
+// when they reproduce exactly this collection. Sheet supports the
+// spreadsheet-oriented operations of Section III directly; the storage
+// engine (internal/core) layers persistence and positional indexes on top.
+//
+// Sheet is not safe for concurrent mutation; the engine serializes access.
+type Sheet struct {
+	Name  string
+	cells map[Ref]Cell
+}
+
+// New returns an empty sheet with the given name.
+func New(name string) *Sheet {
+	return &Sheet{Name: name, cells: make(map[Ref]Cell)}
+}
+
+// Len returns the number of filled cells.
+func (s *Sheet) Len() int { return len(s.cells) }
+
+// Get returns the cell at the reference; blank if unfilled.
+func (s *Sheet) Get(r Ref) Cell { return s.cells[r] }
+
+// GetRC returns the cell at (row, col); blank if unfilled.
+func (s *Sheet) GetRC(row, col int) Cell { return s.cells[Ref{row, col}] }
+
+// Filled reports whether the cell at the reference holds content.
+func (s *Sheet) Filled(r Ref) bool {
+	_, ok := s.cells[r]
+	return ok
+}
+
+// Set stores the cell, deleting it when blank.
+func (s *Sheet) Set(r Ref, c Cell) {
+	if c.IsBlank() {
+		delete(s.cells, r)
+		return
+	}
+	s.cells[r] = c
+}
+
+// SetValue stores a plain value at (row, col).
+func (s *Sheet) SetValue(row, col int, v Value) {
+	s.Set(Ref{row, col}, Cell{Value: v})
+}
+
+// SetFormula stores formula text (without '=') at (row, col) with a
+// not-yet-evaluated value.
+func (s *Sheet) SetFormula(row, col int, formula string) {
+	s.Set(Ref{row, col}, Cell{Formula: formula})
+}
+
+// Clear removes the cell at the reference.
+func (s *Sheet) Clear(r Ref) { delete(s.cells, r) }
+
+// Each calls fn for every filled cell in unspecified order.
+func (s *Sheet) Each(fn func(Ref, Cell)) {
+	for r, c := range s.cells {
+		fn(r, c)
+	}
+}
+
+// EachSorted calls fn for every filled cell in row-major order. It is
+// deterministic and therefore used by tests and corpus statistics.
+func (s *Sheet) EachSorted(fn func(Ref, Cell)) {
+	refs := make([]Ref, 0, len(s.cells))
+	for r := range s.cells {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Row != refs[j].Row {
+			return refs[i].Row < refs[j].Row
+		}
+		return refs[i].Col < refs[j].Col
+	})
+	for _, r := range refs {
+		fn(r, s.cells[r])
+	}
+}
+
+// Bounds returns the minimum bounding rectangle of the filled cells and
+// whether the sheet contains any. Density statistics in Section II are
+// computed within this box.
+func (s *Sheet) Bounds() (Range, bool) {
+	if len(s.cells) == 0 {
+		return Range{}, false
+	}
+	first := true
+	var g Range
+	for r := range s.cells {
+		if first {
+			g = Range{r, r}
+			first = false
+			continue
+		}
+		if r.Row < g.From.Row {
+			g.From.Row = r.Row
+		}
+		if r.Row > g.To.Row {
+			g.To.Row = r.Row
+		}
+		if r.Col < g.From.Col {
+			g.From.Col = r.Col
+		}
+		if r.Col > g.To.Col {
+			g.To.Col = r.Col
+		}
+	}
+	return g, true
+}
+
+// Density returns the ratio of filled cells to the area of the minimum
+// bounding rectangle (Section II-B), or 0 for an empty sheet.
+func (s *Sheet) Density() float64 {
+	g, ok := s.Bounds()
+	if !ok {
+		return 0
+	}
+	return float64(len(s.cells)) / float64(g.Area())
+}
+
+// CountInRange returns the number of filled cells inside the range.
+func (s *Sheet) CountInRange(g Range) int {
+	// For small ranges scan cells of the range; for large ranges scan the map.
+	if g.Area() < len(s.cells) {
+		n := 0
+		for row := g.From.Row; row <= g.To.Row; row++ {
+			for col := g.From.Col; col <= g.To.Col; col++ {
+				if _, ok := s.cells[Ref{row, col}]; ok {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	n := 0
+	for r := range s.cells {
+		if g.Contains(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// GetRange materializes the rectangular range as a row-major matrix of
+// cells — the getCells(range) primitive of Section III.
+func (s *Sheet) GetRange(g Range) [][]Cell {
+	out := make([][]Cell, g.Rows())
+	for i := range out {
+		row := make([]Cell, g.Cols())
+		for j := range row {
+			row[j] = s.cells[Ref{g.From.Row + i, g.From.Col + j}]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// InsertRowAfter shifts all cells with row > after down by one —
+// insertRowAfter(row) of Section III. Formula references are rewritten by
+// the engine, not here.
+func (s *Sheet) InsertRowAfter(after int) { s.shiftRows(after+1, 1) }
+
+// DeleteRow removes the row and shifts subsequent rows up by one.
+func (s *Sheet) DeleteRow(row int) {
+	for r := range s.cells {
+		if r.Row == row {
+			delete(s.cells, r)
+		}
+	}
+	s.shiftRows(row+1, -1)
+}
+
+// InsertColumnAfter shifts all cells with col > after right by one.
+func (s *Sheet) InsertColumnAfter(after int) { s.shiftCols(after+1, 1) }
+
+// DeleteColumn removes the column and shifts subsequent columns left.
+func (s *Sheet) DeleteColumn(col int) {
+	for r := range s.cells {
+		if r.Col == col {
+			delete(s.cells, r)
+		}
+	}
+	s.shiftCols(col+1, -1)
+}
+
+func (s *Sheet) shiftRows(from, delta int) {
+	moved := make(map[Ref]Cell)
+	for r, c := range s.cells {
+		if r.Row >= from {
+			moved[Ref{r.Row + delta, r.Col}] = c
+			delete(s.cells, r)
+		}
+	}
+	for r, c := range moved {
+		s.cells[r] = c
+	}
+}
+
+func (s *Sheet) shiftCols(from, delta int) {
+	moved := make(map[Ref]Cell)
+	for r, c := range s.cells {
+		if r.Col >= from {
+			moved[Ref{r.Row, r.Col + delta}] = c
+			delete(s.cells, r)
+		}
+	}
+	for r, c := range moved {
+		s.cells[r] = c
+	}
+}
+
+// Clone returns a deep copy of the sheet.
+func (s *Sheet) Clone() *Sheet {
+	out := New(s.Name)
+	for r, c := range s.cells {
+		out.cells[r] = c
+	}
+	return out
+}
+
+// Grid is a compact boolean occupancy matrix of the sheet's bounding box,
+// used by the decomposition optimizers. Row 0 / col 0 of the grid map to
+// the bounding box's top-left cell. The second return value is the bounding
+// box itself; ok is false for an empty sheet.
+func (s *Sheet) Grid() (grid [][]bool, box Range, ok bool) {
+	box, ok = s.Bounds()
+	if !ok {
+		return nil, Range{}, false
+	}
+	grid = make([][]bool, box.Rows())
+	for i := range grid {
+		grid[i] = make([]bool, box.Cols())
+	}
+	for r := range s.cells {
+		grid[r.Row-box.From.Row][r.Col-box.From.Col] = true
+	}
+	return grid, box, true
+}

@@ -1,0 +1,159 @@
+package sheet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	if !Empty.IsEmpty() || Empty.Kind() != KindEmpty {
+		t.Fatal("zero Value must be empty")
+	}
+	if Number(3).Kind() != KindNumber || Str("x").Kind() != KindString {
+		t.Fatal("kind mismatch")
+	}
+	if Bool(true).Kind() != KindBool || !ErrDiv0.IsError() {
+		t.Fatal("kind mismatch")
+	}
+}
+
+func TestValueNum(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+		ok   bool
+	}{
+		{Number(2.5), 2.5, true},
+		{Bool(true), 1, true},
+		{Bool(false), 0, true},
+		{Empty, 0, true},
+		{Str("42"), 42, true},
+		{Str(" 7.5 "), 7.5, true},
+		{Str("abc"), 0, false},
+		{ErrDiv0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.v.Num()
+		if got != c.want || ok != c.ok {
+			t.Errorf("Num(%v) = %v,%v want %v,%v", c.v, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestValueText(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Number(42), "42"},
+		{Number(2.5), "2.5"},
+		{Number(-1e20), "-1e+20"},
+		{Str("hi"), "hi"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+		{ErrRef, "#REF!"},
+		{Empty, ""},
+	}
+	for _, c := range cases {
+		if got := c.v.Text(); got != c.want {
+			t.Errorf("Text(%#v) = %q want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueBoolVal(t *testing.T) {
+	cases := []struct {
+		v        Value
+		want, ok bool
+	}{
+		{Bool(true), true, true},
+		{Number(0), false, true},
+		{Number(-3), true, true},
+		{Str("TRUE"), true, true},
+		{Str(" false "), false, true},
+		{Str("whatever"), false, false},
+		{Empty, false, true},
+		{ErrNA, false, false},
+	}
+	for _, c := range cases {
+		got, ok := c.v.BoolVal()
+		if got != c.want || ok != c.ok {
+			t.Errorf("BoolVal(%v) = %v,%v want %v,%v", c.v, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestValueEqualCompare(t *testing.T) {
+	if !Number(1).Equal(Number(1)) || Number(1).Equal(Number(2)) {
+		t.Fatal("number equality broken")
+	}
+	if !Number(math.NaN()).Equal(Number(math.NaN())) {
+		t.Fatal("NaN should equal NaN for storage purposes")
+	}
+	if Number(1).Equal(Str("1")) {
+		t.Fatal("cross-kind equality must be false")
+	}
+	if Number(1).Compare(Number(2)) >= 0 || Str("b").Compare(Str("a")) <= 0 {
+		t.Fatal("compare ordering broken")
+	}
+	if Number(5).Compare(Str("a")) >= 0 {
+		t.Fatal("numbers must order before strings")
+	}
+}
+
+func TestParseLiteral(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Number(42)},
+		{"-2.5", Number(-2.5)},
+		{"true", Bool(true)},
+		{"FALSE", Bool(false)},
+		{"hello", Str("hello")},
+		{"", Empty},
+		{"  ", Empty},
+		{"1e3", Number(1000)},
+	}
+	for _, c := range cases {
+		if got := ParseLiteral(c.in); !got.Equal(c.want) {
+			t.Errorf("ParseLiteral(%q) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	vals := []Value{Empty, Number(-1), Number(0), Number(3), Str(""), Str("a"), Bool(true), ErrNA}
+	for _, a := range vals {
+		for _, b := range vals {
+			if sign(a.Compare(b)) != -sign(b.Compare(a)) {
+				t.Fatalf("Compare not antisymmetric for %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestNumberTextRoundTrip(t *testing.T) {
+	f := func(f64 float64) bool {
+		if math.IsNaN(f64) || math.IsInf(f64, 0) {
+			return true
+		}
+		v := ParseLiteral(Number(f64).Text())
+		got, ok := v.Num()
+		return ok && got == f64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dataspread/internal/sheet"
+)
+
+// WriteGrid serializes a sheet in the .grid format used by cmd/dsgen: one
+// "row,col,content" triple per line in row-major order, with formulas
+// prefixed by '='. Content is written verbatim (values containing newlines
+// are not supported by the format).
+func WriteGrid(w io.Writer, s *sheet.Sheet) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	s.EachSorted(func(r sheet.Ref, c sheet.Cell) {
+		if werr != nil {
+			return
+		}
+		content := c.Value.Text()
+		if c.HasFormula() {
+			content = "=" + c.Formula
+		}
+		_, werr = fmt.Fprintf(bw, "%d,%d,%s\n", r.Row, r.Col, content)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadGrid parses a .grid stream back into a sheet.
+func ReadGrid(r io.Reader, name string) (*sheet.Sheet, error) {
+	s := sheet.New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		rowText, rest, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("workload: %s:%d: missing row separator", name, lineNo)
+		}
+		colText, content, ok := strings.Cut(rest, ",")
+		if !ok {
+			return nil, fmt.Errorf("workload: %s:%d: missing column separator", name, lineNo)
+		}
+		row, err := strconv.Atoi(rowText)
+		if err != nil || row < 1 {
+			return nil, fmt.Errorf("workload: %s:%d: bad row %q", name, lineNo, rowText)
+		}
+		col, err := strconv.Atoi(colText)
+		if err != nil || col < 1 {
+			return nil, fmt.Errorf("workload: %s:%d: bad column %q", name, lineNo, colText)
+		}
+		if strings.HasPrefix(content, "=") {
+			s.SetFormula(row, col, content[1:])
+		} else {
+			s.SetValue(row, col, sheet.ParseLiteral(content))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

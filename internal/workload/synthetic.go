@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dataspread/internal/sheet"
+)
+
+// SyntheticSpec parameterizes the large synthetic sheets of Section
+// VII-B.e: an empty sheet populated with dense rectangular regions
+// simulating randomly placed tables, plus randomly generated formulas that
+// access rectangular ranges of those tables.
+type SyntheticSpec struct {
+	Rows, Cols int
+	// Regions is the number of dense rectangular regions (paper: 20).
+	Regions int
+	// Formulas is the number of range formulas (paper: 100).
+	Formulas int
+	// Density is the fraction of each region's cells that are filled
+	// (the sweep variable of Figure 17).
+	Density float64
+	Seed    int64
+}
+
+// Synthetic generates the sheet and returns it along with the formula
+// access ranges (used by access-cost experiments).
+func Synthetic(spec SyntheticSpec) (*sheet.Sheet, []sheet.Range) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	s := sheet.New(fmt.Sprintf("synthetic-%dx%d-d%.2f", spec.Rows, spec.Cols, spec.Density))
+	var boxes []sheet.Range
+	for i := 0; i < spec.Regions; i++ {
+		h := spec.Rows/(spec.Regions*2) + rng.Intn(spec.Rows/(spec.Regions*2)+1) + 1
+		w := spec.Cols/6 + rng.Intn(spec.Cols/6+1) + 1
+		// Tables are "randomly placed" but distinct: retry a few times to
+		// avoid overlapping an earlier table, accepting overlap only when
+		// the sheet is too crowded to place disjointly.
+		var box sheet.Range
+		for attempt := 0; attempt < 50; attempt++ {
+			r1 := rng.Intn(maxI(spec.Rows-h, 1)) + 1
+			c1 := rng.Intn(maxI(spec.Cols-w, 1)) + 1
+			box = sheet.NewRange(r1, c1, r1+h-1, c1+w-1)
+			clear := true
+			for _, b := range boxes {
+				if b.Intersects(box) {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				break
+			}
+		}
+		boxes = append(boxes, box)
+		for row := box.From.Row; row <= box.To.Row; row++ {
+			for col := box.From.Col; col <= box.To.Col; col++ {
+				if spec.Density >= 1 || rng.Float64() < spec.Density {
+					s.SetValue(row, col, sheet.Number(float64(row*31+col)))
+				}
+			}
+		}
+	}
+	var accesses []sheet.Range
+	for i := 0; i < spec.Formulas; i++ {
+		box := boxes[rng.Intn(len(boxes))]
+		// A random rectangular sub-range of the table.
+		r1 := box.From.Row + rng.Intn(box.Rows())
+		r2 := box.From.Row + rng.Intn(box.Rows())
+		c1 := box.From.Col + rng.Intn(box.Cols())
+		c2 := box.From.Col + rng.Intn(box.Cols())
+		g := sheet.NewRange(r1, c1, r2, c2)
+		accesses = append(accesses, g)
+		// Attach the formula just right of the sheet's content.
+		fr := box.From.Row + i%box.Rows()
+		fc := spec.Cols + 2 + i/64
+		s.SetFormula(fr, fc, fmt.Sprintf("SUM(%s:%s)", g.From, g.To))
+	}
+	return s, accesses
+}
+
+// Dense generates a fully (or partially) filled rows x cols sheet — the
+// uniform grids of the positional-access experiments (Figures 18, 22-24).
+func Dense(rows, cols int, density float64, seed int64) *sheet.Sheet {
+	rng := rand.New(rand.NewSource(seed))
+	s := sheet.New(fmt.Sprintf("dense-%dx%d", rows, cols))
+	for row := 1; row <= rows; row++ {
+		for col := 1; col <= cols; col++ {
+			if density >= 1 || rng.Float64() < density {
+				s.SetValue(row, col, sheet.Number(float64(row*cols+col)))
+			}
+		}
+	}
+	return s
+}
+
+// UpdateKind enumerates the Appendix C-A2 operation mix.
+type UpdateKind uint8
+
+const (
+	// OpUpdateCell changes the value of an existing cell (p=0.6).
+	OpUpdateCell UpdateKind = iota
+	// OpAddCell adds a new cell at an arbitrary location (p=0.2).
+	OpAddCell
+	// OpAddRow adds a new row (p=0.1999).
+	OpAddRow
+	// OpAddColumn adds a new column (p=0.0001).
+	OpAddColumn
+)
+
+// UpdateOp is one generated user action.
+type UpdateOp struct {
+	Kind UpdateKind
+	Row  int
+	Col  int
+	Val  sheet.Value
+}
+
+// UpdateStream generates the user-operation mix of Appendix C-A2 against
+// the evolving sheet: 0.6 update existing / 0.2 new cell / 0.1999 new row /
+// 0.0001 new column. New cells cluster: mostly next to recently added
+// content (users building a new table type cell after adjacent cell),
+// sometimes next to any existing content, occasionally anywhere — this is
+// the drift that gradually changes the sheet's structure and eventually
+// justifies a migration (Figure 26b).
+func UpdateStream(s *sheet.Sheet, n int, seed int64) []UpdateOp {
+	rng := rand.New(rand.NewSource(seed))
+	shadow := s.Clone()
+	ops := make([]UpdateOp, 0, n)
+	var filled []sheet.Ref
+	var recent []sheet.Ref
+	shadow.Each(func(r sheet.Ref, _ sheet.Cell) { filled = append(filled, r) })
+	box, _ := shadow.Bounds()
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		var op UpdateOp
+		switch {
+		case r < 0.6 && len(filled) > 0:
+			target := filled[rng.Intn(len(filled))]
+			op = UpdateOp{Kind: OpUpdateCell, Row: target.Row, Col: target.Col, Val: sheet.Number(float64(i))}
+		case r < 0.8:
+			var row, col int
+			pick := rng.Float64()
+			switch {
+			case len(recent) > 0 && pick < 0.6:
+				// Continue building whatever was just added.
+				anchor := recent[len(recent)-1-rng.Intn(minI2(len(recent), 50))]
+				row = anchor.Row + rng.Intn(3) - 1
+				col = anchor.Col + rng.Intn(3) - 1
+			case len(filled) > 0 && pick < 0.85:
+				// Extend some existing content.
+				anchor := filled[rng.Intn(len(filled))]
+				row = anchor.Row + rng.Intn(3) - 1
+				col = anchor.Col + rng.Intn(3) - 1
+			default:
+				row = rng.Intn(box.To.Row+5) + 1
+				col = rng.Intn(box.To.Col+5) + 1
+			}
+			if row < 1 {
+				row = 1
+			}
+			if col < 1 {
+				col = 1
+			}
+			op = UpdateOp{Kind: OpAddCell, Row: row, Col: col, Val: sheet.Number(float64(i))}
+			ref := sheet.Ref{Row: op.Row, Col: op.Col}
+			filled = append(filled, ref)
+			recent = append(recent, ref)
+		case r < 0.9999:
+			op = UpdateOp{Kind: OpAddRow, Row: rng.Intn(box.To.Row + 1)}
+		default:
+			op = UpdateOp{Kind: OpAddColumn, Col: rng.Intn(box.To.Col + 1)}
+		}
+		ops = append(ops, op)
+		applyOp(shadow, op, &filled, &box)
+	}
+	return ops
+}
+
+// ApplyOp applies one generated operation to a sheet (the reference
+// implementation used by tests and the incremental-maintenance harness).
+func ApplyOp(s *sheet.Sheet, op UpdateOp) {
+	switch op.Kind {
+	case OpUpdateCell, OpAddCell:
+		s.SetValue(op.Row, op.Col, op.Val)
+	case OpAddRow:
+		s.InsertRowAfter(op.Row)
+	case OpAddColumn:
+		s.InsertColumnAfter(op.Col)
+	}
+}
+
+func applyOp(s *sheet.Sheet, op UpdateOp, filled *[]sheet.Ref, box *sheet.Range) {
+	ApplyOp(s, op)
+	switch op.Kind {
+	case OpAddRow:
+		for i, r := range *filled {
+			if r.Row > op.Row {
+				(*filled)[i].Row++
+			}
+		}
+		box.To.Row++
+	case OpAddColumn:
+		for i, r := range *filled {
+			if r.Col > op.Col {
+				(*filled)[i].Col++
+			}
+		}
+		box.To.Col++
+	case OpAddCell:
+		if op.Row > box.To.Row {
+			box.To.Row = op.Row
+		}
+		if op.Col > box.To.Col {
+			box.To.Col = op.Col
+		}
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

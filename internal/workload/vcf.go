@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dataspread/internal/sheet"
+)
+
+// VCFSpec sizes a synthetic variant-call dataset (Example 1: the paper's
+// collaborators' file has 1.3M rows x 284 columns; scale down for tests).
+type VCFSpec struct {
+	Rows    int
+	Samples int // sample genotype columns beyond the 9 fixed VCF fields
+	Seed    int64
+}
+
+// VCFColumns returns the header row for the spec.
+func VCFColumns(spec VCFSpec) []string {
+	cols := []string{"CHROM", "POS", "ID", "REF", "ALT", "QUAL", "FILTER", "INFO", "FORMAT"}
+	for i := 0; i < spec.Samples; i++ {
+		cols = append(cols, fmt.Sprintf("SAMPLE%03d", i+1))
+	}
+	return cols
+}
+
+var (
+	vcfBases  = []string{"A", "C", "G", "T"}
+	vcfGenos  = []string{"0/0", "0/1", "1/1", "./."}
+	vcfChroms = []string{"1", "2", "3", "4", "5", "X"}
+)
+
+// VCFRow generates the 1-based row i (row 1 is the header).
+func VCFRow(spec VCFSpec, i int) []sheet.Value {
+	cols := VCFColumns(spec)
+	out := make([]sheet.Value, len(cols))
+	if i == 1 {
+		for j, c := range cols {
+			out[j] = sheet.Str(c)
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + int64(i)))
+	out[0] = sheet.Str(vcfChroms[rng.Intn(len(vcfChroms))])
+	out[1] = sheet.Number(float64(10000 + i*37))
+	out[2] = sheet.Str(fmt.Sprintf("rs%d", 100000+i))
+	out[3] = sheet.Str(vcfBases[rng.Intn(4)])
+	out[4] = sheet.Str(vcfBases[rng.Intn(4)])
+	out[5] = sheet.Number(float64(rng.Intn(100)))
+	out[6] = sheet.Str("PASS")
+	out[7] = sheet.Str(fmt.Sprintf("DP=%d;AF=%.3f", rng.Intn(500), rng.Float64()))
+	out[8] = sheet.Str("GT")
+	for j := 9; j < len(out); j++ {
+		out[j] = sheet.Str(vcfGenos[rng.Intn(len(vcfGenos))])
+	}
+	return out
+}
+
+// VCFSheet materializes the whole dataset as a sheet (use only for modest
+// specs; large runs should stream VCFRow directly into an engine).
+func VCFSheet(spec VCFSpec) *sheet.Sheet {
+	s := sheet.New("vcf")
+	for i := 1; i <= spec.Rows+1; i++ {
+		row := VCFRow(spec, i)
+		for j, v := range row {
+			s.SetValue(i, j+1, v)
+		}
+	}
+	return s
+}
+
+// SurveyQuestion is one Figure 6 stacked bar: how many of the 30 surveyed
+// spreadsheet users answered 1 ("never") through 5 ("frequently").
+type SurveyQuestion struct {
+	Operation string
+	Counts    [5]int // index 0 = answer 1, ..., index 4 = answer 5
+}
+
+// Survey returns the published Figure 6 response distribution. A survey
+// cannot be re-run offline; this is data, reproduced from the paper's
+// description (30 participants; all scroll, 22 marking 5; all edit cells;
+// only 4-5 participants below 4 on the remaining operations).
+func Survey() []SurveyQuestion {
+	return []SurveyQuestion{
+		{Operation: "Scrolling", Counts: [5]int{0, 0, 0, 8, 22}},
+		{Operation: "Changing individual cells", Counts: [5]int{0, 0, 2, 9, 19}},
+		{Operation: "Formula evaluation", Counts: [5]int{1, 1, 3, 9, 16}},
+		{Operation: "Row/column operations", Counts: [5]int{1, 1, 2, 11, 15}},
+		{Operation: "Data organized in tables", Counts: [5]int{1, 1, 3, 10, 15}},
+		{Operation: "Importance of ordering", Counts: [5]int{1, 1, 3, 8, 17}},
+	}
+}

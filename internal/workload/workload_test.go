@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dataspread/internal/analyze"
+	"dataspread/internal/sheet"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(Enron, 5, 42)
+	b := Corpus(Enron, 5, 42)
+	for i := range a {
+		if a[i].Len() != b[i].Len() {
+			t.Fatalf("sheet %d: %d vs %d cells", i, a[i].Len(), b[i].Len())
+		}
+		equal := true
+		a[i].Each(func(r sheet.Ref, c sheet.Cell) {
+			got := b[i].Get(r)
+			if !got.Value.Equal(c.Value) || got.Formula != c.Formula {
+				equal = false
+			}
+		})
+		if !equal {
+			t.Fatalf("sheet %d differs between runs", i)
+		}
+	}
+}
+
+// TestCorpusMatchesProfiles checks that the generated corpora land near the
+// Table I marginals they were calibrated to.
+func TestCorpusMatchesProfiles(t *testing.T) {
+	const n = 150
+	for _, p := range Profiles() {
+		sheets := Corpus(p, n, 7)
+		stats := make([]analyze.SheetStats, len(sheets))
+		for i, s := range sheets {
+			stats[i] = analyze.Analyze(s)
+		}
+		cs := analyze.Aggregate(stats)
+
+		within := func(name string, got, want, tol float64) {
+			if got < want-tol || got > want+tol {
+				t.Errorf("%s: %s = %.3f, calibration target %.3f (±%.2f)", p.Name, name, got, want, tol)
+			}
+		}
+		within("formula sheets", cs.SheetsWithFormulas, p.FormulaSheetFrac, 0.12)
+		within("sheets <50%% density", cs.SheetsUnder50Density, p.SparseFrac, 0.18)
+		// Formulae must exist in formula-bearing corpora.
+		if p.FormulaSheetFrac > 0.2 && cs.FormulaCellFrac == 0 {
+			t.Errorf("%s: no formulas generated", p.Name)
+		}
+		// All generated formulas must parse (Analyze skips unparsable ones,
+		// so compare function tallies to formula count).
+		total := 0
+		for _, c := range cs.FunctionDistribution {
+			total += c
+		}
+		if total == 0 && cs.FormulaCellFrac > 0 {
+			t.Errorf("%s: formulas present but none parsed", p.Name)
+		}
+	}
+}
+
+func TestCorpusOrdering(t *testing.T) {
+	// Table I orders datasets by formula prevalence: Academic >> others,
+	// and Academic is the sparse outlier. The generated corpora must keep
+	// those relationships (the "shape" the experiments depend on).
+	const n = 120
+	get := func(p Profile) analyze.CorpusStats {
+		sheets := Corpus(p, n, 3)
+		stats := make([]analyze.SheetStats, len(sheets))
+		for i, s := range sheets {
+			stats[i] = analyze.Analyze(s)
+		}
+		return analyze.Aggregate(stats)
+	}
+	internet, academic := get(Internet), get(Academic)
+	if academic.SheetsWithFormulas <= internet.SheetsWithFormulas {
+		t.Fatalf("Academic formula prevalence (%.2f) must exceed Internet (%.2f)",
+			academic.SheetsWithFormulas, internet.SheetsWithFormulas)
+	}
+	if academic.SheetsUnder20Density <= internet.SheetsUnder20Density {
+		t.Fatalf("Academic sparsity (%.2f) must exceed Internet (%.2f)",
+			academic.SheetsUnder20Density, internet.SheetsUnder20Density)
+	}
+	if academic.AvgCellsPerFormula >= internet.AvgCellsPerFormula {
+		t.Fatalf("Internet cells/formula (%.1f) must exceed Academic (%.1f)",
+			internet.AvgCellsPerFormula, academic.AvgCellsPerFormula)
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	s, accesses := Synthetic(SyntheticSpec{
+		Rows: 200, Cols: 60, Regions: 5, Formulas: 20, Density: 0.9, Seed: 1,
+	})
+	if s.Len() == 0 {
+		t.Fatal("empty synthetic sheet")
+	}
+	if len(accesses) != 20 {
+		t.Fatalf("accesses = %d", len(accesses))
+	}
+	// Formula cells exist and parse.
+	formulas := 0
+	s.Each(func(_ sheet.Ref, c sheet.Cell) {
+		if c.HasFormula() {
+			formulas++
+		}
+	})
+	if formulas != 20 {
+		t.Fatalf("formula cells = %d", formulas)
+	}
+	// Density sweep: lower density means fewer cells.
+	s2, _ := Synthetic(SyntheticSpec{Rows: 200, Cols: 60, Regions: 5, Formulas: 0, Density: 0.3, Seed: 1})
+	s3, _ := Synthetic(SyntheticSpec{Rows: 200, Cols: 60, Regions: 5, Formulas: 0, Density: 1.0, Seed: 1})
+	if s2.Len() >= s3.Len() {
+		t.Fatalf("density 0.3 (%d cells) should be smaller than 1.0 (%d)", s2.Len(), s3.Len())
+	}
+}
+
+func TestDense(t *testing.T) {
+	s := Dense(10, 5, 1.0, 1)
+	if s.Len() != 50 {
+		t.Fatalf("dense cells = %d", s.Len())
+	}
+	sp := Dense(100, 10, 0.5, 1)
+	if sp.Len() < 300 || sp.Len() > 700 {
+		t.Fatalf("half-density cells = %d", sp.Len())
+	}
+}
+
+func TestUpdateStreamMix(t *testing.T) {
+	s := Dense(50, 10, 1.0, 1)
+	ops := UpdateStream(s, 20000, 9)
+	var counts [4]int
+	for _, op := range ops {
+		counts[op.Kind]++
+	}
+	frac := func(k UpdateKind) float64 { return float64(counts[k]) / float64(len(ops)) }
+	if f := frac(OpUpdateCell); f < 0.55 || f > 0.65 {
+		t.Fatalf("update frac = %v", f)
+	}
+	if f := frac(OpAddCell); f < 0.15 || f > 0.25 {
+		t.Fatalf("add-cell frac = %v", f)
+	}
+	if f := frac(OpAddRow); f < 0.15 || f > 0.25 {
+		t.Fatalf("add-row frac = %v", f)
+	}
+	if counts[OpAddColumn] > 25 {
+		t.Fatalf("add-column count = %d", counts[OpAddColumn])
+	}
+	// Ops apply cleanly to a fresh clone.
+	clone := s.Clone()
+	for _, op := range ops[:1000] {
+		ApplyOp(clone, op)
+	}
+	if clone.Len() < s.Len() {
+		t.Fatal("applying ops lost cells")
+	}
+}
+
+func TestVCF(t *testing.T) {
+	spec := VCFSpec{Rows: 50, Samples: 3, Seed: 1}
+	cols := VCFColumns(spec)
+	if len(cols) != 12 || cols[0] != "CHROM" || cols[11] != "SAMPLE003" {
+		t.Fatalf("columns = %v", cols)
+	}
+	s := VCFSheet(spec)
+	if s.Len() != 51*12 {
+		t.Fatalf("cells = %d want %d", s.Len(), 51*12)
+	}
+	// Header row.
+	if s.GetRC(1, 1).Value.Text() != "CHROM" {
+		t.Fatal("missing header")
+	}
+	// Deterministic rows.
+	r1 := VCFRow(spec, 10)
+	r2 := VCFRow(spec, 10)
+	for i := range r1 {
+		if !r1[i].Equal(r2[i]) {
+			t.Fatal("VCFRow not deterministic")
+		}
+	}
+	// POS increases with row.
+	p10, _ := VCFRow(spec, 10)[1].Num()
+	p20, _ := VCFRow(spec, 20)[1].Num()
+	if p20 <= p10 {
+		t.Fatal("POS must increase")
+	}
+}
+
+func TestSurvey(t *testing.T) {
+	qs := Survey()
+	if len(qs) != 6 {
+		t.Fatalf("questions = %d", len(qs))
+	}
+	for _, q := range qs {
+		total := 0
+		for _, c := range q.Counts {
+			total += c
+		}
+		if total != 30 {
+			t.Fatalf("%s: %d responses, want 30", q.Operation, total)
+		}
+	}
+	// All participants scroll; 22 marked 5.
+	if qs[0].Counts[4] != 22 || qs[0].Counts[0] != 0 {
+		t.Fatalf("scrolling = %v", qs[0].Counts)
+	}
+}
+
+func TestPoissonishMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += poissonish(rng, 1.3)
+	}
+	mean := float64(sum) / n
+	if mean < 1.0 || mean > 1.6 {
+		t.Fatalf("poissonish mean = %v", mean)
+	}
+}
+
+func TestGridIORoundTrip(t *testing.T) {
+	s := GenSheet(Enron, rand.New(rand.NewSource(3)), "rt")
+	var buf bytes.Buffer
+	if err := WriteGrid(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGrid(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("round trip: %d cells vs %d", got.Len(), s.Len())
+	}
+	mismatch := 0
+	s.Each(func(r sheet.Ref, c sheet.Cell) {
+		g := got.Get(r)
+		if c.HasFormula() {
+			if g.Formula != c.Formula {
+				mismatch++
+			}
+			return
+		}
+		if !g.Value.Equal(c.Value) {
+			mismatch++
+		}
+	})
+	if mismatch > 0 {
+		t.Fatalf("%d cells diverged", mismatch)
+	}
+}
+
+func TestReadGridErrors(t *testing.T) {
+	bad := []string{
+		"noseparator",
+		"1,nocomma",
+		"x,1,v",
+		"1,y,v",
+		"0,1,v",
+		"1,-2,v",
+	}
+	for _, line := range bad {
+		if _, err := ReadGrid(strings.NewReader(line), "bad"); err == nil {
+			t.Errorf("ReadGrid(%q) should fail", line)
+		}
+	}
+	// Blank lines are tolerated.
+	s, err := ReadGrid(strings.NewReader("1,1,42\n\n2,2,=A1*2\n"), "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.GetRC(2, 2).Formula != "A1*2" {
+		t.Fatalf("parsed sheet = %+v", s)
+	}
+}
