@@ -1,0 +1,30 @@
+# Targets mirror .github/workflows/ci.yml exactly, so local runs and CI
+# cannot drift: `make ci` is what the pipeline runs.
+
+GO ?= go
+
+.PHONY: all build test bench lint fmt ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Bench smoke: every benchmark executes once so perf code paths (including
+# the file-backed pager via BenchmarkDurable*) run on every push.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+ci: lint build test bench

@@ -30,6 +30,8 @@ func main() {
 		maxRows = flag.Int("maxrows", 1_000_000, "row-count ceiling for sweeps")
 		reps    = flag.Int("reps", 20, "repetitions per timed point")
 		seed    = flag.Int64("seed", 2018, "generator seed")
+		disk    = flag.Bool("disk", false, "run on the file-backed pager (WAL + checksummed data files in a temp dir) instead of the in-memory simulator")
+		diskDir = flag.String("diskdir", "", "directory for -disk database files (default: a temp dir, removed on exit)")
 	)
 	flag.Parse()
 
@@ -39,6 +41,20 @@ func main() {
 		MaxRows:         *maxRows,
 		Reps:            *reps,
 		Seed:            *seed,
+	}
+	if *disk {
+		dir := *diskDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "dsbench-disk-*")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dsbench:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+		}
+		cfg.DiskDir = dir
+		fmt.Printf("[disk mode: file-backed databases under %s]\n\n", dir)
 	}
 
 	experiments := map[string]func(exp.Config){
@@ -87,6 +103,9 @@ func main() {
 		}
 		start := time.Now()
 		fn(cfg)
+		if err := exp.CloseDiskDBs(); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: closing disk databases: %v\n", err)
+		}
 		fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 

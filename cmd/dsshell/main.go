@@ -8,10 +8,16 @@
 //	> link A1:C4 mytable
 //	> optimize agg
 //	> quit
+//
+// With -db <path> the session is durable: the sheet is reloaded from the
+// data file on start (after WAL crash recovery), `save` commits the current
+// state to the write-ahead log, and quitting checkpoints and closes the
+// database.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -22,17 +28,56 @@ import (
 	"dataspread/internal/workload"
 )
 
+const sheetName = "shell"
+
 func main() {
-	db := rdbms.Open(rdbms.Options{})
-	eng, err := core.New(db, "shell", core.Options{})
+	dbPath := flag.String("db", "", "durable database file (default: in-memory, nothing survives exit)")
+	flag.Parse()
+
+	var db *rdbms.DB
+	var eng *core.Engine
+	var err error
+	if *dbPath != "" {
+		db, err = rdbms.OpenFile(*dbPath, rdbms.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsshell:", err)
+			os.Exit(1)
+		}
+		if hasSheet(db, sheetName) {
+			eng, err = core.Load(db, sheetName, core.Options{})
+			if err == nil {
+				rows, cols := eng.Bounds()
+				fmt.Printf("reopened %s (%dx%d used)\n", *dbPath, rows, cols)
+			}
+		} else {
+			eng, err = core.New(db, sheetName, core.Options{})
+		}
+	} else {
+		db = rdbms.Open(rdbms.Options{})
+		eng, err = core.New(db, sheetName, core.Options{})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsshell:", err)
 		os.Exit(1)
 	}
+	durable := *dbPath != ""
+	defer func() {
+		if !durable {
+			return
+		}
+		if err := eng.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "dsshell: checkpoint:", err)
+		}
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dsshell: close:", err)
+		}
+	}()
+
 	fmt.Println("DataSpread shell. Commands: set <ref> <value|=formula>, view <range>,")
 	fmt.Println("sql <query>, link <range> <table>, optimize <dp|greedy|agg>, insrow <n>,")
-	fmt.Println("delrow <n>, inscol <n>, delcol <n>, load <file.grid>, quit")
+	fmt.Println("delrow <n>, inscol <n>, delcol <n>, load <file.grid>, save, quit")
 	sc := bufio.NewScanner(os.Stdin)
+	var lastIOErr string
 	for {
 		fmt.Print("> ")
 		if !sc.Scan() {
@@ -48,7 +93,23 @@ func main() {
 			}
 			fmt.Println("error:", err)
 		}
+		// Page-level I/O failures (e.g. checksum mismatches on a corrupt
+		// data file) are swallowed by the read path, which renders the
+		// affected cells blank; surface them so blank != lost silently.
+		if err := db.Pool().Err(); err != nil && err.Error() != lastIOErr {
+			lastIOErr = err.Error()
+			fmt.Println("warning: storage error:", err)
+		}
 	}
+}
+
+func hasSheet(db *rdbms.DB, name string) bool {
+	for _, n := range core.SheetNames(db) {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 var errQuit = fmt.Errorf("quit")
@@ -59,6 +120,16 @@ func dispatch(eng *core.Engine, line string) error {
 	switch strings.ToLower(cmd) {
 	case "quit", "exit":
 		return errQuit
+	case "save":
+		if err := eng.Save(); err != nil {
+			return err
+		}
+		if eng.DB().Path() == "" {
+			fmt.Println("saved (in-memory database: state will not survive exit; use -db <path>)")
+		} else {
+			fmt.Println("saved (WAL committed)")
+		}
+		return nil
 	case "set":
 		refText, val, ok := strings.Cut(rest, " ")
 		if !ok {

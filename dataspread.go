@@ -36,6 +36,10 @@ type (
 	EngineOptions = core.Options
 	// DB is the backing relational store.
 	DB = rdbms.DB
+	// RID is a tuple identifier within the store.
+	RID = rdbms.RID
+	// Row is a database tuple (distinct from a spreadsheet row).
+	Row = rdbms.Row
 	// Sheet is the in-memory conceptual data model.
 	Sheet = sheet.Sheet
 	// Cell is a value with an optional formula.
@@ -57,10 +61,27 @@ type (
 // OpenDB creates an empty in-memory database.
 func OpenDB() *DB { return rdbms.Open(rdbms.Options{}) }
 
+// OpenFileDB opens (or creates) a durable database backed by the single
+// data file at path, with its write-ahead log at path+".wal". Crash
+// recovery (WAL redo) runs before the catalog loads. Release it with
+// db.Close(), which checkpoints; use Engine.Save / Engine.Checkpoint to
+// persist sheets along the way.
+func OpenFileDB(path string) (*DB, error) { return rdbms.OpenFile(path, rdbms.Options{}) }
+
 // NewEngine opens an empty spreadsheet on the database.
 func NewEngine(db *DB, name string) (*Engine, error) {
 	return core.New(db, name, core.Options{})
 }
+
+// LoadEngine reattaches a sheet persisted in the database by Engine.Save or
+// Engine.Checkpoint: values, formulas, positional order, linked tables and
+// indexes all round-trip.
+func LoadEngine(db *DB, name string) (*Engine, error) {
+	return core.Load(db, name, core.Options{})
+}
+
+// SheetNames lists the sheets persisted in the database.
+func SheetNames(db *DB) []string { return core.SheetNames(db) }
 
 // OpenSheet loads an existing sheet, laying it out with the hybrid
 // optimizer ("agg" by default; see core.Open for other algorithms).

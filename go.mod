@@ -1,0 +1,3 @@
+module dataspread
+
+go 1.24

@@ -199,6 +199,12 @@ func (e *Engine) Optimize(algo string, eta float64) (*hybrid.IncrementalResult, 
 	if err != nil {
 		return nil, err
 	}
+	// The old store is replaced wholesale; drop its backing tables and
+	// persisted manifest so neither the catalog nor a reopened database
+	// carries a dead copy of every cell.
+	if err := e.store.Drop(); err != nil {
+		return nil, err
+	}
 	e.store = hs
 	e.cache = newEngineCache(e)
 	return res, nil

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dataspread/internal/depgraph"
+	"dataspread/internal/formula"
+	"dataspread/internal/hybrid"
+	"dataspread/internal/model"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// engineMetaKey is the metadata KV prefix for persisted engine state.
+const engineMetaKey = "engine:"
+
+// engineManifest is the engine state that lives outside the hybrid store:
+// which store backs the sheet (it changes on Optimize), the content bounds,
+// and the migration sequence counter. Formulas are not listed here — they
+// are stored inside the cells and re-registered on load.
+type engineManifest struct {
+	Store  string `json:"store"`
+	MaxRow int    `json:"max_row"`
+	MaxCol int    `json:"max_col"`
+	Seq    int    `json:"seq"`
+}
+
+// Save persists the engine into the database and commits the write-ahead
+// log: the hybrid store manifest, the engine manifest, and every dirty page
+// become durable. On an in-memory database the manifests are written but
+// the WAL commit is a no-op.
+func (e *Engine) Save() error {
+	if err := e.saveManifests(); err != nil {
+		return err
+	}
+	return e.db.FlushWAL()
+}
+
+// Checkpoint is Save plus a full data-file checkpoint (pages written to
+// their slots, WAL truncated).
+func (e *Engine) Checkpoint() error {
+	if err := e.saveManifests(); err != nil {
+		return err
+	}
+	return e.db.Checkpoint()
+}
+
+func (e *Engine) saveManifests() error {
+	if err := e.store.SaveManifest(); err != nil {
+		return err
+	}
+	blob, err := json.Marshal(engineManifest{
+		Store:  e.store.Name(),
+		MaxRow: e.maxRow,
+		MaxCol: e.maxCol,
+		Seq:    e.seq,
+	})
+	if err != nil {
+		return err
+	}
+	e.db.PutMeta(engineMetaKey+e.name, blob)
+	return nil
+}
+
+// SheetNames lists the sheets persisted in the database.
+func SheetNames(db *rdbms.DB) []string {
+	keys := db.MetaKeys(engineMetaKey)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k[len(engineMetaKey):]
+	}
+	return out
+}
+
+// Load reattaches a persisted sheet: the hybrid store is rebuilt from its
+// manifest over the already-loaded catalog, and formulas are re-registered
+// from the stored cells (their cached values were persisted with them, so
+// nothing is recomputed).
+func Load(db *rdbms.DB, name string, opts Options) (*Engine, error) {
+	blob, ok := db.GetMeta(engineMetaKey + name)
+	if !ok {
+		return nil, fmt.Errorf("core: no persisted sheet %q", name)
+	}
+	var m engineManifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("core: corrupt manifest for sheet %q: %w", name, err)
+	}
+	if opts.CostParams == (hybrid.CostParams{}) {
+		opts.CostParams = hybrid.PostgresCost
+	}
+	hs, err := model.LoadHybridStore(db, m.Store)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		name:        name,
+		db:          db,
+		store:       hs,
+		deps:        depgraph.New(),
+		exprs:       make(map[sheet.Ref]formula.Expr),
+		params:      opts.CostParams,
+		seq:         m.Seq,
+		maxRow:      m.MaxRow,
+		maxCol:      m.MaxCol,
+		cacheBlocks: opts.CacheBlocks,
+	}
+	e.cache = newEngineCache(e)
+	if m.MaxRow > 0 && m.MaxCol > 0 {
+		snap, err := hs.Snapshot(name, sheet.NewRange(1, 1, m.MaxRow, m.MaxCol))
+		if err != nil {
+			return nil, err
+		}
+		var regErr error
+		snap.EachSorted(func(r sheet.Ref, c sheet.Cell) {
+			if c.HasFormula() && regErr == nil {
+				if err := e.registerFormula(r, c.Formula); err != nil {
+					regErr = err
+				}
+			}
+		})
+		if regErr != nil {
+			return nil, regErr
+		}
+	}
+	return e, nil
+}

@@ -195,7 +195,7 @@ func VCFScroll(cfg Config) VCFScrollResult {
 	}
 	spec := workload.VCFSpec{Rows: rows, Samples: 11, Seed: cfg.Seed}
 	cols := len(workload.VCFColumns(spec))
-	db := rdbms.Open(rdbms.Options{BufferPoolPages: 1 << 14})
+	db := cfg.openDB(1 << 14)
 	rom, err := model.NewROM(model.Config{DB: db, TableName: "vcf"}, cols)
 	if err != nil {
 		panic(err)

@@ -34,7 +34,7 @@ func Table2(cfg Config) Table2Result {
 	}
 	res := Table2Result{Cells: rows * cols}
 
-	db := rdbms.Open(rdbms.Options{BufferPoolPages: 1 << 14})
+	db := cfg.openDB(1 << 14)
 
 	// RCV with explicit positions: (row, col, value) tuples, indexed on row.
 	rcv, _ := db.CreateTable("t2rcv", rdbms.NewSchema(
@@ -180,13 +180,13 @@ type SweepPoint struct {
 
 // buildTranslator materializes a dense sheet region in one primitive model
 // with the hierarchical positional scheme.
-func buildTranslator(kind string, rows, cols int, density float64, seed int64) model.Translator {
-	db := rdbms.Open(rdbms.Options{BufferPoolPages: 1 << 14})
-	cfg := model.Config{DB: db, TableName: "sweep"}
+func buildTranslator(cfg Config, kind string, rows, cols int, density float64, seed int64) model.Translator {
+	db := cfg.openDB(1 << 14)
+	mcfg := model.Config{DB: db, TableName: "sweep"}
 	s := workload.Dense(rows, cols, density, seed)
 	switch kind {
 	case "rom":
-		rom, err := model.NewROM(cfg, cols)
+		rom, err := model.NewROM(mcfg, cols)
 		if err != nil {
 			panic(err)
 		}
@@ -201,7 +201,7 @@ func buildTranslator(kind string, rows, cols int, density float64, seed int64) m
 		}
 		return rom
 	case "rcv":
-		rcv, err := model.NewRCV(cfg, rows, cols)
+		rcv, err := model.NewRCV(mcfg, rows, cols)
 		if err != nil {
 			panic(err)
 		}
@@ -227,10 +227,13 @@ func sweep(cfg Config, title string, points []float64, build func(kind string, x
 	for _, x := range points {
 		times := make(map[string]time.Duration)
 		for _, kind := range []string{"rcv", "rom"} {
+			mark := diskMark()
 			tr := build(kind, x)
 			rng := rand.New(rand.NewSource(cfg.Seed))
 			times[kind] = timeIt(cfg.Reps, func() { op(tr, rng) })
 			out = append(out, SweepPoint{Model: kind, X: x, Time: times[kind]})
+			// Release this point's file-backed database (no-op in-memory).
+			closeDiskSince(mark) //nolint:errcheck
 		}
 		cfg.printf("%-8.3g %12s %12s\n", x, times["rcv"], times["rom"])
 	}
@@ -261,17 +264,17 @@ func Fig22(cfg Config) (byDensity, byCols, byRows []SweepPoint) {
 	byDensity = sweep(cfg, "Figure 22(a): update 100x20 region vs density",
 		[]float64{0.2, 0.4, 0.6, 0.8, 1.0},
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, baseRows, 100, x, cfg.Seed)
+			return buildTranslator(cfg, kind, baseRows, 100, x, cfg.Seed)
 		}, update)
 	byCols = sweep(cfg, "Figure 22(b): update 100x20 region vs #columns",
 		[]float64{30, 50, 70, 100},
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, baseRows, int(x), 1.0, cfg.Seed)
+			return buildTranslator(cfg, kind, baseRows, int(x), 1.0, cfg.Seed)
 		}, update)
 	byRows = sweep(cfg, "Figure 22(c): update 100x20 region vs #rows",
 		rowPoints(cfg.MaxRows/10),
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, int(x), 50, 1.0, cfg.Seed)
+			return buildTranslator(cfg, kind, int(x), 50, 1.0, cfg.Seed)
 		}, update)
 	return byDensity, byCols, byRows
 }
@@ -289,17 +292,17 @@ func Fig23(cfg Config) (byDensity, byCols, byRows []SweepPoint) {
 	byDensity = sweep(cfg, "Figure 23(a): insert row vs density",
 		[]float64{0.2, 0.4, 0.6, 0.8, 1.0},
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, baseRows, 100, x, cfg.Seed)
+			return buildTranslator(cfg, kind, baseRows, 100, x, cfg.Seed)
 		}, insert)
 	byCols = sweep(cfg, "Figure 23(b): insert row vs #columns",
 		[]float64{10, 30, 50, 70, 100},
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, baseRows, int(x), 1.0, cfg.Seed)
+			return buildTranslator(cfg, kind, baseRows, int(x), 1.0, cfg.Seed)
 		}, insert)
 	byRows = sweep(cfg, "Figure 23(c): insert row vs #rows",
 		rowPoints(cfg.MaxRows/10),
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, int(x), 50, 1.0, cfg.Seed)
+			return buildTranslator(cfg, kind, int(x), 50, 1.0, cfg.Seed)
 		}, insert)
 	return byDensity, byCols, byRows
 }
@@ -323,17 +326,17 @@ func Fig24(cfg Config) (byDensity, byCols, byRows []SweepPoint) {
 	byDensity = sweep(cfg, "Figure 24(a): select 1000x20 region vs density",
 		[]float64{0.2, 0.4, 0.6, 0.8, 1.0},
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, baseRows, 100, x, cfg.Seed)
+			return buildTranslator(cfg, kind, baseRows, 100, x, cfg.Seed)
 		}, sel)
 	byCols = sweep(cfg, "Figure 24(b): select 1000x20 region vs #columns",
 		[]float64{30, 50, 70, 100},
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, baseRows, int(x), 1.0, cfg.Seed)
+			return buildTranslator(cfg, kind, baseRows, int(x), 1.0, cfg.Seed)
 		}, sel)
 	byRows = sweep(cfg, "Figure 24(c): select 1000x20 region vs #rows",
 		rowPoints(cfg.MaxRows/10),
 		func(kind string, x float64) model.Translator {
-			return buildTranslator(kind, int(x), 50, 1.0, cfg.Seed)
+			return buildTranslator(cfg, kind, int(x), 50, 1.0, cfg.Seed)
 		}, sel)
 	return byDensity, byCols, byRows
 }

@@ -9,11 +9,14 @@ package exp
 import (
 	"fmt"
 	"io"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"dataspread/internal/analyze"
 	"dataspread/internal/formula"
 	"dataspread/internal/hybrid"
+	"dataspread/internal/rdbms"
 	"dataspread/internal/sheet"
 	"dataspread/internal/workload"
 )
@@ -37,6 +40,11 @@ type Config struct {
 	// Actions is the user-operation count for the incremental-maintenance
 	// timeline (default 10000, matching Figure 26b).
 	Actions int
+	// DiskDir, when non-empty, switches the harness from the in-memory
+	// simulated disk to file-backed databases (one data file + WAL per
+	// experiment database) created under the directory — the dsbench
+	// -disk mode. CloseDiskDBs releases the files between experiments.
+	DiskDir string
 }
 
 // Resolve fills defaults.
@@ -64,6 +72,68 @@ func (c Config) Resolve() Config {
 
 func (c Config) printf(format string, args ...interface{}) {
 	fmt.Fprintf(c.W, format, args...)
+}
+
+// diskDBs tracks file-backed databases opened by the harness so drivers can
+// release the file handles between experiments (sweeps open one DB per
+// point, and a full -disk run would otherwise exhaust descriptors).
+var diskDBs struct {
+	mu   sync.Mutex
+	seq  int
+	open []*rdbms.DB
+}
+
+// openDB opens an experiment database: the in-memory simulator by default,
+// or a fresh file-backed database under DiskDir in -disk mode.
+func (c Config) openDB(pages int) *rdbms.DB {
+	if c.DiskDir == "" {
+		return rdbms.Open(rdbms.Options{BufferPoolPages: pages})
+	}
+	diskDBs.mu.Lock()
+	diskDBs.seq++
+	path := filepath.Join(c.DiskDir, fmt.Sprintf("exp%04d.dsdb", diskDBs.seq))
+	diskDBs.mu.Unlock()
+	db, err := rdbms.OpenFile(path, rdbms.Options{BufferPoolPages: pages})
+	if err != nil {
+		panic(fmt.Sprintf("exp: open disk database %s: %v", path, err))
+	}
+	diskDBs.mu.Lock()
+	diskDBs.open = append(diskDBs.open, db)
+	diskDBs.mu.Unlock()
+	return db
+}
+
+// CloseDiskDBs checkpoints and closes every file-backed database opened
+// since the last call. No-op in the default in-memory mode.
+func CloseDiskDBs() error {
+	return closeDiskSince(0)
+}
+
+// diskMark snapshots the open-database count so a sweep can release the
+// databases of one measurement point with closeDiskSince — sweeps open a
+// DB per point per model, and holding them all for a whole experiment
+// would exhaust file descriptors.
+func diskMark() int {
+	diskDBs.mu.Lock()
+	defer diskDBs.mu.Unlock()
+	return len(diskDBs.open)
+}
+
+func closeDiskSince(mark int) error {
+	diskDBs.mu.Lock()
+	var dbs []*rdbms.DB
+	if mark < len(diskDBs.open) {
+		dbs = diskDBs.open[mark:]
+		diskDBs.open = diskDBs.open[:mark]
+	}
+	diskDBs.mu.Unlock()
+	var firstErr error
+	for _, db := range dbs {
+		if err := db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // corpusSet caches generated corpora with their per-sheet stats.

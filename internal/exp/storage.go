@@ -5,7 +5,6 @@ import (
 
 	"dataspread/internal/hybrid"
 	"dataspread/internal/model"
-	"dataspread/internal/rdbms"
 	"dataspread/internal/sheet"
 	"dataspread/internal/workload"
 )
@@ -168,9 +167,9 @@ func Fig15b(cfg Config) []Fig15bRow {
 				continue
 			}
 			formulas += len(ranges)
-			romT += replayAccess(s, "rom", ranges)
-			rcvT += replayAccess(s, "rcv", ranges)
-			aggT += replayAccess(s, "agg", ranges)
+			romT += replayAccess(cfg, s, "rom", ranges)
+			rcvT += replayAccess(cfg, s, "rcv", ranges)
+			aggT += replayAccess(cfg, s, "agg", ranges)
 		}
 		if formulas > 0 {
 			row.ROM = romT / time.Duration(formulas)
@@ -192,12 +191,14 @@ func formulaRanges(s *sheet.Sheet) []sheet.Range {
 
 // replayAccess materializes the sheet under the algorithm and measures the
 // total time to fetch every formula range through the store.
-func replayAccess(s *sheet.Sheet, algo string, ranges []sheet.Range) time.Duration {
+func replayAccess(cfg Config, s *sheet.Sheet, algo string, ranges []sheet.Range) time.Duration {
 	d, err := hybrid.Decompose(s, algo, hybrid.Options{Params: hybrid.PostgresCost, Models: hybrid.AllModels})
 	if err != nil {
 		return 0
 	}
-	hs, err := model.Materialize(rdbms.Open(rdbms.Options{}), "f15b", "hierarchical", s, d)
+	mark := diskMark()
+	defer closeDiskSince(mark) //nolint:errcheck // release this sheet's disk DB
+	hs, err := model.Materialize(cfg.openDB(0), "f15b", "hierarchical", s, d)
 	if err != nil {
 		return 0
 	}
@@ -256,7 +257,8 @@ func Fig17(cfg Config) []Fig17Row {
 				continue
 			}
 			row.AnalyticCost[m] = d.Cost
-			hs, err := model.Materialize(rdbms.Open(rdbms.Options{}), "f17", "hierarchical", s, d)
+			mark := diskMark()
+			hs, err := model.Materialize(cfg.openDB(0), "f17", "hierarchical", s, d)
 			if err != nil {
 				cfg.printf("fig17: %s materialize: %v\n", m, err)
 				continue
@@ -267,6 +269,7 @@ func Fig17(cfg Config) []Fig17Row {
 				hs.GetCells(g) //nolint:errcheck // timing path
 			}
 			row.AccessTime[m] = time.Since(start)
+			closeDiskSince(mark) //nolint:errcheck // release this model's disk DB
 		}
 		out = append(out, row)
 		cfg.printf("%-8.2f %10.2f %10.2f %10.2f %12s %12s %12s\n", den,

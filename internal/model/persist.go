@@ -1,0 +1,293 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dataspread/internal/posmap"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// Store manifests make a HybridStore round-trip across database restarts.
+// Tuples already live in the (durable) rdbms heaps; what the manifest adds
+// is the state that exists only in memory: region rectangles and kinds,
+// positional-map orderings (the RID sequences), ROM column indirections and
+// RCV surrogate maps. The manifest is stored in the database's metadata KV
+// under "sheet:<name>", so rdbms.DB.FlushWAL/Checkpoint persist it with the
+// catalog.
+//
+// B+ tree key indexes (RCV) are not serialized: the backing table carries
+// the key attribute, so they are rebuilt by a heap scan on load, exactly
+// like catalog indexes.
+
+// storeMetaKey is the metadata KV key prefix for store manifests.
+const storeMetaKey = "sheet:"
+
+type storeManifest struct {
+	Name     string           `json:"name"`
+	Scheme   string           `json:"scheme"`
+	Seq      int              `json:"seq"`
+	Overflow rcvManifest      `json:"overflow"`
+	Regions  []regionManifest `json:"regions,omitempty"`
+}
+
+type regionManifest struct {
+	// Rect is {fromRow, fromCol, toRow, toCol} in absolute coordinates.
+	Rect [4]int       `json:"rect"`
+	Kind string       `json:"kind"` // "rom", "com", "rcv", "tom"
+	ROM  *romManifest `json:"rom,omitempty"`
+	RCV  *rcvManifest `json:"rcv,omitempty"`
+	TOM  *tomManifest `json:"tom,omitempty"`
+}
+
+type romManifest struct {
+	Table   string   `json:"table"`
+	ColPos  []int    `json:"col_pos"`
+	NextCol int      `json:"next_col"`
+	RowRIDs []uint64 `json:"row_rids"` // packed page<<16|slot, in display order
+}
+
+type rcvManifest struct {
+	Table     string  `json:"table"`
+	RowIDs    []int64 `json:"row_ids"` // surrogates in display order
+	ColIDs    []int64 `json:"col_ids"`
+	NextRowID int64   `json:"next_row_id"`
+	NextColID int64   `json:"next_col_id"`
+}
+
+type tomManifest struct {
+	Table   string   `json:"table"`
+	Headers bool     `json:"headers"`
+	RowRIDs []uint64 `json:"row_rids"`
+}
+
+func packRID(r rdbms.RID) uint64   { return uint64(r.Page)<<16 | uint64(r.Slot) }
+func unpackRID(v uint64) rdbms.RID { return rdbms.RID{Page: rdbms.PageID(v >> 16), Slot: uint16(v)} }
+
+func mapRIDs(m posmap.Map) []uint64 {
+	rids := m.FetchRange(1, m.Len())
+	out := make([]uint64, len(rids))
+	for i, r := range rids {
+		out[i] = packRID(r)
+	}
+	return out
+}
+
+func rebuildPosmap(scheme string, packed []uint64) posmap.Map {
+	m := posmap.New(scheme)
+	for i, v := range packed {
+		m.Insert(i+1, unpackRID(v))
+	}
+	return m
+}
+
+func (r *ROM) manifest() *romManifest {
+	return &romManifest{
+		Table:   r.cfg.TableName,
+		ColPos:  append([]int(nil), r.colPos...),
+		NextCol: r.nextCol,
+		RowRIDs: mapRIDs(r.rowMap),
+	}
+}
+
+func loadROM(db *rdbms.DB, scheme string, m *romManifest) (*ROM, error) {
+	table := db.Table(m.Table)
+	if table == nil {
+		return nil, fmt.Errorf("model: manifest references missing table %q", m.Table)
+	}
+	return &ROM{
+		cfg:     Config{DB: db, Scheme: scheme, TableName: m.Table},
+		table:   table,
+		rowMap:  rebuildPosmap(scheme, m.RowRIDs),
+		colPos:  append([]int(nil), m.ColPos...),
+		nextCol: m.NextCol,
+	}, nil
+}
+
+func (r *RCV) manifest() rcvManifest {
+	return rcvManifest{
+		Table:     r.cfg.TableName,
+		RowIDs:    r.rowIDs.Range(1, r.rowIDs.Len()),
+		ColIDs:    r.colIDs.Range(1, r.colIDs.Len()),
+		NextRowID: r.nextRowID,
+		NextColID: r.nextColID,
+	}
+}
+
+func loadRCV(db *rdbms.DB, scheme string, m rcvManifest) (*RCV, error) {
+	table := db.Table(m.Table)
+	if table == nil {
+		return nil, fmt.Errorf("model: manifest references missing table %q", m.Table)
+	}
+	r := &RCV{
+		cfg:       Config{DB: db, Scheme: scheme, TableName: m.Table},
+		table:     table,
+		rowIDs:    newIDMap(scheme),
+		colIDs:    newIDMap(scheme),
+		nextRowID: m.NextRowID,
+		nextColID: m.NextColID,
+		index:     rdbms.NewBTree(64),
+	}
+	for i, id := range m.RowIDs {
+		r.rowIDs.Insert(i+1, id)
+	}
+	for i, id := range m.ColIDs {
+		r.colIDs.Insert(i+1, id)
+	}
+	// The table is self-describing (key attribute per tuple): rebuild the
+	// key index and the cell count by scanning the heap.
+	table.Scan(func(rid rdbms.RID, row rdbms.Row) bool {
+		r.index.Insert(row[0].Int64(), rid)
+		r.cells++
+		return true
+	})
+	return r, nil
+}
+
+func (t *TOM) manifest() *tomManifest {
+	return &tomManifest{
+		Table:   t.db.Name,
+		Headers: t.headers,
+		RowRIDs: mapRIDs(t.rowMap),
+	}
+}
+
+func loadTOM(db *rdbms.DB, scheme string, m *tomManifest) (*TOM, error) {
+	table := db.Table(m.Table)
+	if table == nil {
+		return nil, fmt.Errorf("model: manifest references missing linked table %q", m.Table)
+	}
+	return &TOM{
+		db:      table,
+		rowMap:  rebuildPosmap(scheme, m.RowRIDs),
+		headers: m.Headers,
+	}, nil
+}
+
+// manifest serializes the store.
+func (h *HybridStore) manifest() (*storeManifest, error) {
+	m := &storeManifest{
+		Name:     h.name,
+		Scheme:   h.scheme,
+		Seq:      h.seq,
+		Overflow: h.overflow.manifest(),
+	}
+	for _, reg := range h.regions {
+		rm := regionManifest{Rect: [4]int{
+			reg.rect.From.Row, reg.rect.From.Col, reg.rect.To.Row, reg.rect.To.Col,
+		}}
+		switch tr := reg.tr.(type) {
+		case *ROM:
+			rm.Kind = "rom"
+			rm.ROM = tr.manifest()
+		case *COM:
+			rm.Kind = "com"
+			rm.ROM = tr.inner.manifest()
+		case *RCV:
+			rm.Kind = "rcv"
+			rcv := tr.manifest()
+			rm.RCV = &rcv
+		case *TOM:
+			rm.Kind = "tom"
+			rm.TOM = tr.manifest()
+		default:
+			return nil, fmt.Errorf("model: cannot serialize translator %T", reg.tr)
+		}
+		m.Regions = append(m.Regions, rm)
+	}
+	return m, nil
+}
+
+// SaveManifest writes the store manifest into the database metadata KV.
+// Call it before rdbms.DB.FlushWAL/Checkpoint/Close so the store state is
+// included in the durable image.
+func (h *HybridStore) SaveManifest() error {
+	m, err := h.manifest()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	h.db.PutMeta(storeMetaKey+h.name, blob)
+	return nil
+}
+
+// DropManifest removes the store's persisted manifest (used when a store is
+// replaced during migration).
+func (h *HybridStore) DropManifest() {
+	h.db.PutMeta(storeMetaKey+h.name, nil)
+}
+
+// Drop retires the whole store: every region's backing tables (linked TOM
+// tables are left intact — their Drop is a no-op), the overflow table, and
+// the persisted manifest. Used when migration replaces a store, so the old
+// cells do not leak into the durable catalog forever.
+func (h *HybridStore) Drop() error {
+	for _, r := range h.regions {
+		if err := r.tr.Drop(); err != nil {
+			return err
+		}
+	}
+	if err := h.overflow.Drop(); err != nil {
+		return err
+	}
+	h.DropManifest()
+	return nil
+}
+
+// StoreNames lists the names of stores with a persisted manifest.
+func StoreNames(db *rdbms.DB) []string {
+	keys := db.MetaKeys(storeMetaKey)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k[len(storeMetaKey):]
+	}
+	return out
+}
+
+// LoadHybridStore reattaches a persisted store: region translators are
+// rebuilt over the (already loaded) catalog tables, positional maps from
+// the manifest's RID sequences, and RCV key indexes by heap scan.
+func LoadHybridStore(db *rdbms.DB, name string) (*HybridStore, error) {
+	blob, ok := db.GetMeta(storeMetaKey + name)
+	if !ok {
+		return nil, fmt.Errorf("model: no persisted store %q", name)
+	}
+	var m storeManifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("model: corrupt manifest for store %q: %w", name, err)
+	}
+	ov, err := loadRCV(db, m.Scheme, m.Overflow)
+	if err != nil {
+		return nil, err
+	}
+	h := &HybridStore{db: db, scheme: m.Scheme, name: m.Name, overflow: ov, seq: m.Seq}
+	for _, rm := range m.Regions {
+		rect := sheet.NewRange(rm.Rect[0], rm.Rect[1], rm.Rect[2], rm.Rect[3])
+		var tr Translator
+		switch rm.Kind {
+		case "rom":
+			tr, err = loadROM(db, m.Scheme, rm.ROM)
+		case "com":
+			var inner *ROM
+			inner, err = loadROM(db, m.Scheme, rm.ROM)
+			if err == nil {
+				tr = &COM{inner: inner}
+			}
+		case "rcv":
+			tr, err = loadRCV(db, m.Scheme, *rm.RCV)
+		case "tom":
+			tr, err = loadTOM(db, m.Scheme, rm.TOM)
+		default:
+			err = fmt.Errorf("model: unknown region kind %q", rm.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.regions = append(h.regions, storeRegion{rect: rect, tr: tr})
+	}
+	return h, nil
+}

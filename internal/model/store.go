@@ -141,6 +141,9 @@ func (h *HybridStore) LinkTable(rect sheet.Range, table *rdbms.Table, headers bo
 	return tom, nil
 }
 
+// Name returns the store's table-name prefix (its manifest key).
+func (h *HybridStore) Name() string { return h.name }
+
 // Regions returns the current region rectangles and kinds.
 func (h *HybridStore) Regions() []hybrid.Region {
 	out := make([]hybrid.Region, 0, len(h.regions))

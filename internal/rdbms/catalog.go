@@ -36,9 +36,14 @@ type tableIndex struct {
 // DB is the database: a pager, a buffer pool and a catalog of tables.
 type DB struct {
 	mu     sync.RWMutex
-	disk   *pager
+	disk   Pager
 	pool   *BufferPool
 	tables map[string]*Table // lower-cased name
+	// meta is a generic metadata key-value store, persisted with the
+	// catalog manifest. Upper layers use it to store their own manifests
+	// (sheet region maps, engine state) so a whole session round-trips.
+	meta map[string][]byte
+	path string // data file path; "" for in-memory databases
 }
 
 // Options configures a DB.
@@ -47,21 +52,185 @@ type Options struct {
 	BufferPoolPages int
 }
 
-// Open creates an empty database.
+// Open creates an empty in-memory database (the machine-independent
+// simulated disk used by tests and the experiment harness).
 func Open(opts Options) *DB {
 	if opts.BufferPoolPages == 0 {
 		opts.BufferPoolPages = 1024
 	}
-	disk := &pager{}
+	disk := &MemPager{}
 	return &DB{
 		disk:   disk,
 		pool:   newBufferPool(disk, opts.BufferPoolPages),
 		tables: make(map[string]*Table),
+		meta:   make(map[string][]byte),
 	}
+}
+
+// OpenFile opens (or creates) a durable database backed by the single data
+// file at path, with its write-ahead log at path+".wal". Committed WAL
+// batches from a previous crash are redone before the catalog is loaded;
+// uncommitted or torn WAL tails are discarded. The returned DB must be
+// released with Close (which checkpoints) — or abandoned with
+// SimulateCrash in recovery tests.
+func OpenFile(path string, opts Options) (*DB, error) {
+	if opts.BufferPoolPages == 0 {
+		opts.BufferPoolPages = 1024
+	}
+	fp, err := newFilePager(path)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		disk:   fp,
+		pool:   newBufferPool(fp, opts.BufferPoolPages),
+		tables: make(map[string]*Table),
+		meta:   make(map[string][]byte),
+		path:   path,
+	}
+	blob, err := fp.readMeta()
+	if err != nil {
+		fp.closeFiles()
+		return nil, err
+	}
+	if len(blob) > 0 {
+		if err := db.loadManifest(blob); err != nil {
+			fp.closeFiles()
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // Pool exposes the buffer pool for I/O statistics.
 func (db *DB) Pool() *BufferPool { return db.pool }
+
+// Path returns the data file path, or "" for in-memory databases.
+func (db *DB) Path() string { return db.path }
+
+// filePager returns the durable pager, or nil for in-memory databases.
+func (db *DB) filePager() *FilePager {
+	fp, _ := db.disk.(*FilePager)
+	return fp
+}
+
+// FlushWAL makes the current database state durable in the write-ahead
+// log: the catalog manifest is re-serialized into the meta pages, every
+// dirty buffer-pool frame is staged, and the batch is committed to the WAL
+// with an fsync. The data file itself is untouched — a crash after FlushWAL
+// is recovered by redo on the next OpenFile. No-op for in-memory databases.
+func (db *DB) FlushWAL() error {
+	fp := db.filePager()
+	if fp == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	blob, err := db.manifestLocked()
+	if err != nil {
+		return err
+	}
+	fp.writeMeta(blob)
+	if err := db.pool.flushDirty(); err != nil {
+		return err
+	}
+	return fp.commitWAL()
+}
+
+// Checkpoint makes the state durable and writes every modified page into
+// its checksummed data-file slot, then truncates the WAL. No-op for
+// in-memory databases.
+func (db *DB) Checkpoint() error {
+	fp := db.filePager()
+	if fp == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	blob, err := db.manifestLocked()
+	if err != nil {
+		return err
+	}
+	fp.writeMeta(blob)
+	if err := db.pool.flushDirty(); err != nil {
+		return err
+	}
+	return fp.checkpoint()
+}
+
+// Close checkpoints and releases the file handles. No-op for in-memory
+// databases.
+func (db *DB) Close() error {
+	fp := db.filePager()
+	if fp == nil {
+		return nil
+	}
+	if err := db.Checkpoint(); err != nil {
+		fp.closeFiles()
+		return err
+	}
+	return fp.closeFiles()
+}
+
+// SimulateCrash drops the file handles without flushing or checkpointing,
+// leaving the data file and WAL exactly as the last FlushWAL/Checkpoint
+// left them — the process-kill scenario for recovery tests. The DB must
+// not be used afterwards.
+func (db *DB) SimulateCrash() error {
+	fp := db.filePager()
+	if fp == nil {
+		return nil
+	}
+	return fp.closeFiles()
+}
+
+// VerifyChecksums reads every page slot in the data file and validates its
+// checksum, returning the first corruption found. Pages pending write-back
+// are skipped (they have no on-disk slot yet). Nil for in-memory databases.
+func (db *DB) VerifyChecksums() error {
+	fp := db.filePager()
+	if fp == nil {
+		return nil
+	}
+	return fp.verify()
+}
+
+// PutMeta stores an entry in the metadata KV (persisted with the catalog
+// manifest on the next FlushWAL/Checkpoint). A nil value deletes the key.
+func (db *DB) PutMeta(key string, val []byte) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if val == nil {
+		delete(db.meta, key)
+		return
+	}
+	db.meta[key] = append([]byte(nil), val...)
+}
+
+// GetMeta fetches a metadata entry.
+func (db *DB) GetMeta(key string) ([]byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.meta[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// MetaKeys lists metadata keys with the prefix, sorted.
+func (db *DB) MetaKeys(prefix string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for k := range db.meta {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // CreateTable registers a new table. The heap is allocated lazily except
 // for its first page, matching the paper's fixed per-table cost s1 = 8 KB.

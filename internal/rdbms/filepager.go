@@ -1,0 +1,549 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+)
+
+// FilePager is the durable stable-storage layer: 8 KiB pages persisted to a
+// single data file with per-page checksums, fronted by a write-ahead log.
+//
+// Data file layout (<path>):
+//
+//	header block (8 KiB): magic, version, page count, meta chain head+length, CRC
+//	page slots: per page, 4-byte CRC-32C + 4-byte page id + 8 KiB image
+//
+// WAL layout (<path>.wal):
+//
+//	8-byte magic, then records:
+//	  page record:   0x01, u32 page id, 8 KiB image, u32 CRC-32C
+//	  commit record: 0x02, u32 page count, u32 meta head, u32 meta len, u32 CRC-32C
+//
+// Write path: mutated pages accumulate in an in-memory shadow overlay (the
+// write-back target of buffer-pool evictions and flushes). A WAL commit
+// snapshots every page dirtied since the previous commit into the log,
+// appends a commit record and fsyncs — at that point the batch is durable.
+// A checkpoint additionally writes the shadow pages into their data-file
+// slots, fsyncs, and truncates the WAL. On open, committed WAL batches are
+// redone into the data file before anything is read (crash recovery);
+// uncommitted or torn tails are discarded.
+type FilePager struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File // data file
+	wal  *os.File
+
+	pages int
+	// shadow holds pages modified since the last checkpoint: the newest
+	// version of those pages, not yet written to their data-file slot.
+	shadow map[PageID]*page
+	// walDirty marks pages modified since the last WAL commit.
+	walDirty map[PageID]bool
+
+	// Meta chain: pages carrying the serialized catalog manifest.
+	metaHead  PageID
+	metaLen   uint32
+	metaPages []PageID
+
+	walSize int64 // append offset in the WAL
+	closed  bool
+
+	diskReads, diskWrites, walAppends int64
+}
+
+const (
+	fileMagic   = "DSPDB001"
+	walMagic    = "DSWAL001"
+	fileVersion = 1
+
+	// fileHeaderSize keeps page slots page-aligned.
+	fileHeaderSize = PageSize
+	// pageSlotSize is a data-file page slot: CRC + page id + image.
+	pageSlotSize = 8 + PageSize
+	// metaPayload is the usable payload of a meta-chain page (first 4 bytes
+	// hold the next-page pointer).
+	metaPayload = PageSize - 4
+
+	walPageRec   byte = 1
+	walCommitRec byte = 2
+
+	walPageRecSize   = 1 + 4 + PageSize + 4
+	walCommitRecSize = 1 + 12 + 4
+)
+
+// noPage is the nil page id (meta chain terminator).
+const noPage = ^PageID(0)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func pageOffset(id PageID) int64 {
+	return fileHeaderSize + int64(id)*pageSlotSize
+}
+
+// newFilePager opens or creates the data file at path (WAL at path+".wal")
+// and runs crash recovery: committed WAL batches are applied to the data
+// file, torn or uncommitted tails discarded.
+func newFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("rdbms: open data file: %w", err)
+	}
+	wal, err := os.OpenFile(path+".wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("rdbms: open WAL: %w", err)
+	}
+	fp := &FilePager{
+		path:     path,
+		f:        f,
+		wal:      wal,
+		shadow:   make(map[PageID]*page),
+		walDirty: make(map[PageID]bool),
+		metaHead: noPage,
+	}
+	st, err := f.Stat()
+	if err != nil {
+		fp.closeFiles()
+		return nil, err
+	}
+	var hdrErr error
+	if st.Size() == 0 {
+		if err := fp.writeHeader(); err != nil {
+			fp.closeFiles()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			fp.closeFiles()
+			return nil, err
+		}
+	} else {
+		hdrErr = fp.readHeader()
+	}
+	// The header is rewritten in place at checkpoint, so a crash can tear
+	// it. The WAL commit record carries the same fields: when recovery
+	// applies a committed batch it also rebuilds the header, rescuing a
+	// torn one. Only fail on a bad header when the WAL cannot help.
+	redone, recErr := fp.recover()
+	if recErr != nil {
+		fp.closeFiles()
+		return nil, fmt.Errorf("rdbms: WAL recovery: %w", recErr)
+	}
+	if hdrErr != nil && !redone {
+		fp.closeFiles()
+		return nil, hdrErr
+	}
+	return fp, nil
+}
+
+func (fp *FilePager) writeHeader() error {
+	var b [fileHeaderSize]byte
+	copy(b[0:8], fileMagic)
+	binary.LittleEndian.PutUint32(b[8:], fileVersion)
+	binary.LittleEndian.PutUint32(b[12:], uint32(fp.pages))
+	binary.LittleEndian.PutUint32(b[16:], uint32(fp.metaHead))
+	binary.LittleEndian.PutUint32(b[20:], fp.metaLen)
+	binary.LittleEndian.PutUint32(b[24:], crc32.Checksum(b[0:24], castagnoli))
+	_, err := fp.f.WriteAt(b[:], 0)
+	return err
+}
+
+func (fp *FilePager) readHeader() error {
+	var b [28]byte
+	if _, err := fp.f.ReadAt(b[:], 0); err != nil {
+		return fmt.Errorf("rdbms: read header: %w", err)
+	}
+	if string(b[0:8]) != fileMagic {
+		return fmt.Errorf("rdbms: %s is not a DataSpread database (bad magic)", fp.path)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != fileVersion {
+		return fmt.Errorf("rdbms: unsupported database version %d", v)
+	}
+	if crc32.Checksum(b[0:24], castagnoli) != binary.LittleEndian.Uint32(b[24:]) {
+		return fmt.Errorf("rdbms: header checksum mismatch (corrupt database)")
+	}
+	fp.pages = int(binary.LittleEndian.Uint32(b[12:]))
+	fp.metaHead = PageID(binary.LittleEndian.Uint32(b[16:]))
+	fp.metaLen = binary.LittleEndian.Uint32(b[20:])
+	return nil
+}
+
+// readPageFromFile loads and checksum-verifies one page slot.
+func (fp *FilePager) readPageFromFile(id PageID) (*page, error) {
+	buf := make([]byte, pageSlotSize)
+	if _, err := fp.f.ReadAt(buf, pageOffset(id)); err != nil {
+		return nil, fmt.Errorf("rdbms: read page %d: %w", id, err)
+	}
+	fp.diskReads++
+	if stored := binary.LittleEndian.Uint32(buf[4:8]); stored != uint32(id) {
+		return nil, fmt.Errorf("rdbms: page %d slot holds page %d (misplaced write)", id, stored)
+	}
+	if crc32.Checksum(buf[8:], castagnoli) != binary.LittleEndian.Uint32(buf[0:4]) {
+		return nil, fmt.Errorf("rdbms: page %d checksum mismatch (torn or corrupt page)", id)
+	}
+	p := &page{}
+	copy(p.buf[:], buf[8:])
+	return p, nil
+}
+
+// writePageToFile stores one page slot with its checksum.
+func (fp *FilePager) writePageToFile(id PageID, p *page) error {
+	buf := make([]byte, pageSlotSize)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(id))
+	copy(buf[8:], p.buf[:])
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(buf[8:], castagnoli))
+	if _, err := fp.f.WriteAt(buf, pageOffset(id)); err != nil {
+		return fmt.Errorf("rdbms: write page %d: %w", id, err)
+	}
+	fp.diskWrites++
+	return nil
+}
+
+// alloc implements Pager.
+func (fp *FilePager) alloc() PageID {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.allocLocked()
+}
+
+func (fp *FilePager) allocLocked() PageID {
+	id := PageID(fp.pages)
+	fp.pages++
+	p := &page{}
+	p.init()
+	fp.shadow[id] = p
+	fp.walDirty[id] = true
+	return id
+}
+
+// fetch implements Pager: the shadow overlay wins over the data file.
+func (fp *FilePager) fetch(id PageID) (*page, error) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if p, ok := fp.shadow[id]; ok {
+		return p, nil
+	}
+	if int(id) >= fp.pages {
+		return nil, nil
+	}
+	return fp.readPageFromFile(id)
+}
+
+// writeBack implements Pager: the page joins the shadow overlay and is
+// staged for the next WAL commit. No file I/O happens here.
+func (fp *FilePager) writeBack(id PageID, p *page) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.shadow[id] = p
+	fp.walDirty[id] = true
+	return nil
+}
+
+// pageCount implements Pager.
+func (fp *FilePager) pageCount() int {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.pages
+}
+
+// commitWAL makes every page dirtied since the last commit durable: page
+// images plus a commit record are appended to the WAL and fsynced. The data
+// file is untouched (write-back happens at checkpoint).
+func (fp *FilePager) commitWAL() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.commitWALLocked()
+}
+
+func (fp *FilePager) commitWALLocked() error {
+	if len(fp.walDirty) == 0 {
+		return nil
+	}
+	if fp.walSize == 0 {
+		if _, err := fp.wal.WriteAt([]byte(walMagic), 0); err != nil {
+			return err
+		}
+		fp.walSize = int64(len(walMagic))
+	}
+	ids := make([]PageID, 0, len(fp.walDirty))
+	for id := range fp.walDirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := make([]byte, 0, len(ids)*walPageRecSize+walCommitRecSize)
+	for _, id := range ids {
+		p := fp.shadow[id]
+		if p == nil {
+			return fmt.Errorf("rdbms: WAL-dirty page %d missing from shadow", id)
+		}
+		rec := make([]byte, walPageRecSize)
+		rec[0] = walPageRec
+		binary.LittleEndian.PutUint32(rec[1:5], uint32(id))
+		copy(rec[5:5+PageSize], p.buf[:])
+		binary.LittleEndian.PutUint32(rec[5+PageSize:], crc32.Checksum(rec[:5+PageSize], castagnoli))
+		buf = append(buf, rec...)
+		fp.walAppends++
+	}
+	var c [walCommitRecSize]byte
+	c[0] = walCommitRec
+	binary.LittleEndian.PutUint32(c[1:], uint32(fp.pages))
+	binary.LittleEndian.PutUint32(c[5:], uint32(fp.metaHead))
+	binary.LittleEndian.PutUint32(c[9:], fp.metaLen)
+	binary.LittleEndian.PutUint32(c[13:], crc32.Checksum(c[:13], castagnoli))
+	buf = append(buf, c[:]...)
+	if _, err := fp.wal.WriteAt(buf, fp.walSize); err != nil {
+		return err
+	}
+	fp.walSize += int64(len(buf))
+	if err := fp.wal.Sync(); err != nil {
+		return err
+	}
+	fp.walDirty = make(map[PageID]bool)
+	return nil
+}
+
+// checkpoint commits the WAL, writes every shadow page into its data-file
+// slot, fsyncs the data file, and truncates the WAL.
+func (fp *FilePager) checkpoint() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if err := fp.commitWALLocked(); err != nil {
+		return err
+	}
+	ids := make([]PageID, 0, len(fp.shadow))
+	for id := range fp.shadow {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := fp.writePageToFile(id, fp.shadow[id]); err != nil {
+			return err
+		}
+	}
+	if err := fp.writeHeader(); err != nil {
+		return err
+	}
+	if err := fp.f.Sync(); err != nil {
+		return err
+	}
+	if err := fp.resetWAL(); err != nil {
+		return err
+	}
+	fp.shadow = make(map[PageID]*page)
+	return nil
+}
+
+func (fp *FilePager) resetWAL() error {
+	if err := fp.wal.Truncate(0); err != nil {
+		return err
+	}
+	fp.walSize = 0
+	return fp.wal.Sync()
+}
+
+// recover redoes committed WAL batches into the data file (idempotent) and
+// discards uncommitted or torn tails. Called once on open. It reports
+// whether a committed batch was applied (which also rebuilds the header
+// from the commit record).
+func (fp *FilePager) recover() (bool, error) {
+	st, err := fp.wal.Stat()
+	if err != nil {
+		return false, err
+	}
+	if st.Size() < int64(len(walMagic)) {
+		if st.Size() > 0 {
+			return false, fp.resetWAL()
+		}
+		return false, nil
+	}
+	data := make([]byte, st.Size())
+	if _, err := fp.wal.ReadAt(data, 0); err != nil {
+		return false, err
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return false, fp.resetWAL()
+	}
+	off := len(walMagic)
+	batch := make(map[PageID][]byte)
+	committed := make(map[PageID][]byte)
+	var pages, metaHead, metaLen uint32
+	haveCommit := false
+scan:
+	for off < len(data) {
+		switch data[off] {
+		case walPageRec:
+			if off+walPageRecSize > len(data) {
+				break scan
+			}
+			rec := data[off : off+walPageRecSize]
+			if crc32.Checksum(rec[:walPageRecSize-4], castagnoli) !=
+				binary.LittleEndian.Uint32(rec[walPageRecSize-4:]) {
+				break scan
+			}
+			id := PageID(binary.LittleEndian.Uint32(rec[1:5]))
+			batch[id] = rec[5 : 5+PageSize]
+			off += walPageRecSize
+		case walCommitRec:
+			if off+walCommitRecSize > len(data) {
+				break scan
+			}
+			rec := data[off : off+walCommitRecSize]
+			if crc32.Checksum(rec[:walCommitRecSize-4], castagnoli) !=
+				binary.LittleEndian.Uint32(rec[walCommitRecSize-4:]) {
+				break scan
+			}
+			for id, img := range batch {
+				committed[id] = img
+			}
+			batch = make(map[PageID][]byte)
+			pages = binary.LittleEndian.Uint32(rec[1:5])
+			metaHead = binary.LittleEndian.Uint32(rec[5:9])
+			metaLen = binary.LittleEndian.Uint32(rec[9:13])
+			haveCommit = true
+			off += walCommitRecSize
+		default:
+			break scan
+		}
+	}
+	if !haveCommit {
+		return false, fp.resetWAL()
+	}
+	for id, img := range committed {
+		p := &page{}
+		copy(p.buf[:], img)
+		if err := fp.writePageToFile(id, p); err != nil {
+			return false, err
+		}
+	}
+	fp.pages = int(pages)
+	fp.metaHead = PageID(metaHead)
+	fp.metaLen = metaLen
+	if err := fp.writeHeader(); err != nil {
+		return false, err
+	}
+	if err := fp.f.Sync(); err != nil {
+		return false, err
+	}
+	return true, fp.resetWAL()
+}
+
+// writeMeta stores the serialized catalog manifest into the meta page
+// chain, reusing existing chain pages and allocating more as needed. The
+// pages are staged like any other dirty page; durability comes from the
+// next WAL commit or checkpoint.
+func (fp *FilePager) writeMeta(blob []byte) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	need := (len(blob) + metaPayload - 1) / metaPayload
+	for len(fp.metaPages) < need {
+		fp.metaPages = append(fp.metaPages, fp.allocLocked())
+	}
+	chain := fp.metaPages[:need]
+	for i, id := range chain {
+		p := fp.shadow[id]
+		if p == nil {
+			p = &page{}
+			fp.shadow[id] = p
+		}
+		next := noPage
+		if i+1 < need {
+			next = chain[i+1]
+		}
+		binary.LittleEndian.PutUint32(p.buf[0:4], uint32(next))
+		lo := i * metaPayload
+		hi := lo + metaPayload
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		copy(p.buf[4:], blob[lo:hi])
+		fp.walDirty[id] = true
+	}
+	if need > 0 {
+		fp.metaHead = chain[0]
+	} else {
+		fp.metaHead = noPage
+	}
+	fp.metaLen = uint32(len(blob))
+}
+
+// readMeta loads the catalog manifest from the meta chain (nil when the
+// database has never been flushed). It also rebuilds the chain page list so
+// later writes reuse the pages.
+func (fp *FilePager) readMeta() ([]byte, error) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.metaPages = fp.metaPages[:0]
+	if fp.metaHead == noPage || fp.metaLen == 0 {
+		return nil, nil
+	}
+	out := make([]byte, 0, fp.metaLen)
+	id := fp.metaHead
+	remaining := int(fp.metaLen)
+	for remaining > 0 {
+		if id == noPage || int(id) >= fp.pages {
+			return nil, fmt.Errorf("rdbms: truncated meta chain")
+		}
+		p, ok := fp.shadow[id]
+		if !ok {
+			var err error
+			p, err = fp.readPageFromFile(id)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fp.metaPages = append(fp.metaPages, id)
+		n := remaining
+		if n > metaPayload {
+			n = metaPayload
+		}
+		out = append(out, p.buf[4:4+n]...)
+		remaining -= n
+		id = PageID(binary.LittleEndian.Uint32(p.buf[0:4]))
+	}
+	return out, nil
+}
+
+// verify checksum-checks every page slot in the data file. Pages pending
+// write-back (shadow) have no on-disk slot yet and are skipped.
+func (fp *FilePager) verify() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	for id := 0; id < fp.pages; id++ {
+		if _, ok := fp.shadow[PageID(id)]; ok {
+			continue
+		}
+		if _, err := fp.readPageFromFile(PageID(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeFiles releases the file handles without flushing anything — the
+// crash-simulation path. Close goes through DB.Close, which checkpoints
+// first.
+func (fp *FilePager) closeFiles() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.closed {
+		return nil
+	}
+	fp.closed = true
+	return errors.Join(fp.f.Close(), fp.wal.Close())
+}
+
+func (fp *FilePager) ioCounters() (diskReads, diskWrites, walAppends int64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.diskReads, fp.diskWrites, fp.walAppends
+}
+
+func (fp *FilePager) resetIOCounters() {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.diskReads, fp.diskWrites, fp.walAppends = 0, 0, 0
+}

@@ -31,7 +31,7 @@ const maxInline = PageSize - pageHeaderSize - slotSize - TupleHeaderSize
 // body of one table. It keeps a simple free-space hint list so inserts
 // don't scan every page.
 type heapFile struct {
-	disk  *pager
+	disk  Pager
 	pool  *BufferPool
 	pages []PageID // pages owned by this heap, in allocation order
 	// freeHint is the index into pages from which to try inserting.
@@ -39,7 +39,7 @@ type heapFile struct {
 	tuples   int
 }
 
-func newHeapFile(disk *pager, pool *BufferPool) *heapFile {
+func newHeapFile(disk Pager, pool *BufferPool) *heapFile {
 	return &heapFile{disk: disk, pool: pool}
 }
 
@@ -48,8 +48,14 @@ func (h *heapFile) insertRaw(payload []byte) (RID, error) {
 	for i := h.freeHint; i < len(h.pages); i++ {
 		id := h.pages[i]
 		p := h.pool.fetch(id)
+		if p == nil {
+			// Unreadable page (e.g. checksum mismatch on a file-backed
+			// pager; the error is retained in pool.Err()): skip it rather
+			// than crash — the insert lands on a later or fresh page.
+			continue
+		}
 		if slot, ok := p.insert(payload); ok {
-			h.pool.markDirty(id)
+			h.pool.markDirty(id, p)
 			h.freeHint = i
 			return RID{Page: id, Slot: slot}, nil
 		}
@@ -58,11 +64,14 @@ func (h *heapFile) insertRaw(payload []byte) (RID, error) {
 	h.pages = append(h.pages, id)
 	h.freeHint = len(h.pages) - 1
 	p := h.pool.fetch(id)
+	if p == nil {
+		return RID{}, fmt.Errorf("rdbms: cannot load freshly allocated page %d: %v", id, h.pool.Err())
+	}
 	slot, ok := p.insert(payload)
 	if !ok {
 		return RID{}, fmt.Errorf("rdbms: fresh page cannot fit %d-byte record", len(payload))
 	}
-	h.pool.markDirty(id)
+	h.pool.markDirty(id, p)
 	return RID{Page: id, Slot: slot}, nil
 }
 
@@ -181,7 +190,7 @@ func (h *heapFile) delRecord(rid RID) bool {
 	if p == nil || !p.del(rid.Slot) {
 		return false
 	}
-	h.pool.markDirty(rid.Page)
+	h.pool.markDirty(rid.Page, p)
 	for i, id := range h.pages {
 		if id == rid.Page {
 			if i < h.freeHint {
@@ -240,7 +249,7 @@ func (h *heapFile) update(rid RID, r Row) (RID, error) {
 	if p != nil && len(payload)+1 <= maxInline {
 		if buf := p.read(rid.Slot); len(buf) > 0 && buf[0] == tupInline {
 			if p.updateInPlace(rid.Slot, append([]byte{tupInline}, payload...)) {
-				h.pool.markDirty(rid.Page)
+				h.pool.markDirty(rid.Page, p)
 				return rid, nil
 			}
 		}

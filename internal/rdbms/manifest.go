@@ -1,0 +1,116 @@
+package rdbms
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The catalog manifest is the serialized system-table state written into
+// the meta page chain on every WAL commit: table schemas, heap extents and
+// index definitions, plus the generic metadata key-value store that upper
+// layers (the hybrid store, the engine) use to persist their own manifests.
+// Heap tuples live in checksummed pages; the manifest only records which
+// pages belong to which heap. B+ tree indexes are rebuilt from the heaps on
+// open, so the manifest stores just the indexed column names.
+type dbManifest struct {
+	Tables []tableManifest   `json:"tables"`
+	Meta   map[string][]byte `json:"meta,omitempty"`
+}
+
+type tableManifest struct {
+	Name     string           `json:"name"`
+	Cols     []columnManifest `json:"cols"`
+	Pages    []uint32         `json:"pages"`
+	FreeHint int              `json:"free_hint"`
+	Tuples   int              `json:"tuples"`
+	Indexes  []string         `json:"indexes,omitempty"`
+}
+
+type columnManifest struct {
+	Name string `json:"name"`
+	Type uint8  `json:"type"`
+}
+
+// manifestLocked serializes the catalog and metadata KV. db.mu must be held.
+func (db *DB) manifestLocked() ([]byte, error) {
+	m := dbManifest{Meta: db.meta}
+	keys := make([]string, 0, len(db.tables))
+	for k := range db.tables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := db.tables[k]
+		tm := tableManifest{Name: t.Name, FreeHint: t.heap.freeHint, Tuples: t.heap.tuples}
+		for _, c := range t.Schema.Cols {
+			tm.Cols = append(tm.Cols, columnManifest{Name: c.Name, Type: uint8(c.Type)})
+		}
+		for _, id := range t.heap.pages {
+			tm.Pages = append(tm.Pages, uint32(id))
+		}
+		idxCols := make([]string, 0, len(t.indexes))
+		for col := range t.indexes {
+			idxCols = append(idxCols, col)
+		}
+		sort.Strings(idxCols)
+		tm.Indexes = idxCols
+		m.Tables = append(m.Tables, tm)
+	}
+	return json.Marshal(m)
+}
+
+// loadManifest rebuilds the catalog from a serialized manifest: schemas and
+// heap extents are restored directly, B+ tree indexes by scanning the heaps.
+func (db *DB) loadManifest(blob []byte) error {
+	var m dbManifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return fmt.Errorf("rdbms: corrupt catalog manifest: %w", err)
+	}
+	if m.Meta != nil {
+		db.meta = m.Meta
+	}
+	for _, tm := range m.Tables {
+		schema := Schema{}
+		for _, c := range tm.Cols {
+			schema.Cols = append(schema.Cols, Column{Name: c.Name, Type: DType(c.Type)})
+		}
+		h := newHeapFile(db.disk, db.pool)
+		for _, id := range tm.Pages {
+			h.pages = append(h.pages, PageID(id))
+		}
+		h.freeHint = tm.FreeHint
+		h.tuples = tm.Tuples
+		t := &Table{
+			Name:    tm.Name,
+			Schema:  schema,
+			db:      db,
+			heap:    h,
+			indexes: make(map[string]*tableIndex),
+		}
+		for _, col := range tm.Indexes {
+			i := schema.ColIndex(col)
+			if i < 0 {
+				return fmt.Errorf("rdbms: manifest index on unknown column %q of %q", col, tm.Name)
+			}
+			idx := &tableIndex{col: i, tree: NewBTree(64)}
+			h.scan(func(rid RID, r Row) bool {
+				idx.tree.Insert(indexKey(attrAt(r, i)), rid)
+				return true
+			})
+			t.indexes[strings.ToLower(col)] = idx
+		}
+		db.tables[strings.ToLower(tm.Name)] = t
+	}
+	return nil
+}
+
+// attrAt returns the i-th attribute, padding NULL for tuples stored before
+// an AddColumn widened the schema.
+func attrAt(r Row, i int) Datum {
+	if i >= len(r) {
+		return Null
+	}
+	return r[i]
+}

@@ -5,49 +5,80 @@ import (
 	"sync"
 )
 
-// IOStats counts simulated I/O through the buffer pool. The paper's access
-// experiments report wall-clock time on PostgreSQL; our substrate exposes
-// both time and these logical I/O counters so benches can report a
-// machine-independent signal alongside timings.
+// IOStats counts I/O through the buffer pool. The paper's access experiments
+// report wall-clock time on PostgreSQL; our substrate exposes both time and
+// these logical I/O counters so benches can report a machine-independent
+// signal alongside timings. With a file-backed pager the Disk*/WAL* fields
+// additionally count real file I/O.
 type IOStats struct {
 	Reads  int64 // page fetches that missed the pool
-	Writes int64 // page evictions that wrote back a dirty page
+	Writes int64 // page write-backs (evictions and flushes of dirty pages)
 	Hits   int64 // page fetches served from the pool
+	// Real file I/O, populated only by the file-backed pager (zero in the
+	// in-memory simulator).
+	DiskReads  int64 // page reads from the data file
+	DiskWrites int64 // page writes to the data file (checkpoint, recovery)
+	WALAppends int64 // page images appended to the write-ahead log
 }
 
-// pager is the stable-storage layer: a growable array of 8 KiB pages held
-// in memory (the simulated disk).
-type pager struct {
+// Pager is the stable-storage layer beneath the buffer pool: a growable
+// array of 8 KiB pages. Two implementations exist: MemPager, the original
+// in-memory simulated disk (machine-independent logical I/O for the paper's
+// experiments), and FilePager, a durable single-file store with per-page
+// checksums and a write-ahead log.
+type Pager interface {
+	// alloc reserves a fresh zero-initialized page and returns its id.
+	alloc() PageID
+	// fetch returns the page, or (nil, nil) when the id is unknown. The
+	// in-memory pager returns its live page object; the file pager returns
+	// the newest version (pending write-back or read from the data file).
+	fetch(id PageID) (*page, error)
+	// writeBack persists the modified frame contents. The in-memory pager
+	// aliases frames, so this is a no-op; the file pager stages the page
+	// for the next WAL commit.
+	writeBack(id PageID, p *page) error
+	// pageCount returns the number of allocated pages.
+	pageCount() int
+}
+
+// MemPager is the in-memory simulated disk: pages live on the Go heap,
+// nothing survives process exit. It remains the default so tests and the
+// experiment harness keep their machine-independent logical-I/O mode.
+type MemPager struct {
 	pages []*page
 }
 
-func (d *pager) alloc() PageID {
+func (d *MemPager) alloc() PageID {
 	p := &page{}
 	p.init()
 	d.pages = append(d.pages, p)
 	return PageID(len(d.pages) - 1)
 }
 
-func (d *pager) get(id PageID) *page {
+func (d *MemPager) fetch(id PageID) (*page, error) {
 	if int(id) >= len(d.pages) {
-		return nil
+		return nil, nil
 	}
-	return d.pages[id]
+	return d.pages[id], nil
 }
 
-func (d *pager) pageCount() int { return len(d.pages) }
+// writeBack is a no-op: buffer-pool frames alias the stored pages.
+func (d *MemPager) writeBack(PageID, *page) error { return nil }
 
-// BufferPool caches page frames with LRU eviction and pin accounting. In
-// this in-memory simulator frames alias the pager's pages, so "eviction"
-// only drops the cache entry and counts a write when the frame was dirtied;
-// what matters for the experiments is the hit/miss accounting.
+func (d *MemPager) pageCount() int { return len(d.pages) }
+
+// BufferPool caches page frames with LRU eviction. With the in-memory pager
+// frames alias the pager's pages, so "eviction" only drops the cache entry
+// and counts a write when the frame was dirtied; with the file-backed pager
+// the eviction write-back is what stages dirty pages for the WAL.
 type BufferPool struct {
 	mu       sync.Mutex
 	capacity int
-	disk     *pager
+	disk     Pager
 	frames   map[PageID]*list.Element // -> *frame
 	lru      *list.List
 	stats    IOStats
+	lastErr  error
 }
 
 type frame struct {
@@ -57,7 +88,7 @@ type frame struct {
 }
 
 // newBufferPool creates a pool caching up to capacity pages.
-func newBufferPool(disk *pager, capacity int) *BufferPool {
+func newBufferPool(disk Pager, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -69,7 +100,9 @@ func newBufferPool(disk *pager, capacity int) *BufferPool {
 	}
 }
 
-// fetch returns the page, loading it into the pool if absent.
+// fetch returns the page, loading it into the pool if absent. It returns
+// nil for unknown ids and for I/O or checksum failures; the failure is
+// retained and surfaced by Err.
 func (b *BufferPool) fetch(id PageID) *page {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -79,7 +112,11 @@ func (b *BufferPool) fetch(id PageID) *page {
 		return e.Value.(*frame).page
 	}
 	b.stats.Reads++
-	p := b.disk.get(id)
+	p, err := b.disk.fetch(id)
+	if err != nil {
+		b.lastErr = err
+		return nil
+	}
 	if p == nil {
 		return nil
 	}
@@ -89,6 +126,9 @@ func (b *BufferPool) fetch(id PageID) *page {
 			f := tail.Value.(*frame)
 			if f.dirty {
 				b.stats.Writes++
+				if err := b.disk.writeBack(f.id, f.page); err != nil {
+					b.lastErr = err
+				}
 			}
 			delete(b.frames, f.id)
 			b.lru.Remove(tail)
@@ -99,22 +139,56 @@ func (b *BufferPool) fetch(id PageID) *page {
 }
 
 // markDirty records that the page was modified while cached.
-func (b *BufferPool) markDirty(id PageID) {
+func (b *BufferPool) markDirty(id PageID, p *page) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if e, ok := b.frames[id]; ok {
 		e.Value.(*frame).dirty = true
-	} else {
-		// Write-through for uncached pages.
+		return
+	}
+	// Write-through for uncached pages.
+	b.stats.Writes++
+	if err := b.disk.writeBack(id, p); err != nil {
+		b.lastErr = err
+	}
+}
+
+// flushDirty writes every dirty frame back to the pager and marks it clean.
+// Frames stay cached. Used by the durability paths (WAL commit, checkpoint).
+func (b *BufferPool) flushDirty() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for e := b.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if !f.dirty {
+			continue
+		}
+		if err := b.disk.writeBack(f.id, f.page); err != nil {
+			return err
+		}
+		f.dirty = false
 		b.stats.Writes++
 	}
+	return nil
+}
+
+// Err returns the last fetch or write-back failure (nil when none). Checksum
+// mismatches on the file-backed pager surface here.
+func (b *BufferPool) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
 }
 
 // Stats returns a snapshot of the I/O counters.
 func (b *BufferPool) Stats() IOStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.stats
+	s := b.stats
+	if fp, ok := b.disk.(*FilePager); ok {
+		s.DiskReads, s.DiskWrites, s.WALAppends = fp.ioCounters()
+	}
+	return s
 }
 
 // ResetStats zeroes the I/O counters (used between benchmark phases).
@@ -122,4 +196,7 @@ func (b *BufferPool) ResetStats() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.stats = IOStats{}
+	if fp, ok := b.disk.(*FilePager); ok {
+		fp.resetIOCounters()
+	}
 }

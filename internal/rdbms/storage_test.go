@@ -140,7 +140,7 @@ func TestPageUpdateInPlace(t *testing.T) {
 }
 
 func TestHeapInsertGetDelete(t *testing.T) {
-	disk := &pager{}
+	disk := &MemPager{}
 	h := newHeapFile(disk, newBufferPool(disk, 16))
 	var rids []RID
 	for i := 0; i < 1000; i++ {
@@ -173,7 +173,7 @@ func TestHeapInsertGetDelete(t *testing.T) {
 }
 
 func TestHeapUpdateMoves(t *testing.T) {
-	disk := &pager{}
+	disk := &MemPager{}
 	h := newHeapFile(disk, newBufferPool(disk, 16))
 	rid, err := h.insert(Row{Text("short")})
 	if err != nil {
@@ -203,7 +203,7 @@ func TestHeapUpdateMoves(t *testing.T) {
 }
 
 func TestHeapScanOrderAndReuse(t *testing.T) {
-	disk := &pager{}
+	disk := &MemPager{}
 	h := newHeapFile(disk, newBufferPool(disk, 4))
 	// Fill several pages, delete everything on the first page, insert again:
 	// the freed space must be reused.
@@ -232,7 +232,7 @@ func TestHeapScanOrderAndReuse(t *testing.T) {
 }
 
 func TestHeapOversizedTupleChunks(t *testing.T) {
-	disk := &pager{}
+	disk := &MemPager{}
 	h := newHeapFile(disk, newBufferPool(disk, 64))
 	big := strings.Repeat("x", 3*PageSize) // spans ~4 chunks
 	small := "small"
@@ -290,7 +290,7 @@ func TestHeapOversizedTupleChunks(t *testing.T) {
 
 func TestHeapChunkedRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	disk := &pager{}
+	disk := &MemPager{}
 	h := newHeapFile(disk, newBufferPool(disk, 64))
 	model := make(map[RID]string)
 	payload := func() string {
@@ -350,7 +350,7 @@ func TestHeapChunkedRandomized(t *testing.T) {
 }
 
 func TestBufferPoolLRU(t *testing.T) {
-	disk := &pager{}
+	disk := &MemPager{}
 	pool := newBufferPool(disk, 2)
 	a, b, c := disk.alloc(), disk.alloc(), disk.alloc()
 	pool.fetch(a)
@@ -365,8 +365,8 @@ func TestBufferPoolLRU(t *testing.T) {
 	if pool.Stats().Reads != 4 {
 		t.Fatalf("b should have been evicted: %+v", pool.Stats())
 	}
-	pool.fetch(a) // a evicted when b came back? lru: [b,c] -> fetch(a) evicts c
-	pool.markDirty(a)
+	pa := pool.fetch(a) // a evicted when b came back? lru: [b,c] -> fetch(a) evicts c
+	pool.markDirty(a, pa)
 	pool.ResetStats()
 	if s := pool.Stats(); s.Reads != 0 || s.Hits != 0 {
 		t.Fatalf("ResetStats failed: %+v", s)
@@ -375,7 +375,7 @@ func TestBufferPoolLRU(t *testing.T) {
 
 func TestHeapRandomizedAgainstModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	disk := &pager{}
+	disk := &MemPager{}
 	h := newHeapFile(disk, newBufferPool(disk, 8))
 	model := make(map[RID]int64)
 	for op := 0; op < 5000; op++ {
