@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt ci
+.PHONY: all build test bench bench-disk lint fmt ci
 
 all: build
 
@@ -18,6 +18,13 @@ test:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Disk-throughput snapshot: measures the batched write path (SetCells, one
+# WAL fsync per batch) against per-cell Save on the file-backed pager and
+# writes BENCH_disk.json; fails if the speedup drops below 10x.
+bench-disk:
+	BENCH_DISK_JSON=BENCH_disk.json $(GO) test -run=TestDiskThroughputSnapshot -v .
+	@cat BENCH_disk.json
+
 lint:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -27,4 +34,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build test bench
+ci: lint build test bench bench-disk

@@ -32,13 +32,18 @@ const sheetName = "shell"
 
 func main() {
 	dbPath := flag.String("db", "", "durable database file (default: in-memory, nothing survives exit)")
+	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent WAL commits into shared fsyncs (background flusher)")
+	checkpointPages := flag.Int("checkpoint-pages", 0, "auto-checkpoint when this many pages are dirty since the last checkpoint (0: default 4096, negative: disable)")
 	flag.Parse()
 
 	var db *rdbms.DB
 	var eng *core.Engine
 	var err error
 	if *dbPath != "" {
-		db, err = rdbms.OpenFile(*dbPath, rdbms.Options{})
+		db, err = rdbms.OpenFile(*dbPath, rdbms.Options{
+			GroupCommit:         *groupCommit,
+			AutoCheckpointPages: *checkpointPages,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsshell:", err)
 			os.Exit(1)

@@ -19,6 +19,8 @@
 package dataspread
 
 import (
+	"time"
+
 	"dataspread/internal/core"
 	"dataspread/internal/hybrid"
 	"dataspread/internal/rdbms"
@@ -34,6 +36,8 @@ type (
 	Engine = core.Engine
 	// EngineOptions configures engine construction.
 	EngineOptions = core.Options
+	// CellEdit is one entry of an Engine.SetCells batch.
+	CellEdit = core.CellEdit
 	// DB is the backing relational store.
 	DB = rdbms.DB
 	// RID is a tuple identifier within the store.
@@ -61,12 +65,48 @@ type (
 // OpenDB creates an empty in-memory database.
 func OpenDB() *DB { return rdbms.Open(rdbms.Options{}) }
 
+// FileDBOption tunes a durable database opened with OpenFileDB.
+type FileDBOption func(*rdbms.Options)
+
+// WithBufferPoolPages caps the buffer pool (default 1024 pages, 8 MiB).
+func WithBufferPoolPages(n int) FileDBOption {
+	return func(o *rdbms.Options) { o.BufferPoolPages = n }
+}
+
+// WithGroupCommit enables the background WAL flusher: concurrent Save calls
+// coalesce into one WAL append + one fsync. batch is how many commits force
+// a flush (0: default 8); interval is the coalescing window a flush stays
+// open for more committers (0: default 1ms). Commits still block until
+// durable — only the fsync is shared.
+func WithGroupCommit(batch int, interval time.Duration) FileDBOption {
+	return func(o *rdbms.Options) {
+		o.GroupCommit = true
+		o.GroupCommitBatch = batch
+		o.GroupCommitInterval = interval
+	}
+}
+
+// WithAutoCheckpoint checkpoints the data file automatically whenever a WAL
+// commit leaves at least pages dirty since the last checkpoint (default
+// 4096 pages; pass a negative value to disable auto-checkpointing).
+func WithAutoCheckpoint(pages int) FileDBOption {
+	return func(o *rdbms.Options) { o.AutoCheckpointPages = pages }
+}
+
 // OpenFileDB opens (or creates) a durable database backed by the single
 // data file at path, with its write-ahead log at path+".wal". Crash
-// recovery (WAL redo) runs before the catalog loads. Release it with
-// db.Close(), which checkpoints; use Engine.Save / Engine.Checkpoint to
-// persist sheets along the way.
-func OpenFileDB(path string) (*DB, error) { return rdbms.OpenFile(path, rdbms.Options{}) }
+// recovery (WAL redo) runs before the catalog loads, and the data file is
+// flock-guarded: a second opener — even in another process — fails with a
+// clear error. Release it with db.Close(), which checkpoints; use
+// Engine.Save / Engine.Checkpoint / Engine.SetCells to persist sheets along
+// the way.
+func OpenFileDB(path string, opts ...FileDBOption) (*DB, error) {
+	var o rdbms.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return rdbms.OpenFile(path, o)
+}
 
 // NewEngine opens an empty spreadsheet on the database.
 func NewEngine(db *DB, name string) (*Engine, error) {

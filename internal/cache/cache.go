@@ -119,6 +119,23 @@ func (c *Cache) Put(r sheet.Ref, cell sheet.Cell) error {
 	return nil
 }
 
+// Poke updates r inside its cached block when the block is resident,
+// without touching the backing store. Bulk write paths persist whole
+// batches through the storage layer directly and call Poke to keep resident
+// blocks coherent; non-resident blocks read through on their next load.
+func (c *Cache) Poke(r sheet.Ref, cell sheet.Cell) {
+	e, ok := c.blocks[keyFor(r)]
+	if !ok {
+		return
+	}
+	b := e.Value.(*block)
+	if cell.IsBlank() {
+		delete(b.cells, r)
+	} else {
+		b.cells[r] = cell
+	}
+}
+
 // Invalidate drops every cached block intersecting g (used after
 // structural edits, which move cells across blocks).
 func (c *Cache) Invalidate(g sheet.Range) {

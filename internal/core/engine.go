@@ -243,6 +243,19 @@ func (e *Engine) Clear(row, col int) error {
 // recomputes dependents. Cycles poison the cell with #CYCLE!.
 func (e *Engine) SetFormula(row, col int, src string) error {
 	ref := sheet.Ref{Row: row, Col: col}
+	if err := e.installFormula(ref, src); err != nil {
+		return err
+	}
+	if _, ok := e.exprs[ref]; !ok {
+		return nil // cycle: the cell is poisoned, nothing to propagate
+	}
+	return e.propagate(ref)
+}
+
+// installFormula parses, registers and evaluates a formula at ref without
+// recomputing dependents (the caller propagates). Cycles poison the cell
+// with #CYCLE! and leave it unregistered.
+func (e *Engine) installFormula(ref sheet.Ref, src string) error {
 	expr, err := formula.Parse(src)
 	if err != nil {
 		return err
@@ -253,7 +266,7 @@ func (e *Engine) SetFormula(row, col int, src string) error {
 		if err := e.cache.Put(ref, sheet.Cell{Value: sheet.ErrCycle, Formula: src}); err != nil {
 			return err
 		}
-		e.grow(row, col)
+		e.grow(ref.Row, ref.Col)
 		return nil
 	}
 	e.exprs[ref] = expr
@@ -262,8 +275,92 @@ func (e *Engine) SetFormula(row, col int, src string) error {
 	if err := e.cache.Put(ref, sheet.Cell{Value: v, Formula: src}); err != nil {
 		return err
 	}
-	e.grow(row, col)
-	return e.propagate(ref)
+	e.grow(ref.Row, ref.Col)
+	return nil
+}
+
+// CellEdit is one entry of a SetCells batch: user input addressed to a
+// cell, following Set's convention ("=..." installs a formula, "" clears,
+// anything else is a literal).
+type CellEdit struct {
+	Row, Col int
+	Input    string
+}
+
+// SetCells applies a batch of edits through the bulk write path: plain
+// values flow to the hybrid store in one batch (row-oriented regions
+// rewrite each covered tuple once), dependent formulas recompute in a
+// single propagation pass, and the whole batch is persisted with a single
+// WAL commit — N edits cost one fsync instead of N (the group-commit write
+// path; per-edit Set+Save costs one fsync each). Edits to the same cell
+// apply in order: the last one wins. On an in-memory database the batch
+// write path still applies, the WAL commit is a no-op.
+func (e *Engine) SetCells(edits []CellEdit) error {
+	if len(edits) == 0 {
+		return nil
+	}
+	// Validate the whole batch before mutating anything, so a malformed
+	// edit rejects the batch instead of leaving it half-applied (per-cell
+	// Set never exposes a value change without its propagation).
+	for _, ed := range edits {
+		if ed.Row < 1 || ed.Col < 1 {
+			return fmt.Errorf("core: SetCells position (%d,%d) out of range", ed.Row, ed.Col)
+		}
+		if strings.HasPrefix(ed.Input, "=") {
+			if _, err := formula.Parse(ed.Input[1:]); err != nil {
+				return fmt.Errorf("core: SetCells formula at (%d,%d): %w", ed.Row, ed.Col, err)
+			}
+		}
+	}
+	var writes []model.CellWrite
+	type formulaEdit struct {
+		ref sheet.Ref
+		src string
+	}
+	var formulas []formulaEdit
+	refs := make([]sheet.Ref, 0, len(edits))
+	for _, ed := range edits {
+		ref := sheet.Ref{Row: ed.Row, Col: ed.Col}
+		refs = append(refs, ref)
+		if strings.HasPrefix(ed.Input, "=") {
+			formulas = append(formulas, formulaEdit{ref, ed.Input[1:]})
+			continue
+		}
+		e.dropFormula(ref)
+		var c sheet.Cell
+		if v := sheet.ParseLiteral(ed.Input); !v.IsEmpty() {
+			c = sheet.Cell{Value: v}
+			e.grow(ed.Row, ed.Col)
+		}
+		writes = append(writes, model.CellWrite{Row: ed.Row, Col: ed.Col, Cell: c})
+	}
+	if err := e.store.UpdateCells(writes); err != nil {
+		return err
+	}
+	for _, w := range writes {
+		e.cache.Poke(sheet.Ref{Row: w.Row, Col: w.Col}, w.Cell)
+	}
+	// Formulas install after the values they (typically) read.
+	for _, f := range formulas {
+		if err := e.installFormula(f.ref, f.src); err != nil {
+			return err
+		}
+	}
+	// One propagation pass seeded by the exact edited cells replaces the
+	// per-edit recomputation of Set.
+	order, cycles := e.deps.AffectedByRefs(refs)
+	for _, dep := range order {
+		if err := e.reevaluate(dep); err != nil {
+			return err
+		}
+	}
+	for _, dep := range cycles {
+		old := e.cache.Get(dep)
+		if err := e.cache.Put(dep, sheet.Cell{Value: sheet.ErrCycle, Formula: old.Formula}); err != nil {
+			return err
+		}
+	}
+	return e.Save()
 }
 
 func (e *Engine) dropFormula(ref sheet.Ref) {

@@ -70,9 +70,49 @@ func (g *Graph) Affected(changed sheet.Ref) (order []sheet.Ref, cycles []sheet.R
 
 // AffectedByRange is Affected for a rectangular change.
 func (g *Graph) AffectedByRange(changed sheet.Range) (order []sheet.Ref, cycles []sheet.Ref) {
+	return g.affectedFrom(g.DirectDependents(changed))
+}
+
+// AffectedByRefs is Affected for a set of individually changed cells (a
+// bulk edit batch): the seed is the formulas reading any of the exact
+// cells, not the batch's bounding rectangle — scattered edits do not drag
+// every formula in their envelope into the recomputation.
+func (g *Graph) AffectedByRefs(refs []sheet.Ref) (order []sheet.Ref, cycles []sheet.Ref) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	sorted := append([]sheet.Ref(nil), refs...)
+	sortRefs(sorted)
+	var frontier []sheet.Ref
+	for dep, reads := range g.deps {
+		for _, r := range reads {
+			if rangeContainsAny(r, sorted) {
+				frontier = append(frontier, dep)
+				break
+			}
+		}
+	}
+	sortRefs(frontier)
+	return g.affectedFrom(frontier)
+}
+
+// rangeContainsAny reports whether r contains any of the refs (sorted by
+// row, then column): binary search to the range's first row, then walk.
+func rangeContainsAny(r sheet.Range, sorted []sheet.Ref) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Row >= r.From.Row })
+	for ; i < len(sorted) && sorted[i].Row <= r.To.Row; i++ {
+		if c := sorted[i].Col; c >= r.From.Col && c <= r.To.Col {
+			return true
+		}
+	}
+	return false
+}
+
+// affectedFrom runs the reachability BFS and topological sort from an
+// initial frontier of directly affected formulas.
+func (g *Graph) affectedFrom(frontier []sheet.Ref) (order []sheet.Ref, cycles []sheet.Ref) {
 	// Collect the reachable set via BFS over direct-dependent edges.
 	reach := make(map[sheet.Ref]bool)
-	frontier := g.DirectDependents(changed)
 	for len(frontier) > 0 {
 		var next []sheet.Ref
 		for _, ref := range frontier {

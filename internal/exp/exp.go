@@ -45,6 +45,12 @@ type Config struct {
 	// experiment database) created under the directory — the dsbench
 	// -disk mode. CloseDiskDBs releases the files between experiments.
 	DiskDir string
+	// GroupCommit enables the background WAL flusher on -disk databases
+	// (coalesced commit fsyncs).
+	GroupCommit bool
+	// AutoCheckpointPages tunes -disk auto-checkpointing (0: default 4096
+	// dirty pages, negative: disable).
+	AutoCheckpointPages int
 }
 
 // Resolve fills defaults.
@@ -93,7 +99,11 @@ func (c Config) openDB(pages int) *rdbms.DB {
 	diskDBs.seq++
 	path := filepath.Join(c.DiskDir, fmt.Sprintf("exp%04d.dsdb", diskDBs.seq))
 	diskDBs.mu.Unlock()
-	db, err := rdbms.OpenFile(path, rdbms.Options{BufferPoolPages: pages})
+	db, err := rdbms.OpenFile(path, rdbms.Options{
+		BufferPoolPages:     pages,
+		GroupCommit:         c.GroupCommit,
+		AutoCheckpointPages: c.AutoCheckpointPages,
+	})
 	if err != nil {
 		panic(fmt.Sprintf("exp: open disk database %s: %v", path, err))
 	}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sort"
 
 	"dataspread/internal/hybrid"
 	"dataspread/internal/rdbms"
@@ -69,6 +70,163 @@ func (r *RCV) LoadRect(cells [][]sheet.Cell) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// UpdateRowCells writes several cells of one ROM row with a single tuple
+// rewrite: the batched counterpart of Update for scattered (non-rectangular)
+// edits. cols are display positions; duplicates apply in order (last wins).
+func (r *ROM) UpdateRowCells(row int, cols []int, cells []sheet.Cell) error {
+	if len(cols) != len(cells) {
+		return fmt.Errorf("model: ROM UpdateRowCells %d cols, %d cells", len(cols), len(cells))
+	}
+	if row < 1 {
+		return fmt.Errorf("model: ROM row %d out of range", row)
+	}
+	for _, col := range cols {
+		if col < 1 || col > len(r.colPos) {
+			return fmt.Errorf("model: ROM column %d out of range", col)
+		}
+	}
+	for r.rowMap.Len() < row {
+		rid, err := r.table.Insert(r.emptyRow())
+		if err != nil {
+			return err
+		}
+		if !r.rowMap.Insert(r.rowMap.Len()+1, rid) {
+			return fmt.Errorf("model: ROM rowMap append failed")
+		}
+	}
+	rid, _ := r.rowMap.Fetch(row)
+	tuple, ok := r.table.Get(rid)
+	if !ok {
+		return fmt.Errorf("model: ROM row %d dangling pointer %v", row, rid)
+	}
+	tuple = padRow(tuple, r.table.Schema.Arity())
+	for k, col := range cols {
+		tuple[r.colPos[col-1]] = encodeCell(cells[k])
+	}
+	newRID, err := r.table.Update(rid, tuple)
+	if err != nil {
+		return err
+	}
+	if newRID != rid {
+		r.rowMap.Update(row, newRID)
+	}
+	return nil
+}
+
+// UpdateColCells writes several cells of one COM column with a single tuple
+// rewrite (the transpose of ROM.UpdateRowCells).
+func (c *COM) UpdateColCells(col int, rows []int, cells []sheet.Cell) error {
+	return c.inner.UpdateRowCells(col, rows, cells)
+}
+
+// rowBatcher is implemented by translators that can write several cells of
+// one row in a single tuple operation.
+type rowBatcher interface {
+	UpdateRowCells(row int, cols []int, cells []sheet.Cell) error
+}
+
+// colBatcher is the column-oriented mirror of rowBatcher.
+type colBatcher interface {
+	UpdateColCells(col int, rows []int, cells []sheet.Cell) error
+}
+
+// CellWrite is one absolute-position cell write within a batch.
+type CellWrite struct {
+	Row, Col int
+	Cell     sheet.Cell
+}
+
+// UpdateCells is the bulk mutation path: it routes a batch of writes to the
+// owning regions, and inside each region coalesces the writes so that
+// row-oriented models rewrite each covered tuple once (and column-oriented
+// models each covered column tuple once) instead of once per cell. Cells in
+// RCV/TOM regions and the overflow fall back to per-cell updates — the
+// key-value model has no batching lever (one tuple per cell). Writes to the
+// same cell apply in batch order: the last one wins.
+//
+// UpdateCells performs no durability work itself; callers commit the whole
+// batch with one DB.FlushWAL (one fsync) — see core.Engine.SetCells.
+func (h *HybridStore) UpdateCells(writes []CellWrite) error {
+	// Bucket writes by owning region, preserving batch order per bucket.
+	byRegion := make(map[*storeRegion][]CellWrite)
+	var regOrder []*storeRegion
+	var loose []CellWrite // overflow cells, written per-cell
+	for _, w := range writes {
+		reg := h.regionAt(w.Row, w.Col)
+		if reg == nil {
+			loose = append(loose, w)
+			continue
+		}
+		if _, seen := byRegion[reg]; !seen {
+			regOrder = append(regOrder, reg)
+		}
+		byRegion[reg] = append(byRegion[reg], w)
+	}
+	for _, reg := range regOrder {
+		ws := byRegion[reg]
+		rb, isRow := reg.tr.(rowBatcher)
+		cb, isCol := reg.tr.(colBatcher)
+		switch {
+		case isRow:
+			sort.SliceStable(ws, func(i, j int) bool { return ws[i].Row < ws[j].Row })
+			if err := groupedApply(ws, func(w CellWrite) int { return w.Row },
+				func(row int, group []CellWrite) error {
+					cols := make([]int, len(group))
+					cells := make([]sheet.Cell, len(group))
+					for k, g := range group {
+						cols[k] = g.Col - reg.rect.From.Col + 1
+						cells[k] = g.Cell
+					}
+					return rb.UpdateRowCells(row-reg.rect.From.Row+1, cols, cells)
+				}); err != nil {
+				return err
+			}
+		case isCol:
+			sort.SliceStable(ws, func(i, j int) bool { return ws[i].Col < ws[j].Col })
+			if err := groupedApply(ws, func(w CellWrite) int { return w.Col },
+				func(col int, group []CellWrite) error {
+					rows := make([]int, len(group))
+					cells := make([]sheet.Cell, len(group))
+					for k, g := range group {
+						rows[k] = g.Row - reg.rect.From.Row + 1
+						cells[k] = g.Cell
+					}
+					return cb.UpdateColCells(col-reg.rect.From.Col+1, rows, cells)
+				}); err != nil {
+				return err
+			}
+		default:
+			for _, w := range ws {
+				if err := reg.tr.Update(w.Row-reg.rect.From.Row+1, w.Col-reg.rect.From.Col+1, w.Cell); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, w := range loose {
+		if err := h.overflow.Update(w.Row, w.Col, w.Cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupedApply slices the (sorted) writes into runs with equal key and
+// applies fn once per run.
+func groupedApply(ws []CellWrite, key func(CellWrite) int, fn func(k int, group []CellWrite) error) error {
+	for i := 0; i < len(ws); {
+		j := i + 1
+		for j < len(ws) && key(ws[j]) == key(ws[i]) {
+			j++
+		}
+		if err := fn(key(ws[i]), ws[i:j]); err != nil {
+			return err
+		}
+		i = j
 	}
 	return nil
 }

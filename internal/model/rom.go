@@ -107,36 +107,7 @@ func (r *ROM) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
 // Update implements Translator. Rows are materialized on demand: writing to
 // a row beyond the current extent appends empty tuples up to it.
 func (r *ROM) Update(row, col int, c sheet.Cell) error {
-	if col < 1 || col > len(r.colPos) {
-		return fmt.Errorf("model: ROM column %d out of range", col)
-	}
-	if row < 1 {
-		return fmt.Errorf("model: ROM row %d out of range", row)
-	}
-	for r.rowMap.Len() < row {
-		rid, err := r.table.Insert(r.emptyRow())
-		if err != nil {
-			return err
-		}
-		if !r.rowMap.Insert(r.rowMap.Len()+1, rid) {
-			return fmt.Errorf("model: ROM rowMap append failed")
-		}
-	}
-	rid, _ := r.rowMap.Fetch(row)
-	tuple, ok := r.table.Get(rid)
-	if !ok {
-		return fmt.Errorf("model: ROM row %d dangling pointer %v", row, rid)
-	}
-	tuple = padRow(tuple, r.table.Schema.Arity())
-	tuple[r.colPos[col-1]] = encodeCell(c)
-	newRID, err := r.table.Update(rid, tuple)
-	if err != nil {
-		return err
-	}
-	if newRID != rid {
-		r.rowMap.Update(row, newRID)
-	}
-	return nil
+	return r.UpdateRowCells(row, []int{col}, []sheet.Cell{c})
 }
 
 // UpdateRect implements Translator: one tuple rewrite per covered row.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Catalog overhead constants emulate the system-table footprint that the
@@ -50,6 +51,56 @@ type DB struct {
 type Options struct {
 	// BufferPoolPages caps the buffer pool; 0 means 1024 pages (8 MiB).
 	BufferPoolPages int
+
+	// GroupCommit enables the background WAL flusher: concurrent FlushWAL
+	// calls are coalesced into one WAL append + one fsync. Commits still
+	// block until their covering flush is durable, so crash semantics are
+	// unchanged — only the fsync is shared. Off by default (sync-on-commit:
+	// each FlushWAL fsyncs inline), which is what the test suite exercises.
+	GroupCommit bool
+	// GroupCommitBatch flushes as soon as this many commits are waiting
+	// (default 8). Only meaningful with GroupCommit.
+	GroupCommitBatch int
+	// GroupCommitInterval is the coalescing window: how long the flusher
+	// holds a flush open for more committers to join before paying the
+	// fsync (default 1ms). Only meaningful with GroupCommit.
+	GroupCommitInterval time.Duration
+	// AutoCheckpointPages bounds the shadow overlay: when a WAL commit
+	// leaves at least this many pages dirty since the last checkpoint, the
+	// pager checkpoints automatically (pages written to their data-file
+	// slots, WAL truncated), so long sessions stop accumulating unbounded
+	// redo state. 0 means the default of 4096 pages (32 MiB); negative
+	// disables auto-checkpointing.
+	AutoCheckpointPages int
+}
+
+// Resolved group-commit / checkpoint defaults.
+const (
+	defaultGroupCommitBatch    = 8
+	defaultGroupCommitInterval = time.Millisecond
+	defaultAutoCheckpointPages = 4096
+)
+
+func (o Options) filePagerOptions() filePagerOptions {
+	fo := filePagerOptions{
+		groupCommit:         o.GroupCommit,
+		groupBatch:          o.GroupCommitBatch,
+		groupInterval:       o.GroupCommitInterval,
+		autoCheckpointPages: o.AutoCheckpointPages,
+	}
+	if fo.groupBatch <= 0 {
+		fo.groupBatch = defaultGroupCommitBatch
+	}
+	if fo.groupInterval <= 0 {
+		fo.groupInterval = defaultGroupCommitInterval
+	}
+	switch {
+	case fo.autoCheckpointPages == 0:
+		fo.autoCheckpointPages = defaultAutoCheckpointPages
+	case fo.autoCheckpointPages < 0:
+		fo.autoCheckpointPages = 0
+	}
+	return fo
 }
 
 // Open creates an empty in-memory database (the machine-independent
@@ -77,7 +128,7 @@ func OpenFile(path string, opts Options) (*DB, error) {
 	if opts.BufferPoolPages == 0 {
 		opts.BufferPoolPages = 1024
 	}
-	fp, err := newFilePager(path)
+	fp, err := newFilePager(path, opts.filePagerOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -88,6 +139,10 @@ func OpenFile(path string, opts Options) (*DB, error) {
 		meta:   make(map[string][]byte),
 		path:   path,
 	}
+	// Commits serialize against staging (FlushWAL holds db.mu exclusively
+	// while staging, the pager holds it shared while committing), so the
+	// background flusher can never commit a half-staged batch.
+	fp.gate = &db.mu
 	blob, err := fp.readMeta()
 	if err != nil {
 		fp.closeFiles()
@@ -124,14 +179,20 @@ func (db *DB) FlushWAL() error {
 	if fp == nil {
 		return nil
 	}
+	// Stage under db.mu, but commit outside it: with group commit enabled
+	// the commit blocks on the background flusher, and holding db.mu there
+	// would serialize committers and defeat the coalescing. (Commits take
+	// db.mu shared via the pager's gate, so they still cannot overlap the
+	// staging itself.)
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	fp.promotePendingFree() // the manifest below no longer references them
 	blob, err := db.manifestLocked()
-	if err != nil {
-		return err
+	if err == nil {
+		fp.writeMeta(blob)
+		err = db.pool.flushDirty()
 	}
-	fp.writeMeta(blob)
-	if err := db.pool.flushDirty(); err != nil {
+	db.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	return fp.commitWAL()
@@ -147,6 +208,7 @@ func (db *DB) Checkpoint() error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	fp.promotePendingFree()
 	blob, err := db.manifestLocked()
 	if err != nil {
 		return err
@@ -266,17 +328,34 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	return t, nil
 }
 
-// DropTable removes the table. Its pages are abandoned (no free list in the
-// simulator; dropped footprint is excluded from storage accounting).
+// DropTable removes the table and queues its heap pages for reclamation,
+// so a growing-and-shrinking workload reuses file space instead of growing
+// the data file forever. The pages become reusable at the next
+// FlushWAL/Checkpoint, when a manifest that no longer references them is
+// staged. (B+ tree indexes live in memory and are rebuilt from the heap on
+// open; they hold no pages to reclaim.)
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, ok := db.tables[key]; !ok {
+	t, ok := db.tables[key]
+	if !ok {
 		return fmt.Errorf("rdbms: table %q does not exist", name)
 	}
 	delete(db.tables, key)
+	db.reclaimLocked(t.heap.pages)
 	return nil
+}
+
+// reclaimLocked hands pages to the pager for reclamation, first discarding
+// any buffer-pool frames so a stale frame cannot shadow a future
+// reallocation. db.mu must be held.
+func (db *DB) reclaimLocked(ids []PageID) {
+	if len(ids) == 0 {
+		return
+	}
+	db.pool.discard(ids)
+	db.disk.free(ids)
 }
 
 // Table returns the named table, or nil.
@@ -310,10 +389,33 @@ func (db *DB) StorageBytes() int64 {
 	return n
 }
 
+// Truncate removes every row, returning the heap's pages to the pager free
+// list and resetting the indexes. Like CreateTable, the empty table keeps
+// one freshly allocated first page (the paper's fixed per-table cost s1).
+func (t *Table) Truncate() {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	t.db.reclaimLocked(t.heap.pages)
+	t.heap.pages = t.heap.pages[:0]
+	t.heap.freeHint = 0
+	t.heap.tuples = 0
+	t.heap.pages = append(t.heap.pages, t.db.disk.alloc())
+	for _, idx := range t.indexes {
+		idx.tree = NewBTree(64)
+	}
+}
+
 // Insert appends a row, maintaining indexes. The row arity must match the
 // schema; datum types are checked loosely (NULL fits anywhere, ints fit
 // float columns).
+//
+// Mutations take the catalog lock shared, which serializes them against
+// FlushWAL/Checkpoint (the manifest reads heap extents). Tables are
+// single-writer: two goroutines may mutate different tables concurrently,
+// but not the same one.
 func (t *Table) Insert(r Row) (RID, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	if len(r) != t.Schema.Arity() {
 		return RID{}, fmt.Errorf("rdbms: %s: row arity %d != schema arity %d", t.Name, len(r), t.Schema.Arity())
 	}
@@ -338,6 +440,8 @@ func (t *Table) Get(rid RID) (Row, bool) { return t.heap.get(rid) }
 
 // Update rewrites the row at rid, returning the (possibly moved) RID.
 func (t *Table) Update(rid RID, r Row) (RID, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	if len(r) != t.Schema.Arity() {
 		return RID{}, fmt.Errorf("rdbms: %s: row arity %d != schema arity %d", t.Name, len(r), t.Schema.Arity())
 	}
@@ -360,6 +464,8 @@ func (t *Table) Update(rid RID, r Row) (RID, error) {
 
 // Delete tombstones the row at rid.
 func (t *Table) Delete(rid RID) bool {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	old, ok := t.heap.get(rid)
 	if !ok {
 		return false
@@ -384,6 +490,8 @@ func (t *Table) RowCount() int { return t.heap.tupleCount() }
 // pad on decode), matching how row stores implement ALTER TABLE ADD COLUMN
 // without a table rewrite.
 func (t *Table) AddColumn(c Column) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	if t.Schema.ColIndex(c.Name) >= 0 {
 		return fmt.Errorf("rdbms: %s: column %q already exists", t.Name, c.Name)
 	}
@@ -393,6 +501,8 @@ func (t *Table) AddColumn(c Column) error {
 
 // CreateIndex builds a B+ tree index over an integer column.
 func (t *Table) CreateIndex(col string) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
 	i := t.Schema.ColIndex(col)
 	if i < 0 {
 		return fmt.Errorf("rdbms: %s: no column %q", t.Name, col)

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package rdbms
+
+import "os"
+
+// lockFile is a no-op on platforms without flock semantics: multi-process
+// exclusion is only enforced on unix. (Windows would need LockFileEx; the
+// project currently targets unix CI runners.)
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package rdbms
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on the data file
+// so two processes cannot mutate one database. flock locks belong to the
+// open file description: they conflict even between two opens in the same
+// process, and the kernel releases them automatically when the descriptor
+// closes — including on a crash, so no stale lock files are left behind.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return fmt.Errorf("flock: held by another opener")
+		}
+		return fmt.Errorf("flock: %w", err)
+	}
+	return nil
+}

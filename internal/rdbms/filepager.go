@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // FilePager is the durable stable-storage layer: 8 KiB pages persisted to a
@@ -37,6 +38,7 @@ type FilePager struct {
 	path string
 	f    *os.File // data file
 	wal  *os.File
+	opts filePagerOptions
 
 	pages int
 	// shadow holds pages modified since the last checkpoint: the newest
@@ -44,6 +46,16 @@ type FilePager struct {
 	shadow map[PageID]*page
 	// walDirty marks pages modified since the last WAL commit.
 	walDirty map[PageID]bool
+	// freeList holds pages returned by dropped or truncated heaps, reused
+	// by alloc before the file grows. Persisted in the catalog manifest so
+	// reclaimed space survives reopen.
+	freeList []PageID
+	// pendingFree holds pages freed since the last manifest staging. Their
+	// shadow/WAL images are kept alive — the last staged manifest may still
+	// reference them, and a commit or checkpoint racing the drop must stay
+	// self-consistent. promotePendingFree moves them to freeList when the
+	// next manifest (which no longer references them) is staged.
+	pendingFree []PageID
 
 	// Meta chain: pages carrying the serialized catalog manifest.
 	metaHead  PageID
@@ -53,13 +65,51 @@ type FilePager struct {
 	walSize int64 // append offset in the WAL
 	closed  bool
 
-	diskReads, diskWrites, walAppends int64
+	// gate, when set (always, for pagers owned by a DB), is held shared
+	// around every commit. Staging — manifest serialization plus the
+	// write-back of dirty pool frames — holds it exclusively, so a commit
+	// can never snapshot a half-staged batch into a durable commit record.
+	gate *sync.RWMutex
+
+	diskReads, diskWrites, walAppends   int64
+	walSyncs, walBytes, checkpointCount int64
+
+	// Group-commit flusher state (see flushLoop). All g* fields are
+	// guarded by gmu, never fp.mu.
+	gmu      sync.Mutex
+	gcond    *sync.Cond // wakes the flusher when commits are pending
+	gdone    *sync.Cond // broadcast after every completed flush
+	gpending int        // commit requests since the last flush started
+	gstart   int64      // flushes started
+	gdoneSeq int64      // flushes completed
+	glastErr error      // outcome of the most recent flush
+	gstopped bool       // no new requests accepted
+	gexited  bool       // flusher goroutine has returned
+}
+
+// filePagerOptions carries the durability tuning knobs resolved by OpenFile.
+type filePagerOptions struct {
+	// groupCommit starts the background flusher; commitWAL requests are
+	// then coalesced: many committers, one WAL append + one fsync.
+	groupCommit bool
+	// groupBatch flushes as soon as this many commits wait (default 8).
+	groupBatch int
+	// groupInterval is the coalescing window: how long a flush waits for
+	// more committers to join before fsyncing.
+	groupInterval time.Duration
+	// autoCheckpointPages checkpoints automatically when a commit leaves
+	// the shadow overlay holding at least this many pages (0: disabled).
+	autoCheckpointPages int
 }
 
 const (
-	fileMagic   = "DSPDB001"
-	walMagic    = "DSWAL001"
-	fileVersion = 1
+	fileMagic = "DSPDB001"
+	walMagic  = "DSWAL001"
+	// fileVersion 2 added the persisted free-page list (carried in the
+	// catalog manifest). Version-1 files are still readable — they simply
+	// have no free list — and are upgraded in place by the next checkpoint.
+	fileVersion       = 2
+	oldestFileVersion = 1
 
 	// fileHeaderSize keeps page slots page-aligned.
 	fileHeaderSize = PageSize
@@ -85,13 +135,18 @@ func pageOffset(id PageID) int64 {
 	return fileHeaderSize + int64(id)*pageSlotSize
 }
 
-// newFilePager opens or creates the data file at path (WAL at path+".wal")
-// and runs crash recovery: committed WAL batches are applied to the data
-// file, torn or uncommitted tails discarded.
-func newFilePager(path string) (*FilePager, error) {
+// newFilePager opens or creates the data file at path (WAL at path+".wal"),
+// takes an exclusive advisory lock on it, and runs crash recovery: committed
+// WAL batches are applied to the data file, torn or uncommitted tails
+// discarded.
+func newFilePager(path string, opts filePagerOptions) (*FilePager, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("rdbms: open data file: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("rdbms: database %s is locked by another process: %w", path, err)
 	}
 	wal, err := os.OpenFile(path+".wal", os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -102,6 +157,7 @@ func newFilePager(path string) (*FilePager, error) {
 		path:     path,
 		f:        f,
 		wal:      wal,
+		opts:     opts,
 		shadow:   make(map[PageID]*page),
 		walDirty: make(map[PageID]bool),
 		metaHead: noPage,
@@ -137,6 +193,11 @@ func newFilePager(path string) (*FilePager, error) {
 		fp.closeFiles()
 		return nil, hdrErr
 	}
+	if opts.groupCommit {
+		fp.gcond = sync.NewCond(&fp.gmu)
+		fp.gdone = sync.NewCond(&fp.gmu)
+		go fp.flushLoop()
+	}
 	return fp, nil
 }
 
@@ -160,7 +221,7 @@ func (fp *FilePager) readHeader() error {
 	if string(b[0:8]) != fileMagic {
 		return fmt.Errorf("rdbms: %s is not a DataSpread database (bad magic)", fp.path)
 	}
-	if v := binary.LittleEndian.Uint32(b[8:]); v != fileVersion {
+	if v := binary.LittleEndian.Uint32(b[8:]); v < oldestFileVersion || v > fileVersion {
 		return fmt.Errorf("rdbms: unsupported database version %d", v)
 	}
 	if crc32.Checksum(b[0:24], castagnoli) != binary.LittleEndian.Uint32(b[24:]) {
@@ -211,8 +272,14 @@ func (fp *FilePager) alloc() PageID {
 }
 
 func (fp *FilePager) allocLocked() PageID {
-	id := PageID(fp.pages)
-	fp.pages++
+	var id PageID
+	if n := len(fp.freeList); n > 0 {
+		id = fp.freeList[n-1]
+		fp.freeList = fp.freeList[:n-1]
+	} else {
+		id = PageID(fp.pages)
+		fp.pages++
+	}
 	p := &page{}
 	p.init()
 	fp.shadow[id] = p
@@ -220,12 +287,66 @@ func (fp *FilePager) allocLocked() PageID {
 	return id
 }
 
-// fetch implements Pager: the shadow overlay wins over the data file.
+// free implements Pager: the pages are queued for reclamation. They are not
+// reusable yet — the last staged manifest may still list them, so their
+// shadow/WAL images stay intact until the next manifest staging promotes
+// them to the free list (at which point the manifest and the image set
+// agree that the pages are dead). The free list is persisted in the
+// catalog manifest, so reclamation survives reopen once committed.
+func (fp *FilePager) free(ids []PageID) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.pendingFree = append(fp.pendingFree, ids...)
+}
+
+// promotePendingFree moves queued frees onto the live free list and drops
+// their dead page images. Called by the DB while staging a manifest that no
+// longer references the pages (under the commit gate, so no commit can
+// interleave).
+func (fp *FilePager) promotePendingFree() {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	for _, id := range fp.pendingFree {
+		delete(fp.shadow, id)
+		delete(fp.walDirty, id)
+	}
+	fp.freeList = append(fp.freeList, fp.pendingFree...)
+	fp.pendingFree = nil
+}
+
+// freePageIDs snapshots the free list for the catalog manifest.
+func (fp *FilePager) freePageIDs() []uint32 {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	out := make([]uint32, len(fp.freeList))
+	for i, id := range fp.freeList {
+		out[i] = uint32(id)
+	}
+	return out
+}
+
+// setFreePageIDs restores the free list from a loaded manifest.
+func (fp *FilePager) setFreePageIDs(ids []uint32) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.freeList = fp.freeList[:0]
+	for _, id := range ids {
+		fp.freeList = append(fp.freeList, PageID(id))
+	}
+}
+
+// fetch implements Pager: the shadow overlay wins over the data file. The
+// caller receives a copy, never the shadow page itself: buffer-pool frames
+// are mutated in place by writers, and the shadow must stay a stable
+// snapshot of *staged* state for the (possibly concurrent) WAL commit to
+// read. Write-backs copy in the other direction.
 func (fp *FilePager) fetch(id PageID) (*page, error) {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	if p, ok := fp.shadow[id]; ok {
-		return p, nil
+		cp := &page{}
+		*cp = *p
+		return cp, nil
 	}
 	if int(id) >= fp.pages {
 		return nil, nil
@@ -233,12 +354,14 @@ func (fp *FilePager) fetch(id PageID) (*page, error) {
 	return fp.readPageFromFile(id)
 }
 
-// writeBack implements Pager: the page joins the shadow overlay and is
-// staged for the next WAL commit. No file I/O happens here.
+// writeBack implements Pager: a copy of the page joins the shadow overlay
+// and is staged for the next WAL commit. No file I/O happens here.
 func (fp *FilePager) writeBack(id PageID, p *page) error {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
-	fp.shadow[id] = p
+	cp := &page{}
+	*cp = *p
+	fp.shadow[id] = cp
 	fp.walDirty[id] = true
 	return nil
 }
@@ -252,11 +375,116 @@ func (fp *FilePager) pageCount() int {
 
 // commitWAL makes every page dirtied since the last commit durable: page
 // images plus a commit record are appended to the WAL and fsynced. The data
-// file is untouched (write-back happens at checkpoint).
+// file is untouched (write-back happens at checkpoint) unless the commit
+// pushes the shadow overlay past the auto-checkpoint threshold. With group
+// commit enabled the request is handed to the background flusher, which
+// coalesces concurrent committers into one append + one fsync; the call
+// still blocks until the covering flush completes, so durability semantics
+// are unchanged.
 func (fp *FilePager) commitWAL() error {
+	if fp.gcond != nil {
+		return fp.groupCommit()
+	}
+	return fp.commitSync()
+}
+
+// commitSync is the direct commit path: one WAL append + fsync on the
+// caller's thread, then an auto-checkpoint when the shadow overlay has
+// outgrown its threshold. The gate excludes concurrent staging for the
+// whole commit, so the committed batch is always a fully staged one.
+func (fp *FilePager) commitSync() error {
+	if fp.gate != nil {
+		fp.gate.RLock()
+		defer fp.gate.RUnlock()
+	}
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
-	return fp.commitWALLocked()
+	if err := fp.commitWALLocked(); err != nil {
+		return err
+	}
+	if fp.opts.autoCheckpointPages > 0 && len(fp.shadow) >= fp.opts.autoCheckpointPages {
+		return fp.checkpointLocked()
+	}
+	return nil
+}
+
+// groupCommit enqueues a commit request and blocks until a flush that
+// started after the request completes. Because callers stage their dirty
+// pages (under fp.mu) before requesting, any flush that starts later is
+// guaranteed to cover them.
+func (fp *FilePager) groupCommit() error {
+	fp.gmu.Lock()
+	defer fp.gmu.Unlock()
+	if fp.gstopped {
+		return errors.New("rdbms: pager closed")
+	}
+	target := fp.gstart + 1
+	fp.gpending++
+	fp.gcond.Signal()
+	for fp.gdoneSeq < target && !fp.gexited {
+		fp.gdone.Wait()
+	}
+	if fp.gdoneSeq < target {
+		return errors.New("rdbms: pager closed before commit completed")
+	}
+	// glastErr is the newest flush's outcome. Reading a newer flush's
+	// result is sound: a failed commit leaves walDirty intact, so a later
+	// successful flush re-commits those pages (and a later failure is
+	// merely a conservative report).
+	return fp.glastErr
+}
+
+// flushLoop is the background group-commit flusher: it waits for commit
+// requests, holds a short coalescing window so concurrent committers share
+// the fsync, commits, and wakes every waiter.
+func (fp *FilePager) flushLoop() {
+	fp.gmu.Lock()
+	for {
+		for fp.gpending == 0 && !fp.gstopped {
+			fp.gcond.Wait()
+		}
+		if fp.gpending == 0 && fp.gstopped {
+			fp.gexited = true
+			fp.gdone.Broadcast()
+			fp.gmu.Unlock()
+			return
+		}
+		if !fp.gstopped && fp.gpending < fp.opts.groupBatch && fp.opts.groupInterval > 0 {
+			// Coalescing window: let more committers join this flush.
+			// Requests arriving during the sleep are covered — the flush
+			// has not started yet.
+			fp.gmu.Unlock()
+			time.Sleep(fp.opts.groupInterval)
+			fp.gmu.Lock()
+		}
+		fp.gpending = 0
+		fp.gstart++
+		fp.gmu.Unlock()
+
+		err := fp.commitSync()
+
+		fp.gmu.Lock()
+		fp.gdoneSeq = fp.gstart
+		fp.glastErr = err
+		fp.gdone.Broadcast()
+	}
+}
+
+// stopFlusher shuts the group-commit goroutine down, serving any commits
+// already enqueued first. No-op when group commit is off.
+func (fp *FilePager) stopFlusher() {
+	if fp.gcond == nil {
+		return
+	}
+	fp.gmu.Lock()
+	if !fp.gstopped {
+		fp.gstopped = true
+		fp.gcond.Signal()
+	}
+	for !fp.gexited {
+		fp.gdone.Wait()
+	}
+	fp.gmu.Unlock()
 }
 
 func (fp *FilePager) commitWALLocked() error {
@@ -299,9 +527,11 @@ func (fp *FilePager) commitWALLocked() error {
 		return err
 	}
 	fp.walSize += int64(len(buf))
+	fp.walBytes += int64(len(buf))
 	if err := fp.wal.Sync(); err != nil {
 		return err
 	}
+	fp.walSyncs++
 	fp.walDirty = make(map[PageID]bool)
 	return nil
 }
@@ -311,6 +541,10 @@ func (fp *FilePager) commitWALLocked() error {
 func (fp *FilePager) checkpoint() error {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
+	return fp.checkpointLocked()
+}
+
+func (fp *FilePager) checkpointLocked() error {
 	if err := fp.commitWALLocked(); err != nil {
 		return err
 	}
@@ -334,6 +568,7 @@ func (fp *FilePager) checkpoint() error {
 		return err
 	}
 	fp.shadow = make(map[PageID]*page)
+	fp.checkpointCount++
 	return nil
 }
 
@@ -508,12 +743,20 @@ func (fp *FilePager) readMeta() ([]byte, error) {
 }
 
 // verify checksum-checks every page slot in the data file. Pages pending
-// write-back (shadow) have no on-disk slot yet and are skipped.
+// write-back (shadow) have no on-disk slot yet; free pages hold dead (often
+// never-written) slots. Both are skipped.
 func (fp *FilePager) verify() error {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
+	freed := make(map[PageID]bool, len(fp.freeList))
+	for _, id := range fp.freeList {
+		freed[id] = true
+	}
 	for id := 0; id < fp.pages; id++ {
 		if _, ok := fp.shadow[PageID(id)]; ok {
+			continue
+		}
+		if freed[PageID(id)] {
 			continue
 		}
 		if _, err := fp.readPageFromFile(PageID(id)); err != nil {
@@ -523,10 +766,12 @@ func (fp *FilePager) verify() error {
 	return nil
 }
 
-// closeFiles releases the file handles without flushing anything — the
+// closeFiles stops the group-commit flusher (serving commits already
+// enqueued) and releases the file handles without flushing anything — the
 // crash-simulation path. Close goes through DB.Close, which checkpoints
-// first.
+// first. Closing the data file also drops its advisory lock.
 func (fp *FilePager) closeFiles() error {
+	fp.stopFlusher()
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	if fp.closed {
@@ -536,14 +781,31 @@ func (fp *FilePager) closeFiles() error {
 	return errors.Join(fp.f.Close(), fp.wal.Close())
 }
 
-func (fp *FilePager) ioCounters() (diskReads, diskWrites, walAppends int64) {
+// fileCounters is the snapshot of real-I/O counters surfaced via IOStats.
+type fileCounters struct {
+	diskReads, diskWrites          int64
+	walAppends, walSyncs, walBytes int64
+	checkpoints                    int64
+	freePages                      int64
+}
+
+func (fp *FilePager) ioCounters() fileCounters {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
-	return fp.diskReads, fp.diskWrites, fp.walAppends
+	return fileCounters{
+		diskReads:   fp.diskReads,
+		diskWrites:  fp.diskWrites,
+		walAppends:  fp.walAppends,
+		walSyncs:    fp.walSyncs,
+		walBytes:    fp.walBytes,
+		checkpoints: fp.checkpointCount,
+		freePages:   int64(len(fp.freeList) + len(fp.pendingFree)),
+	}
 }
 
 func (fp *FilePager) resetIOCounters() {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	fp.diskReads, fp.diskWrites, fp.walAppends = 0, 0, 0
+	fp.walSyncs, fp.walBytes, fp.checkpointCount = 0, 0, 0
 }

@@ -1,0 +1,331 @@
+package rdbms
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// groupOpts opens with the background flusher and a short coalescing window
+// so tests do not sleep long, and with auto-checkpointing off so WAL-size
+// assertions are deterministic.
+func groupOpts() Options {
+	return Options{
+		GroupCommit:         true,
+		GroupCommitBatch:    4,
+		GroupCommitInterval: 200 * time.Microsecond,
+		AutoCheckpointPages: -1,
+	}
+}
+
+func TestGroupCommitDurability(t *testing.T) {
+	path := tempDBPath(t)
+	db, err := OpenFile(path, groupOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab, 0, 500)
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	// Writes after the commit must not survive the crash, exactly as with
+	// sync-on-commit: group commit changes who pays the fsync, not the
+	// durability point.
+	fillTable(t, tab, 10_000, 50)
+	if err := db.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+	if got := db2.Table("t").RowCount(); got != 500 {
+		t.Fatalf("RowCount = %d, want 500", got)
+	}
+}
+
+// TestGroupCommitParallelCommitters exercises the coalescing path under
+// -race: several goroutines write to their own tables and call FlushWAL
+// concurrently while the background flusher batches the commits.
+func TestGroupCommitParallelCommitters(t *testing.T) {
+	path := tempDBPath(t)
+	db, err := OpenFile(path, groupOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 6
+	const rowsPerWriter = 200
+	tables := make([]*Table, writers)
+	for i := range tables {
+		tab, err := db.CreateTable(fmt.Sprintf("w%d", i), NewSchema(Column{Name: "v", Type: DTInt}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = tab
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(tab *Table) {
+			defer wg.Done()
+			for j := 0; j < rowsPerWriter; j++ {
+				if _, err := tab.Insert(Row{Int(int64(j))}); err != nil {
+					errs <- err
+					return
+				}
+				if j%20 == 19 {
+					if err := db.FlushWAL(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- db.FlushWAL()
+		}(tables[i])
+	}
+	wg.Wait()
+	for i := 0; i < writers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	commits := db.Pool().Stats().WALSyncs
+	if err := db.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+	for i := 0; i < writers; i++ {
+		if got := db2.Table(fmt.Sprintf("w%d", i)).RowCount(); got != rowsPerWriter {
+			t.Fatalf("table w%d: RowCount = %d, want %d", i, got, rowsPerWriter)
+		}
+	}
+	// Total commit requests: writers*(rowsPerWriter/20 + 1). The flusher
+	// must not have needed more fsyncs than requests (and usually far
+	// fewer); this guards against a regression where each request fsyncs
+	// more than once.
+	requests := int64(writers * (rowsPerWriter/20 + 1))
+	if commits > requests {
+		t.Fatalf("WALSyncs = %d > %d commit requests", commits, requests)
+	}
+	t.Logf("group commit: %d commit requests served by %d fsyncs", requests, commits)
+}
+
+func TestAutoCheckpointFiresAtThreshold(t *testing.T) {
+	path := tempDBPath(t)
+	db, err := OpenFile(path, Options{AutoCheckpointPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.CreateTable("t", NewSchema(
+		Column{Name: "v", Type: DTInt}, Column{Name: "pad", Type: DTText},
+	))
+	// ~2000 rows with text payload spread across well over 4 pages.
+	fillTable(t, tab, 0, 2000)
+	if got := db.Pool().Stats().Checkpoints; got != 0 {
+		t.Fatalf("Checkpoints before any commit = %d, want 0", got)
+	}
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Pool().Stats()
+	if st.Checkpoints == 0 {
+		t.Fatalf("auto-checkpoint did not fire; stats = %+v", st)
+	}
+	// The checkpoint truncated the WAL and wrote the pages home.
+	if fi, err := os.Stat(path + ".wal"); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL size after auto-checkpoint = %v (err %v), want 0", fi.Size(), err)
+	}
+	if err := db.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	// And the state is fully recoverable without the WAL.
+	if err := db.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+	if got := db2.Table("t").RowCount(); got != 2000 {
+		t.Fatalf("RowCount after auto-checkpoint crash = %d, want 2000", got)
+	}
+}
+
+func TestAutoCheckpointBelowThresholdDoesNotFire(t *testing.T) {
+	path := tempDBPath(t)
+	db, err := OpenFile(path, Options{AutoCheckpointPages: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab, 0, 100)
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Pool().Stats().Checkpoints; got != 0 {
+		t.Fatalf("Checkpoints = %d, want 0 below threshold", got)
+	}
+	if fi, err := os.Stat(path + ".wal"); err != nil || fi.Size() == 0 {
+		t.Fatalf("WAL unexpectedly truncated below threshold (size %v, err %v)", fi, err)
+	}
+}
+
+// TestFreePageListReuse drops a table and checks that a similarly sized new
+// table reuses its pages instead of growing the data file.
+func TestFreePageListReuse(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	tab, _ := db.CreateTable("big", NewSchema(
+		Column{Name: "v", Type: DTInt}, Column{Name: "pad", Type: DTText},
+	))
+	fillTable(t, tab, 0, 3000)
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Pool().Stats()
+	if err := db.DropTable("big"); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Pool().Stats()
+	if after.FreePages == before.FreePages {
+		t.Fatalf("DropTable freed no pages (free=%d)", after.FreePages)
+	}
+	// Reclamation takes effect when the next staging writes a manifest that
+	// no longer references the dropped heap.
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	pagesBefore := db.disk.pageCount()
+	tab2, _ := db.CreateTable("big2", NewSchema(
+		Column{Name: "v", Type: DTInt}, Column{Name: "pad", Type: DTText},
+	))
+	fillTable(t, tab2, 0, 3000)
+	if grown := db.disk.pageCount() - pagesBefore; grown > 1 {
+		t.Fatalf("data file grew by %d pages despite free list", grown)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+	if got := db2.Table("big2").RowCount(); got != 3000 {
+		t.Fatalf("RowCount after reuse+reopen = %d, want 3000", got)
+	}
+	if err := db2.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreePageListSurvivesReopen drops a table, closes, reopens, and checks
+// the reclaimed pages are still reused.
+func TestFreePageListSurvivesReopen(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	tab, _ := db.CreateTable("victim", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab, 0, 2000)
+	if err := db.DropTable("victim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+	if got := db2.Pool().Stats().FreePages; got == 0 {
+		t.Fatal("free list lost across reopen")
+	}
+	pagesBefore := db2.disk.pageCount()
+	tab2, _ := db2.CreateTable("heir", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab2, 0, 2000)
+	if grown := db2.disk.pageCount() - pagesBefore; grown > 1 {
+		t.Fatalf("data file grew by %d pages; free list not honoured after reopen", grown)
+	}
+}
+
+func TestTruncateReclaimsPages(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	defer db.Close()
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	if err := tab.CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tab, 0, 2000)
+	tab.Truncate()
+	if got := tab.RowCount(); got != 0 {
+		t.Fatalf("RowCount after Truncate = %d", got)
+	}
+	if free := db.Pool().Stats().FreePages; free == 0 {
+		t.Fatal("Truncate freed no pages")
+	}
+	// Table remains usable, index included.
+	fillTable(t, tab, 0, 100)
+	n := 0
+	if ok := tab.IndexScan("v", 0, 99, func(RID, Row) bool { n++; return true }); !ok || n != 100 {
+		t.Fatalf("IndexScan after Truncate: ok=%v n=%d", ok, n)
+	}
+}
+
+// TestMemPagerFreeListReuse gives the in-memory simulator the same
+// reclamation behaviour.
+func TestMemPagerFreeListReuse(t *testing.T) {
+	db := Open(Options{})
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab, 0, 2000)
+	pages := db.disk.pageCount()
+	if err := db.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	tab2, _ := db.CreateTable("u", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab2, 0, 2000)
+	if grown := db.disk.pageCount() - pages; grown > 1 {
+		t.Fatalf("MemPager grew by %d pages despite free list", grown)
+	}
+	seen := 0
+	tab2.Scan(func(_ RID, r Row) bool { seen++; return true })
+	if seen != 2000 {
+		t.Fatalf("scan over reused pages saw %d rows", seen)
+	}
+}
+
+func TestFileLockSecondOpenerFails(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	defer db.Close()
+	if _, err := OpenFile(path, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("second OpenFile = %v, want locked error", err)
+	}
+}
+
+func TestFileLockReleasedOnClose(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	if _, err := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFile(t, path) // lock released by Close
+	defer db2.Close()
+	if db2.Table("t") == nil {
+		t.Fatal("table lost")
+	}
+}
+
+// TestFileLockReleasedOnCrash: a crashed process (dropped descriptors)
+// leaves no stale lock behind.
+func TestFileLockReleasedOnCrash(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	if err := db.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+}

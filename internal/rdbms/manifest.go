@@ -17,6 +17,10 @@ import (
 type dbManifest struct {
 	Tables []tableManifest   `json:"tables"`
 	Meta   map[string][]byte `json:"meta,omitempty"`
+	// FreePages is the pager's free-page list (format v2): pages owned by
+	// dropped or truncated heaps, reused by later allocations. Absent in
+	// v1 manifests, which predate space reclamation.
+	FreePages []uint32 `json:"free_pages,omitempty"`
 }
 
 type tableManifest struct {
@@ -36,6 +40,9 @@ type columnManifest struct {
 // manifestLocked serializes the catalog and metadata KV. db.mu must be held.
 func (db *DB) manifestLocked() ([]byte, error) {
 	m := dbManifest{Meta: db.meta}
+	if fp := db.filePager(); fp != nil {
+		m.FreePages = fp.freePageIDs()
+	}
 	keys := make([]string, 0, len(db.tables))
 	for k := range db.tables {
 		keys = append(keys, k)
@@ -70,6 +77,9 @@ func (db *DB) loadManifest(blob []byte) error {
 	}
 	if m.Meta != nil {
 		db.meta = m.Meta
+	}
+	if fp := db.filePager(); fp != nil {
+		fp.setFreePageIDs(m.FreePages)
 	}
 	for _, tm := range m.Tables {
 		schema := Schema{}

@@ -16,9 +16,13 @@ type IOStats struct {
 	Hits   int64 // page fetches served from the pool
 	// Real file I/O, populated only by the file-backed pager (zero in the
 	// in-memory simulator).
-	DiskReads  int64 // page reads from the data file
-	DiskWrites int64 // page writes to the data file (checkpoint, recovery)
-	WALAppends int64 // page images appended to the write-ahead log
+	DiskReads   int64 // page reads from the data file
+	DiskWrites  int64 // page writes to the data file (checkpoint, recovery)
+	WALAppends  int64 // page images appended to the write-ahead log
+	WALSyncs    int64 // fsyncs of the write-ahead log (one per commit batch)
+	WALBytes    int64 // bytes appended to the write-ahead log
+	Checkpoints int64 // data-file checkpoints (manual and automatic)
+	FreePages   int64 // pages currently on the free list, awaiting reuse
 }
 
 // Pager is the stable-storage layer beneath the buffer pool: a growable
@@ -27,7 +31,8 @@ type IOStats struct {
 // experiments), and FilePager, a durable single-file store with per-page
 // checksums and a write-ahead log.
 type Pager interface {
-	// alloc reserves a fresh zero-initialized page and returns its id.
+	// alloc reserves a zero-initialized page and returns its id, reusing a
+	// freed page when the free list is non-empty.
 	alloc() PageID
 	// fetch returns the page, or (nil, nil) when the id is unknown. The
 	// in-memory pager returns its live page object; the file pager returns
@@ -39,16 +44,28 @@ type Pager interface {
 	writeBack(id PageID, p *page) error
 	// pageCount returns the number of allocated pages.
 	pageCount() int
+	// free returns pages to the allocator for reuse (dropped or truncated
+	// heaps). Callers must first discard any buffer-pool frames for them.
+	free(ids []PageID)
 }
 
 // MemPager is the in-memory simulated disk: pages live on the Go heap,
 // nothing survives process exit. It remains the default so tests and the
 // experiment harness keep their machine-independent logical-I/O mode.
 type MemPager struct {
-	pages []*page
+	pages    []*page
+	freeList []PageID
 }
 
 func (d *MemPager) alloc() PageID {
+	if n := len(d.freeList); n > 0 {
+		id := d.freeList[n-1]
+		d.freeList = d.freeList[:n-1]
+		p := d.pages[id]
+		*p = page{}
+		p.init()
+		return id
+	}
 	p := &page{}
 	p.init()
 	d.pages = append(d.pages, p)
@@ -66,6 +83,8 @@ func (d *MemPager) fetch(id PageID) (*page, error) {
 func (d *MemPager) writeBack(PageID, *page) error { return nil }
 
 func (d *MemPager) pageCount() int { return len(d.pages) }
+
+func (d *MemPager) free(ids []PageID) { d.freeList = append(d.freeList, ids...) }
 
 // BufferPool caches page frames with LRU eviction. With the in-memory pager
 // frames alias the pager's pages, so "eviction" only drops the cache entry
@@ -172,6 +191,20 @@ func (b *BufferPool) flushDirty() error {
 	return nil
 }
 
+// discard drops the frames for the given pages without writing them back.
+// Used when pages are freed: their contents are dead, and a stale frame must
+// not shadow a future reallocation of the same page id.
+func (b *BufferPool) discard(ids []PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, id := range ids {
+		if e, ok := b.frames[id]; ok {
+			delete(b.frames, id)
+			b.lru.Remove(e)
+		}
+	}
+}
+
 // Err returns the last fetch or write-back failure (nil when none). Checksum
 // mismatches on the file-backed pager surface here.
 func (b *BufferPool) Err() error {
@@ -186,7 +219,10 @@ func (b *BufferPool) Stats() IOStats {
 	defer b.mu.Unlock()
 	s := b.stats
 	if fp, ok := b.disk.(*FilePager); ok {
-		s.DiskReads, s.DiskWrites, s.WALAppends = fp.ioCounters()
+		fc := fp.ioCounters()
+		s.DiskReads, s.DiskWrites, s.WALAppends = fc.diskReads, fc.diskWrites, fc.walAppends
+		s.WALSyncs, s.WALBytes, s.Checkpoints = fc.walSyncs, fc.walBytes, fc.checkpoints
+		s.FreePages = fc.freePages
 	}
 	return s
 }
