@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-disk lint fmt ci
+.PHONY: all build test bench bench-disk bench-scan lint fmt ci
 
 all: build
 
@@ -25,6 +25,15 @@ bench-disk:
 	BENCH_DISK_JSON=BENCH_disk.json $(GO) test -run=TestDiskThroughputSnapshot -v .
 	@cat BENCH_disk.json
 
+# Scan-throughput snapshot: measures the batched, projection-pushdown read
+# path (viewport scans, warm cache, parallel readers) against the seed
+# per-cell path and writes BENCH_scan.json; fails if the cold wide-sheet
+# speedup drops below 5x (and, on >=4-CPU machines, if 4 parallel readers
+# fail to beat 1 by >2x aggregate throughput on the file-backed pager).
+bench-scan:
+	BENCH_SCAN_JSON=BENCH_scan.json $(GO) test -run=TestScanThroughputSnapshot -v .
+	@cat BENCH_scan.json
+
 lint:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -34,4 +43,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build test bench bench-disk
+ci: lint build test bench bench-disk bench-scan

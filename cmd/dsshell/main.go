@@ -80,7 +80,7 @@ func main() {
 
 	fmt.Println("DataSpread shell. Commands: set <ref> <value|=formula>, view <range>,")
 	fmt.Println("sql <query>, link <range> <table>, optimize <dp|greedy|agg>, insrow <n>,")
-	fmt.Println("delrow <n>, inscol <n>, delcol <n>, load <file.grid>, save, quit")
+	fmt.Println("delrow <n>, inscol <n>, delcol <n>, load <file.grid>, save, .stats, quit")
 	sc := bufio.NewScanner(os.Stdin)
 	var lastIOErr string
 	for {
@@ -99,8 +99,12 @@ func main() {
 			fmt.Println("error:", err)
 		}
 		// Page-level I/O failures (e.g. checksum mismatches on a corrupt
-		// data file) are swallowed by the read path, which renders the
-		// affected cells blank; surface them so blank != lost silently.
+		// data file) render the affected cells blank; surface them so
+		// blank != lost silently. ReadErr catches failures the engine's
+		// read path recorded, Pool().Err anything below it.
+		if err := eng.ReadErr(); err != nil {
+			fmt.Println("warning: read error:", err)
+		}
 		if err := db.Pool().Err(); err != nil && err.Error() != lastIOErr {
 			lastIOErr = err.Error()
 			fmt.Println("warning: storage error:", err)
@@ -125,6 +129,9 @@ func dispatch(eng *core.Engine, line string) error {
 	switch strings.ToLower(cmd) {
 	case "quit", "exit":
 		return errQuit
+	case ".stats", "stats":
+		printStats(eng)
+		return nil
 	case "save":
 		if err := eng.Save(); err != nil {
 			return err
@@ -231,6 +238,27 @@ func dispatch(eng *core.Engine, line string) error {
 		}
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// printStats reports the read-path counters: cell-cache hit rate, buffer
+// pool hit/miss, and the durable pager's real I/O when file-backed.
+func printStats(eng *core.Engine) {
+	cs := eng.CacheStats()
+	rate := func(hits, misses int64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return 100 * float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("cell cache: %d hits, %d misses (%.1f%% hit rate), %d evictions\n",
+		cs.Hits, cs.Misses, rate(cs.Hits, cs.Misses), cs.Evictions)
+	ps := eng.DB().Pool().Stats()
+	fmt.Printf("buffer pool: %d hits, %d misses (%.1f%% hit rate), %d pages read\n",
+		ps.PoolHits, ps.PoolMisses, rate(ps.PoolHits, ps.PoolMisses), ps.PagesRead)
+	if eng.DB().Path() != "" {
+		fmt.Printf("disk: %d page reads, %d page writes, %d WAL syncs (%d KiB), %d checkpoints, %d free pages\n",
+			ps.DiskReads, ps.DiskWrites, ps.WALSyncs, ps.WALBytes/1024, ps.Checkpoints, ps.FreePages)
+	}
 }
 
 func printGrid(eng *core.Engine, g sheet.Range) {

@@ -4,10 +4,23 @@
 // the storage layer. Caching is block-granular (rectangular tiles of the
 // sheet), matching the scrolling access pattern where a viewport's worth of
 // cells is needed at once.
+//
+// Blocks are dense row-major []sheet.Cell arrays filled by one block-aligned
+// GetCells call against the backing store, so a warm viewport read is a
+// handful of slice copies — no per-cell map lookups, no per-range
+// materialization of intermediate maps. The cache is safe for concurrent
+// readers: hits touch only a read lock and per-block reference bits
+// (second-chance eviction instead of exact LRU move-to-front keeps the hit
+// path mutation-free), and misses load from the backing outside the cache
+// lock so cold scans overlap their storage reads. Writers (Put, Poke,
+// Invalidate) take the exclusive lock; they must not run concurrently with
+// readers of the same engine, matching the engine's single-writer contract.
 package cache
 
 import (
 	"container/list"
+	"sync"
+	"sync/atomic"
 
 	"dataspread/internal/sheet"
 )
@@ -25,8 +38,9 @@ type Stats struct {
 
 // Backing is the storage layer underneath the cache.
 type Backing interface {
-	// LoadBlock returns the filled cells within the block range.
-	LoadBlock(g sheet.Range) map[sheet.Ref]sheet.Cell
+	// LoadBlock materializes the block range as a dense row-major grid of
+	// exactly g.Rows() x g.Cols() cells, blank cells as zero values.
+	LoadBlock(g sheet.Range) ([][]sheet.Cell, error)
 	// StoreCell persists one cell (write-through).
 	StoreCell(r sheet.Ref, c sheet.Cell) error
 }
@@ -34,18 +48,30 @@ type Backing interface {
 type blockKey struct{ br, bc int }
 
 type block struct {
-	key   blockKey
-	cells map[sheet.Ref]sheet.Cell
+	key blockKey
+	// cells is the dense row-major tile: cells[r*BlockCols+c] holds the
+	// cell at block-local (r, c).
+	cells []sheet.Cell
+	// used is the second-chance reference bit, set by hits and cleared by
+	// the eviction sweep.
+	used atomic.Bool
 }
 
-// Cache is an LRU cell cache. It is not safe for concurrent use; the engine
-// serializes access.
+// Cache is a block-granular cell cache with second-chance eviction.
 type Cache struct {
 	backing  Backing
 	capacity int // max blocks
-	blocks   map[blockKey]*list.Element
-	lru      *list.List
-	stats    Stats
+
+	mu     sync.RWMutex
+	blocks map[blockKey]*list.Element // -> *block
+	lru    *list.List
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr error
 }
 
 // New creates a cache holding up to capacity blocks (minimum 1; zero means
@@ -76,31 +102,93 @@ func blockRange(k blockKey) sheet.Range {
 	)
 }
 
-// Get returns the cell at r, loading its block on a miss.
-func (c *Cache) Get(r sheet.Ref) sheet.Cell {
-	b := c.load(keyFor(r))
-	return b.cells[r]
+// cellIndex returns the dense offset of ref within its block.
+func cellIndex(k blockKey, r sheet.Ref) int {
+	return (r.Row-1-k.br*BlockRows)*BlockCols + (r.Col - 1 - k.bc*BlockCols)
 }
 
-// GetRange materializes a rectangular range through the cache.
+// Get returns the cell at r, loading its block on a miss. Load failures
+// render the cell blank and are surfaced by TakeErr.
+func (c *Cache) Get(r sheet.Ref) sheet.Cell {
+	k := keyFor(r)
+	b := c.load(k)
+	c.mu.RLock()
+	cell := b.cells[cellIndex(k, r)]
+	c.mu.RUnlock()
+	return cell
+}
+
+// GetRange materializes a rectangular range through the cache: one flat
+// output allocation, filled block by block with row-segment slice copies.
 func (c *Cache) GetRange(g sheet.Range) [][]sheet.Cell {
-	out := make([][]sheet.Cell, g.Rows())
+	rows, cols := g.Rows(), g.Cols()
+	flat := make([]sheet.Cell, rows*cols)
+	out := make([][]sheet.Cell, rows)
 	for i := range out {
-		out[i] = make([]sheet.Cell, g.Cols())
+		out[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
 	}
 	k1 := keyFor(g.From)
 	k2 := keyFor(g.To)
 	for br := k1.br; br <= k2.br; br++ {
 		for bc := k1.bc; bc <= k2.bc; bc++ {
-			b := c.load(blockKey{br, bc})
-			for ref, cell := range b.cells {
-				if g.Contains(ref) {
-					out[ref.Row-g.From.Row][ref.Col-g.From.Col] = cell
+			k := blockKey{br, bc}
+			b := c.load(k)
+			bg := blockRange(k)
+			ov, ok := g.Intersect(bg)
+			if !ok {
+				continue
+			}
+			c.mu.RLock()
+			for row := ov.From.Row; row <= ov.To.Row; row++ {
+				src := (row - bg.From.Row) * BlockCols
+				lo := src + ov.From.Col - bg.From.Col
+				hi := src + ov.To.Col - bg.From.Col + 1
+				copy(out[row-g.From.Row][ov.From.Col-g.From.Col:], b.cells[lo:hi])
+			}
+			c.mu.RUnlock()
+		}
+	}
+	return out
+}
+
+// VisitRange streams the range's non-blank cells to fn in row-major order
+// without materializing an output grid: per block-row band it pins the
+// band's blocks once, then walks each sheet row across the band copying one
+// row segment at a time into a reused buffer (fn runs outside the cache
+// lock, so it may re-enter the cache). Returning false stops the walk.
+func (c *Cache) VisitRange(g sheet.Range, fn func(sheet.Ref, sheet.Cell) bool) {
+	cols := g.Cols()
+	rowBuf := make([]sheet.Cell, cols)
+	k1 := keyFor(g.From)
+	k2 := keyFor(g.To)
+	band := make([]*block, k2.bc-k1.bc+1)
+	for br := k1.br; br <= k2.br; br++ {
+		for bc := k1.bc; bc <= k2.bc; bc++ {
+			band[bc-k1.bc] = c.load(blockKey{br, bc})
+		}
+		loRow := max(g.From.Row, br*BlockRows+1)
+		hiRow := min(g.To.Row, (br+1)*BlockRows)
+		for row := loRow; row <= hiRow; row++ {
+			c.mu.RLock()
+			for bc := k1.bc; bc <= k2.bc; bc++ {
+				b := band[bc-k1.bc]
+				src := (row - 1 - br*BlockRows) * BlockCols
+				loCol := max(g.From.Col, bc*BlockCols+1)
+				hiCol := min(g.To.Col, (bc+1)*BlockCols)
+				copy(rowBuf[loCol-g.From.Col:],
+					b.cells[src+loCol-1-bc*BlockCols:src+hiCol-bc*BlockCols])
+			}
+			c.mu.RUnlock()
+			for j := 0; j < cols; j++ {
+				if rowBuf[j].IsBlank() {
+					continue
+				}
+				if !fn(sheet.Ref{Row: row, Col: g.From.Col + j}, rowBuf[j]) {
+					return
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Put writes the cell through to the backing and updates the cached block
@@ -110,12 +198,13 @@ func (c *Cache) Put(r sheet.Ref, cell sheet.Cell) error {
 	if err := c.backing.StoreCell(r, cell); err != nil {
 		return err
 	}
-	b := c.load(keyFor(r))
-	if cell.IsBlank() {
-		delete(b.cells, r)
-	} else {
-		b.cells[r] = cell
+	k := keyFor(r)
+	c.load(k)
+	c.mu.Lock()
+	if e, ok := c.blocks[k]; ok {
+		e.Value.(*block).cells[cellIndex(k, r)] = cell
 	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -124,21 +213,19 @@ func (c *Cache) Put(r sheet.Ref, cell sheet.Cell) error {
 // batches through the storage layer directly and call Poke to keep resident
 // blocks coherent; non-resident blocks read through on their next load.
 func (c *Cache) Poke(r sheet.Ref, cell sheet.Cell) {
-	e, ok := c.blocks[keyFor(r)]
-	if !ok {
-		return
+	k := keyFor(r)
+	c.mu.Lock()
+	if e, ok := c.blocks[k]; ok {
+		e.Value.(*block).cells[cellIndex(k, r)] = cell
 	}
-	b := e.Value.(*block)
-	if cell.IsBlank() {
-		delete(b.cells, r)
-	} else {
-		b.cells[r] = cell
-	}
+	c.mu.Unlock()
 }
 
 // Invalidate drops every cached block intersecting g (used after
 // structural edits, which move cells across blocks).
 func (c *Cache) Invalidate(g sheet.Range) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for e := c.lru.Front(); e != nil; {
 		next := e.Next()
 		b := e.Value.(*block)
@@ -152,36 +239,94 @@ func (c *Cache) Invalidate(g sheet.Range) {
 
 // InvalidateAll empties the cache.
 func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.blocks = make(map[blockKey]*list.Element)
 	c.lru.Init()
 }
 
+// TakeErr returns the first block-load failure recorded since the last call
+// and clears it (nil when none). A failed load renders the affected cells
+// blank; callers that must distinguish blank from unreadable check this
+// after their reads.
+func (c *Cache) TakeErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	err := c.lastErr
+	c.lastErr = nil
+	return err
+}
+
+func (c *Cache) setErr(err error) {
+	c.errMu.Lock()
+	if c.lastErr == nil {
+		c.lastErr = err
+	}
+	c.errMu.Unlock()
+}
+
 // Stats returns a snapshot of hit/miss counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
 
 // ResetStats zeroes the counters.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
 
+// load returns the block for k, reading it through from the backing on a
+// miss. Failed loads are recorded for TakeErr and return an uncached blank
+// block, so a later read retries the backing instead of caching the
+// failure.
 func (c *Cache) load(k blockKey) *block {
+	c.mu.RLock()
 	if e, ok := c.blocks[k]; ok {
-		c.lru.MoveToFront(e)
-		c.stats.Hits++
+		b := e.Value.(*block)
+		b.used.Store(true)
+		c.mu.RUnlock()
+		c.hits.Add(1)
+		return b
+	}
+	c.mu.RUnlock()
+	c.misses.Add(1)
+	// Load outside the lock: the storage read may be slow (disk), and
+	// concurrent cold readers should overlap, not serialize.
+	g := blockRange(k)
+	cells, err := c.backing.LoadBlock(g)
+	if err != nil {
+		c.setErr(err)
+		return &block{key: k, cells: make([]sheet.Cell, BlockRows*BlockCols)}
+	}
+	b := &block{key: k, cells: make([]sheet.Cell, BlockRows*BlockCols)}
+	for i := range cells {
+		copy(b.cells[i*BlockCols:(i+1)*BlockCols], cells[i])
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.blocks[k]; ok {
+		// A concurrent loader won the race; use its block.
 		return e.Value.(*block)
 	}
-	c.stats.Misses++
-	cells := c.backing.LoadBlock(blockRange(k))
-	if cells == nil {
-		cells = make(map[sheet.Ref]sheet.Cell)
-	}
-	b := &block{key: k, cells: cells}
-	if c.lru.Len() >= c.capacity {
+	for c.lru.Len() >= c.capacity {
 		tail := c.lru.Back()
-		if tail != nil {
-			old := tail.Value.(*block)
-			delete(c.blocks, old.key)
-			c.lru.Remove(tail)
-			c.stats.Evictions++
+		if tail == nil {
+			break
 		}
+		old := tail.Value.(*block)
+		if old.used.Swap(false) {
+			c.lru.MoveToFront(tail)
+			continue
+		}
+		delete(c.blocks, old.key)
+		c.lru.Remove(tail)
+		c.evictions.Add(1)
 	}
 	c.blocks[k] = c.lru.PushFront(b)
 	return b

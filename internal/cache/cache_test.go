@@ -1,26 +1,43 @@
 package cache
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"dataspread/internal/sheet"
 )
 
-// sheetBacking adapts a plain sheet as the storage layer.
+// sheetBacking adapts a plain sheet as the storage layer. The cache loads
+// blocks from concurrent readers, so the bookkeeping is mutex-guarded.
 type sheetBacking struct {
-	s     *sheet.Sheet
-	loads int
+	s  *sheet.Sheet
+	mu sync.Mutex
+	// loads counts LoadBlock calls; failNext makes the next one fail
+	// (read-error surfacing tests).
+	loads    int
+	failNext bool
 }
 
-func (b *sheetBacking) LoadBlock(g sheet.Range) map[sheet.Ref]sheet.Cell {
+func (b *sheetBacking) LoadBlock(g sheet.Range) ([][]sheet.Cell, error) {
+	b.mu.Lock()
 	b.loads++
-	out := make(map[sheet.Ref]sheet.Cell)
+	fail := b.failNext
+	b.failNext = false
+	b.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("injected load failure for %v", g)
+	}
+	out := make([][]sheet.Cell, g.Rows())
+	for i := range out {
+		out[i] = make([]sheet.Cell, g.Cols())
+	}
 	b.s.Each(func(r sheet.Ref, c sheet.Cell) {
 		if g.Contains(r) {
-			out[r] = c
+			out[r.Row-g.From.Row][r.Col-g.From.Col] = c
 		}
 	})
-	return out
+	return out, nil
 }
 
 func (b *sheetBacking) StoreCell(r sheet.Ref, c sheet.Cell) error {
@@ -148,5 +165,128 @@ func TestCacheInvalidate(t *testing.T) {
 	c.Get(sheet.Ref{Row: 1, Col: 1})
 	if b.loads != before+1 {
 		t.Fatal("InvalidateAll did not clear")
+	}
+}
+
+// TestCacheVisitRange checks the streaming walk: row-major order, blanks
+// skipped, early stop honoured.
+func TestCacheVisitRange(t *testing.T) {
+	s := sheet.New("t")
+	// A sparse diagonal across several blocks.
+	for i := 0; i < 5; i++ {
+		s.SetValue(i*20+1, i*7+1, sheet.Number(float64(i)))
+	}
+	b := &sheetBacking{s: s}
+	c := New(b, 16)
+	g := sheet.NewRange(1, 1, 100, 40)
+	var visited []sheet.Ref
+	c.VisitRange(g, func(r sheet.Ref, cell sheet.Cell) bool {
+		if cell.IsBlank() {
+			t.Fatalf("blank cell visited at %v", r)
+		}
+		visited = append(visited, r)
+		return true
+	})
+	if len(visited) != 5 {
+		t.Fatalf("visited %d cells, want 5: %v", len(visited), visited)
+	}
+	for i := 1; i < len(visited); i++ {
+		a, b := visited[i-1], visited[i]
+		if a.Row > b.Row || (a.Row == b.Row && a.Col >= b.Col) {
+			t.Fatalf("not row-major: %v before %v", a, b)
+		}
+	}
+	// Early stop.
+	n := 0
+	c.VisitRange(g, func(sheet.Ref, sheet.Cell) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestCacheLoadErrorSurfaced is the regression for silently swallowed read
+// errors: a failed block load must be reported by TakeErr (the cells read
+// blank), and the failure must not be cached — the next read retries.
+func TestCacheLoadErrorSurfaced(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(1, 1, sheet.Number(5))
+	b := &sheetBacking{s: s, failNext: true}
+	c := New(b, 4)
+
+	if got := c.Get(sheet.Ref{Row: 1, Col: 1}); !got.IsBlank() {
+		t.Fatalf("failed load returned %v, want blank", got)
+	}
+	if err := c.TakeErr(); err == nil {
+		t.Fatal("load failure was swallowed: TakeErr = nil")
+	}
+	if err := c.TakeErr(); err != nil {
+		t.Fatalf("TakeErr did not clear: %v", err)
+	}
+	// The failure was not cached: the next read goes back to the backing
+	// and succeeds.
+	if got := c.Get(sheet.Ref{Row: 1, Col: 1}); !got.Value.Equal(sheet.Number(5)) {
+		t.Fatalf("retry after failed load = %v, want 5", got)
+	}
+	if err := c.TakeErr(); err != nil {
+		t.Fatalf("unexpected error after successful retry: %v", err)
+	}
+}
+
+// TestCacheConcurrentReaders hammers Get/GetRange/VisitRange from several
+// goroutines (run under -race) and checks every reader sees consistent
+// values.
+func TestCacheConcurrentReaders(t *testing.T) {
+	s := sheet.New("t")
+	const rows, cols = 4 * BlockRows, 3 * BlockCols
+	for row := 1; row <= rows; row++ {
+		for col := 1; col <= cols; col++ {
+			s.SetValue(row, col, sheet.Number(float64(row*1000+col)))
+		}
+	}
+	c := New(&sheetBacking{s: s}, 8) // small: force concurrent evictions
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < 30; it++ {
+				r0 := (w*37+it*13)%(rows-20) + 1
+				c0 := (w*11+it*7)%(cols-5) + 1
+				g := sheet.NewRange(r0, c0, r0+19, c0+4)
+				m := c.GetRange(g)
+				for i := range m {
+					for j := range m[i] {
+						want := float64((r0+i)*1000 + c0 + j)
+						if !m[i][j].Value.Equal(sheet.Number(want)) {
+							errs <- fmt.Errorf("GetRange(%d,%d) = %v want %v", r0+i, c0+j, m[i][j].Value, want)
+							return
+						}
+					}
+				}
+				got := c.Get(sheet.Ref{Row: r0, Col: c0})
+				if !got.Value.Equal(sheet.Number(float64(r0*1000 + c0))) {
+					errs <- fmt.Errorf("Get(%d,%d) = %v", r0, c0, got.Value)
+					return
+				}
+				seen := 0
+				c.VisitRange(g, func(sheet.Ref, sheet.Cell) bool { seen++; return true })
+				if seen != g.Rows()*g.Cols() {
+					errs <- fmt.Errorf("VisitRange saw %d of %d cells", seen, g.Rows()*g.Cols())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := c.TakeErr(); err != nil {
+		t.Fatal(err)
 	}
 }

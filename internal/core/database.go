@@ -47,6 +47,9 @@ func (e *Engine) LinkTable(g sheet.Range, tableName string) (*model.TOM, error) 
 // createTableFromRange infers a schema from the range and loads its data.
 func (e *Engine) createTableFromRange(g sheet.Range, tableName string) (*rdbms.Table, error) {
 	cells := e.GetCells(g)
+	if err := e.ReadErr(); err != nil {
+		return nil, fmt.Errorf("core: linkTable range read: %w", err)
+	}
 	if len(cells) < 2 {
 		return nil, fmt.Errorf("core: linkTable range %v needs a header row and at least one data row", g)
 	}

@@ -45,42 +45,18 @@ type Engine struct {
 	cacheBlocks    int
 }
 
-// storeBacking adapts the hybrid store to the cache's Backing interface.
+// storeBacking adapts the hybrid store to the cache's Backing interface:
+// block loads are exactly the store's dense range reads (one page pin per
+// heap page, projection pushed down to the viewport's columns), and load
+// errors flow into the cache where Engine.ReadErr surfaces them.
 type storeBacking struct{ hs *model.HybridStore }
 
-func (b storeBacking) LoadBlock(g sheet.Range) (map[sheet.Ref]sheet.Cell, error) {
-	cells, err := b.hs.GetCells(g)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[sheet.Ref]sheet.Cell)
-	for i := range cells {
-		for j := range cells[i] {
-			if !cells[i][j].IsBlank() {
-				out[sheet.Ref{Row: g.From.Row + i, Col: g.From.Col + j}] = cells[i][j]
-			}
-		}
-	}
-	return out, nil
+func (b storeBacking) LoadBlock(g sheet.Range) ([][]sheet.Cell, error) {
+	return b.hs.GetCells(g)
 }
 
-// backing implements cache.Backing (which has no error returns) by
-// remembering the last load error for the engine to surface.
-type backing struct {
-	inner   storeBacking
-	lastErr error
-}
-
-func (b *backing) LoadBlock(g sheet.Range) map[sheet.Ref]sheet.Cell {
-	m, err := b.inner.LoadBlock(g)
-	if err != nil {
-		b.lastErr = err
-	}
-	return m
-}
-
-func (b *backing) StoreCell(r sheet.Ref, c sheet.Cell) error {
-	return b.inner.hs.Update(r.Row, r.Col, c)
+func (b storeBacking) StoreCell(r sheet.Ref, c sheet.Cell) error {
+	return b.hs.Update(r.Row, r.Col, c)
 }
 
 // New opens an empty spreadsheet named name on the database.
@@ -107,7 +83,7 @@ func New(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 
 // newEngineCache builds the LRU cell cache over the engine's current store.
 func newEngineCache(e *Engine) *cache.Cache {
-	return cache.New(&backing{inner: storeBacking{e.store}}, e.cacheBlocks)
+	return cache.New(storeBacking{e.store}, e.cacheBlocks)
 }
 
 // Open loads a sheet into a new engine, choosing the physical layout with
@@ -174,7 +150,9 @@ func (e *Engine) grow(row, col int) {
 // CellValue implements formula.Resolver through the cache.
 func (e *Engine) CellValue(r sheet.Ref) sheet.Value { return e.cache.Get(r).Value }
 
-// VisitRange implements formula.Resolver.
+// VisitRange implements formula.Resolver: the range streams out of the cell
+// cache block by block (one reused row buffer, no materialized output grid),
+// so aggregations over large ranges stay allocation-light.
 func (e *Engine) VisitRange(g sheet.Range, fn func(sheet.Ref, sheet.Value) bool) {
 	// Clip to content bounds to avoid materializing vast empty ranges.
 	if g.To.Row > e.maxRow {
@@ -186,18 +164,9 @@ func (e *Engine) VisitRange(g sheet.Range, fn func(sheet.Ref, sheet.Value) bool)
 	if g.To.Row < g.From.Row || g.To.Col < g.From.Col {
 		return
 	}
-	cells := e.cache.GetRange(g)
-	for i := range cells {
-		for j := range cells[i] {
-			if cells[i][j].IsBlank() {
-				continue
-			}
-			ref := sheet.Ref{Row: g.From.Row + i, Col: g.From.Col + j}
-			if !fn(ref, cells[i][j].Value) {
-				return
-			}
-		}
-	}
+	e.cache.VisitRange(g, func(r sheet.Ref, c sheet.Cell) bool {
+		return fn(r, c.Value)
+	})
 }
 
 // GetCell returns one cell.
@@ -207,6 +176,16 @@ func (e *Engine) GetCell(row, col int) sheet.Cell {
 
 // GetCells is the getCells(range) primitive of Section III.
 func (e *Engine) GetCells(g sheet.Range) [][]sheet.Cell { return e.cache.GetRange(g) }
+
+// ReadErr returns the first storage read error recorded since the last call
+// and clears it (nil when none). The read primitives (GetCell, GetCells,
+// VisitRange, CellValue) render unreadable cells blank rather than failing
+// mid-render; callers that must distinguish blank from unreadable — a
+// checksum-corrupt page, a torn data file — check ReadErr after reading.
+func (e *Engine) ReadErr() error { return e.cache.TakeErr() }
+
+// CacheStats returns the cell cache's hit/miss/eviction counters.
+func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
 
 // Set writes user input: text beginning with '=' installs a formula,
 // anything else a literal value; empty text clears the cell.

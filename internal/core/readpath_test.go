@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// TestVisitRangeEquivalenceProperty: the streaming VisitRange must agree
+// with per-cell GetCell (and GetCells) for every physical layout the
+// optimizer can choose, over random sheets and rectangles.
+func TestVisitRangeEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for _, algo := range []string{"rom", "com", "rcv", "agg"} {
+		s := sheet.New("p")
+		const rows, cols = 90, 24
+		for n := 0; n < 700; n++ {
+			row := rng.Intn(rows) + 1
+			col := rng.Intn(cols) + 1
+			if rng.Intn(5) == 0 {
+				s.Set(sheet.Ref{Row: row, Col: col}, sheet.Cell{Value: sheet.Str(fmt.Sprintf("t%d", n))})
+			} else {
+				s.SetValue(row, col, sheet.Number(float64(n)))
+			}
+		}
+		e, err := Open(rdbms.Open(rdbms.Options{}), "p", s, algo, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			r0 := rng.Intn(rows) + 1
+			c0 := rng.Intn(cols) + 1
+			g := sheet.NewRange(r0, c0, r0+rng.Intn(rows), c0+rng.Intn(cols))
+			// VisitRange vs GetCell: every visited cell matches, every
+			// non-blank cell is visited, order is row-major.
+			visited := make(map[sheet.Ref]sheet.Value)
+			var last sheet.Ref
+			e.VisitRange(g, func(r sheet.Ref, v sheet.Value) bool {
+				if last != (sheet.Ref{}) && (r.Row < last.Row || (r.Row == last.Row && r.Col <= last.Col)) {
+					t.Fatalf("%s: VisitRange not row-major: %v after %v", algo, r, last)
+				}
+				last = r
+				visited[r] = v
+				return true
+			})
+			cells := e.GetCells(g)
+			for i := range cells {
+				for j := range cells[i] {
+					ref := sheet.Ref{Row: g.From.Row + i, Col: g.From.Col + j}
+					point := e.GetCell(ref.Row, ref.Col)
+					if !cells[i][j].Value.Equal(point.Value) {
+						t.Fatalf("%s: GetCells(%v) = %v, GetCell = %v", algo, ref, cells[i][j].Value, point.Value)
+					}
+					v, ok := visited[ref]
+					if point.IsBlank() != !ok {
+						t.Fatalf("%s: VisitRange visited=%v but cell blank=%v at %v", algo, ok, point.IsBlank(), ref)
+					}
+					if ok && !v.Equal(point.Value) {
+						t.Fatalf("%s: VisitRange(%v) = %v, GetCell = %v", algo, ref, v, point.Value)
+					}
+				}
+			}
+		}
+		if err := e.ReadErr(); err != nil {
+			t.Fatalf("%s: unexpected read error: %v", algo, err)
+		}
+	}
+}

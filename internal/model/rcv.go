@@ -117,45 +117,51 @@ func (r *RCV) Get(row, col int) (sheet.Cell, error) {
 	return decodeCell(tuple[1])
 }
 
-// GetCells implements Translator: one index range scan per row in the
-// range, mapping column surrogates back to display positions.
+// rcvValProj projects the value attribute only: range reads never decode
+// (or re-materialize) the composite key, which the index scan already knows.
+var rcvValProj = []int{1}
+
+// GetCells implements Translator: one index range scan per row gathers the
+// range's tuple pointers, then a single batched fetch pins each heap page
+// once and decodes only the value attribute.
 func (r *RCV) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
-	out := make([][]sheet.Cell, g.Rows())
-	for i := range out {
-		out[i] = make([]sheet.Cell, g.Cols())
-	}
+	rows, cols := g.Rows(), g.Cols()
+	out := newCellGrid(rows, cols)
 	// Reverse map: column surrogate -> offset within the requested range.
-	colIDs := r.colIDs.Range(g.From.Col, g.Cols())
+	colIDs := r.colIDs.Range(g.From.Col, cols)
 	rev := make(map[int64]int, len(colIDs))
 	for j, id := range colIDs {
 		rev[id] = j
 	}
-	rowIDs := r.rowIDs.Range(g.From.Row, g.Rows())
-	var firstErr error
+	rowIDs := r.rowIDs.Range(g.From.Row, rows)
+	bufp := getRIDBuf()
+	defer putRIDBuf(bufp)
+	rids := *bufp
+	// Sized for the viewport, bounded by the region's filled-cell count.
+	cellPos := make([]int32, 0, min(rows*cols, r.cells))
 	for i, rowID := range rowIDs {
 		lo := key(rowID, 0)
 		hi := key(rowID, 1<<rcvColBits-1)
 		r.index.Scan(lo, hi, func(k int64, rid rdbms.RID) bool {
-			j, want := rev[k&(1<<rcvColBits-1)]
-			if !want {
-				return true
+			if j, want := rev[k&(1<<rcvColBits-1)]; want {
+				rids = append(rids, rid)
+				cellPos = append(cellPos, int32(i*cols+j))
 			}
-			tuple, ok := r.table.Get(rid)
-			if !ok {
-				firstErr = fmt.Errorf("model: RCV dangling pointer %v", rid)
-				return false
-			}
-			c, err := decodeCell(tuple[1])
-			if err != nil {
-				firstErr = err
-				return false
-			}
-			out[i][j] = c
 			return true
 		})
-		if firstErr != nil {
-			return nil, firstErr
+	}
+	*bufp = rids
+	err := r.table.GetMany(rids, rcvValProj, func(idx int, vals rdbms.Row) error {
+		c, err := decodeCell(vals[0])
+		if err != nil {
+			return err
 		}
+		p := int(cellPos[idx])
+		out[p/cols][p%cols] = c
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: RCV range read: %w", err)
 	}
 	return out, nil
 }

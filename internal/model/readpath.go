@@ -1,0 +1,57 @@
+package model
+
+import (
+	"sync"
+
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// Shared plumbing for the batched read path: every translator's GetCells is
+// built on rdbms.Table.GetMany (one buffer-pool pin per heap page per range,
+// attributes outside the viewport never decoded) with tuple pointers pulled
+// through posmap.FetchRangeInto into a pooled buffer, so a scrolling
+// workload's hot loop allocates only its output grid.
+
+// newCellGrid allocates a rows×cols cell matrix backed by a single flat
+// slice, so a viewport's worth of rows costs two allocations instead of
+// rows+1.
+func newCellGrid(rows, cols int) [][]sheet.Cell {
+	if rows <= 0 || cols <= 0 {
+		return make([][]sheet.Cell, 0)
+	}
+	flat := make([]sheet.Cell, rows*cols)
+	out := make([][]sheet.Cell, rows)
+	for i := range out {
+		out[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
+}
+
+// ridBufPool recycles tuple-pointer buffers for range reads. GetCells is
+// re-entrant across goroutines (concurrent readers), so the scratch cannot
+// live on the translator.
+var ridBufPool = sync.Pool{New: func() any { return new([]rdbms.RID) }}
+
+func getRIDBuf() *[]rdbms.RID { return ridBufPool.Get().(*[]rdbms.RID) }
+
+func putRIDBuf(b *[]rdbms.RID) {
+	*b = (*b)[:0]
+	ridBufPool.Put(b)
+}
+
+// sortProjPairs sorts proj ascending (as decodeRowColsInto requires),
+// permuting offs in step. Projections are small and — colPos starts as the
+// identity — usually already sorted, so a binary insertion sort beats the
+// generic sort's allocation.
+func sortProjPairs(proj, offs []int) {
+	for i := 1; i < len(proj); i++ {
+		p, o := proj[i], offs[i]
+		j := i
+		for j > 0 && proj[j-1] > p {
+			proj[j], offs[j] = proj[j-1], offs[j-1]
+			j--
+		}
+		proj[j], offs[j] = p, o
+	}
+}

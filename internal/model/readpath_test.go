@@ -1,0 +1,407 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dataspread/internal/hybrid"
+	"dataspread/internal/posmap"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// fillROM builds a ROM region of rows×cols with deterministic numbers.
+func fillROM(t testing.TB, db *rdbms.DB, scheme string, rows, cols int) *ROM {
+	t.Helper()
+	rom, err := NewROM(Config{DB: db, Scheme: scheme, TableName: "rp"}, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]sheet.Cell, cols)
+	for r := 1; r <= rows; r++ {
+		for c := range buf {
+			buf[c] = sheet.Cell{Value: sheet.Number(float64(r*1000 + c + 1))}
+		}
+		if err := rom.AppendRow(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rom
+}
+
+// TestROMProjectionPushdown is the decode-counter acceptance check: a
+// k-column viewport over an n-column region materializes exactly k
+// attributes per row, while the per-cell seed path pays the full n-attribute
+// decode for every cell it touches.
+func TestROMProjectionPushdown(t *testing.T) {
+	const rows, cols = 300, 64
+	const vpRows, vpCols = 200, 4
+	rom := fillROM(t, rdbms.Open(rdbms.Options{}), "hierarchical", rows, cols)
+	g := sheet.NewRange(50, 10, 50+vpRows-1, 10+vpCols-1)
+
+	rdbms.ResetDecodedAttrCount()
+	cells, err := rom.GetCells(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := rdbms.DecodedAttrCount()
+	if want := int64(vpRows * vpCols); batched != want {
+		t.Fatalf("batched viewport decoded %d attrs, want exactly %d (O(k) per row)", batched, want)
+	}
+	// Sanity: the data came back right.
+	if !cells[0][0].Value.Equal(sheet.Number(50*1000 + 10)) {
+		t.Fatalf("viewport corner = %v", cells[0][0].Value)
+	}
+
+	// Seed per-cell path over the same viewport decodes O(n) per cell.
+	rdbms.ResetDecodedAttrCount()
+	for r := g.From.Row; r <= g.To.Row; r++ {
+		for c := g.From.Col; c <= g.To.Col; c++ {
+			if _, err := rom.Get(r, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	perCell := rdbms.DecodedAttrCount()
+	if perCell < batched*10 {
+		t.Fatalf("per-cell path decoded %d attrs vs batched %d — projection pushdown is not pulling its weight", perCell, batched)
+	}
+}
+
+// TestROMGetCellsPinsEachPageOnce: one buffer-pool fetch per distinct heap
+// page per range read.
+func TestROMGetCellsPinsEachPageOnce(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{BufferPoolPages: 1 << 12})
+	rom := fillROM(t, db, "hierarchical", 2000, 20)
+	g := sheet.NewRange(101, 1, 900, 20)
+	distinct := make(map[rdbms.PageID]bool)
+	for _, rid := range rom.rowMap.FetchRange(101, 800) {
+		distinct[rid.Page] = true
+	}
+	db.Pool().ResetStats()
+	if _, err := rom.GetCells(g); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Pool().Stats()
+	if fetches := st.PoolHits + st.PoolMisses; fetches != int64(len(distinct)) {
+		t.Fatalf("pool fetches = %d, want one per distinct page (%d)", fetches, len(distinct))
+	}
+}
+
+// TestROMGetCellsAfterColumnChurn exercises the projection map when colPos
+// is no longer the identity (inserted + deleted display columns).
+func TestROMGetCellsAfterColumnChurn(t *testing.T) {
+	rom := fillROM(t, rdbms.Open(rdbms.Options{}), "hierarchical", 10, 6)
+	if err := rom.InsertColAfter(2); err != nil { // new blank display col 3
+		t.Fatal(err)
+	}
+	if err := rom.DeleteCol(5); err != nil { // drops old physical col 4
+		t.Fatal(err)
+	}
+	if err := rom.Update(4, 3, sheet.Cell{Value: sheet.Str("new")}); err != nil {
+		t.Fatal(err)
+	}
+	g := sheet.NewRange(1, 1, rom.Rows(), rom.Cols())
+	cells, err := rom.GetCells(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= rom.Rows(); r++ {
+		for c := 1; c <= rom.Cols(); c++ {
+			want, err := rom.Get(r, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := cells[r-1][c-1]
+			if !got.Value.Equal(want.Value) || got.Formula != want.Formula {
+				t.Fatalf("cell (%d,%d): GetCells %+v != Get %+v", r, c, got, want)
+			}
+		}
+	}
+}
+
+// propTranslator builds one translator of the given kind for the property
+// test, returning it plus the set of ops it supports.
+func propTranslator(t *testing.T, db *rdbms.DB, kind, scheme string, seq int) Translator {
+	t.Helper()
+	cfg := Config{DB: db, Scheme: scheme, TableName: fmt.Sprintf("p%s%d", kind, seq)}
+	switch kind {
+	case "rom":
+		tr, err := NewROM(cfg, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	case "com":
+		tr, err := NewCOM(cfg, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 6; j++ {
+			if err := tr.InsertColAfter(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	case "rcv":
+		tr, err := NewRCV(cfg, 6, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	case "tom":
+		tab, err := db.CreateTable(cfg.TableName, rdbms.NewSchema(
+			rdbms.Column{Name: "name", Type: rdbms.DTText},
+			rdbms.Column{Name: "num", Type: rdbms.DTFloat},
+			rdbms.Column{Name: "flag", Type: rdbms.DTBool},
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := tab.Insert(rdbms.Row{
+				rdbms.Text(fmt.Sprintf("row%d", i)), rdbms.Float(float64(i)), rdbms.Bool(i%2 == 0),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return LinkTOM(tab, scheme, seq%2 == 0)
+	}
+	t.Fatalf("unknown kind %q", kind)
+	return nil
+}
+
+// TestRangeReadEquivalenceProperty drives every translator kind under every
+// positional-mapping scheme through random edits and structural churn, then
+// checks GetCells over random rectangles against per-cell Get — the batched
+// read path must be observationally identical to the seed path.
+func TestRangeReadEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	seq := 0
+	for _, scheme := range posmap.Schemes() {
+		for _, kind := range []string{"rom", "com", "rcv", "tom"} {
+			seq++
+			db := rdbms.Open(rdbms.Options{})
+			tr := propTranslator(t, db, kind, scheme, seq)
+			label := fmt.Sprintf("%s/%s", scheme, kind)
+			isTOM := kind == "tom"
+			hdr := 0
+			if isTOM && tr.Rows() == 7 {
+				hdr = 1
+			}
+			// Random edit churn.
+			for op := 0; op < 120; op++ {
+				rows, cols := tr.Rows(), tr.Cols()
+				r := rng.Float64()
+				switch {
+				case r < 0.55 || isTOM && r < 0.8:
+					// Stay inside the extent: which axes auto-grow differs
+					// by model (ROM rows, COM cols, RCV both) and growth
+					// semantics are covered elsewhere.
+					if rows == 0 || cols == 0 {
+						continue
+					}
+					row := rng.Intn(rows) + 1
+					col := rng.Intn(cols) + 1
+					if isTOM {
+						if rows == hdr {
+							continue
+						}
+						row = rng.Intn(rows-hdr) + 1 + hdr // headers read-only; no auto-grow
+						if err := tr.Update(row, col, sheet.Cell{Value: sheet.Number(float64(op))}); err != nil {
+							t.Fatalf("%s: update: %v", label, err)
+						}
+						continue
+					}
+					var c sheet.Cell
+					switch rng.Intn(4) {
+					case 0:
+						c = sheet.Cell{Value: sheet.Str(fmt.Sprintf("s%d\x1f\x1b", op))}
+					case 1:
+						c = sheet.Cell{Value: sheet.Number(float64(op)), Formula: "A1+1"}
+					case 2:
+						c = sheet.Cell{} // blank (delete for RCV)
+					default:
+						c = sheet.Cell{Value: sheet.Bool(op%2 == 0)}
+					}
+					if err := tr.Update(row, col, c); err != nil {
+						t.Fatalf("%s: update(%d,%d): %v", label, row, col, err)
+					}
+				case r < 0.7:
+					at := rng.Intn(rows + 1)
+					if isTOM && at < hdr {
+						continue
+					}
+					if err := tr.InsertRowAfter(at); err != nil {
+						t.Fatalf("%s: insert row: %v", label, err)
+					}
+				case r < 0.8 && rows > hdr+2:
+					at := rng.Intn(rows-hdr) + 1 + hdr
+					if err := tr.DeleteRow(at); err != nil {
+						t.Fatalf("%s: delete row %d: %v", label, at, err)
+					}
+				case r < 0.9 && !isTOM:
+					if err := tr.InsertColAfter(rng.Intn(cols + 1)); err != nil {
+						t.Fatalf("%s: insert col: %v", label, err)
+					}
+				case !isTOM && cols > 2:
+					if err := tr.DeleteCol(rng.Intn(cols) + 1); err != nil {
+						t.Fatalf("%s: delete col: %v", label, err)
+					}
+				}
+			}
+			// Random rectangles, including ones poking past the extent.
+			for trial := 0; trial < 12; trial++ {
+				rows, cols := tr.Rows(), tr.Cols()
+				if rows == 0 || cols == 0 {
+					break
+				}
+				r0 := rng.Intn(rows) + 1
+				c0 := rng.Intn(cols) + 1
+				r1 := r0 + rng.Intn(rows)
+				c1 := c0 + rng.Intn(cols)
+				if isTOM {
+					if c1 > cols {
+						c1 = cols
+					}
+				}
+				g := sheet.NewRange(r0, c0, r1, c1)
+				cells, err := tr.GetCells(g)
+				if err != nil {
+					t.Fatalf("%s: GetCells(%v): %v", label, g, err)
+				}
+				for i := range cells {
+					for j := range cells[i] {
+						row, col := r0+i, c0+j
+						var want sheet.Cell
+						if row <= tr.Rows() && col <= tr.Cols() {
+							want, err = tr.Get(row, col)
+							if err != nil {
+								t.Fatalf("%s: Get(%d,%d): %v", label, row, col, err)
+							}
+						}
+						got := cells[i][j]
+						if !got.Value.Equal(want.Value) || got.Formula != want.Formula {
+							t.Fatalf("%s: rect %v cell (%d,%d): GetCells %+v != Get %+v",
+								label, g, row, col, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// buildPropStore assembles a hybrid store with one region of each kind plus
+// overflow cells, mirroring every write into a reference sheet.
+func buildPropStore(t testing.TB, db *rdbms.DB) (*HybridStore, *sheet.Sheet) {
+	t.Helper()
+	hs, err := NewHybridStore(db, "conc", "hierarchical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sheet.New("ref")
+	regions := []struct {
+		rect sheet.Range
+		kind hybrid.Kind
+	}{
+		{sheet.NewRange(1, 1, 80, 10), hybrid.ROM},
+		{sheet.NewRange(1, 12, 40, 18), hybrid.COM},
+		{sheet.NewRange(100, 1, 160, 8), hybrid.RCV},
+	}
+	for _, reg := range regions {
+		if _, err := hs.AddRegion(reg.rect, reg.kind); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n < 1200; n++ {
+		row := rng.Intn(170) + 1
+		col := rng.Intn(20) + 1
+		c := sheet.Cell{Value: sheet.Number(float64(row*100 + col))}
+		if err := hs.Update(row, col, c); err != nil {
+			t.Fatal(err)
+		}
+		ref.Set(sheet.Ref{Row: row, Col: col}, c)
+	}
+	return hs, ref
+}
+
+func concurrentStoreRead(t *testing.T, hs *HybridStore, ref *sheet.Sheet) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w * 31)))
+			for it := 0; it < 15; it++ {
+				r0 := rng.Intn(160) + 1
+				c0 := rng.Intn(16) + 1
+				g := sheet.NewRange(r0, c0, r0+rng.Intn(40), c0+rng.Intn(8))
+				cells, err := hs.GetCells(g)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				for i := range cells {
+					for j := range cells[i] {
+						want := ref.GetRC(g.From.Row+i, g.From.Col+j)
+						if !cells[i][j].Value.Equal(want.Value) {
+							errs <- fmt.Errorf("worker %d: (%d,%d) = %v want %v",
+								w, g.From.Row+i, g.From.Col+j, cells[i][j].Value, want.Value)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreConcurrentReadersMem: parallel range reads over a multi-region
+// store on the in-memory pager (run under -race).
+func TestStoreConcurrentReadersMem(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{BufferPoolPages: 16}) // force evictions
+	hs, ref := buildPropStore(t, db)
+	concurrentStoreRead(t, hs, ref)
+}
+
+// TestStoreConcurrentReadersFile: the same workload against the durable
+// pager after a full persist/reopen cycle, so reads exercise the
+// checksummed file path concurrently.
+func TestStoreConcurrentReadersFile(t *testing.T) {
+	path := t.TempDir() + "/conc.dsdb"
+	db, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, ref := buildPropStore(t, db)
+	if err := hs.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := rdbms.OpenFile(path, rdbms.Options{BufferPoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	hs2, err := LoadHybridStore(db2, "conc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrentStoreRead(t, hs2, ref)
+	if err := db2.Pool().Err(); err != nil {
+		t.Fatal(err)
+	}
+}

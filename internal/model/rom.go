@@ -77,29 +77,43 @@ func (r *ROM) Get(row, col int) (sheet.Cell, error) {
 	return decodeCell(attr(tuple, r.colPos[col-1]))
 }
 
-// GetCells implements Translator.
+// GetCells implements Translator. This is the scrolling hot path: the
+// viewport's tuple pointers come from one positional-map range walk into a
+// pooled buffer, the rows are fetched with one buffer-pool pin per heap page
+// (rdbms.Table.GetMany), and only the attributes backing the viewport's
+// columns are decoded — a k-column viewport of an n-column region costs O(k)
+// attribute materializations per row, not O(n).
 func (r *ROM) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
-	out := make([][]sheet.Cell, g.Rows())
-	for i := range out {
-		out[i] = make([]sheet.Cell, g.Cols())
+	rows, cols := g.Rows(), g.Cols()
+	out := newCellGrid(rows, cols)
+	// Projection: physical attribute index -> viewport column offset,
+	// sorted by physical index as the partial decoder requires.
+	proj := make([]int, 0, cols)
+	offs := make([]int, 0, cols)
+	for j := 0; j < cols; j++ {
+		if col := g.From.Col + j; col >= 1 && col <= len(r.colPos) {
+			proj = append(proj, r.colPos[col-1])
+			offs = append(offs, j)
+		}
 	}
-	rids := r.rowMap.FetchRange(g.From.Row, g.Rows())
-	for i, rid := range rids {
-		tuple, ok := r.table.Get(rid)
-		if !ok {
-			return nil, fmt.Errorf("model: ROM dangling pointer %v", rid)
-		}
-		for j := 0; j < g.Cols(); j++ {
-			col := g.From.Col + j
-			if col < 1 || col > len(r.colPos) {
-				continue
-			}
-			c, err := decodeCell(attr(tuple, r.colPos[col-1]))
+	sortProjPairs(proj, offs)
+	bufp := getRIDBuf()
+	defer putRIDBuf(bufp)
+	rids := r.rowMap.FetchRangeInto(*bufp, g.From.Row, rows)
+	*bufp = rids
+	err := r.table.GetMany(rids, proj, func(i int, vals rdbms.Row) error {
+		rowOut := out[i]
+		for k, j := range offs {
+			c, err := decodeCell(vals[k])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out[i][j] = c
+			rowOut[j] = c
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: ROM range read: %w", err)
 	}
 	return out, nil
 }

@@ -171,12 +171,12 @@ func (h *HybridStore) Get(row, col int) (sheet.Cell, error) {
 	return h.overflow.Get(row, col)
 }
 
-// GetCells materializes an absolute rectangular range across regions.
+// GetCells materializes an absolute rectangular range across regions. The
+// output grid is backed by one flat allocation, and every region fills its
+// overlap through its batched, projection-pushdown GetCells — the seam
+// between the viewport abstraction and the per-region read paths.
 func (h *HybridStore) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
-	out := make([][]sheet.Cell, g.Rows())
-	for i := range out {
-		out[i] = make([]sheet.Cell, g.Cols())
-	}
+	out := newCellGrid(g.Rows(), g.Cols())
 	fill := func(rect sheet.Range, tr Translator, local bool) error {
 		overlap, ok := g.Intersect(rect)
 		if !ok {

@@ -84,18 +84,49 @@ func (t *TOM) Get(row, col int) (sheet.Cell, error) {
 	return sheet.Cell{Value: datumToValue(tuple[col-1])}, nil
 }
 
-// GetCells implements Translator.
+// GetCells implements Translator: the header row renders from the schema,
+// and the data rows flow through the batched read path — one positional-map
+// range walk, one buffer-pool pin per heap page, only the covered attributes
+// decoded.
 func (t *TOM) GetCells(g sheet.Range) ([][]sheet.Cell, error) {
-	out := make([][]sheet.Cell, g.Rows())
-	for i := range out {
-		out[i] = make([]sheet.Cell, g.Cols())
-		for j := range out[i] {
-			c, err := t.Get(g.From.Row+i, g.From.Col+j)
-			if err != nil {
-				return nil, err
-			}
-			out[i][j] = c
+	if g.From.Col < 1 || g.To.Col > t.Cols() {
+		return nil, fmt.Errorf("model: TOM columns %d..%d out of range", g.From.Col, g.To.Col)
+	}
+	rows, cols := g.Rows(), g.Cols()
+	out := newCellGrid(rows, cols)
+	hdr := t.headerRows()
+	if t.headers && g.From.Row <= 1 && g.To.Row >= 1 {
+		hdrOut := out[1-g.From.Row]
+		for j := 0; j < cols; j++ {
+			hdrOut[j] = sheet.Cell{Value: sheet.Str(t.db.Schema.Cols[g.From.Col+j-1].Name)}
 		}
+	}
+	startData := g.From.Row - hdr
+	if startData < 1 {
+		startData = 1
+	}
+	count := g.To.Row - hdr - startData + 1
+	if count <= 0 {
+		return out, nil
+	}
+	proj := make([]int, cols)
+	for j := range proj {
+		proj[j] = g.From.Col + j - 1
+	}
+	bufp := getRIDBuf()
+	defer putRIDBuf(bufp)
+	rids := t.rowMap.FetchRangeInto(*bufp, startData, count)
+	*bufp = rids
+	rowOff := startData + hdr - g.From.Row
+	err := t.db.GetMany(rids, proj, func(i int, vals rdbms.Row) error {
+		rowOut := out[rowOff+i]
+		for j, d := range vals {
+			rowOut[j] = sheet.Cell{Value: datumToValue(d)}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: TOM range read: %w", err)
 	}
 	return out, nil
 }

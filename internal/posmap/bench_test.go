@@ -70,3 +70,28 @@ func BenchmarkMonotonicInsert100k(b *testing.B) {
 		m.Insert(rng.Intn(m.Len()+1)+1, rdbms.RID{})
 	})
 }
+
+// BenchmarkFetchRangeAllocs quantifies the read-path allocation win of
+// FetchRangeInto: FetchRange allocates a fresh slice per call, while the
+// viewport hot loop hands Into the same buffer every time — allocs/op drops
+// to zero.
+func BenchmarkFetchRangeAllocs(b *testing.B) {
+	m := New("hierarchical")
+	for i := 1; i <= 1_000_000; i++ {
+		m.Insert(i, rdbms.RID{Page: rdbms.PageID(i)})
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.Run("FetchRange", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.FetchRange(rng.Intn(m.Len()-100)+1, 100)
+		}
+	})
+	b.Run("FetchRangeInto", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]rdbms.RID, 0, 100)
+		for i := 0; i < b.N; i++ {
+			buf = m.FetchRangeInto(buf[:0], rng.Intn(m.Len()-100)+1, 100)
+		}
+	})
+}

@@ -68,22 +68,44 @@ func (h *Hierarchical) Fetch(pos int) (rdbms.RID, bool) {
 
 // FetchRange implements Map.
 func (h *Hierarchical) FetchRange(pos, count int) []rdbms.RID {
+	return h.FetchRangeInto(nil, pos, count)
+}
+
+// FetchRangeInto implements Map: one tree descent to the leaf holding pos,
+// then a closure-free leaf-chain walk appending into the caller's buffer —
+// zero allocations when dst has capacity.
+func (h *Hierarchical) FetchRangeInto(dst []rdbms.RID, pos, count int) []rdbms.RID {
 	if pos < 1 {
 		count += pos - 1
 		pos = 1
 	}
 	if pos > h.size || count <= 0 {
-		return nil
+		return dst
 	}
 	if pos+count-1 > h.size {
 		count = h.size - pos + 1
 	}
-	out := make([]rdbms.RID, 0, count)
-	h.root.walk(pos, func(rid rdbms.RID) bool {
-		out = append(out, rid)
-		return len(out) < count
-	})
-	return out
+	node, off := h.root, pos
+	for {
+		inner, ok := node.(*hinner)
+		if !ok {
+			break
+		}
+		i, o := inner.child(off)
+		node, off = inner.children[i], o
+	}
+	for leaf := node.(*hleaf); leaf != nil && count > 0; leaf = leaf.next {
+		take := len(leaf.rids) - (off - 1)
+		if take > count {
+			take = count
+		}
+		if take > 0 {
+			dst = append(dst, leaf.rids[off-1:off-1+take]...)
+			count -= take
+		}
+		off = 1
+	}
+	return dst
 }
 
 // Insert implements Map.

@@ -56,26 +56,31 @@ func (m *Monotonic) Fetch(pos int) (rdbms.RID, bool) {
 
 // FetchRange implements Map: one scan discarding the pos-1 prefix.
 func (m *Monotonic) FetchRange(pos, count int) []rdbms.RID {
+	return m.FetchRangeInto(nil, pos, count)
+}
+
+// FetchRangeInto implements Map.
+func (m *Monotonic) FetchRangeInto(dst []rdbms.RID, pos, count int) []rdbms.RID {
 	if pos < 1 {
 		count += pos - 1
 		pos = 1
 	}
 	if pos > len(m.keys) || count <= 0 {
-		return nil
+		return dst
 	}
 	if pos+count-1 > len(m.keys) {
 		count = len(m.keys) - pos + 1
 	}
-	out := make([]rdbms.RID, 0, count)
+	want := len(dst) + count
 	n := 0
 	m.tree.Scan(-1<<62, 1<<62, func(_ int64, rid rdbms.RID) bool {
 		n++
 		if n >= pos {
-			out = append(out, rid)
+			dst = append(dst, rid)
 		}
-		return len(out) < count
+		return len(dst) < want
 	})
-	return out
+	return dst
 }
 
 // Insert implements Map, assigning the midpoint of the neighbour keys.

@@ -33,19 +33,23 @@ func (p *PositionAsIs) Fetch(pos int) (rdbms.RID, bool) {
 
 // FetchRange implements Map.
 func (p *PositionAsIs) FetchRange(pos, count int) []rdbms.RID {
+	return p.FetchRangeInto(nil, pos, count)
+}
+
+// FetchRangeInto implements Map.
+func (p *PositionAsIs) FetchRangeInto(dst []rdbms.RID, pos, count int) []rdbms.RID {
 	if pos < 1 {
 		count += pos - 1
 		pos = 1
 	}
 	if pos > p.size || count <= 0 {
-		return nil
+		return dst
 	}
-	out := make([]rdbms.RID, 0, count)
 	p.tree.Scan(int64(pos), int64(pos+count-1), func(_ int64, rid rdbms.RID) bool {
-		out = append(out, rid)
+		dst = append(dst, rid)
 		return true
 	})
-	return out
+	return dst
 }
 
 // Insert implements Map. Every entry at or above pos is renumbered: the

@@ -31,6 +31,12 @@ type Map interface {
 	// FetchRange returns pointers for positions [pos, pos+count), clipped
 	// to the sequence end.
 	FetchRange(pos, count int) []rdbms.RID
+	// FetchRangeInto appends the pointers for positions [pos, pos+count),
+	// clipped to the sequence end, to dst and returns the extended slice.
+	// It allocates nothing when dst has sufficient capacity — the hot
+	// viewport loop reuses one buffer per scan instead of allocating a
+	// fresh slice per range.
+	FetchRangeInto(dst []rdbms.RID, pos, count int) []rdbms.RID
 	// Insert places rid at the position, shifting subsequent tuples up.
 	// pos may be Len()+1 to append.
 	Insert(pos int, rid rdbms.RID) bool

@@ -375,3 +375,38 @@ func TestNewByName(t *testing.T) {
 	}()
 	New("nope")
 }
+
+// TestFetchRangeInto checks the buffer-reusing range fetch agrees with
+// FetchRange across every scheme, including clipped and out-of-range
+// requests, and that it appends after an existing prefix.
+func TestFetchRangeInto(t *testing.T) {
+	for _, scheme := range Schemes() {
+		m := New(scheme)
+		const n = 300
+		for i := 1; i <= n; i++ {
+			m.Insert(i, rdbms.RID{Page: rdbms.PageID(i), Slot: uint16(i % 7)})
+		}
+		cases := []struct{ pos, count int }{
+			{1, 10}, {50, 100}, {n - 5, 50}, {-3, 10}, {n + 1, 4}, {10, 0}, {1, n},
+		}
+		buf := make([]rdbms.RID, 0, 8)
+		for _, c := range cases {
+			want := m.FetchRange(c.pos, c.count)
+			buf = m.FetchRangeInto(buf[:0], c.pos, c.count)
+			if len(buf) != len(want) {
+				t.Fatalf("%s: FetchRangeInto(%d,%d) len %d, want %d", scheme, c.pos, c.count, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("%s: FetchRangeInto(%d,%d)[%d] = %v, want %v", scheme, c.pos, c.count, i, buf[i], want[i])
+				}
+			}
+		}
+		// Appends after a prefix instead of overwriting it.
+		prefix := []rdbms.RID{{Page: 999}}
+		got := m.FetchRangeInto(prefix, 1, 3)
+		if len(got) != 4 || got[0] != (rdbms.RID{Page: 999}) {
+			t.Fatalf("%s: prefix not preserved: %v", scheme, got)
+		}
+	}
+}

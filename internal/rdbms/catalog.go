@@ -438,6 +438,24 @@ func (t *Table) Insert(r Row) (RID, error) {
 // Get fetches the row at rid.
 func (t *Table) Get(rid RID) (Row, bool) { return t.heap.get(rid) }
 
+// GetMany is the batched, projected read path for range scans: it fetches
+// the rows at rids while pinning each distinct heap page in the buffer pool
+// once per batch, and decodes only the attributes whose indexes appear in
+// proj (sorted ascending; nil decodes all — see decodeRowColsInto).
+//
+// fn is called once per rid — in page-grouped order, not input order — with
+// the rid's position i in the input slice and the projected values (vals[k]
+// is attribute proj[k]). vals is reused across calls; copy datums that must
+// outlive the callback. GetMany returns the first error: an unreadable page,
+// a tombstoned/dangling rid, a corrupt tuple, or an error from fn.
+//
+// GetMany takes no table lock and is safe for concurrent readers; it must
+// not run concurrently with writers of the same table (the single-writer
+// contract of this substrate).
+func (t *Table) GetMany(rids []RID, proj []int, fn func(i int, vals Row) error) error {
+	return t.heap.getMany(rids, proj, fn)
+}
+
 // Update rewrites the row at rid, returning the (possibly moved) RID.
 func (t *Table) Update(rid RID, r Row) (RID, error) {
 	t.db.mu.RLock()

@@ -4,7 +4,21 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
+
+// decodedAttrs counts attribute values materialized by the row decoders. It
+// is the observable signal that projection pushdown works: a k-column read
+// over an n-column table must grow it by O(k), not O(n), per row. Tests
+// assert on it via DecodedAttrCount/ResetDecodedAttrCount.
+var decodedAttrs atomic.Int64
+
+// DecodedAttrCount returns the cumulative number of attribute values
+// materialized by decodeRow/decodeRowColsInto since the last reset.
+func DecodedAttrCount() int64 { return decodedAttrs.Load() }
+
+// ResetDecodedAttrCount zeroes the decode counter (test/bench hook).
+func ResetDecodedAttrCount() { decodedAttrs.Store(0) }
 
 // Row wire format (within a page tuple):
 //
@@ -84,13 +98,117 @@ func decodeRow(buf []byte) (Row, error) {
 			row = append(row, Text(string(buf[:l])))
 			buf = buf[l:]
 		case DTBool:
+			if len(buf) < 1 {
+				return nil, fmt.Errorf("rdbms: corrupt bool at column %d", i)
+			}
 			row = append(row, Bool(buf[0] != 0))
 			buf = buf[1:]
 		default:
 			return nil, fmt.Errorf("rdbms: unknown datum type %d at column %d", typ, i)
 		}
 	}
+	decodedAttrs.Add(int64(len(row)))
 	return row, nil
+}
+
+// decodeRowColsInto is the projection-pushdown decoder: it parses only the
+// attributes whose indexes appear in proj (sorted ascending, no duplicates)
+// and skips the encoded payload of everything else — in particular, skipped
+// text attributes never allocate a string. Attributes past the end of a
+// short (pre-AddColumn) tuple decode as NULL, matching the padding the
+// callers apply after a full decode. dst is reused when it has capacity; the
+// returned row has len(proj) entries, vals[k] holding attribute proj[k].
+//
+// A nil proj decodes every attribute (like decodeRow, but into dst).
+func decodeRowColsInto(buf []byte, proj []int, dst Row) (Row, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("rdbms: corrupt tuple header")
+	}
+	buf = buf[sz:]
+	if n > 1<<20 {
+		return nil, fmt.Errorf("rdbms: implausible column count %d", n)
+	}
+	if proj == nil {
+		dst = dst[:0]
+	} else if cap(dst) >= len(proj) {
+		dst = dst[:len(proj)]
+	} else {
+		dst = make(Row, len(proj))
+	}
+	k := 0 // next projection entry to satisfy
+	materialized := 0
+	for i := 0; i < int(n); i++ {
+		if proj != nil && k >= len(proj) {
+			break // everything requested has been decoded
+		}
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("rdbms: truncated tuple at column %d", i)
+		}
+		typ := DType(buf[0])
+		buf = buf[1:]
+		want := proj == nil || proj[k] == i
+		var d Datum
+		switch typ {
+		case DTNull:
+			d = Null
+		case DTInt:
+			v, sz := binary.Varint(buf)
+			if sz <= 0 {
+				return nil, fmt.Errorf("rdbms: corrupt int at column %d", i)
+			}
+			buf = buf[sz:]
+			if want {
+				d = Int(v)
+			}
+		case DTFloat:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("rdbms: corrupt float at column %d", i)
+			}
+			if want {
+				d = Float(math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+			}
+			buf = buf[8:]
+		case DTText:
+			l, sz := binary.Uvarint(buf)
+			if sz <= 0 || uint64(len(buf)-sz) < l {
+				return nil, fmt.Errorf("rdbms: corrupt text at column %d", i)
+			}
+			buf = buf[sz:]
+			if want {
+				d = Text(string(buf[:l]))
+			}
+			buf = buf[l:]
+		case DTBool:
+			if len(buf) < 1 {
+				return nil, fmt.Errorf("rdbms: corrupt bool at column %d", i)
+			}
+			if want {
+				d = Bool(buf[0] != 0)
+			}
+			buf = buf[1:]
+		default:
+			return nil, fmt.Errorf("rdbms: unknown datum type %d at column %d", typ, i)
+		}
+		if !want {
+			continue
+		}
+		materialized++
+		if proj == nil {
+			dst = append(dst, d)
+		} else {
+			dst[k] = d
+			k++
+		}
+	}
+	// Short tuple: requested attributes beyond the encoding pad with NULL.
+	if proj != nil {
+		for ; k < len(proj); k++ {
+			dst[k] = Null
+		}
+	}
+	decodedAttrs.Add(int64(materialized))
+	return dst, nil
 }
 
 // encodedSize returns the byte size of the row encoding without

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,7 +35,12 @@ import (
 // redone into the data file before anything is read (crash recovery);
 // uncommitted or torn tails are discarded.
 type FilePager struct {
-	mu   sync.Mutex
+	// mu guards all mutable pager state. Readers (fetch, verify) take it
+	// shared — page reads are positioned pread calls, so concurrent range
+	// scans overlap their file I/O instead of serializing — while every
+	// mutation (alloc, write-back, commit, checkpoint, meta) takes it
+	// exclusively.
+	mu   sync.RWMutex
 	path string
 	f    *os.File // data file
 	wal  *os.File
@@ -71,8 +77,8 @@ type FilePager struct {
 	// can never snapshot a half-staged batch into a durable commit record.
 	gate *sync.RWMutex
 
-	diskReads, diskWrites, walAppends   int64
-	walSyncs, walBytes, checkpointCount int64
+	diskReads, diskWrites, walAppends   atomic.Int64
+	walSyncs, walBytes, checkpointCount atomic.Int64
 
 	// Group-commit flusher state (see flushLoop). All g* fields are
 	// guarded by gmu, never fp.mu.
@@ -239,7 +245,7 @@ func (fp *FilePager) readPageFromFile(id PageID) (*page, error) {
 	if _, err := fp.f.ReadAt(buf, pageOffset(id)); err != nil {
 		return nil, fmt.Errorf("rdbms: read page %d: %w", id, err)
 	}
-	fp.diskReads++
+	fp.diskReads.Add(1)
 	if stored := binary.LittleEndian.Uint32(buf[4:8]); stored != uint32(id) {
 		return nil, fmt.Errorf("rdbms: page %d slot holds page %d (misplaced write)", id, stored)
 	}
@@ -260,7 +266,7 @@ func (fp *FilePager) writePageToFile(id PageID, p *page) error {
 	if _, err := fp.f.WriteAt(buf, pageOffset(id)); err != nil {
 		return fmt.Errorf("rdbms: write page %d: %w", id, err)
 	}
-	fp.diskWrites++
+	fp.diskWrites.Add(1)
 	return nil
 }
 
@@ -339,10 +345,11 @@ func (fp *FilePager) setFreePageIDs(ids []uint32) {
 // caller receives a copy, never the shadow page itself: buffer-pool frames
 // are mutated in place by writers, and the shadow must stay a stable
 // snapshot of *staged* state for the (possibly concurrent) WAL commit to
-// read. Write-backs copy in the other direction.
+// read. Write-backs copy in the other direction. Holding mu shared lets
+// concurrent readers overlap their positioned file reads.
 func (fp *FilePager) fetch(id PageID) (*page, error) {
-	fp.mu.Lock()
-	defer fp.mu.Unlock()
+	fp.mu.RLock()
+	defer fp.mu.RUnlock()
 	if p, ok := fp.shadow[id]; ok {
 		cp := &page{}
 		*cp = *p
@@ -514,7 +521,7 @@ func (fp *FilePager) commitWALLocked() error {
 		copy(rec[5:5+PageSize], p.buf[:])
 		binary.LittleEndian.PutUint32(rec[5+PageSize:], crc32.Checksum(rec[:5+PageSize], castagnoli))
 		buf = append(buf, rec...)
-		fp.walAppends++
+		fp.walAppends.Add(1)
 	}
 	var c [walCommitRecSize]byte
 	c[0] = walCommitRec
@@ -527,11 +534,11 @@ func (fp *FilePager) commitWALLocked() error {
 		return err
 	}
 	fp.walSize += int64(len(buf))
-	fp.walBytes += int64(len(buf))
+	fp.walBytes.Add(int64(len(buf)))
 	if err := fp.wal.Sync(); err != nil {
 		return err
 	}
-	fp.walSyncs++
+	fp.walSyncs.Add(1)
 	fp.walDirty = make(map[PageID]bool)
 	return nil
 }
@@ -568,7 +575,7 @@ func (fp *FilePager) checkpointLocked() error {
 		return err
 	}
 	fp.shadow = make(map[PageID]*page)
-	fp.checkpointCount++
+	fp.checkpointCount.Add(1)
 	return nil
 }
 
@@ -746,8 +753,8 @@ func (fp *FilePager) readMeta() ([]byte, error) {
 // write-back (shadow) have no on-disk slot yet; free pages hold dead (often
 // never-written) slots. Both are skipped.
 func (fp *FilePager) verify() error {
-	fp.mu.Lock()
-	defer fp.mu.Unlock()
+	fp.mu.RLock()
+	defer fp.mu.RUnlock()
 	freed := make(map[PageID]bool, len(fp.freeList))
 	for _, id := range fp.freeList {
 		freed[id] = true
@@ -790,22 +797,25 @@ type fileCounters struct {
 }
 
 func (fp *FilePager) ioCounters() fileCounters {
-	fp.mu.Lock()
-	defer fp.mu.Unlock()
+	fp.mu.RLock()
+	freePages := int64(len(fp.freeList) + len(fp.pendingFree))
+	fp.mu.RUnlock()
 	return fileCounters{
-		diskReads:   fp.diskReads,
-		diskWrites:  fp.diskWrites,
-		walAppends:  fp.walAppends,
-		walSyncs:    fp.walSyncs,
-		walBytes:    fp.walBytes,
-		checkpoints: fp.checkpointCount,
-		freePages:   int64(len(fp.freeList) + len(fp.pendingFree)),
+		diskReads:   fp.diskReads.Load(),
+		diskWrites:  fp.diskWrites.Load(),
+		walAppends:  fp.walAppends.Load(),
+		walSyncs:    fp.walSyncs.Load(),
+		walBytes:    fp.walBytes.Load(),
+		checkpoints: fp.checkpointCount.Load(),
+		freePages:   freePages,
 	}
 }
 
 func (fp *FilePager) resetIOCounters() {
-	fp.mu.Lock()
-	defer fp.mu.Unlock()
-	fp.diskReads, fp.diskWrites, fp.walAppends = 0, 0, 0
-	fp.walSyncs, fp.walBytes, fp.checkpointCount = 0, 0, 0
+	fp.diskReads.Store(0)
+	fp.diskWrites.Store(0)
+	fp.walAppends.Store(0)
+	fp.walSyncs.Store(0)
+	fp.walBytes.Store(0)
+	fp.checkpointCount.Store(0)
 }

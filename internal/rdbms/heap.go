@@ -2,6 +2,7 @@ package rdbms
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Tuple storage prefixes every stored record with a one-byte kind so rows
@@ -169,6 +170,84 @@ func (h *heapFile) readPayload(rid RID) ([]byte, bool) {
 		return out, true
 	}
 	return nil, false // tupMid: not a row start
+}
+
+// getMany is the batched read path: it visits every rid of the batch while
+// fetching each distinct heap page from the buffer pool once (the RIDs are
+// processed in page order, not input order), and decodes only the attributes
+// in proj (sorted ascending; nil decodes all). fn receives each rid's
+// position in the input slice plus the projected values; vals is a scratch
+// row reused between calls, so callers must copy datums they keep. Oversized
+// (chunked) rows fall back to the chained reassembly path. A tombstoned or
+// unreadable rid aborts with an error — batch callers treat every rid as a
+// live positional-map pointer.
+func (h *heapFile) getMany(rids []RID, proj []int, fn func(i int, vals Row) error) error {
+	if len(rids) == 0 {
+		return nil
+	}
+	order := make([]int32, len(rids))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := rids[order[a]], rids[order[b]]
+		if ra.Page != rb.Page {
+			return ra.Page < rb.Page
+		}
+		return ra.Slot < rb.Slot
+	})
+	var (
+		cur    *page
+		curID  PageID
+		vals   Row
+		chunks []byte // reassembly buffer for oversized rows
+	)
+	for _, oi := range order {
+		rid := rids[oi]
+		if cur == nil || rid.Page != curID {
+			cur = h.pool.fetch(rid.Page)
+			curID = rid.Page
+			if cur == nil {
+				return fmt.Errorf("rdbms: cannot read page %d: %v", rid.Page, h.pool.Err())
+			}
+		}
+		buf := cur.read(rid.Slot)
+		if len(buf) == 0 {
+			return fmt.Errorf("rdbms: missing tuple %v", rid)
+		}
+		var payload []byte
+		switch buf[0] {
+		case tupInline:
+			payload = buf[1:]
+		case tupHead:
+			chunks = append(chunks[:0], buf[1+chunkPtrSize:]...)
+			next := getChunkPtr(buf[1:])
+			for next != endChunk {
+				np := h.pool.fetch(next.Page)
+				if np == nil {
+					return fmt.Errorf("rdbms: cannot read chunk page %d: %v", next.Page, h.pool.Err())
+				}
+				nb := np.read(next.Slot)
+				if len(nb) == 0 || nb[0] != tupMid {
+					return fmt.Errorf("rdbms: broken chunk chain at %v", next)
+				}
+				chunks = append(chunks, nb[1+chunkPtrSize:]...)
+				next = getChunkPtr(nb[1:])
+			}
+			payload = chunks
+		default:
+			return fmt.Errorf("rdbms: rid %v addresses a continuation chunk", rid)
+		}
+		var err error
+		vals, err = decodeRowColsInto(payload, proj, vals)
+		if err != nil {
+			return err
+		}
+		if err := fn(int(oi), vals); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // get decodes the row at rid; ok is false for tombstones and bad RIDs.

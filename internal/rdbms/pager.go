@@ -3,6 +3,7 @@ package rdbms
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // IOStats counts I/O through the buffer pool. The paper's access experiments
@@ -11,9 +12,13 @@ import (
 // signal alongside timings. With a file-backed pager the Disk*/WAL* fields
 // additionally count real file I/O.
 type IOStats struct {
-	Reads  int64 // page fetches that missed the pool
+	Reads  int64 // page fetches that missed the pool (same as PoolMisses)
 	Writes int64 // page write-backs (evictions and flushes of dirty pages)
-	Hits   int64 // page fetches served from the pool
+	Hits   int64 // page fetches served from the pool (same as PoolHits)
+	// Read-path counters (the scrolling workload's hot signal).
+	PoolHits   int64 // fetches served from a resident frame
+	PoolMisses int64 // fetches that had to go to the pager
+	PagesRead  int64 // pages actually loaded from the pager into the pool
 	// Real file I/O, populated only by the file-backed pager (zero in the
 	// in-memory simulator).
 	DiskReads   int64 // page reads from the data file
@@ -29,7 +34,9 @@ type IOStats struct {
 // array of 8 KiB pages. Two implementations exist: MemPager, the original
 // in-memory simulated disk (machine-independent logical I/O for the paper's
 // experiments), and FilePager, a durable single-file store with per-page
-// checksums and a write-ahead log.
+// checksums and a write-ahead log. Both are safe for concurrent fetches;
+// mutations (alloc, free, write-back) remain single-writer per table, as
+// documented on Table.
 type Pager interface {
 	// alloc reserves a zero-initialized page and returns its id, reusing a
 	// freed page when the free list is non-empty.
@@ -37,6 +44,7 @@ type Pager interface {
 	// fetch returns the page, or (nil, nil) when the id is unknown. The
 	// in-memory pager returns its live page object; the file pager returns
 	// the newest version (pending write-back or read from the data file).
+	// fetch may be called from concurrent readers.
 	fetch(id PageID) (*page, error)
 	// writeBack persists the modified frame contents. The in-memory pager
 	// aliases frames, so this is a no-op; the file pager stages the page
@@ -53,11 +61,14 @@ type Pager interface {
 // nothing survives process exit. It remains the default so tests and the
 // experiment harness keep their machine-independent logical-I/O mode.
 type MemPager struct {
+	mu       sync.RWMutex
 	pages    []*page
 	freeList []PageID
 }
 
 func (d *MemPager) alloc() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if n := len(d.freeList); n > 0 {
 		id := d.freeList[n-1]
 		d.freeList = d.freeList[:n-1]
@@ -73,6 +84,8 @@ func (d *MemPager) alloc() PageID {
 }
 
 func (d *MemPager) fetch(id PageID) (*page, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.pages) {
 		return nil, nil
 	}
@@ -82,28 +95,55 @@ func (d *MemPager) fetch(id PageID) (*page, error) {
 // writeBack is a no-op: buffer-pool frames alias the stored pages.
 func (d *MemPager) writeBack(PageID, *page) error { return nil }
 
-func (d *MemPager) pageCount() int { return len(d.pages) }
+func (d *MemPager) pageCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pages)
+}
 
-func (d *MemPager) free(ids []PageID) { d.freeList = append(d.freeList, ids...) }
+func (d *MemPager) free(ids []PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.freeList = append(d.freeList, ids...)
+}
 
-// BufferPool caches page frames with LRU eviction. With the in-memory pager
-// frames alias the pager's pages, so "eviction" only drops the cache entry
-// and counts a write when the frame was dirtied; with the file-backed pager
-// the eviction write-back is what stages dirty pages for the WAL.
+// BufferPool caches page frames. With the in-memory pager frames alias the
+// pager's pages, so "eviction" only drops the cache entry and counts a write
+// when the frame was dirtied; with the file-backed pager the eviction
+// write-back is what stages dirty pages for the WAL.
+//
+// Concurrency: fetches from resident frames take only a read lock and flip a
+// per-frame reference bit, so concurrent range scans do not serialize on the
+// pool. Misses load the page from the pager *outside* the pool lock (the
+// pager allows parallel reads), then race to install the frame; eviction uses
+// a second-chance (CLOCK) sweep over the LRU list instead of exact
+// move-to-front, which is what makes the hit path mutation-free. Writers
+// (markDirty, flushDirty, discard) take the exclusive lock and must not run
+// concurrently with readers of the same table, matching the single-writer
+// contract documented on Table.
 type BufferPool struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	capacity int
 	disk     Pager
 	frames   map[PageID]*list.Element // -> *frame
 	lru      *list.List
-	stats    IOStats
-	lastErr  error
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	pagesRead atomic.Int64
+	writes    atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr error
 }
 
 type frame struct {
 	id    PageID
 	page  *page
 	dirty bool
+	// used is the CLOCK reference bit, set by lock-free(ish) hits and
+	// cleared by the eviction sweep.
+	used atomic.Bool
 }
 
 // newBufferPool creates a pool caching up to capacity pages.
@@ -121,40 +161,67 @@ func newBufferPool(disk Pager, capacity int) *BufferPool {
 
 // fetch returns the page, loading it into the pool if absent. It returns
 // nil for unknown ids and for I/O or checksum failures; the failure is
-// retained and surfaced by Err.
+// retained and surfaced by Err. Safe for concurrent readers.
 func (b *BufferPool) fetch(id PageID) *page {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
 	if e, ok := b.frames[id]; ok {
-		b.lru.MoveToFront(e)
-		b.stats.Hits++
-		return e.Value.(*frame).page
+		f := e.Value.(*frame)
+		f.used.Store(true)
+		b.mu.RUnlock()
+		b.hits.Add(1)
+		return f.page
 	}
-	b.stats.Reads++
+	b.mu.RUnlock()
+	b.misses.Add(1)
+	// Load outside the pool lock: the pager supports parallel reads, so
+	// concurrent cold scans overlap their file I/O instead of serializing.
 	p, err := b.disk.fetch(id)
 	if err != nil {
-		b.lastErr = err
+		b.setErr(err)
 		return nil
 	}
 	if p == nil {
 		return nil
 	}
-	if b.lru.Len() >= b.capacity {
-		tail := b.lru.Back()
-		if tail != nil {
-			f := tail.Value.(*frame)
-			if f.dirty {
-				b.stats.Writes++
-				if err := b.disk.writeBack(f.id, f.page); err != nil {
-					b.lastErr = err
-				}
-			}
-			delete(b.frames, f.id)
-			b.lru.Remove(tail)
-		}
+	b.pagesRead.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.frames[id]; ok {
+		// A concurrent loader won the race; use its frame.
+		f := e.Value.(*frame)
+		f.used.Store(true)
+		return f.page
 	}
-	b.frames[id] = b.lru.PushFront(&frame{id: id, page: p})
+	b.evictLocked()
+	e := b.lru.PushFront(&frame{id: id, page: p})
+	b.frames[id] = e
 	return p
+}
+
+// evictLocked makes room for one more frame with a second-chance sweep from
+// the cold end: recently referenced frames get their bit cleared and move to
+// the front; the first unreferenced frame is evicted (written back when
+// dirty). b.mu must be held exclusively.
+func (b *BufferPool) evictLocked() {
+	for b.lru.Len() >= b.capacity {
+		tail := b.lru.Back()
+		if tail == nil {
+			return
+		}
+		f := tail.Value.(*frame)
+		if f.used.Swap(false) {
+			b.lru.MoveToFront(tail)
+			continue
+		}
+		if f.dirty {
+			b.writes.Add(1)
+			if err := b.disk.writeBack(f.id, f.page); err != nil {
+				b.setErr(err)
+			}
+		}
+		delete(b.frames, f.id)
+		b.lru.Remove(tail)
+	}
 }
 
 // markDirty records that the page was modified while cached.
@@ -166,9 +233,9 @@ func (b *BufferPool) markDirty(id PageID, p *page) {
 		return
 	}
 	// Write-through for uncached pages.
-	b.stats.Writes++
+	b.writes.Add(1)
 	if err := b.disk.writeBack(id, p); err != nil {
-		b.lastErr = err
+		b.setErr(err)
 	}
 }
 
@@ -186,7 +253,7 @@ func (b *BufferPool) flushDirty() error {
 			return err
 		}
 		f.dirty = false
-		b.stats.Writes++
+		b.writes.Add(1)
 	}
 	return nil
 }
@@ -205,19 +272,32 @@ func (b *BufferPool) discard(ids []PageID) {
 	}
 }
 
-// Err returns the last fetch or write-back failure (nil when none). Checksum
-// mismatches on the file-backed pager surface here.
+func (b *BufferPool) setErr(err error) {
+	b.errMu.Lock()
+	if b.lastErr == nil {
+		b.lastErr = err
+	}
+	b.errMu.Unlock()
+}
+
+// Err returns the first fetch or write-back failure (nil when none).
+// Checksum mismatches on the file-backed pager surface here.
 func (b *BufferPool) Err() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
 	return b.lastErr
 }
 
 // Stats returns a snapshot of the I/O counters.
 func (b *BufferPool) Stats() IOStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s := b.stats
+	s := IOStats{
+		Reads:      b.misses.Load(),
+		Writes:     b.writes.Load(),
+		Hits:       b.hits.Load(),
+		PoolHits:   b.hits.Load(),
+		PoolMisses: b.misses.Load(),
+		PagesRead:  b.pagesRead.Load(),
+	}
 	if fp, ok := b.disk.(*FilePager); ok {
 		fc := fp.ioCounters()
 		s.DiskReads, s.DiskWrites, s.WALAppends = fc.diskReads, fc.diskWrites, fc.walAppends
@@ -229,9 +309,10 @@ func (b *BufferPool) Stats() IOStats {
 
 // ResetStats zeroes the I/O counters (used between benchmark phases).
 func (b *BufferPool) ResetStats() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.stats = IOStats{}
+	b.hits.Store(0)
+	b.misses.Store(0)
+	b.pagesRead.Store(0)
+	b.writes.Store(0)
 	if fp, ok := b.disk.(*FilePager); ok {
 		fp.resetIOCounters()
 	}

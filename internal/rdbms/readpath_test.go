@@ -1,0 +1,374 @@
+package rdbms
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// datumEq compares datums structurally (unlike Datum.Equal, which follows
+// SQL semantics where NULL never equals NULL).
+func datumEq(a, b Datum) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return a.Equal(b)
+}
+
+// projRow builds a test row with a mix of datum types.
+func projRow(i, cols int) Row {
+	r := make(Row, cols)
+	for c := range r {
+		switch c % 5 {
+		case 0:
+			r[c] = Int(int64(i*1000 + c))
+		case 1:
+			r[c] = Text(fmt.Sprintf("v%d.%d", i, c))
+		case 2:
+			r[c] = Float(float64(i) + float64(c)/100)
+		case 3:
+			r[c] = Bool(i%2 == 0)
+		default:
+			r[c] = Null
+		}
+	}
+	return r
+}
+
+func TestDecodeRowColsAgainstFullDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		cols := rng.Intn(30) + 1
+		row := projRow(trial, cols)
+		buf := encodeRow(nil, row)
+		full, err := decodeRow(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random ascending projection.
+		var proj []int
+		for c := 0; c < cols+3; c++ { // +3: indexes past the encoding pad NULL
+			if rng.Intn(2) == 0 {
+				proj = append(proj, c)
+			}
+		}
+		vals, err := decodeRowColsInto(buf, proj, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != len(proj) {
+			t.Fatalf("got %d values for %d projected", len(vals), len(proj))
+		}
+		for k, c := range proj {
+			want := Null
+			if c < len(full) {
+				want = full[c]
+			}
+			if !datumEq(vals[k], want) {
+				t.Fatalf("trial %d: attr %d = %v, want %v", trial, c, vals[k], want)
+			}
+		}
+		// nil projection decodes everything, into a reusable buffer.
+		all, err := decodeRowColsInto(buf, nil, vals[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != len(full) {
+			t.Fatalf("nil proj decoded %d, want %d", len(all), len(full))
+		}
+		for c := range full {
+			if !datumEq(all[c], full[c]) {
+				t.Fatalf("nil proj attr %d = %v, want %v", c, all[c], full[c])
+			}
+		}
+	}
+}
+
+func TestDecodeRowColsSkipsMaterialization(t *testing.T) {
+	const cols = 100
+	row := projRow(1, cols)
+	buf := encodeRow(nil, row)
+	proj := []int{3, 47, 90}
+	ResetDecodedAttrCount()
+	if _, err := decodeRowColsInto(buf, proj, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodedAttrCount(); got != int64(len(proj)) {
+		t.Fatalf("decoded %d attrs, want %d", got, len(proj))
+	}
+	ResetDecodedAttrCount()
+	if _, err := decodeRow(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodedAttrCount(); got != cols {
+		t.Fatalf("full decode counted %d attrs, want %d", got, cols)
+	}
+}
+
+// scanTable loads a table with n rows and returns the RIDs in insert order.
+func scanTable(t testing.TB, db *DB, name string, n, cols int) (*Table, []RID) {
+	t.Helper()
+	schema := Schema{}
+	for c := 0; c < cols; c++ {
+		schema.Cols = append(schema.Cols, Column{Name: fmt.Sprintf("c%d", c), Type: DTText})
+	}
+	tab, err := db.CreateTable(name, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		r := make(Row, cols)
+		for c := range r {
+			r[c] = Text(fmt.Sprintf("r%dc%d", i, c))
+		}
+		rid, err := tab.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	return tab, rids
+}
+
+// TestGetManyPinsEachPageOnce is the page-pin half of the batched-read
+// acceptance: a GetMany over a contiguous row range must fetch each distinct
+// heap page from the buffer pool exactly once, where the per-row Get path
+// pays one pool fetch per row.
+func TestGetManyPinsEachPageOnce(t *testing.T) {
+	db := Open(Options{BufferPoolPages: 1 << 12})
+	tab, rids := scanTable(t, db, "t", 2000, 8)
+	batch := rids[100:1100]
+	distinct := make(map[PageID]bool)
+	for _, rid := range batch {
+		distinct[rid.Page] = true
+	}
+	db.Pool().ResetStats()
+	got := 0
+	err := tab.GetMany(batch, []int{0}, func(i int, vals Row) error {
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(batch) {
+		t.Fatalf("visited %d rows, want %d", got, len(batch))
+	}
+	st := db.Pool().Stats()
+	fetches := st.PoolHits + st.PoolMisses
+	if fetches != int64(len(distinct)) {
+		t.Fatalf("pool fetches = %d, want one per distinct page (%d)", fetches, len(distinct))
+	}
+}
+
+// TestGetManyProjectionAndOrder checks callback indexes map to input
+// positions even though rids are visited in page order, and that only
+// projected attributes are materialized.
+func TestGetManyProjectionAndOrder(t *testing.T) {
+	db := Open(Options{})
+	tab, rids := scanTable(t, db, "t", 500, 12)
+	// Shuffle the input: GetMany reorders by page internally but must
+	// report input ordinals.
+	shuffled := append([]RID(nil), rids...)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	index := make(map[RID]int, len(rids))
+	for i, rid := range rids {
+		index[rid] = i
+	}
+	proj := []int{2, 9}
+	ResetDecodedAttrCount()
+	seen := 0
+	err := tab.GetMany(shuffled, proj, func(i int, vals Row) error {
+		seen++
+		orig := index[shuffled[i]]
+		if want := fmt.Sprintf("r%dc2", orig); vals[0].Str() != want {
+			return fmt.Errorf("i=%d: vals[0] = %q, want %q", i, vals[0].Str(), want)
+		}
+		if want := fmt.Sprintf("r%dc9", orig); vals[1].Str() != want {
+			return fmt.Errorf("i=%d: vals[1] = %q, want %q", i, vals[1].Str(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(rids) {
+		t.Fatalf("visited %d, want %d", seen, len(rids))
+	}
+	if got, want := DecodedAttrCount(), int64(len(rids)*len(proj)); got != want {
+		t.Fatalf("decoded %d attrs, want %d (projection pushdown broken)", got, want)
+	}
+}
+
+// TestGetManyChunkedRows covers the oversized-row fallback: rows larger than
+// a page reassemble through the chunk chain inside a batch.
+func TestGetManyChunkedRows(t *testing.T) {
+	db := Open(Options{})
+	tab, err := db.CreateTable("t", NewSchema(
+		Column{Name: "a", Type: DTText}, Column{Name: "b", Type: DTText}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("x", PageSize*2) // forces chunking
+	var rids []RID
+	for i := 0; i < 8; i++ {
+		r := Row{Text(fmt.Sprintf("small%d", i)), Text("s")}
+		if i%3 == 0 {
+			r = Row{Text(fmt.Sprintf("head%d", i)), Text(big)}
+		}
+		rid, err := tab.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	err = tab.GetMany(rids, []int{0, 1}, func(i int, vals Row) error {
+		if i%3 == 0 {
+			if vals[0].Str() != fmt.Sprintf("head%d", i) || len(vals[1].Str()) != len(big) {
+				return fmt.Errorf("chunked row %d mismatch", i)
+			}
+		} else if vals[0].Str() != fmt.Sprintf("small%d", i) {
+			return fmt.Errorf("row %d = %q", i, vals[0].Str())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetManyMissingTuple(t *testing.T) {
+	db := Open(Options{})
+	tab, rids := scanTable(t, db, "t", 10, 2)
+	if !tab.Delete(rids[4]) {
+		t.Fatal("delete failed")
+	}
+	err := tab.GetMany(rids, nil, func(int, Row) error { return nil })
+	if err == nil {
+		t.Fatal("GetMany over a tombstoned rid should error, not read blank")
+	}
+}
+
+// concurrentReadWorkload hammers Get/GetMany/Scan from several goroutines.
+// Run under -race it proves the pool and pager read paths are safe for
+// concurrent readers.
+func concurrentReadWorkload(t *testing.T, db *DB, poolPages int) {
+	t.Helper()
+	tab, rids := scanTable(t, db, "conc", 3000, 6)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < 20; it++ {
+				lo := rng.Intn(len(rids) - 500)
+				batch := rids[lo : lo+500]
+				err := tab.GetMany(batch, []int{1, 4}, func(i int, vals Row) error {
+					orig := lo + i
+					if want := fmt.Sprintf("r%dc1", orig); vals[0].Str() != want {
+						return fmt.Errorf("worker %d: vals[0]=%q want %q", w, vals[0].Str(), want)
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r, ok := tab.Get(rids[rng.Intn(len(rids))]); !ok || len(r) != 6 {
+					errs <- fmt.Errorf("worker %d: point Get failed", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := db.Pool().Err(); err != nil {
+		t.Fatal(err)
+	}
+	_ = poolPages
+}
+
+func TestConcurrentReadersMemPager(t *testing.T) {
+	// A small pool forces concurrent evictions and reloads.
+	db := Open(Options{BufferPoolPages: 8})
+	concurrentReadWorkload(t, db, 8)
+}
+
+func TestConcurrentReadersFilePager(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	defer db.Close()
+	concurrentReadWorkload(t, db, 1024)
+}
+
+// TestConcurrentReadersFilePagerCold reopens the data file so every page
+// read goes through the checksummed file path, with a pool too small to
+// retain the working set.
+func TestConcurrentReadersFilePagerCold(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	tab, rids := scanTable(t, db, "cold", 2000, 4)
+	_ = tab
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenFile(path, Options{BufferPoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tab2 := db2.Table("cold")
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for it := 0; it < 10; it++ {
+				lo := rng.Intn(len(rids) - 300)
+				err := tab2.GetMany(rids[lo:lo+300], []int{0}, func(i int, vals Row) error {
+					if want := fmt.Sprintf("r%dc0", lo+i); vals[0].Str() != want {
+						return fmt.Errorf("worker %d: %q want %q", w, vals[0].Str(), want)
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := db2.Pool().Stats(); st.DiskReads == 0 {
+		t.Fatalf("cold concurrent scan did no file reads: %+v", st)
+	}
+}
+
+// TestDecodeTruncatedBool: a tuple cut off after a DTBool type byte must
+// error, not panic (both decoders).
+func TestDecodeTruncatedBool(t *testing.T) {
+	buf := encodeRow(nil, Row{Bool(true)})
+	trunc := buf[:len(buf)-1] // drop the bool payload byte
+	if _, err := decodeRow(trunc); err == nil {
+		t.Fatal("decodeRow accepted a truncated bool")
+	}
+	if _, err := decodeRowColsInto(trunc, []int{0}, nil); err == nil {
+		t.Fatal("decodeRowColsInto accepted a truncated bool")
+	}
+}
