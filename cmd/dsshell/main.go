@@ -20,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"dataspread/internal/core"
 	"dataspread/internal/rdbms"
@@ -79,8 +81,9 @@ func main() {
 	}()
 
 	fmt.Println("DataSpread shell. Commands: set <ref> <value|=formula>, view <range>,")
-	fmt.Println("sql <query>, link <range> <table>, optimize <dp|greedy|agg>, insrow <n>,")
-	fmt.Println("delrow <n>, inscol <n>, delcol <n>, load <file.grid>, save, .stats, quit")
+	fmt.Println("sql <query>, link <range> <table>, optimize <dp|greedy|agg>, insrow <n> [count],")
+	fmt.Println("delrow <n> [count], inscol <n> [count], delcol <n> [count], load <file.grid>,")
+	fmt.Println("save, .stats, quit")
 	sc := bufio.NewScanner(os.Stdin)
 	var lastIOErr string
 	for {
@@ -222,20 +225,42 @@ func dispatch(eng *core.Engine, line string) error {
 		fmt.Printf("loaded %d cells\n", s.Len())
 		return nil
 	case "insrow", "delrow", "inscol", "delcol":
-		var n int
-		if _, err := fmt.Sscanf(rest, "%d", &n); err != nil {
-			return fmt.Errorf("usage: %s <n>", cmd)
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return fmt.Errorf("usage: %s <n> [count]", cmd)
 		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("usage: %s <n> [count]", cmd)
+		}
+		count := 1
+		if len(fields) == 2 {
+			if count, err = strconv.Atoi(fields[1]); err != nil {
+				return fmt.Errorf("%s: bad count %q", cmd, fields[1])
+			}
+		}
+		if count < 1 {
+			return fmt.Errorf("%s: count must be >= 1", cmd)
+		}
+		start := time.Now()
 		switch cmd {
 		case "insrow":
-			return eng.InsertRowAfter(n)
+			err = eng.InsertRowsAfter(n, count)
 		case "delrow":
-			return eng.DeleteRow(n)
+			err = eng.DeleteRows(n, count)
 		case "inscol":
-			return eng.InsertColumnAfter(n)
+			err = eng.InsertColumnsAfter(n, count)
 		default:
-			return eng.DeleteColumn(n)
+			err = eng.DeleteColumns(n, count)
 		}
+		if err != nil {
+			return err
+		}
+		st := eng.LastEditStats()
+		fmt.Printf("%d %s(s) in %v: %d formulas recomputed, %d rewritten, %d relocated, %d dropped\n",
+			count, map[string]string{"insrow": "row", "delrow": "row", "inscol": "col", "delcol": "col"}[cmd],
+			time.Since(start).Round(time.Microsecond), st.Recomputed, st.Rewritten, st.Relocated, st.Dropped)
+		return nil
 	}
 	return fmt.Errorf("unknown command %q", cmd)
 }

@@ -138,6 +138,10 @@ func NewSheet(name string) *Sheet { return sheet.New(name) }
 // ParseRange parses "A1:B2" notation.
 func ParseRange(s string) (Range, error) { return sheet.ParseRange(s) }
 
+// NewRange returns the normalized range covering both corners (1-based
+// rows/columns).
+func NewRange(r1, c1, r2, c2 int) Range { return sheet.NewRange(r1, c1, r2, c2) }
+
 // MustRange is ParseRange that panics on malformed input (for literals).
 func MustRange(s string) Range {
 	g, err := sheet.ParseRange(s)

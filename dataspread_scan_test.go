@@ -215,6 +215,14 @@ func TestScanThroughputSnapshot(t *testing.T) {
 	if out == "" {
 		t.Skip("set BENCH_SCAN_JSON=<path> to emit the scan throughput snapshot")
 	}
+	// The parallel-reader measurement is meaningless when the process is
+	// pinned to fewer than 4 procs on a machine that has them (a recorded
+	// scaling of ~1x would just mean "timesliced"): raise GOMAXPROCS to 4
+	// for the duration when the host has the cores.
+	if runtime.NumCPU() >= 4 && runtime.GOMAXPROCS(0) < 4 {
+		prev := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	dir := t.TempDir()
 	snap := map[string]any{
 		"sheet_rows": scanRows, "sheet_cols": scanCols,

@@ -245,6 +245,80 @@ func (c *Cache) InvalidateAll() {
 	c.lru.Init()
 }
 
+// ShiftRows adjusts resident blocks for a row-structural edit: delta > 0
+// inserts delta rows before row `at` (rows >= at move down by delta);
+// delta < 0 deletes the -delta rows [at, at-delta-1]. Blocks strictly above
+// the edit stay resident untouched — a mid-sheet insert no longer cools the
+// viewport the user is looking at. Blocks whose rows move are renumbered in
+// place when the shift preserves block alignment (delta a multiple of
+// BlockRows) and dropped otherwise; blocks straddling the edit or
+// intersecting a deleted band always drop.
+func (c *Cache) ShiftRows(at, delta int) { c.shift(at, delta, true) }
+
+// ShiftCols is ShiftRows for column edits (BlockCols alignment).
+func (c *Cache) ShiftCols(at, delta int) { c.shift(at, delta, false) }
+
+func (c *Cache) shift(at, delta int, rows bool) {
+	if delta == 0 {
+		return
+	}
+	span := BlockCols
+	if rows {
+		span = BlockRows
+	}
+	firstMoved := at
+	if delta < 0 {
+		firstMoved = at - delta // first surviving index past the deleted band
+	}
+	aligned := delta%span == 0
+	blockDelta := delta / span
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var drops []*list.Element
+	type rekey struct {
+		e  *list.Element
+		nk blockKey
+	}
+	var rekeys []rekey
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		b := e.Value.(*block)
+		g := blockRange(b.key)
+		lo, hi := g.From.Col, g.To.Col
+		if rows {
+			lo, hi = g.From.Row, g.To.Row
+		}
+		switch {
+		case hi < at:
+			// Strictly above/left of the edit: resident and untouched.
+		case aligned && lo >= firstMoved:
+			nk := b.key
+			if rows {
+				nk.br += blockDelta
+			} else {
+				nk.bc += blockDelta
+			}
+			rekeys = append(rekeys, rekey{e, nk})
+		default:
+			drops = append(drops, e)
+		}
+	}
+	for _, e := range drops {
+		b := e.Value.(*block)
+		delete(c.blocks, b.key)
+		c.lru.Remove(e)
+	}
+	// Two phases: every old key leaves the map before any new key lands, so
+	// renumbered blocks cannot collide with blocks that also move.
+	for _, rk := range rekeys {
+		delete(c.blocks, rk.e.Value.(*block).key)
+	}
+	for _, rk := range rekeys {
+		b := rk.e.Value.(*block)
+		b.key = rk.nk
+		c.blocks[rk.nk] = rk.e
+	}
+}
+
 // TakeErr returns the first block-load failure recorded since the last call
 // and clears it (nil when none). A failed load renders the affected cells
 // blank; callers that must distinguish blank from unreadable check this

@@ -290,3 +290,160 @@ func TestCacheConcurrentReaders(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCacheShiftRowsKeepsBlocksAbove: after a mid-sheet row insert, blocks
+// strictly above the edit stay resident (reads hit, no backing load).
+func TestCacheShiftRowsKeepsBlocksAbove(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(1, 1, sheet.Number(1))
+	s.SetValue(500, 1, sheet.Number(500))
+	b := &sheetBacking{s: s}
+	c := New(b, 64)
+	c.Get(sheet.Ref{Row: 1, Col: 1})   // block row 0 resident
+	c.Get(sheet.Ref{Row: 500, Col: 1}) // a block below the edit
+	loadsBefore := b.loads
+	hitsBefore := c.Stats().Hits
+
+	// The backing mutates first (as the engine's store does), then the
+	// cache learns about the shift.
+	s.InsertRowAfter(200) // rows >= 201 move down 1
+	c.ShiftRows(201, 1)
+
+	// Above the edit: still resident.
+	got := c.Get(sheet.Ref{Row: 1, Col: 1})
+	if !got.Value.Equal(sheet.Number(1)) {
+		t.Fatalf("A1 after shift = %v", got)
+	}
+	if b.loads != loadsBefore {
+		t.Fatalf("block above edit reloaded: %d -> %d loads", loadsBefore, b.loads)
+	}
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Fatalf("hit counter = %d want %d", c.Stats().Hits, hitsBefore+1)
+	}
+	// Below the edit (unaligned single-row shift): dropped, reads through.
+	got = c.Get(sheet.Ref{Row: 501, Col: 1})
+	if !got.Value.Equal(sheet.Number(500)) {
+		t.Fatalf("moved cell = %v", got)
+	}
+	if b.loads != loadsBefore+1 {
+		t.Fatalf("block below edit not reloaded")
+	}
+}
+
+// TestCacheShiftRowsAlignedRenumber: a block-aligned shift renumbers
+// resident blocks below the edit instead of dropping them.
+func TestCacheShiftRowsAlignedRenumber(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(200, 3, sheet.Number(7))
+	b := &sheetBacking{s: s}
+	c := New(b, 64)
+	c.Get(sheet.Ref{Row: 200, Col: 3})
+	loadsBefore := b.loads
+
+	s.InsertRowAfter(64) // rows >= 65 move down; 200 -> 264
+	// BlockRows-aligned insert at a block boundary: rows >= 65 shift by 64.
+	c.ShiftRows(65, BlockRows)
+
+	got := c.Get(sheet.Ref{Row: 200 + BlockRows, Col: 3})
+	if !got.Value.Equal(sheet.Number(7)) {
+		t.Fatalf("renumbered read = %v", got)
+	}
+	if b.loads != loadsBefore {
+		t.Fatalf("aligned shift reloaded: %d -> %d", loadsBefore, b.loads)
+	}
+	// The old location must not serve stale data: it reads through.
+	got = c.Get(sheet.Ref{Row: 200, Col: 3})
+	if !got.Value.IsEmpty() {
+		t.Fatalf("old location after shift = %v", got)
+	}
+}
+
+// TestCacheShiftRowsDeleteDropsBand: deleting a band drops intersecting
+// blocks and keeps blocks above; aligned deletes renumber blocks below.
+func TestCacheShiftRowsDeleteDropsBand(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(1, 1, sheet.Number(1))
+	s.SetValue(300, 1, sheet.Number(300))
+	b := &sheetBacking{s: s}
+	c := New(b, 64)
+	c.Get(sheet.Ref{Row: 1, Col: 1})
+	c.Get(sheet.Ref{Row: 100, Col: 1})
+	c.Get(sheet.Ref{Row: 300, Col: 1})
+	loadsBefore := b.loads
+
+	// Delete rows 65..128 (one whole block, aligned): block 0 stays, the
+	// deleted block drops, blocks below renumber up.
+	for i := 0; i < BlockRows; i++ {
+		s.DeleteRow(65)
+	}
+	c.ShiftRows(65, -BlockRows)
+
+	if got := c.Get(sheet.Ref{Row: 1, Col: 1}); !got.Value.Equal(sheet.Number(1)) {
+		t.Fatalf("A1 = %v", got)
+	}
+	if got := c.Get(sheet.Ref{Row: 300 - BlockRows, Col: 1}); !got.Value.Equal(sheet.Number(300)) {
+		t.Fatalf("shifted 300 = %v", got)
+	}
+	if b.loads != loadsBefore {
+		t.Fatalf("aligned delete reloaded blocks: %d -> %d", loadsBefore, b.loads)
+	}
+}
+
+// TestCacheShiftColsKeepsBlocksLeft mirrors the row test on the column axis.
+func TestCacheShiftColsKeepsBlocksLeft(t *testing.T) {
+	s := sheet.New("t")
+	s.SetValue(1, 1, sheet.Number(1))
+	s.SetValue(1, 100, sheet.Number(100))
+	b := &sheetBacking{s: s}
+	c := New(b, 64)
+	c.Get(sheet.Ref{Row: 1, Col: 1})
+	c.Get(sheet.Ref{Row: 1, Col: 100})
+	loadsBefore := b.loads
+
+	s.InsertColumnAfter(50)
+	c.ShiftCols(51, 1)
+
+	if got := c.Get(sheet.Ref{Row: 1, Col: 1}); !got.Value.Equal(sheet.Number(1)) {
+		t.Fatalf("A1 = %v", got)
+	}
+	if b.loads != loadsBefore {
+		t.Fatalf("left-of-edit block reloaded")
+	}
+	if got := c.Get(sheet.Ref{Row: 1, Col: 101}); !got.Value.Equal(sheet.Number(100)) {
+		t.Fatalf("shifted col read = %v", got)
+	}
+}
+
+// TestCacheShiftConcurrentWithReaders: the shift takes the exclusive lock;
+// concurrent readers must stay race-free (run under -race in CI).
+func TestCacheShiftConcurrentWithReaders(t *testing.T) {
+	s := sheet.New("t")
+	for r := 1; r <= 512; r++ {
+		s.SetValue(r, 1, sheet.Number(float64(r)))
+	}
+	b := &sheetBacking{s: s}
+	c := New(b, 16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Get(sheet.Ref{Row: (i+w*100)%512 + 1, Col: 1})
+				c.GetRange(sheet.NewRange((i%400)+1, 1, (i%400)+30, 2))
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		c.ShiftRows(128, BlockRows)
+		c.ShiftRows(128, -BlockRows)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -38,11 +38,17 @@ type Engine struct {
 	deps  *depgraph.Graph
 	// exprs holds parsed formulas by cell.
 	exprs map[sheet.Ref]formula.Expr
+	// constants tracks formulas with no cell reads (literal arithmetic,
+	// #REF!-poisoned expressions). They are invisible to the dependency
+	// graph, so structural edits relocate them through this set.
+	constants map[sheet.Ref]struct{}
 	// bounds tracks the content extent.
 	maxRow, maxCol int
 	params         hybrid.CostParams
 	seq            int
 	cacheBlocks    int
+	// lastEdit records the work done by the most recent structural edit.
+	lastEdit EditStats
 }
 
 // storeBacking adapts the hybrid store to the cache's Backing interface:
@@ -74,6 +80,7 @@ func New(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		store:       hs,
 		deps:        depgraph.New(),
 		exprs:       make(map[sheet.Ref]formula.Expr),
+		constants:   make(map[sheet.Ref]struct{}),
 		params:      opts.CostParams,
 		cacheBlocks: opts.CacheBlocks,
 	}
@@ -106,6 +113,7 @@ func Open(db *rdbms.DB, name string, s *sheet.Sheet, algo string, opts Options) 
 		store:       hs,
 		deps:        depgraph.New(),
 		exprs:       make(map[sheet.Ref]formula.Expr),
+		constants:   make(map[sheet.Ref]struct{}),
 		params:      opts.CostParams,
 		cacheBlocks: opts.CacheBlocks,
 	}
@@ -249,7 +257,7 @@ func (e *Engine) installFormula(ref sheet.Ref, src string) error {
 		return nil
 	}
 	e.exprs[ref] = expr
-	e.deps.Set(ref, reads)
+	e.setDeps(ref, reads)
 	v := formula.Eval(expr, e)
 	if err := e.cache.Put(ref, sheet.Cell{Value: v, Formula: src}); err != nil {
 		return err
@@ -344,7 +352,19 @@ func (e *Engine) SetCells(edits []CellEdit) error {
 
 func (e *Engine) dropFormula(ref sheet.Ref) {
 	delete(e.exprs, ref)
+	delete(e.constants, ref)
 	e.deps.Remove(ref)
+}
+
+// setDeps registers a formula's reads, tracking read-less formulas in the
+// constants set (the dependency graph forgets them).
+func (e *Engine) setDeps(ref sheet.Ref, reads []sheet.Range) {
+	e.deps.Set(ref, reads)
+	if len(reads) == 0 {
+		e.constants[ref] = struct{}{}
+	} else {
+		delete(e.constants, ref)
+	}
 }
 
 // propagate re-evaluates every formula affected by a change at ref, in
@@ -417,6 +437,6 @@ func (e *Engine) registerFormula(ref sheet.Ref, src string) error {
 		return fmt.Errorf("core: formula at %v: %w", ref, err)
 	}
 	e.exprs[ref] = expr
-	e.deps.Set(ref, formula.Refs(expr))
+	e.setDeps(ref, formula.Refs(expr))
 	return nil
 }

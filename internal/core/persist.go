@@ -99,6 +99,7 @@ func Load(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		store:       hs,
 		deps:        depgraph.New(),
 		exprs:       make(map[sheet.Ref]formula.Expr),
+		constants:   make(map[sheet.Ref]struct{}),
 		params:      opts.CostParams,
 		seq:         m.Seq,
 		maxRow:      m.MaxRow,

@@ -3,6 +3,15 @@
 // it reads, and — inverted — which formula cells must be recomputed when a
 // cell changes. Recomputation order is topological; cycles are detected and
 // reported so the engine can poison the affected cells with #CYCLE!.
+//
+// Dependents are resolved through a row-bucketed interval index: every
+// registered read range is filed under the 64-row stripes it covers (ranges
+// spanning many stripes — whole-column references — go to a small "wide"
+// list instead), and formula cells themselves are filed under the stripe of
+// their own row. A dependents query therefore touches only the stripes the
+// changed range intersects, so Affected costs O(dependents · log n) instead
+// of a scan over every formula, and structural edits relocate registrations
+// in place through Shift instead of re-registering the whole sheet.
 package depgraph
 
 import (
@@ -11,51 +20,235 @@ import (
 	"dataspread/internal/sheet"
 )
 
+// Axis selects the dimension of a structural shift.
+type Axis int
+
+// Rows and Cols are the two shift axes.
+const (
+	Rows Axis = iota
+	Cols
+)
+
+const (
+	// stripeRows is the row granularity of the dependents index.
+	stripeRows = 64
+	// wideStripeSpan caps per-range index registrations: a range covering
+	// more stripes than this (≥ ~2k rows, e.g. a whole-column reference)
+	// registers once in the wide list instead of in O(rows/64) stripes.
+	wideStripeSpan = 32
+)
+
+// entry is one registered formula: its cell and the ranges it reads. The
+// index buckets hold *entry pointers, so relocating a formula under a
+// structural shift touches only the entry, never the buckets its unchanged
+// ranges live in.
+type entry struct {
+	ref   sheet.Ref
+	reads []sheet.Range
+	// wide marks registration in the wide list (at most once per entry).
+	wide bool
+}
+
 // Graph tracks dependencies between cells. Precedents are stored as ranges
 // (a compact representation of formula reads — takeaway 4); dependents are
-// resolved by scanning the range list, which stays small per sheet because
-// formulas reference few rectangular regions (Table I, column 11).
+// resolved through the stripe index.
 type Graph struct {
-	// deps maps a formula cell to the ranges it reads.
-	deps map[sheet.Ref][]sheet.Range
+	// deps maps a formula cell to its registration.
+	deps map[sheet.Ref]*entry
+	// stripes indexes entries by the row stripes their read ranges cover.
+	stripes map[int][]*entry
+	// wide holds entries owning at least one stripe-spanning range.
+	wide []*entry
+	// keyStripes indexes entries by their own cell's row stripe, so
+	// structural shifts locate movers without scanning every formula.
+	keyStripes map[int][]*entry
 }
 
 // New returns an empty dependency graph.
 func New() *Graph {
-	return &Graph{deps: make(map[sheet.Ref][]sheet.Range)}
+	return &Graph{
+		deps:       make(map[sheet.Ref]*entry),
+		stripes:    make(map[int][]*entry),
+		keyStripes: make(map[int][]*entry),
+	}
+}
+
+func stripeOf(row int) int {
+	if row < 1 {
+		return 0
+	}
+	return (row - 1) / stripeRows
+}
+
+// rangeStripes returns the stripe span of a range and whether it is wide.
+func rangeStripes(r sheet.Range) (lo, hi int, wide bool) {
+	lo, hi = stripeOf(r.From.Row), stripeOf(r.To.Row)
+	return lo, hi, hi-lo+1 > wideStripeSpan
+}
+
+func removeEntry(s []*entry, e *entry) []*entry {
+	for i, x := range s {
+		if x == e {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// registerReads files the entry's ranges into the stripe/wide buckets. Each
+// stripe (and the wide list) holds the entry at most once.
+func (g *Graph) registerReads(e *entry) {
+	var seen map[int]bool
+	for _, r := range e.reads {
+		lo, hi, wide := rangeStripes(r)
+		if wide {
+			if !e.wide {
+				e.wide = true
+				g.wide = append(g.wide, e)
+			}
+			continue
+		}
+		for s := lo; s <= hi; s++ {
+			if seen[s] {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[int]bool, hi-lo+1)
+			}
+			seen[s] = true
+			g.stripes[s] = append(g.stripes[s], e)
+		}
+	}
+}
+
+// unregisterReads removes the entry from every bucket its ranges cover.
+func (g *Graph) unregisterReads(e *entry) {
+	var seen map[int]bool
+	for _, r := range e.reads {
+		lo, hi, wide := rangeStripes(r)
+		if wide {
+			continue
+		}
+		for s := lo; s <= hi; s++ {
+			if seen[s] {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[int]bool, hi-lo+1)
+			}
+			seen[s] = true
+			if rest := removeEntry(g.stripes[s], e); len(rest) > 0 {
+				g.stripes[s] = rest
+			} else {
+				delete(g.stripes, s)
+			}
+		}
+	}
+	if e.wide {
+		e.wide = false
+		g.wide = removeEntry(g.wide, e)
+	}
+}
+
+func (g *Graph) registerKey(e *entry) {
+	s := stripeOf(e.ref.Row)
+	g.keyStripes[s] = append(g.keyStripes[s], e)
+}
+
+func (g *Graph) unregisterKey(e *entry) {
+	s := stripeOf(e.ref.Row)
+	if rest := removeEntry(g.keyStripes[s], e); len(rest) > 0 {
+		g.keyStripes[s] = rest
+	} else {
+		delete(g.keyStripes, s)
+	}
 }
 
 // Set registers (or replaces) the ranges read by the formula at ref.
 func (g *Graph) Set(ref sheet.Ref, reads []sheet.Range) {
 	if len(reads) == 0 {
-		delete(g.deps, ref)
+		g.Remove(ref)
 		return
 	}
-	g.deps[ref] = reads
+	if e, ok := g.deps[ref]; ok {
+		g.unregisterReads(e)
+		e.reads = reads
+		g.registerReads(e)
+		return
+	}
+	e := &entry{ref: ref, reads: reads}
+	g.deps[ref] = e
+	g.registerReads(e)
+	g.registerKey(e)
 }
 
 // Remove drops the formula at ref.
-func (g *Graph) Remove(ref sheet.Ref) { delete(g.deps, ref) }
+func (g *Graph) Remove(ref sheet.Ref) {
+	e, ok := g.deps[ref]
+	if !ok {
+		return
+	}
+	g.unregisterReads(e)
+	g.unregisterKey(e)
+	delete(g.deps, ref)
+}
 
 // Len returns the number of tracked formula cells.
 func (g *Graph) Len() int { return len(g.deps) }
 
 // Precedents returns the ranges the formula at ref reads (nil when ref has
 // no formula).
-func (g *Graph) Precedents(ref sheet.Ref) []sheet.Range { return g.deps[ref] }
+func (g *Graph) Precedents(ref sheet.Ref) []sheet.Range {
+	if e, ok := g.deps[ref]; ok {
+		return e.reads
+	}
+	return nil
+}
+
+// stripeCandidates streams every entry whose index bucket intersects the
+// row band [fromRow, toRow] (stripe buckets plus the wide list) to fn. An
+// entry may be produced more than once; callers dedup.
+func (g *Graph) stripeCandidates(fromRow, toRow int, fn func(*entry)) {
+	lo, hi := stripeOf(fromRow), stripeOf(toRow)
+	if span := hi - lo + 1; span < 0 || span > len(g.stripes) {
+		// The band covers more stripes than exist: walk the map instead.
+		for s, bucket := range g.stripes {
+			if s >= lo && s <= hi {
+				for _, e := range bucket {
+					fn(e)
+				}
+			}
+		}
+	} else {
+		for s := lo; s <= hi; s++ {
+			for _, e := range g.stripes[s] {
+				fn(e)
+			}
+		}
+	}
+	for _, e := range g.wide {
+		fn(e)
+	}
+}
 
 // DirectDependents returns formula cells that directly read any cell in
 // the changed range, in deterministic order.
 func (g *Graph) DirectDependents(changed sheet.Range) []sheet.Ref {
 	var out []sheet.Ref
-	for ref, reads := range g.deps {
-		for _, r := range reads {
+	seen := make(map[*entry]bool)
+	g.stripeCandidates(changed.From.Row, changed.To.Row, func(e *entry) {
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		for _, r := range e.reads {
 			if r.Intersects(changed) {
-				out = append(out, ref)
-				break
+				out = append(out, e.ref)
+				return
 			}
 		}
-	}
+	})
 	sortRefs(out)
 	return out
 }
@@ -73,6 +266,16 @@ func (g *Graph) AffectedByRange(changed sheet.Range) (order []sheet.Ref, cycles 
 	return g.affectedFrom(g.DirectDependents(changed))
 }
 
+// AffectedFrom is Affected seeded with an explicit set of formula cells
+// that must themselves be recomputed (the incremental-recalculation entry
+// point after a structural edit): the result includes the seeds verbatim —
+// even seeds no longer registered in the graph, such as formulas whose
+// reads all collapsed to #REF! — plus every formula transitively reading
+// them, topologically ordered.
+func (g *Graph) AffectedFrom(seeds []sheet.Ref) (order []sheet.Ref, cycles []sheet.Ref) {
+	return g.affectedFrom(append([]sheet.Ref(nil), seeds...))
+}
+
 // AffectedByRefs is Affected for a set of individually changed cells (a
 // bulk edit batch): the seed is the formulas reading any of the exact
 // cells, not the batch's bounding rectangle — scattered edits do not drag
@@ -83,14 +286,29 @@ func (g *Graph) AffectedByRefs(refs []sheet.Ref) (order []sheet.Ref, cycles []sh
 	}
 	sorted := append([]sheet.Ref(nil), refs...)
 	sortRefs(sorted)
+	seen := make(map[*entry]bool)
 	var frontier []sheet.Ref
-	for dep, reads := range g.deps {
-		for _, r := range reads {
+	collect := func(e *entry) {
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		for _, r := range e.reads {
 			if rangeContainsAny(r, sorted) {
-				frontier = append(frontier, dep)
-				break
+				frontier = append(frontier, e.ref)
+				return
 			}
 		}
+	}
+	// One stripe probe per distinct changed row keeps the candidate walk
+	// proportional to the touched stripes, not the whole graph.
+	lastRow := 0
+	for _, ref := range sorted {
+		if ref.Row == lastRow {
+			continue
+		}
+		lastRow = ref.Row
+		g.stripeCandidates(ref.Row, ref.Row, collect)
 	}
 	sortRefs(frontier)
 	return g.affectedFrom(frontier)
@@ -129,13 +347,26 @@ func (g *Graph) affectedFrom(frontier []sheet.Ref) (order []sheet.Ref, cycles []
 	}
 
 	// Topologically sort the reachable subgraph: edge u -> v when formula v
-	// reads formula cell u.
+	// reads formula cell u. Members of each range are located by binary
+	// search over the sorted reachable set, so the edge build costs
+	// O(reach · ranges · (log reach + hits)) instead of O(reach²·ranges).
+	sorted := make([]sheet.Ref, 0, len(reach))
+	for v := range reach {
+		sorted = append(sorted, v)
+	}
+	sortRefs(sorted)
 	indeg := make(map[sheet.Ref]int, len(reach))
 	adj := make(map[sheet.Ref][]sheet.Ref, len(reach))
 	for v := range reach {
-		for _, r := range g.deps[v] {
-			for u := range reach {
-				if u != v && r.Contains(u) {
+		e := g.deps[v]
+		if e == nil {
+			continue
+		}
+		for _, r := range e.reads {
+			i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Row >= r.From.Row })
+			for ; i < len(sorted) && sorted[i].Row <= r.To.Row; i++ {
+				u := sorted[i]
+				if u != v && u.Col >= r.From.Col && u.Col <= r.To.Col {
 					adj[u] = append(adj[u], v)
 					indeg[v]++
 				}
@@ -209,23 +440,242 @@ func (g *Graph) HasCycleAt(ref sheet.Ref, reads []sheet.Range) bool {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, r := range g.deps[cur] {
+		for _, r := range g.Precedents(cur) {
 			if r.Contains(ref) {
 				return true
 			}
 		}
-		if seed(g.deps[cur]) {
+		if seed(g.Precedents(cur)) {
 			return true
 		}
 	}
 	return false
 }
 
-func sortRefs(refs []sheet.Ref) {
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].Row != refs[j].Row {
-			return refs[i].Row < refs[j].Row
+// ShiftResult reports what a structural Shift did to the registrations.
+type ShiftResult struct {
+	// MovedOld and MovedNew are parallel: formula cells that relocated,
+	// pre- and post-shift, ordered by pre-shift position.
+	MovedOld, MovedNew []sheet.Ref
+	// Rewritten lists formulas (post-shift positions) whose read ranges
+	// cross the edit: their expressions must be rewritten and re-registered
+	// by the caller (Set with the rewritten reads is authoritative).
+	Rewritten []sheet.Ref
+	// Dropped lists formulas (pre-shift positions) whose own cell was
+	// inside a deleted band; they have been removed from the graph.
+	Dropped []sheet.Ref
+}
+
+// ShiftIndex maps a 1-based row/column index through a structural shift
+// (delta > 0 inserts delta slots before `at`; delta < 0 deletes the -delta
+// slots [at, at-delta-1]). ok is false when the index falls inside a
+// deleted band. It is the single source of truth for the relocation rule —
+// the engine's constant relocation and recalc-seed mapping use it too.
+func ShiftIndex(idx, at, delta int) (nw int, ok bool) {
+	if delta > 0 {
+		if idx >= at {
+			return idx + delta, true
 		}
-		return refs[i].Col < refs[j].Col
-	})
+		return idx, true
+	}
+	count := -delta
+	switch {
+	case idx >= at+count:
+		return idx - count, true
+	case idx >= at:
+		return 0, false
+	}
+	return idx, true
+}
+
+// Shift relocates registrations under a structural edit on the given axis:
+// delta > 0 inserts delta rows/columns before index `at` (existing indexes
+// >= at move up by delta); delta < 0 deletes the -delta rows/columns
+// [at, at-delta-1]. Formula cells inside a deleted band are removed; read
+// ranges that do not cross the edit stay registered untouched (no
+// re-bucketing), which is what makes a structural edit cost
+// O(movers + crossers), not O(formulas).
+func (g *Graph) Shift(axis Axis, at, delta int) ShiftResult {
+	var res ShiftResult
+	if delta == 0 {
+		return res
+	}
+
+	// Locate movers and dropped entries. The key index bounds the search to
+	// stripes at or after the edit for row shifts; column shifts scan the
+	// map (formula cells are not indexed by column).
+	var movers, dropped []*entry
+	classify := func(e *entry) {
+		idx := e.ref.Col
+		if axis == Rows {
+			idx = e.ref.Row
+		}
+		switch nw, ok := ShiftIndex(idx, at, delta); {
+		case !ok:
+			dropped = append(dropped, e)
+		case nw != idx:
+			movers = append(movers, e)
+		}
+	}
+	if axis == Rows {
+		lo := stripeOf(at)
+		for s, bucket := range g.keyStripes {
+			if s >= lo {
+				for _, e := range bucket {
+					classify(e)
+				}
+			}
+		}
+	} else {
+		for _, e := range g.deps {
+			classify(e)
+		}
+	}
+	sort.Slice(movers, func(i, j int) bool { return refLess(movers[i].ref, movers[j].ref) })
+	sort.Slice(dropped, func(i, j int) bool { return refLess(dropped[i].ref, dropped[j].ref) })
+
+	// Locate crossers: entries with a read range ending at or after the
+	// edit. The stripe walk bounds this to entries actually reading near or
+	// past the edit (plus the wide list).
+	crosserSet := make(map[*entry]bool)
+	var crossers []*entry
+	collectCrosser := func(e *entry) {
+		if crosserSet[e] {
+			return
+		}
+		for _, r := range e.reads {
+			hi := r.To.Col
+			if axis == Rows {
+				hi = r.To.Row
+			}
+			if hi >= at {
+				crosserSet[e] = true
+				crossers = append(crossers, e)
+				return
+			}
+		}
+	}
+	if axis == Rows {
+		lo := stripeOf(at)
+		for s, bucket := range g.stripes {
+			if s >= lo {
+				for _, e := range bucket {
+					collectCrosser(e)
+				}
+			}
+		}
+		for _, e := range g.wide {
+			collectCrosser(e)
+		}
+	} else {
+		for _, e := range g.deps {
+			collectCrosser(e)
+		}
+	}
+
+	// Apply: dropped entries leave the graph entirely.
+	for _, e := range dropped {
+		res.Dropped = append(res.Dropped, e.ref)
+		g.unregisterReads(e)
+		g.unregisterKey(e)
+		delete(g.deps, e.ref)
+		delete(crosserSet, e)
+	}
+	// Movers rekey in two phases so old and new key ranges may overlap.
+	for _, e := range movers {
+		res.MovedOld = append(res.MovedOld, e.ref)
+		g.unregisterKey(e)
+		delete(g.deps, e.ref)
+	}
+	for _, e := range movers {
+		if axis == Rows {
+			e.ref.Row += delta
+		} else {
+			e.ref.Col += delta
+		}
+		res.MovedNew = append(res.MovedNew, e.ref)
+		g.deps[e.ref] = e
+		g.registerKey(e)
+	}
+	// Crossers: shift their ranges in place (insert moves every boundary at
+	// or past the edit; delete clips into the surviving span). The caller
+	// re-Sets these entries from the rewritten expressions, so this keeps
+	// the graph coherent for queries issued in between.
+	for _, e := range crossers {
+		if !crosserSet[e] {
+			continue // dropped above
+		}
+		g.unregisterReads(e)
+		kept := e.reads[:0]
+		for _, r := range e.reads {
+			if nr, ok := shiftRange(r, axis, at, delta); ok {
+				kept = append(kept, nr)
+			}
+		}
+		e.reads = kept
+		if len(e.reads) == 0 {
+			// Every read vanished with a deleted band: the formula is now a
+			// constant (#REF!); it leaves the graph, but the caller still
+			// hears about it through Rewritten.
+			res.Rewritten = append(res.Rewritten, e.ref)
+			g.unregisterKey(e)
+			delete(g.deps, e.ref)
+			continue
+		}
+		g.registerReads(e)
+		res.Rewritten = append(res.Rewritten, e.ref)
+	}
+	sortRefs(res.Rewritten)
+	return res
+}
+
+// shiftRange relocates one range under a shift, mirroring the reference
+// rewriting of formula.Shift (inserts move and absorb; deletes clip; ok is
+// false when the whole range falls inside a deleted band).
+func shiftRange(r sheet.Range, axis Axis, at, delta int) (sheet.Range, bool) {
+	lo, hi := r.From.Col, r.To.Col
+	if axis == Rows {
+		lo, hi = r.From.Row, r.To.Row
+	}
+	if delta > 0 {
+		if lo >= at {
+			lo += delta
+		}
+		if hi >= at {
+			hi += delta
+		}
+	} else {
+		count := -delta
+		end := at + count // first index past the deleted band
+		switch {
+		case lo >= end:
+			lo -= count
+		case lo >= at:
+			lo = at
+		}
+		switch {
+		case hi >= end:
+			hi -= count
+		case hi >= at:
+			hi = at - 1
+		}
+		if hi < lo {
+			return sheet.Range{}, false
+		}
+	}
+	if axis == Rows {
+		return sheet.NewRange(lo, r.From.Col, hi, r.To.Col), true
+	}
+	return sheet.NewRange(r.From.Row, lo, r.To.Row, hi), true
+}
+
+func refLess(a, b sheet.Ref) bool {
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}
+
+func sortRefs(refs []sheet.Ref) {
+	sort.Slice(refs, func(i, j int) bool { return refLess(refs[i], refs[j]) })
 }

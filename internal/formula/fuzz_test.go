@@ -1,6 +1,7 @@
 package formula
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -99,5 +100,67 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMultiCountShiftEquivalence: a count-k shift must agree with k
+// applications of the corresponding count-1 shift, for both axes and both
+// directions, on randomized formulas — and Apply on a parsed AST must agree
+// with AdjustText on the source text.
+func TestMultiCountShiftEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	srcs := []string{
+		"A1+B2*C3",
+		"SUM(A1:A20)",
+		"SUM(B5:D12)+AVERAGE(A8:A9)",
+		"IF(A5>0,SUM(A5:A10),B7)",
+		"VLOOKUP(A3,B1:D20,2)",
+		"$A$5+A$6+$A7",
+		"1+2",
+		"SUM(A4:A6)-A5%",
+	}
+	for trial := 0; trial < 300; trial++ {
+		src := srcs[rng.Intn(len(srcs))]
+		at := rng.Intn(15) + 1
+		k := rng.Intn(5) + 1
+		rows := rng.Intn(2) == 0
+		del := rng.Intn(2) == 0
+
+		big := func(at, count int) Shift {
+			switch {
+			case rows && del:
+				return DeleteRows(at, count)
+			case rows:
+				return InsertRows(at, count)
+			case del:
+				return DeleteCols(at, count)
+			default:
+				return InsertCols(at, count)
+			}
+		}
+		expr, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One count-k application.
+		batched := big(at, k).Apply(expr).String()
+		// k count-1 applications at the same position.
+		cur := expr
+		for i := 0; i < k; i++ {
+			cur = big(at, 1).Apply(cur)
+		}
+		looped := cur.String()
+		if batched != looped {
+			t.Fatalf("%q shift(at=%d,k=%d,rows=%v,del=%v): batched %q vs looped %q",
+				src, at, k, rows, del, batched, looped)
+		}
+		// Text-level agreement.
+		adjusted, err := big(at, k).AdjustText(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adjusted != batched {
+			t.Fatalf("%q: AdjustText %q vs Apply %q", src, adjusted, batched)
+		}
 	}
 }

@@ -39,12 +39,22 @@ type Translator interface {
 	// InsertRowAfter makes room for one row after the local row (0 inserts
 	// at the top).
 	InsertRowAfter(row int) error
+	// InsertRowsAfter makes room for count rows after the local row in one
+	// count-aware positional shift (the batched structural edit of the
+	// fast path; InsertRowAfter is its count-1 wrapper).
+	InsertRowsAfter(row, count int) error
 	// DeleteRow removes the local row.
 	DeleteRow(row int) error
+	// DeleteRows removes the count local rows starting at row in one pass.
+	DeleteRows(row, count int) error
 	// InsertColAfter makes room for one column after the local column.
 	InsertColAfter(col int) error
+	// InsertColsAfter makes room for count columns after the local column.
+	InsertColsAfter(col, count int) error
 	// DeleteCol removes the local column.
 	DeleteCol(col int) error
+	// DeleteCols removes the count local columns starting at col.
+	DeleteCols(col, count int) error
 	// StorageBytes reports the physical footprint of the region.
 	StorageBytes() int64
 	// Drop removes the backing tables.
@@ -113,7 +123,24 @@ func (im idMap) Range(pos, count int) []int64 {
 
 func (im idMap) Insert(pos int, id int64) bool { return im.m.Insert(pos, idToRID(id)) }
 
+func (im idMap) InsertMany(pos int, ids []int64) bool {
+	rids := make([]rdbms.RID, len(ids))
+	for i, id := range ids {
+		rids[i] = idToRID(id)
+	}
+	return im.m.InsertMany(pos, rids)
+}
+
 func (im idMap) Delete(pos int) (int64, bool) {
 	rid, ok := im.m.Delete(pos)
 	return ridToID(rid), ok
+}
+
+func (im idMap) DeleteMany(pos, count int) []int64 {
+	rids := im.m.DeleteMany(pos, count)
+	out := make([]int64, len(rids))
+	for i, r := range rids {
+		out[i] = ridToID(r)
+	}
+	return out
 }

@@ -231,49 +231,96 @@ func (r *RCV) UpdateRect(g sheet.Range, cells [][]sheet.Cell) error {
 }
 
 // InsertRowAfter implements Translator: a single positional-map insert.
-func (r *RCV) InsertRowAfter(row int) error {
+func (r *RCV) InsertRowAfter(row int) error { return r.InsertRowsAfter(row, 1) }
+
+// InsertRowsAfter implements Translator: count fresh surrogates placed with
+// one positional-map shift — no tuple is touched at all.
+func (r *RCV) InsertRowsAfter(row, count int) error {
 	if row < 0 || row > r.rowIDs.Len() {
 		return fmt.Errorf("model: RCV insert after row %d out of range", row)
 	}
-	r.rowIDs.Insert(row+1, r.allocRow())
+	if count < 1 {
+		return fmt.Errorf("model: RCV insert of %d rows", count)
+	}
+	ids := make([]int64, count)
+	for i := range ids {
+		ids[i] = r.allocRow()
+	}
+	r.rowIDs.InsertMany(row+1, ids)
 	return nil
 }
 
 // DeleteRow implements Translator: removes the row's tuples then the
 // surrogate.
-func (r *RCV) DeleteRow(row int) error {
-	rowID, ok := r.rowIDs.At(row)
-	if !ok {
-		return fmt.Errorf("model: RCV delete of missing row %d", row)
+func (r *RCV) DeleteRow(row int) error { return r.DeleteRows(row, 1) }
+
+// DeleteRows implements Translator: one key-range sweep per deleted row,
+// one positional-map pass for the surrogates.
+func (r *RCV) DeleteRows(row, count int) error {
+	if count < 1 {
+		return fmt.Errorf("model: RCV delete of %d rows", count)
 	}
-	r.deleteKeyRange(key(rowID, 0), key(rowID, 1<<rcvColBits-1))
-	r.rowIDs.Delete(row)
+	if row < 1 || row+count-1 > r.rowIDs.Len() {
+		return fmt.Errorf("model: RCV delete rows %d..%d out of range", row, row+count-1)
+	}
+	for i := 0; i < count; i++ {
+		rowID, ok := r.rowIDs.At(row + i)
+		if !ok {
+			return fmt.Errorf("model: RCV delete of missing row %d", row+i)
+		}
+		r.deleteKeyRange(key(rowID, 0), key(rowID, 1<<rcvColBits-1))
+	}
+	r.rowIDs.DeleteMany(row, count)
 	return nil
 }
 
 // InsertColAfter implements Translator.
-func (r *RCV) InsertColAfter(col int) error {
+func (r *RCV) InsertColAfter(col int) error { return r.InsertColsAfter(col, 1) }
+
+// InsertColsAfter implements Translator.
+func (r *RCV) InsertColsAfter(col, count int) error {
 	if col < 0 || col > r.colIDs.Len() {
 		return fmt.Errorf("model: RCV insert after column %d out of range", col)
 	}
-	id, err := r.allocCol()
-	if err != nil {
-		return err
+	if count < 1 {
+		return fmt.Errorf("model: RCV insert of %d columns", count)
 	}
-	r.colIDs.Insert(col+1, id)
+	ids := make([]int64, count)
+	for i := range ids {
+		id, err := r.allocCol()
+		if err != nil {
+			return err
+		}
+		ids[i] = id
+	}
+	r.colIDs.InsertMany(col+1, ids)
 	return nil
 }
 
 // DeleteCol implements Translator: scans the whole index (cells of a column
 // are scattered across row key ranges).
-func (r *RCV) DeleteCol(col int) error {
-	colID, ok := r.colIDs.At(col)
-	if !ok {
-		return fmt.Errorf("model: RCV delete of missing column %d", col)
+func (r *RCV) DeleteCol(col int) error { return r.DeleteCols(col, 1) }
+
+// DeleteCols implements Translator: one index scan collects the victims of
+// every deleted column at once (count columns cost the same sweep as one).
+func (r *RCV) DeleteCols(col, count int) error {
+	if count < 1 {
+		return fmt.Errorf("model: RCV delete of %d columns", count)
+	}
+	if col < 1 || col+count-1 > r.colIDs.Len() {
+		return fmt.Errorf("model: RCV delete cols %d..%d out of range", col, col+count-1)
+	}
+	doomed := make(map[int64]bool, count)
+	for i := 0; i < count; i++ {
+		colID, ok := r.colIDs.At(col + i)
+		if !ok {
+			return fmt.Errorf("model: RCV delete of missing column %d", col+i)
+		}
+		doomed[colID] = true
 	}
 	var victims []int64
 	r.index.Scan(0, 1<<62, func(k int64, _ rdbms.RID) bool {
-		if k&(1<<rcvColBits-1) == colID {
+		if doomed[k&(1<<rcvColBits-1)] {
 			victims = append(victims, k)
 		}
 		return true
@@ -285,7 +332,7 @@ func (r *RCV) DeleteCol(col int) error {
 			r.cells--
 		}
 	}
-	r.colIDs.Delete(col)
+	r.colIDs.DeleteMany(col, count)
 	return nil
 }
 

@@ -229,22 +229,30 @@ func (h *HybridStore) Update(row, col int, c sheet.Cell) error {
 // InsertRowAfter inserts one spreadsheet row after the absolute row:
 // regions strictly below shift down, regions spanning the row grow, the
 // overflow RCV shifts its own positional map.
-func (h *HybridStore) InsertRowAfter(row int) error {
+func (h *HybridStore) InsertRowAfter(row int) error { return h.InsertRowsAfter(row, 1) }
+
+// InsertRowsAfter inserts count spreadsheet rows after the absolute row in
+// one pass: each region's rectangle adjusts once and each spanning region
+// performs a single count-aware positional shift.
+func (h *HybridStore) InsertRowsAfter(row, count int) error {
+	if count < 1 {
+		return fmt.Errorf("model: insert of %d rows", count)
+	}
 	for i := range h.regions {
 		r := &h.regions[i]
 		switch {
 		case r.rect.From.Row > row:
-			r.rect.From.Row++
-			r.rect.To.Row++
+			r.rect.From.Row += count
+			r.rect.To.Row += count
 		case r.rect.To.Row > row: // spans the boundary: grow
-			if err := r.tr.InsertRowAfter(row - r.rect.From.Row + 1); err != nil {
+			if err := r.tr.InsertRowsAfter(row-r.rect.From.Row+1, count); err != nil {
 				return err
 			}
-			r.rect.To.Row++
+			r.rect.To.Row += count
 		}
 	}
 	if row < h.overflow.Rows() {
-		return h.overflow.InsertRowAfter(row)
+		return h.overflow.InsertRowsAfter(row, count)
 	}
 	return nil
 }
@@ -252,91 +260,124 @@ func (h *HybridStore) InsertRowAfter(row int) error {
 // DeleteRow removes one spreadsheet row. Several disjoint regions may span
 // the same row band; each shrinks independently, and regions emptied by the
 // delete are dropped.
-func (h *HybridStore) DeleteRow(row int) error {
+func (h *HybridStore) DeleteRow(row int) error { return h.DeleteRows(row, 1) }
+
+// DeleteRows removes the count spreadsheet rows [row, row+count-1] in one
+// pass per region: each region deletes its overlap with the band through a
+// single count-aware positional shift, regions entirely below shift up, and
+// regions emptied by the delete are dropped.
+func (h *HybridStore) DeleteRows(row, count int) error {
+	if count < 1 {
+		return fmt.Errorf("model: delete of %d rows", count)
+	}
+	b1, b2 := row, row+count-1
 	kept := h.regions[:0]
 	for i := range h.regions {
 		r := h.regions[i]
+		f, t := r.rect.From.Row, r.rect.To.Row
 		switch {
-		case r.rect.From.Row > row:
-			r.rect.From.Row--
-			r.rect.To.Row--
-		case r.rect.To.Row >= row:
-			if err := r.tr.DeleteRow(row - r.rect.From.Row + 1); err != nil {
+		case f > b2: // entirely below: shift up
+			r.rect.From.Row -= count
+			r.rect.To.Row -= count
+		case t >= b1: // intersects the band
+			localFrom := max(f, b1) - f + 1
+			n := min(t, b2) - max(f, b1) + 1
+			if err := r.tr.DeleteRows(localFrom, n); err != nil {
 				return err
 			}
-			r.rect.To.Row--
-			if r.rect.To.Row < r.rect.From.Row {
+			newF := f
+			if f >= b1 {
+				newF = b1
+			}
+			newT := newF + (t - f + 1 - n) - 1
+			if newT < newF {
 				if err := r.tr.Drop(); err != nil {
 					return err
 				}
 				continue // dropped
 			}
+			r.rect.From.Row, r.rect.To.Row = newF, newT
 		}
 		kept = append(kept, r)
 	}
 	h.regions = kept
-	return h.deleteOverflowRow(row)
-}
-
-func (h *HybridStore) deleteOverflowRow(row int) error {
-	if row <= h.overflow.Rows() {
-		return h.overflow.DeleteRow(row)
+	if n := min(count, h.overflow.Rows()-row+1); row >= 1 && n >= 1 {
+		return h.overflow.DeleteRows(row, n)
 	}
 	return nil
 }
 
 // InsertColumnAfter inserts one spreadsheet column after the absolute
 // column.
-func (h *HybridStore) InsertColumnAfter(col int) error {
+func (h *HybridStore) InsertColumnAfter(col int) error { return h.InsertColumnsAfter(col, 1) }
+
+// InsertColumnsAfter inserts count spreadsheet columns after the absolute
+// column in one pass, mirroring InsertRowsAfter.
+func (h *HybridStore) InsertColumnsAfter(col, count int) error {
+	if count < 1 {
+		return fmt.Errorf("model: insert of %d columns", count)
+	}
 	for i := range h.regions {
 		r := &h.regions[i]
 		switch {
 		case r.rect.From.Col > col:
-			r.rect.From.Col++
-			r.rect.To.Col++
+			r.rect.From.Col += count
+			r.rect.To.Col += count
 		case r.rect.To.Col > col:
-			if err := r.tr.InsertColAfter(col - r.rect.From.Col + 1); err != nil {
+			if err := r.tr.InsertColsAfter(col-r.rect.From.Col+1, count); err != nil {
 				return err
 			}
-			r.rect.To.Col++
+			r.rect.To.Col += count
 		}
 	}
 	if col < h.overflow.Cols() {
-		return h.overflow.InsertColAfter(col)
+		return h.overflow.InsertColsAfter(col, count)
 	}
 	return nil
 }
 
 // DeleteColumn removes one spreadsheet column, mirroring DeleteRow.
-func (h *HybridStore) DeleteColumn(col int) error {
+func (h *HybridStore) DeleteColumn(col int) error { return h.DeleteColumns(col, 1) }
+
+// DeleteColumns removes the count spreadsheet columns [col, col+count-1] in
+// one pass per region, mirroring DeleteRows.
+func (h *HybridStore) DeleteColumns(col, count int) error {
+	if count < 1 {
+		return fmt.Errorf("model: delete of %d columns", count)
+	}
+	b1, b2 := col, col+count-1
 	kept := h.regions[:0]
 	for i := range h.regions {
 		r := h.regions[i]
+		f, t := r.rect.From.Col, r.rect.To.Col
 		switch {
-		case r.rect.From.Col > col:
-			r.rect.From.Col--
-			r.rect.To.Col--
-		case r.rect.To.Col >= col:
-			if err := r.tr.DeleteCol(col - r.rect.From.Col + 1); err != nil {
+		case f > b2:
+			r.rect.From.Col -= count
+			r.rect.To.Col -= count
+		case t >= b1:
+			localFrom := max(f, b1) - f + 1
+			n := min(t, b2) - max(f, b1) + 1
+			if err := r.tr.DeleteCols(localFrom, n); err != nil {
 				return err
 			}
-			r.rect.To.Col--
-			if r.rect.To.Col < r.rect.From.Col {
+			newF := f
+			if f >= b1 {
+				newF = b1
+			}
+			newT := newF + (t - f + 1 - n) - 1
+			if newT < newF {
 				if err := r.tr.Drop(); err != nil {
 					return err
 				}
 				continue
 			}
+			r.rect.From.Col, r.rect.To.Col = newF, newT
 		}
 		kept = append(kept, r)
 	}
 	h.regions = kept
-	return h.deleteOverflowCol(col)
-}
-
-func (h *HybridStore) deleteOverflowCol(col int) error {
-	if col <= h.overflow.Cols() {
-		return h.overflow.DeleteCol(col)
+	if n := min(count, h.overflow.Cols()-col+1); col >= 1 && n >= 1 {
+		return h.overflow.DeleteCols(col, n)
 	}
 	return nil
 }

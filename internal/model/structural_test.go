@@ -1,0 +1,248 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"dataspread/internal/posmap"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// buildTranslator materializes a rows×cols region of the given kind filled
+// with distinguishable values.
+func buildTranslator(t *testing.T, db *rdbms.DB, kind, scheme, name string, rows, cols int) Translator {
+	t.Helper()
+	cfg := Config{DB: db, Scheme: scheme, TableName: name}
+	var tr Translator
+	switch kind {
+	case "rom":
+		rom, err := NewROM(cfg, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rom.InsertRowsAfter(0, rows); err != nil {
+			t.Fatal(err)
+		}
+		tr = rom
+	case "com":
+		com, err := NewCOM(cfg, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := com.InsertColsAfter(0, cols); err != nil {
+			t.Fatal(err)
+		}
+		tr = com
+	case "rcv":
+		rcv, err := NewRCV(cfg, rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr = rcv
+	case "tom":
+		schema := rdbms.Schema{}
+		for j := 0; j < cols; j++ {
+			schema.Cols = append(schema.Cols, rdbms.Column{Name: fmt.Sprintf("a%d", j), Type: rdbms.DTText})
+		}
+		table, err := db.CreateTable(name, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if _, err := table.Insert(make(rdbms.Row, cols)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr = LinkTOM(table, scheme, false)
+	default:
+		t.Fatalf("unknown kind %q", kind)
+	}
+	for r := 1; r <= rows; r++ {
+		for c := 1; c <= cols; c++ {
+			cell := sheet.Cell{Value: sheet.Str(fmt.Sprintf("v%d_%d", r, c))}
+			if err := tr.Update(r, c, cell); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tr
+}
+
+func translatorSnapshot(t *testing.T, tr Translator) [][]sheet.Cell {
+	t.Helper()
+	if tr.Rows() == 0 || tr.Cols() == 0 {
+		return nil
+	}
+	cells, err := tr.GetCells(sheet.NewRange(1, 1, tr.Rows(), tr.Cols()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+func assertSameGrid(t *testing.T, label string, a, b [][]sheet.Cell) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d rows", label, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s: row %d: %d vs %d cols", label, i+1, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if !a[i][j].Value.Equal(b[i][j].Value) || a[i][j].Formula != b[i][j].Formula {
+				t.Fatalf("%s: (%d,%d): %+v vs %+v", label, i+1, j+1, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// TestTranslatorBatchedEquivalence: for every translator kind × positional
+// scheme, InsertRowsAfter(r, k) must equal k× InsertRowAfter(r), and
+// likewise for deletes and for the column axis (where supported).
+func TestTranslatorBatchedEquivalence(t *testing.T) {
+	const rows, cols, k = 9, 4, 3
+	for _, scheme := range posmap.Schemes() {
+		for _, kind := range []string{"rom", "com", "rcv", "tom"} {
+			for _, at := range []int{0, 4, rows} {
+				db := rdbms.Open(rdbms.Options{})
+				batched := buildTranslator(t, db, kind, scheme, "b", rows, cols)
+				looped := buildTranslator(t, db, kind, scheme, "l", rows, cols)
+				label := fmt.Sprintf("%s/%s insert at %d", kind, scheme, at)
+
+				if err := batched.InsertRowsAfter(at, k); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				for i := 0; i < k; i++ {
+					if err := looped.InsertRowAfter(at); err != nil {
+						t.Fatalf("%s: single: %v", label, err)
+					}
+				}
+				assertSameGrid(t, label, translatorSnapshot(t, batched), translatorSnapshot(t, looped))
+
+				// Round trip: delete the inserted band, back to the start.
+				if err := batched.DeleteRows(at+1, k); err != nil {
+					t.Fatalf("%s: round-trip delete: %v", label, err)
+				}
+				fresh := buildTranslator(t, db, kind, scheme, fmt.Sprintf("f%d", at), rows, cols)
+				assertSameGrid(t, label+" round-trip", translatorSnapshot(t, batched), translatorSnapshot(t, fresh))
+
+				// Batched delete vs k single deletes of interior rows.
+				if err := batched.DeleteRows(2, k); err != nil {
+					t.Fatalf("%s: batched delete: %v", label, err)
+				}
+				for i := 0; i < k; i++ {
+					if err := looped.DeleteRow(at + 1); err != nil { // remove the inserted band first
+						t.Fatalf("%s: %v", label, err)
+					}
+				}
+				for i := 0; i < k; i++ {
+					if err := looped.DeleteRow(2); err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+				}
+				assertSameGrid(t, label+" delete", translatorSnapshot(t, batched), translatorSnapshot(t, looped))
+
+				if kind == "tom" {
+					continue // fixed schema: no column edits
+				}
+				if err := batched.InsertColsAfter(1, 2); err != nil {
+					t.Fatalf("%s: cols: %v", label, err)
+				}
+				for i := 0; i < 2; i++ {
+					if err := looped.InsertColAfter(1); err != nil {
+						t.Fatalf("%s: cols single: %v", label, err)
+					}
+				}
+				assertSameGrid(t, label+" inscols", translatorSnapshot(t, batched), translatorSnapshot(t, looped))
+				if err := batched.DeleteCols(2, 2); err != nil {
+					t.Fatalf("%s: delcols: %v", label, err)
+				}
+				for i := 0; i < 2; i++ {
+					if err := looped.DeleteCol(2); err != nil {
+						t.Fatalf("%s: delcols single: %v", label, err)
+					}
+				}
+				assertSameGrid(t, label+" delcols", translatorSnapshot(t, batched), translatorSnapshot(t, looped))
+			}
+		}
+	}
+}
+
+// TestHybridStoreBatchedBandArithmetic: a multi-region store under batched
+// edits whose bands partially overlap, cover, and miss regions must match
+// the equivalent single-row loop.
+func TestHybridStoreBatchedBandArithmetic(t *testing.T) {
+	build := func(name string, db *rdbms.DB) *HybridStore {
+		hs, err := NewHybridStore(db, name, "hierarchical")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two disjoint regions with a gap, plus overflow cells.
+		if _, err := hs.AddRegion(sheet.NewRange(2, 1, 5, 3), 0); err != nil { // ROM kind = 0
+			t.Fatal(err)
+		}
+		if _, err := hs.AddRegion(sheet.NewRange(8, 1, 12, 3), 0); err != nil {
+			t.Fatal(err)
+		}
+		for r := 1; r <= 14; r++ {
+			for c := 1; c <= 4; c++ {
+				if err := hs.Update(r, c, sheet.Cell{Value: sheet.Number(float64(r*10 + c))}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return hs
+	}
+	snapshot := func(hs *HybridStore) [][]sheet.Cell {
+		cells, err := hs.GetCells(sheet.NewRange(1, 1, 20, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	for _, tc := range []struct{ at, k int }{{3, 4}, {6, 2}, {1, 3}, {9, 6}} {
+		dbA, dbB := rdbms.Open(rdbms.Options{}), rdbms.Open(rdbms.Options{})
+		a, b := build("a", dbA), build("b", dbB)
+		if err := a.InsertRowsAfter(tc.at, tc.k); err != nil {
+			t.Fatalf("insert at %d x%d: %v", tc.at, tc.k, err)
+		}
+		for i := 0; i < tc.k; i++ {
+			if err := b.InsertRowAfter(tc.at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertSameGrid(t, fmt.Sprintf("store insert at %d x%d", tc.at, tc.k), snapshot(a), snapshot(b))
+
+		// Now delete a band that straddles region boundaries.
+		if err := a.DeleteRows(tc.at+1, tc.k); err != nil {
+			t.Fatalf("delete at %d x%d: %v", tc.at+1, tc.k, err)
+		}
+		for i := 0; i < tc.k; i++ {
+			if err := b.DeleteRow(tc.at + 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertSameGrid(t, fmt.Sprintf("store delete at %d x%d", tc.at+1, tc.k), snapshot(a), snapshot(b))
+	}
+}
+
+// TestTOMDeleteRowsOutOfRangeLeavesStateIntact: a band exceeding the linked
+// table must fail without mutating the positional map or leaking tuples
+// (regression: DeleteMany used to clip and mutate before the error).
+func TestTOMDeleteRowsOutOfRangeLeavesStateIntact(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	tr := buildTranslator(t, db, "tom", "hierarchical", "tomrange", 10, 3)
+	before := translatorSnapshot(t, tr)
+	if err := tr.DeleteRows(5, 100); err == nil {
+		t.Fatal("out-of-range DeleteRows must error")
+	}
+	if err := tr.DeleteRows(0, 2); err == nil {
+		t.Fatal("DeleteRows(0,2) must error")
+	}
+	if tr.Rows() != 10 {
+		t.Fatalf("Rows = %d after failed deletes, want 10", tr.Rows())
+	}
+	assertSameGrid(t, "tom failed delete", before, translatorSnapshot(t, tr))
+}

@@ -183,32 +183,55 @@ func (t *TOM) UpdateRect(g sheet.Range, cells [][]sheet.Cell) error {
 
 // InsertRowAfter implements Translator: inserts a NULL row into the linked
 // table.
-func (t *TOM) InsertRowAfter(row int) error {
+func (t *TOM) InsertRowAfter(row int) error { return t.InsertRowsAfter(row, 1) }
+
+// InsertRowsAfter implements Translator: count NULL tuples inserted into
+// the linked table with one positional-map shift.
+func (t *TOM) InsertRowsAfter(row, count int) error {
 	dataRow := row - t.headerRows()
 	if dataRow < 0 || dataRow > t.rowMap.Len() {
 		return fmt.Errorf("model: TOM insert after row %d out of range", row)
 	}
-	rid, err := t.db.Insert(make(rdbms.Row, t.db.Schema.Arity()))
-	if err != nil {
-		return err
+	if count < 1 {
+		return fmt.Errorf("model: TOM insert of %d rows", count)
 	}
-	if !t.rowMap.Insert(dataRow+1, rid) {
+	rids := make([]rdbms.RID, count)
+	for i := range rids {
+		rid, err := t.db.Insert(make(rdbms.Row, t.db.Schema.Arity()))
+		if err != nil {
+			return err
+		}
+		rids[i] = rid
+	}
+	if !t.rowMap.InsertMany(dataRow+1, rids) {
 		return fmt.Errorf("model: TOM rowMap insert failed")
 	}
 	return nil
 }
 
 // DeleteRow implements Translator: deletes the tuple from the linked table.
-func (t *TOM) DeleteRow(row int) error {
-	if t.headers && row == 1 {
+func (t *TOM) DeleteRow(row int) error { return t.DeleteRows(row, 1) }
+
+// DeleteRows implements Translator.
+func (t *TOM) DeleteRows(row, count int) error {
+	if t.headers && row <= 1 && row+count-1 >= 1 {
 		return fmt.Errorf("model: TOM header row cannot be deleted")
 	}
-	rid, ok := t.rowMap.Delete(row - t.headerRows())
-	if !ok {
-		return fmt.Errorf("model: TOM delete of missing row %d", row)
+	if count < 1 {
+		return fmt.Errorf("model: TOM delete of %d rows", count)
 	}
-	if !t.db.Delete(rid) {
-		return fmt.Errorf("model: TOM dangling pointer %v on delete", rid)
+	dataRow := row - t.headerRows()
+	if dataRow < 1 || dataRow+count-1 > t.rowMap.Len() {
+		return fmt.Errorf("model: TOM delete rows %d..%d out of range", row, row+count-1)
+	}
+	rids := t.rowMap.DeleteMany(dataRow, count)
+	if len(rids) != count {
+		return fmt.Errorf("model: TOM delete of missing row %d", row+len(rids))
+	}
+	for _, rid := range rids {
+		if !t.db.Delete(rid) {
+			return fmt.Errorf("model: TOM dangling pointer %v on delete", rid)
+		}
 	}
 	return nil
 }
@@ -218,8 +241,18 @@ func (t *TOM) InsertColAfter(int) error {
 	return fmt.Errorf("model: TOM regions have a fixed schema; alter the table instead")
 }
 
+// InsertColsAfter implements Translator; linked relations have fixed schemas.
+func (t *TOM) InsertColsAfter(int, int) error {
+	return fmt.Errorf("model: TOM regions have a fixed schema; alter the table instead")
+}
+
 // DeleteCol implements Translator; linked relations have fixed schemas.
 func (t *TOM) DeleteCol(int) error {
+	return fmt.Errorf("model: TOM regions have a fixed schema; alter the table instead")
+}
+
+// DeleteCols implements Translator; linked relations have fixed schemas.
+func (t *TOM) DeleteCols(int, int) error {
 	return fmt.Errorf("model: TOM regions have a fixed schema; alter the table instead")
 }
 

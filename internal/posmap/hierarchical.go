@@ -125,6 +125,34 @@ func (h *Hierarchical) Insert(pos int, rid rdbms.RID) bool {
 	return true
 }
 
+// InsertMany implements Map: each insert lands in the already-located
+// region of the tree, so a k-row shift costs O(k log N) with no cascading
+// updates — the count only pays tree maintenance, never renumbering.
+func (h *Hierarchical) InsertMany(pos int, rids []rdbms.RID) bool {
+	if pos < 1 || pos > h.size+1 {
+		return false
+	}
+	for i, rid := range rids {
+		if !h.Insert(pos+i, rid) {
+			return false
+		}
+	}
+	return true
+}
+
+// DeleteMany implements Map.
+func (h *Hierarchical) DeleteMany(pos, count int) []rdbms.RID {
+	out := clipMany(&pos, &count, h.size)
+	for i := 0; i < count; i++ {
+		rid, ok := h.Delete(pos)
+		if !ok {
+			break
+		}
+		out = append(out, rid)
+	}
+	return out
+}
+
 // Delete implements Map.
 func (h *Hierarchical) Delete(pos int) (rdbms.RID, bool) {
 	if pos < 1 || pos > h.size {

@@ -111,6 +111,33 @@ func (m *Monotonic) Insert(pos int, rid rdbms.RID) bool {
 	return true
 }
 
+// InsertMany implements Map: each insert takes a fresh midpoint key, so a
+// batched shift is k cheap inserts (renumbering only when a gap exhausts).
+func (m *Monotonic) InsertMany(pos int, rids []rdbms.RID) bool {
+	if pos < 1 || pos > len(m.keys)+1 {
+		return false
+	}
+	for i, rid := range rids {
+		if !m.Insert(pos+i, rid) {
+			return false
+		}
+	}
+	return true
+}
+
+// DeleteMany implements Map.
+func (m *Monotonic) DeleteMany(pos, count int) []rdbms.RID {
+	out := clipMany(&pos, &count, len(m.keys))
+	for i := 0; i < count; i++ {
+		rid, ok := m.Delete(pos)
+		if !ok {
+			break
+		}
+		out = append(out, rid)
+	}
+	return out
+}
+
 // Delete implements Map.
 func (m *Monotonic) Delete(pos int) (rdbms.RID, bool) {
 	if pos < 1 || pos > len(m.keys) {

@@ -79,6 +79,69 @@ func (p *PositionAsIs) Insert(pos int, rid rdbms.RID) bool {
 	return true
 }
 
+// InsertMany implements Map. The whole tail is renumbered once by +k
+// instead of once per inserted position: a batched k-row shift costs one
+// cascading pass, O((N+k) log N), rather than k of them.
+func (p *PositionAsIs) InsertMany(pos int, rids []rdbms.RID) bool {
+	if pos < 1 || pos > p.size+1 {
+		return false
+	}
+	k := len(rids)
+	if k == 0 {
+		return true
+	}
+	type ent struct {
+		key int64
+		rid rdbms.RID
+	}
+	var tail []ent
+	p.tree.Scan(int64(pos), int64(p.size), func(key int64, r rdbms.RID) bool {
+		tail = append(tail, ent{key, r})
+		return true
+	})
+	for i := len(tail) - 1; i >= 0; i-- {
+		p.tree.Delete(tail[i].key, tail[i].rid)
+		p.tree.Insert(tail[i].key+int64(k), tail[i].rid)
+	}
+	for i, rid := range rids {
+		p.tree.Insert(int64(pos+i), rid)
+	}
+	p.size += k
+	return true
+}
+
+// DeleteMany implements Map, renumbering the tail downward by the clipped
+// count in a single pass.
+func (p *PositionAsIs) DeleteMany(pos, count int) []rdbms.RID {
+	out := clipMany(&pos, &count, p.size)
+	if count == 0 {
+		return out
+	}
+	for i := 0; i < count; i++ {
+		rid, ok := p.tree.Search(int64(pos + i))
+		if !ok {
+			return out
+		}
+		p.tree.DeleteKey(int64(pos + i))
+		out = append(out, rid)
+	}
+	type ent struct {
+		key int64
+		rid rdbms.RID
+	}
+	var tail []ent
+	p.tree.Scan(int64(pos+count), int64(p.size), func(key int64, r rdbms.RID) bool {
+		tail = append(tail, ent{key, r})
+		return true
+	})
+	for _, e := range tail {
+		p.tree.Delete(e.key, e.rid)
+		p.tree.Insert(e.key-int64(count), e.rid)
+	}
+	p.size -= count
+	return out
+}
+
 // Delete implements Map, renumbering the tail downward.
 func (p *PositionAsIs) Delete(pos int) (rdbms.RID, bool) {
 	if pos < 1 || pos > p.size {

@@ -40,8 +40,17 @@ type Map interface {
 	// Insert places rid at the position, shifting subsequent tuples up.
 	// pos may be Len()+1 to append.
 	Insert(pos int, rid rdbms.RID) bool
+	// InsertMany places rids consecutively starting at pos, shifting
+	// subsequent tuples up by len(rids) — the count-aware shift behind
+	// batched structural edits (one pass instead of len(rids) passes for
+	// schemes with cascading updates). pos may be Len()+1 to append.
+	InsertMany(pos int, rids []rdbms.RID) bool
 	// Delete removes the position, shifting subsequent tuples down.
 	Delete(pos int) (rdbms.RID, bool)
+	// DeleteMany removes positions [pos, pos+count), clipped to the
+	// sequence end, returning the removed pointers in order. Subsequent
+	// tuples shift down by the number removed, in a single pass.
+	DeleteMany(pos, count int) []rdbms.RID
 	// Update replaces the pointer at the position (a tuple moved in the
 	// heap) without disturbing the ordering.
 	Update(pos int, rid rdbms.RID) bool
@@ -63,3 +72,21 @@ func New(scheme string) Map {
 
 // Schemes lists the available scheme names in the paper's order.
 func Schemes() []string { return []string{"position-as-is", "monotonic", "hierarchical"} }
+
+// clipMany normalizes a DeleteMany request of [pos, pos+count) against a
+// sequence of size elements (adjusting pos and count in place) and returns
+// a result buffer sized for the clipped count (nil when it is empty).
+func clipMany(pos, count *int, size int) []rdbms.RID {
+	if *pos < 1 {
+		*count += *pos - 1
+		*pos = 1
+	}
+	if *pos > size || *count <= 0 {
+		*count = 0
+		return nil
+	}
+	if *pos+*count-1 > size {
+		*count = size - *pos + 1
+	}
+	return make([]rdbms.RID, 0, *count)
+}

@@ -410,3 +410,112 @@ func TestFetchRangeInto(t *testing.T) {
 		}
 	}
 }
+
+// TestMapInsertManyEquivalence: InsertMany(pos, rids) must observably equal
+// len(rids) single inserts at successive positions, for every scheme.
+func TestMapInsertManyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(200)
+		k := rng.Intn(20)
+		pos := rng.Intn(n+1) + 1
+		rids := make([]rdbms.RID, k)
+		for i := range rids {
+			rids[i] = rid(1000 + trial*100 + i)
+		}
+		for _, scheme := range Schemes() {
+			batched, looped := New(scheme), New(scheme)
+			for i := 1; i <= n; i++ {
+				batched.Insert(i, rid(i))
+				looped.Insert(i, rid(i))
+			}
+			if !batched.InsertMany(pos, rids) {
+				t.Fatalf("%s: InsertMany(%d, %d rids) failed at n=%d", scheme, pos, k, n)
+			}
+			for i, r := range rids {
+				if !looped.Insert(pos+i, r) {
+					t.Fatalf("%s: loop insert failed", scheme)
+				}
+			}
+			assertSameOrder(t, scheme, batched, looped)
+		}
+	}
+}
+
+// TestMapDeleteManyEquivalence: DeleteMany(pos, count) must equal count
+// single deletes at the same position, returning the same removed pointers.
+func TestMapDeleteManyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(200) + 1
+		pos := rng.Intn(n) + 1
+		count := rng.Intn(25) // may overrun the end: DeleteMany clips
+		for _, scheme := range Schemes() {
+			batched, looped := New(scheme), New(scheme)
+			for i := 1; i <= n; i++ {
+				batched.Insert(i, rid(i))
+				looped.Insert(i, rid(i))
+			}
+			got := batched.DeleteMany(pos, count)
+			var want []rdbms.RID
+			for i := 0; i < count; i++ {
+				r, ok := looped.Delete(pos)
+				if !ok {
+					break
+				}
+				want = append(want, r)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: DeleteMany removed %d, loop removed %d", scheme, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: removed[%d] = %v want %v", scheme, i, got[i], want[i])
+				}
+			}
+			assertSameOrder(t, scheme, batched, looped)
+		}
+	}
+}
+
+// TestMapInsertDeleteManyRoundTrip: inserting k then deleting the same span
+// restores the original order exactly.
+func TestMapInsertDeleteManyRoundTrip(t *testing.T) {
+	for _, scheme := range Schemes() {
+		m := New(scheme)
+		for i := 1; i <= 50; i++ {
+			m.Insert(i, rid(i))
+		}
+		fresh := make([]rdbms.RID, 7)
+		for i := range fresh {
+			fresh[i] = rid(900 + i)
+		}
+		if !m.InsertMany(20, fresh) {
+			t.Fatalf("%s: InsertMany failed", scheme)
+		}
+		removed := m.DeleteMany(20, 7)
+		if len(removed) != 7 {
+			t.Fatalf("%s: round-trip removed %d", scheme, len(removed))
+		}
+		for i := 1; i <= 50; i++ {
+			got, ok := m.Fetch(i)
+			if !ok || got != rid(i) {
+				t.Fatalf("%s: position %d = %v after round trip", scheme, i, got)
+			}
+		}
+	}
+}
+
+func assertSameOrder(t *testing.T, scheme string, a, b Map) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: Len %d vs %d", scheme, a.Len(), b.Len())
+	}
+	ga := a.FetchRange(1, a.Len())
+	gb := b.FetchRange(1, b.Len())
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("%s: position %d: %v vs %v", scheme, i+1, ga[i], gb[i])
+		}
+	}
+}
