@@ -283,6 +283,8 @@ func printStats(eng *core.Engine) {
 	if eng.DB().Path() != "" {
 		fmt.Printf("disk: %d page reads, %d page writes, %d WAL syncs (%d KiB), %d checkpoints, %d free pages\n",
 			ps.DiskReads, ps.DiskWrites, ps.WALSyncs, ps.WALBytes/1024, ps.Checkpoints, ps.FreePages)
+		fmt.Printf("manifest: %d bytes staged, %d segment writes\n",
+			ps.ManifestBytes, ps.ManifestSegments)
 	}
 }
 

@@ -211,8 +211,15 @@ func TestStructuralEditSnapshot(t *testing.T) {
 	t.Logf("mem: single %.0fµs, batched-100 %.1fms vs 100 singles %.1fms (%.1fx); disk: %.1fms vs %.1fms (%.1fx); formula scaling %.2fx",
 		memSingle*1e6, memBatched*1e3, memSingles100*1e3, memSpeedup,
 		diskBatched*1e3, diskSingles100*1e3, diskSpeedup, scaling)
-	if memSpeedup < 10 {
-		t.Errorf("in-memory batched 100-row insert speedup %.1fx < 10x target", memSpeedup)
+	// PR 5's incremental manifests cut every single insert's Save from an
+	// O(rows) re-serialization (~450µs on this sheet) to an O(1) delta, so
+	// the batched path no longer amortizes that cost and the in-memory
+	// ratio dropped from ~66x to ~8-13x (the surviving advantage is the
+	// count-aware positional shift and the single propagation pass). The
+	// gate tracks the new baseline; the disk ratio keeps its 10x floor —
+	// fsync amortization still dominates there.
+	if memSpeedup < 5 {
+		t.Errorf("in-memory batched 100-row insert speedup %.1fx < 5x target", memSpeedup)
 	}
 	if diskSpeedup < 10 {
 		t.Errorf("disk batched 100-row insert speedup %.1fx < 10x target", diskSpeedup)

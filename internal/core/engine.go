@@ -42,6 +42,11 @@ type Engine struct {
 	// #REF!-poisoned expressions). They are invisible to the dependency
 	// graph, so structural edits relocate them through this set.
 	constants map[sheet.Ref]struct{}
+	// cycles tracks cycle-poisoned formulas by source text: they are
+	// registered nowhere else in memory (installFormula leaves them out of
+	// exprs and the graph), but their source must ride along in the engine
+	// manifest so a snapshot-free Load can re-register them.
+	cycles map[sheet.Ref]string
 	// bounds tracks the content extent.
 	maxRow, maxCol int
 	params         hybrid.CostParams
@@ -49,6 +54,11 @@ type Engine struct {
 	cacheBlocks    int
 	// lastEdit records the work done by the most recent structural edit.
 	lastEdit EditStats
+	// formulasDirty marks the formula population as changed since the last
+	// manifest save; a clean population skips re-serializing the formula
+	// set entirely (the meta KV's byte-equality check backstops false
+	// positives).
+	formulasDirty bool
 }
 
 // storeBacking adapts the hybrid store to the cache's Backing interface:
@@ -67,6 +77,9 @@ func (b storeBacking) StoreCell(r sheet.Ref, c sheet.Cell) error {
 
 // New opens an empty spreadsheet named name on the database.
 func New(db *rdbms.DB, name string, opts Options) (*Engine, error) {
+	if err := validateSheetName(name); err != nil {
+		return nil, err
+	}
 	if opts.CostParams == (hybrid.CostParams{}) {
 		opts.CostParams = hybrid.PostgresCost
 	}
@@ -81,6 +94,7 @@ func New(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		deps:        depgraph.New(),
 		exprs:       make(map[sheet.Ref]formula.Expr),
 		constants:   make(map[sheet.Ref]struct{}),
+		cycles:      make(map[sheet.Ref]string),
 		params:      opts.CostParams,
 		cacheBlocks: opts.CacheBlocks,
 	}
@@ -96,6 +110,9 @@ func newEngineCache(e *Engine) *cache.Cache {
 // Open loads a sheet into a new engine, choosing the physical layout with
 // the hybrid optimizer (algo: "dp", "greedy", "agg", "rom", "com", "rcv").
 func Open(db *rdbms.DB, name string, s *sheet.Sheet, algo string, opts Options) (*Engine, error) {
+	if err := validateSheetName(name); err != nil {
+		return nil, err
+	}
 	if opts.CostParams == (hybrid.CostParams{}) {
 		opts.CostParams = hybrid.PostgresCost
 	}
@@ -114,6 +131,7 @@ func Open(db *rdbms.DB, name string, s *sheet.Sheet, algo string, opts Options) 
 		deps:        depgraph.New(),
 		exprs:       make(map[sheet.Ref]formula.Expr),
 		constants:   make(map[sheet.Ref]struct{}),
+		cycles:      make(map[sheet.Ref]string),
 		params:      opts.CostParams,
 		cacheBlocks: opts.CacheBlocks,
 	}
@@ -135,6 +153,20 @@ func Open(db *rdbms.DB, name string, s *sheet.Sheet, algo string, opts Options) 
 		return nil, err
 	}
 	return e, nil
+}
+
+// validateSheetName rejects names that would collide with the manifest
+// key conventions: segment and formula-set keys live under ":"-separated
+// suffixes of the sheet's meta keys, and name listings exclude any key
+// with a ":" infix.
+func validateSheetName(name string) error {
+	if name == "" {
+		return fmt.Errorf("core: empty sheet name")
+	}
+	if strings.Contains(name, ":") {
+		return fmt.Errorf("core: sheet name %q must not contain ':'", name)
+	}
+	return nil
 }
 
 // DB exposes the backing database.
@@ -253,11 +285,14 @@ func (e *Engine) installFormula(ref sheet.Ref, src string) error {
 		if err := e.cache.Put(ref, sheet.Cell{Value: sheet.ErrCycle, Formula: src}); err != nil {
 			return err
 		}
+		e.cycles[ref] = src
+		e.formulasDirty = true
 		e.grow(ref.Row, ref.Col)
 		return nil
 	}
 	e.exprs[ref] = expr
 	e.setDeps(ref, reads)
+	e.formulasDirty = true
 	v := formula.Eval(expr, e)
 	if err := e.cache.Put(ref, sheet.Cell{Value: v, Formula: src}); err != nil {
 		return err
@@ -351,8 +386,14 @@ func (e *Engine) SetCells(edits []CellEdit) error {
 }
 
 func (e *Engine) dropFormula(ref sheet.Ref) {
+	if _, ok := e.exprs[ref]; ok {
+		e.formulasDirty = true
+	} else if _, ok := e.cycles[ref]; ok {
+		e.formulasDirty = true
+	}
 	delete(e.exprs, ref)
 	delete(e.constants, ref)
+	delete(e.cycles, ref)
 	e.deps.Remove(ref)
 }
 
@@ -438,5 +479,6 @@ func (e *Engine) registerFormula(ref sheet.Ref, src string) error {
 	}
 	e.exprs[ref] = expr
 	e.setDeps(ref, formula.Refs(expr))
+	e.formulasDirty = true
 	return nil
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 
 	"dataspread/internal/depgraph"
 	"dataspread/internal/formula"
@@ -15,21 +17,46 @@ import (
 // engineMetaKey is the metadata KV prefix for persisted engine state.
 const engineMetaKey = "engine:"
 
+// engineFormatVersion 2 added the persisted formula set, making Load
+// snapshot-free.
+const engineFormatVersion = 2
+
 // engineManifest is the engine state that lives outside the hybrid store:
-// which store backs the sheet (it changes on Optimize), the content bounds,
-// and the migration sequence counter. Formulas are not listed here — they
-// are stored inside the cells and re-registered on load.
+// which store backs the sheet (it changes on Optimize), the content bounds
+// and the migration sequence counter. Since format v2 the formula cell set
+// (refs + source text) is persisted alongside under its own meta key
+// ("engine:<name>:formulas"), rewritten only when a formula changed —
+// bounds growth from an edit never re-serializes the formula population.
+// Persisting the formulas lets Load re-register them and rebuild the
+// dependency graph directly, touching O(formulas) state instead of
+// snapshotting the whole sheet to find them. Version-1 manifests (no
+// formula set) still load through the snapshot path.
 type engineManifest struct {
-	Store  string `json:"store"`
-	MaxRow int    `json:"max_row"`
-	MaxCol int    `json:"max_col"`
-	Seq    int    `json:"seq"`
+	Version int    `json:"version,omitempty"`
+	Store   string `json:"store"`
+	MaxRow  int    `json:"max_row"`
+	MaxCol  int    `json:"max_col"`
+	Seq     int    `json:"seq"`
+}
+
+// formulasKey is the meta key carrying a sheet's formula set.
+func formulasKey(name string) string { return engineMetaKey + name + ":formulas" }
+
+// formulaManifest records one formula cell: position and source (without
+// the leading '='). Cyc marks cycle-poisoned cells, which Load restores
+// into the engine's cycle set instead of registering them — a reloaded
+// session keeps exactly the saving session's graph.
+type formulaManifest struct {
+	Row int    `json:"r"`
+	Col int    `json:"c"`
+	Src string `json:"f"`
+	Cyc bool   `json:"cyc,omitempty"`
 }
 
 // Save persists the engine into the database and commits the write-ahead
-// log: the hybrid store manifest, the engine manifest, and every dirty page
-// become durable. On an in-memory database the manifests are written but
-// the WAL commit is a no-op.
+// log: the hybrid store manifest (only its dirty segments), the engine
+// manifest, and every dirty page become durable. On an in-memory database
+// the manifests are written but the WAL commit is a no-op.
 func (e *Engine) Save() error {
 	if err := e.saveManifests(); err != nil {
 		return err
@@ -46,15 +73,46 @@ func (e *Engine) Checkpoint() error {
 	return e.db.Checkpoint()
 }
 
+// formulaManifests serializes the live formula set: registered expressions
+// plus cycle-poisoned cells (which the dependency graph does not track but
+// whose source must survive a reload), sorted for deterministic output —
+// an unchanged formula population serializes to identical bytes, which the
+// metadata KV's equality check turns into a free commit.
+func (e *Engine) formulaManifests() []formulaManifest {
+	out := make([]formulaManifest, 0, len(e.exprs)+len(e.cycles))
+	for ref, expr := range e.exprs {
+		out = append(out, formulaManifest{Row: ref.Row, Col: ref.Col, Src: expr.String()})
+	}
+	for ref, src := range e.cycles {
+		out = append(out, formulaManifest{Row: ref.Row, Col: ref.Col, Src: src, Cyc: true})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Row != out[j].Row {
+			return out[i].Row < out[j].Row
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
 func (e *Engine) saveManifests() error {
 	if err := e.store.SaveManifest(); err != nil {
 		return err
 	}
+	if e.formulasDirty {
+		blob, err := json.Marshal(e.formulaManifests())
+		if err != nil {
+			return err
+		}
+		e.db.PutMeta(formulasKey(e.name), blob)
+		e.formulasDirty = false
+	}
 	blob, err := json.Marshal(engineManifest{
-		Store:  e.store.Name(),
-		MaxRow: e.maxRow,
-		MaxCol: e.maxCol,
-		Seq:    e.seq,
+		Version: engineFormatVersion,
+		Store:   e.store.Name(),
+		MaxRow:  e.maxRow,
+		MaxCol:  e.maxCol,
+		Seq:     e.seq,
 	})
 	if err != nil {
 		return err
@@ -63,22 +121,34 @@ func (e *Engine) saveManifests() error {
 	return nil
 }
 
-// SheetNames lists the sheets persisted in the database.
+// SheetNames lists the sheets persisted in the database. Auxiliary keys
+// sharing the prefix (the per-sheet formula sets) are excluded by their
+// exact ":formulas" suffix, so legacy sheets whose names contain ':'
+// (created before validateSheetName) still list.
 func SheetNames(db *rdbms.DB) []string {
 	keys := db.MetaKeys(engineMetaKey)
-	out := make([]string, len(keys))
-	for i, k := range keys {
-		out[i] = k[len(engineMetaKey):]
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		name := k[len(engineMetaKey):]
+		if strings.HasSuffix(name, ":formulas") {
+			continue
+		}
+		out = append(out, name)
 	}
 	return out
 }
 
 // Load reattaches a persisted sheet: the hybrid store is rebuilt from its
 // manifest over the already-loaded catalog, and formulas are re-registered
-// from the stored cells (their cached values were persisted with them, so
-// nothing is recomputed).
+// from the manifest's formula set (their cached values were persisted with
+// their cells, so nothing is recomputed and no sheet snapshot is taken —
+// opening touches O(formulas) state, not O(cells)). Version-1 manifests
+// predate the formula set and fall back to the full-sheet snapshot scan.
 func Load(db *rdbms.DB, name string, opts Options) (*Engine, error) {
-	blob, ok := db.GetMeta(engineMetaKey + name)
+	blob, ok, err := db.MetaValue(engineMetaKey + name)
+	if err != nil {
+		return nil, fmt.Errorf("core: sheet %q manifest unreadable: %w", name, err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("core: no persisted sheet %q", name)
 	}
@@ -100,6 +170,7 @@ func Load(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		deps:        depgraph.New(),
 		exprs:       make(map[sheet.Ref]formula.Expr),
 		constants:   make(map[sheet.Ref]struct{}),
+		cycles:      make(map[sheet.Ref]string),
 		params:      opts.CostParams,
 		seq:         m.Seq,
 		maxRow:      m.MaxRow,
@@ -107,6 +178,38 @@ func Load(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		cacheBlocks: opts.CacheBlocks,
 	}
 	e.cache = newEngineCache(e)
+	if m.Version >= engineFormatVersion {
+		fblob, ok, err := db.MetaValue(formulasKey(name))
+		if err != nil {
+			// An unreadable formula set must fail the load: treating it as
+			// absent would silently demote every formula to a static value.
+			return nil, fmt.Errorf("core: sheet %q formula set unreadable: %w", name, err)
+		}
+		if ok {
+			var formulas []formulaManifest
+			if err := json.Unmarshal(fblob, &formulas); err != nil {
+				return nil, fmt.Errorf("core: corrupt formula set for sheet %q: %w", name, err)
+			}
+			for _, f := range formulas {
+				ref := sheet.Ref{Row: f.Row, Col: f.Col}
+				if f.Cyc {
+					// Poisoned at save time: restore into the cycle set
+					// (value #CYCLE! is in the stored cell), not the graph.
+					e.cycles[ref] = f.Src
+					continue
+				}
+				if err := e.registerFormula(ref, f.Src); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// The registered state is by construction identical to the stored
+		// blob: the first save after a reload has nothing to re-serialize.
+		e.formulasDirty = false
+		return e, nil
+	}
+	// Legacy (v1) manifest: the formula set was not persisted; find the
+	// formulas by snapshotting the sheet, exactly as before.
 	if m.MaxRow > 0 && m.MaxCol > 0 {
 		snap, err := hs.Snapshot(name, sheet.NewRange(1, 1, m.MaxRow, m.MaxCol))
 		if err != nil {

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// TestLoadRestoresCyclePoisonedFormulas: a reloaded engine must hold
+// exactly the saving engine's formula state — cycle-poisoned cells come
+// back in the cycle set (source intact, value #CYCLE!), not registered
+// into the dependency graph, so edit behavior does not diverge after a
+// reload.
+func TestLoadRestoresCyclePoisonedFormulas(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	e, err := New(db, "s", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetFormula(1, 1, "B1"); err != nil { // A1 = B1
+		t.Fatal(err)
+	}
+	if err := e.SetFormula(1, 2, "A1"); err != nil { // B1 = A1: poisoned
+		t.Fatal(err)
+	}
+	b1 := sheet.Ref{Row: 1, Col: 2}
+	if !e.GetCell(1, 2).Value.IsError() {
+		t.Fatalf("B1 = %v, want #CYCLE!", e.GetCell(1, 2).Value)
+	}
+	if _, ok := e.cycles[b1]; !ok || len(e.exprs) != 1 {
+		t.Fatalf("saving engine state: %d exprs, cycles has B1: %v", len(e.exprs), ok)
+	}
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Load(db, "s", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src, ok := e2.cycles[b1]; !ok || src != "A1" {
+		t.Fatalf("reloaded cycle set = %v, want B1 -> A1", e2.cycles)
+	}
+	if _, ok := e2.exprs[b1]; ok {
+		t.Fatal("poisoned B1 leaked into the reloaded expression set")
+	}
+	if len(e2.exprs) != 1 {
+		t.Fatalf("reloaded engine has %d exprs, want 1", len(e2.exprs))
+	}
+	if !e2.GetCell(1, 2).Value.IsError() {
+		t.Fatalf("reloaded B1 = %v, want #CYCLE!", e2.GetCell(1, 2).Value)
+	}
+	// Behavioral equivalence: replacing A1 with a literal formula must
+	// leave B1 poisoned in both sessions (it is not a graph member).
+	for name, eng := range map[string]*Engine{"orig": e, "reloaded": e2} {
+		if err := eng.SetFormula(1, 1, "9"); err != nil {
+			t.Fatal(err)
+		}
+		if !eng.GetCell(1, 2).Value.IsError() {
+			t.Fatalf("%s: B1 = %v after A1 edit, want it to stay #CYCLE!", name, eng.GetCell(1, 2).Value)
+		}
+	}
+	// And the cycle survives a second save/load hop.
+	if err := e2.Save(); err != nil {
+		t.Fatal(err)
+	}
+	e3, err := Load(db, "s", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e3.cycles[b1]; !ok {
+		t.Fatal("cycle set lost on the second round trip")
+	}
+}
+
+// TestSheetNameValidation: names that would collide with the ':'-separated
+// manifest key conventions are rejected at creation.
+func TestSheetNameValidation(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	for _, name := range []string{"", "a:b", "x:formulas", "y:seg:1"} {
+		if _, err := New(db, name, Options{}); err == nil {
+			t.Errorf("New accepted invalid sheet name %q", name)
+		}
+	}
+	if _, err := New(db, "plain_name-2", Options{}); err != nil {
+		t.Errorf("New rejected valid name: %v", err)
+	}
+}
+
+// TestStructuralEditShiftsCycleSources: a cycle-poisoned formula's source
+// text must track structural edits like any live formula's, so the
+// persisted text never goes stale relative to the cells it names.
+func TestStructuralEditShiftsCycleSources(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	e, err := New(db, "s", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetFormula(20, 1, "A30"); err != nil { // A20 = A30
+		t.Fatal(err)
+	}
+	if err := e.SetFormula(30, 1, "A20"); err != nil { // A30 = A20: poisoned
+		t.Fatal(err)
+	}
+	if len(e.cycles) != 1 {
+		t.Fatalf("cycles = %v, want the poisoned A30", e.cycles)
+	}
+	// Insert 5 rows after row 10: the poisoned cell moves to A35 and its
+	// reference to A20 (now A25) must be rewritten in its source text.
+	if err := e.InsertRowsAfter(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	moved := sheet.Ref{Row: 35, Col: 1}
+	src, ok := e.cycles[moved]
+	if !ok {
+		t.Fatalf("poisoned cell did not relocate: cycles = %v", e.cycles)
+	}
+	if src != "A25" {
+		t.Fatalf("poisoned source = %q after shift, want A25", src)
+	}
+	if f := e.GetCell(35, 1).Formula; f != "A25" {
+		t.Fatalf("stored cell text = %q after shift, want A25", f)
+	}
+	// And the shifted state round-trips.
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Load(db, "s", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := e2.cycles[moved]; src != "A25" {
+		t.Fatalf("reloaded poisoned source = %q, want A25", src)
+	}
+}

@@ -230,8 +230,60 @@ func (e *Engine) applyShift(sh formula.Shift, axis depgraph.Axis, at, delta int)
 		e.exprs[m.nw] = moved[len(res.MovedOld)+i]
 		e.constants[m.nw] = struct{}{}
 	}
-	e.lastEdit.Relocated += len(res.MovedNew) + len(constMoves)
-	e.lastEdit.Dropped += len(res.Dropped) + len(constDrops)
+	// Cycle-poisoned formulas live only in e.cycles (no expression, no
+	// graph entry); re-key them the same way so their manifest entry tracks
+	// the cell their stored text moved with.
+	var cycleMoves []constMove
+	var cycleDrops []sheet.Ref
+	if len(e.cycles) > 0 {
+		refs := make([]sheet.Ref, 0, len(e.cycles))
+		for ref := range e.cycles {
+			refs = append(refs, ref)
+		}
+		cycleMoves, cycleDrops = classifyShift(refs, axis, at, delta)
+		srcs := make([]string, len(cycleMoves))
+		for i, m := range cycleMoves {
+			srcs[i] = e.cycles[m.old]
+			delete(e.cycles, m.old)
+		}
+		for _, old := range cycleDrops {
+			delete(e.cycles, old)
+		}
+		for i, m := range cycleMoves {
+			e.cycles[m.nw] = srcs[i]
+		}
+		// Their source text must track the edit too: a poisoned formula's
+		// references shift exactly like a live formula's, or the persisted
+		// text goes stale and re-registers against unrelated cells after a
+		// later reload. Poisoned sources parsed at install time, so Parse
+		// cannot fail here; the same unreadable-block guard as the crosser
+		// rewrite protects the stored cell.
+		for ref, src := range e.cycles {
+			expr, err := formula.Parse(src)
+			if err != nil {
+				continue
+			}
+			txt := sh.Apply(expr).String()
+			if txt == src {
+				continue
+			}
+			e.cycles[ref] = txt
+			cell := e.cache.Get(ref)
+			if err := e.cache.TakeErr(); err != nil {
+				return fmt.Errorf("core: structural edit reading cycle cell %v: %w", ref, err)
+			}
+			cell.Formula = txt
+			if err := e.cache.Put(ref, cell); err != nil {
+				return err
+			}
+			e.formulasDirty = true
+		}
+	}
+	e.lastEdit.Relocated += len(res.MovedNew) + len(constMoves) + len(cycleMoves)
+	e.lastEdit.Dropped += len(res.Dropped) + len(constDrops) + len(cycleDrops)
+	if e.lastEdit.Relocated+e.lastEdit.Dropped+len(res.Rewritten) > 0 {
+		e.formulasDirty = true
+	}
 
 	// Rewrite the crossers: AST reference rewrite (no reparse — the parsed
 	// expression is shifted directly), authoritative re-registration, and
@@ -269,7 +321,17 @@ func (e *Engine) classifyConstants(axis depgraph.Axis, at, delta int) (moves []c
 	if len(e.constants) == 0 {
 		return nil, nil
 	}
+	refs := make([]sheet.Ref, 0, len(e.constants))
 	for ref := range e.constants {
+		refs = append(refs, ref)
+	}
+	return classifyShift(refs, axis, at, delta)
+}
+
+// classifyShift maps a set of cell keys through a structural shift,
+// splitting them into movers (with their new positions) and drops.
+func classifyShift(refs []sheet.Ref, axis depgraph.Axis, at, delta int) (moves []constMove, drops []sheet.Ref) {
+	for _, ref := range refs {
 		idx := ref.Col
 		if axis == depgraph.Rows {
 			idx = ref.Row

@@ -266,6 +266,6 @@ func (h *HybridStore) addRegionBulk(rect sheet.Range, kind hybrid.Kind, cells []
 	// COM regions still need their full column extent even when trailing
 	// columns are blank; ROM likewise for rows. LoadRect established the
 	// extent of whatever was passed, which covers the full rectangle.
-	h.regions = append(h.regions, storeRegion{rect: rect, tr: tr})
+	h.regions = append(h.regions, storeRegion{rect: rect, tr: tr, seg: h.allocSeg()})
 	return nil
 }

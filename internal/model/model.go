@@ -92,9 +92,9 @@ func (c Config) validate() error {
 // 48-bit surrogate identifiers, used by RCV where one ordered position
 // (a row or column) corresponds to many tuples rather than one. The
 // surrogate is packed into the RID's 32-bit page and 16-bit slot fields.
-type idMap struct{ m posmap.Map }
+type idMap struct{ m *posmap.Tracked }
 
-func newIDMap(scheme string) idMap { return idMap{m: posmap.New(scheme)} }
+func newIDMap(scheme string) idMap { return idMap{m: posmap.NewTracked(scheme)} }
 
 func idToRID(id int64) rdbms.RID {
 	return rdbms.RID{Page: rdbms.PageID(uint32(id >> 16)), Slot: uint16(id & 0xFFFF)}

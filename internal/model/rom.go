@@ -18,7 +18,7 @@ import (
 type ROM struct {
 	cfg    Config
 	table  *rdbms.Table
-	rowMap posmap.Map
+	rowMap *posmap.Tracked
 	// colPos[display-1] = physical attribute index in the table schema.
 	colPos []int
 	// nextCol numbers physical attributes (they are append-only; deleted
@@ -43,7 +43,7 @@ func NewROM(cfg Config, cols int) (*ROM, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &ROM{cfg: cfg, table: t, rowMap: posmap.New(cfg.scheme()), nextCol: cols}
+	r := &ROM{cfg: cfg, table: t, rowMap: posmap.NewTracked(cfg.scheme()), nextCol: cols}
 	for i := 0; i < cols; i++ {
 		r.colPos = append(r.colPos, i)
 	}

@@ -2,6 +2,8 @@ package model
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"dataspread/internal/hybrid"
 	"dataspread/internal/rdbms"
@@ -21,16 +23,39 @@ type HybridStore struct {
 	// overflow holds cells outside all regions.
 	overflow *RCV
 	seq      int
+	// nextSeg numbers manifest segments; deadSegs holds segment ids of
+	// regions dropped since the last SaveManifest, whose meta keys the next
+	// save garbage-collects.
+	nextSeg  int
+	deadSegs []int
 }
+
+// overflowSeg is the fixed manifest segment id of the overflow RCV.
+const overflowSeg = 0
 
 type storeRegion struct {
 	rect sheet.Range // absolute coordinates
 	tr   Translator
+	// seg is the region's manifest segment id (stable across saves).
+	seg int
+}
+
+// allocSeg assigns a fresh manifest segment id.
+func (h *HybridStore) allocSeg() int {
+	if h.nextSeg <= overflowSeg {
+		h.nextSeg = overflowSeg + 1
+	}
+	seg := h.nextSeg
+	h.nextSeg++
+	return seg
 }
 
 // NewHybridStore creates an empty store whose backing tables are prefixed
 // with name.
 func NewHybridStore(db *rdbms.DB, name, scheme string) (*HybridStore, error) {
+	if name == "" || strings.Contains(name, ":") {
+		return nil, fmt.Errorf("model: store name %q must be non-empty and must not contain ':'", name)
+	}
 	if scheme == "" {
 		scheme = "hierarchical"
 	}
@@ -38,7 +63,7 @@ func NewHybridStore(db *rdbms.DB, name, scheme string) (*HybridStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &HybridStore{db: db, scheme: scheme, name: name, overflow: ov}, nil
+	return &HybridStore{db: db, scheme: scheme, name: name, overflow: ov, nextSeg: overflowSeg + 1}, nil
 }
 
 // Materialize builds a store from a sheet and its decomposition,
@@ -119,7 +144,7 @@ func (h *HybridStore) AddRegion(rect sheet.Range, kind hybrid.Kind) (Translator,
 	if err != nil {
 		return nil, err
 	}
-	h.regions = append(h.regions, storeRegion{rect: rect, tr: tr})
+	h.regions = append(h.regions, storeRegion{rect: rect, tr: tr, seg: h.allocSeg()})
 	return tr, nil
 }
 
@@ -137,7 +162,7 @@ func (h *HybridStore) LinkTable(rect sheet.Range, table *rdbms.Table, headers bo
 			rect.Cols(), table.Name, table.Schema.Arity())
 	}
 	tom := LinkTOM(table, h.scheme, headers)
-	h.regions = append(h.regions, storeRegion{rect: rect, tr: tom})
+	h.regions = append(h.regions, storeRegion{rect: rect, tr: tom, seg: h.allocSeg()})
 	return tom, nil
 }
 
@@ -294,6 +319,7 @@ func (h *HybridStore) DeleteRows(row, count int) error {
 				if err := r.tr.Drop(); err != nil {
 					return err
 				}
+				h.deadSegs = append(h.deadSegs, r.seg)
 				continue // dropped
 			}
 			r.rect.From.Row, r.rect.To.Row = newF, newT
@@ -369,6 +395,7 @@ func (h *HybridStore) DeleteColumns(col, count int) error {
 				if err := r.tr.Drop(); err != nil {
 					return err
 				}
+				h.deadSegs = append(h.deadSegs, r.seg)
 				continue
 			}
 			r.rect.From.Col, r.rect.To.Col = newF, newT
@@ -391,9 +418,18 @@ func (h *HybridStore) StorageBytes() int64 {
 	return n
 }
 
+// snapshotCalls counts Snapshot invocations (test hook: the snapshot-free
+// Load path must keep this flat).
+var snapshotCalls atomic.Int64
+
+// SnapshotCalls reports how many times any store snapshotted itself since
+// process start (test hook for the snapshot-free Load acceptance).
+func SnapshotCalls() int64 { return snapshotCalls.Load() }
+
 // Snapshot reads the whole store back into a sheet (used by recoverability
 // tests and by migration).
 func (h *HybridStore) Snapshot(name string, bounds sheet.Range) (*sheet.Sheet, error) {
+	snapshotCalls.Add(1)
 	s := sheet.New(name)
 	cells, err := h.GetCells(bounds)
 	if err != nil {

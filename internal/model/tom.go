@@ -18,7 +18,7 @@ import (
 // do not gain or lose attributes from the grid side).
 type TOM struct {
 	db     *rdbms.Table
-	rowMap posmap.Map
+	rowMap *posmap.Tracked
 	// headers reports whether the region's first row shows column names.
 	headers bool
 }
@@ -29,7 +29,7 @@ func LinkTOM(table *rdbms.Table, scheme string, headers bool) *TOM {
 	if scheme == "" {
 		scheme = "hierarchical"
 	}
-	t := &TOM{db: table, rowMap: posmap.New(scheme), headers: headers}
+	t := &TOM{db: table, rowMap: posmap.NewTracked(scheme), headers: headers}
 	t.Refresh()
 	return t
 }
@@ -37,7 +37,7 @@ func LinkTOM(table *rdbms.Table, scheme string, headers bool) *TOM {
 // Refresh rebuilds the positional map from the current table contents
 // (two-way sync after external DML).
 func (t *TOM) Refresh() {
-	t.rowMap = posmap.New(t.rowMap.Name())
+	t.rowMap = posmap.NewTracked(t.rowMap.Name())
 	pos := 0
 	t.db.Scan(func(rid rdbms.RID, _ rdbms.Row) bool {
 		pos++

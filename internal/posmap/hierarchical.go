@@ -12,6 +12,7 @@ const DefaultOrder = 64
 // child counts left-to-right while descending, so fetch, insert and delete
 // are all O(log N) and no stored position ever needs cascading updates.
 type Hierarchical struct {
+	verCounter
 	order int
 	root  hnode
 	size  int
@@ -122,6 +123,7 @@ func (h *Hierarchical) Insert(pos int, rid rdbms.RID) bool {
 		}
 	}
 	h.size++
+	h.bump()
 	return true
 }
 
@@ -168,6 +170,7 @@ func (h *Hierarchical) Delete(pos int) (rdbms.RID, bool) {
 		}
 		h.root = inner.children[0]
 	}
+	h.bump()
 	return rid, true
 }
 
@@ -177,6 +180,7 @@ func (h *Hierarchical) Update(pos int, rid rdbms.RID) bool {
 		return false
 	}
 	h.root.update(pos, rid)
+	h.bump()
 	return true
 }
 

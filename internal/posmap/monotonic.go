@@ -12,6 +12,7 @@ import "dataspread/internal/rdbms"
 // structure is ordered by key, not position — which is the O(n) fetch cost
 // the paper's Figure 18 shows.
 type Monotonic struct {
+	verCounter
 	// tree is the persistent structure: gapped key -> tuple pointer.
 	tree *rdbms.BTree
 	// keys mirrors the key sequence in order; it is the session-side
@@ -108,6 +109,7 @@ func (m *Monotonic) Insert(pos int, rid rdbms.RID) bool {
 	m.keys = append(m.keys, 0)
 	copy(m.keys[pos:], m.keys[pos-1:])
 	m.keys[pos-1] = key
+	m.bump()
 	return true
 }
 
@@ -150,6 +152,7 @@ func (m *Monotonic) Delete(pos int) (rdbms.RID, bool) {
 	}
 	m.tree.DeleteKey(key)
 	m.keys = append(m.keys[:pos-1], m.keys[pos:]...)
+	m.bump()
 	return rid, true
 }
 
@@ -164,6 +167,7 @@ func (m *Monotonic) Update(pos int, rid rdbms.RID) bool {
 	}
 	m.tree.DeleteKey(key)
 	m.tree.Insert(key, rid)
+	m.bump()
 	return true
 }
 

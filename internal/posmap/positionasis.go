@@ -8,6 +8,7 @@ import "dataspread/internal/rdbms"
 // however, must renumber every subsequent entry — the cascading update the
 // paper's Table II quantifies — costing O(N log N).
 type PositionAsIs struct {
+	verCounter
 	tree *rdbms.BTree
 	size int
 }
@@ -76,6 +77,7 @@ func (p *PositionAsIs) Insert(pos int, rid rdbms.RID) bool {
 	}
 	p.tree.Insert(int64(pos), rid)
 	p.size++
+	p.bump()
 	return true
 }
 
@@ -107,6 +109,7 @@ func (p *PositionAsIs) InsertMany(pos int, rids []rdbms.RID) bool {
 		p.tree.Insert(int64(pos+i), rid)
 	}
 	p.size += k
+	p.bump()
 	return true
 }
 
@@ -117,6 +120,14 @@ func (p *PositionAsIs) DeleteMany(pos, count int) []rdbms.RID {
 	if count == 0 {
 		return out
 	}
+	// Bump only when entries were actually removed (every other mutator
+	// bumps per successful mutation; an unconditional bump would falsely
+	// trip Tracked's bypass detector on a no-op delete).
+	defer func() {
+		if len(out) > 0 {
+			p.bump()
+		}
+	}()
 	for i := 0; i < count; i++ {
 		rid, ok := p.tree.Search(int64(pos + i))
 		if !ok {
@@ -166,6 +177,7 @@ func (p *PositionAsIs) Delete(pos int) (rdbms.RID, bool) {
 		p.tree.Insert(e.key-1, e.rid)
 	}
 	p.size--
+	p.bump()
 	return rid, true
 }
 
@@ -179,5 +191,6 @@ func (p *PositionAsIs) Update(pos int, rid rdbms.RID) bool {
 	}
 	p.tree.DeleteKey(int64(pos))
 	p.tree.Insert(int64(pos), rid)
+	p.bump()
 	return true
 }

@@ -54,7 +54,19 @@ type Map interface {
 	// Update replaces the pointer at the position (a tuple moved in the
 	// heap) without disturbing the ordering.
 	Update(pos int, rid rdbms.RID) bool
+	// Version returns a counter incremented by every successful mutation
+	// (Insert/InsertMany/Delete/DeleteMany/Update). Persistence layers use
+	// it as a dirty check: equal versions guarantee the ordering is
+	// byte-identical to the last serialization.
+	Version() uint64
 }
+
+// verCounter implements Version for the concrete schemes; each successful
+// mutation calls bump.
+type verCounter struct{ ver uint64 }
+
+func (v *verCounter) bump()           { v.ver++ }
+func (v *verCounter) Version() uint64 { return v.ver }
 
 // New constructs a map by scheme name; it panics on an unknown scheme.
 // Valid names: "position-as-is", "monotonic", "hierarchical".

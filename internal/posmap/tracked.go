@@ -1,0 +1,207 @@
+package posmap
+
+import (
+	"fmt"
+
+	"dataspread/internal/rdbms"
+)
+
+// OpKind tags one logged mutation.
+type OpKind uint8
+
+// The three mutation kinds a positional map can log.
+const (
+	OpInsert OpKind = iota + 1
+	OpDelete
+	OpUpdate
+)
+
+// Op is one logged mutation, replayable against a map holding the state
+// that preceded it: OpInsert places RIDs consecutively at Pos, OpDelete
+// removes N positions starting at Pos, OpUpdate replaces the pointer at
+// Pos with RIDs[0].
+type Op struct {
+	Kind OpKind
+	Pos  int
+	N    int
+	RIDs []rdbms.RID
+}
+
+// deltaRatio and deltaSlack bound the op log: once the logged units exceed
+// Len()/deltaRatio + deltaSlack the log is discarded and the next save
+// rewrites the full ordering — a delta can never grow past a fixed fraction
+// of a full dump (plus slack so tiny maps don't thrash), which bounds both
+// the log's memory and the replay cost on load.
+const (
+	deltaRatio = 8
+	deltaSlack = 64
+)
+
+// Tracked wraps a Map with persistence bookkeeping: a generation counter
+// naming the last fully serialized ordering (the "base"), and a bounded log
+// of the mutations applied since. A saver with an up-to-date base persists
+// O(ops) delta records per commit instead of re-emitting the O(n) ordering;
+// a loader rebuilds the map from base + replay. All Map reads and writes
+// pass through (writes are intercepted to feed the log), so translators use
+// a *Tracked exactly like the map it wraps.
+type Tracked struct {
+	Map
+	// gen names the persisted base this log is relative to.
+	gen uint64
+	// ops is the replay log since the base; opUnits counts logged RIDs and
+	// deleted positions (the size signal the ratio trigger uses).
+	ops     []Op
+	opUnits int
+	// needFull forces a full rewrite on the next save: fresh maps, logs
+	// that outgrew the ratio bound, and mutations that bypassed the wrapper
+	// (detected via the inner map's version counter) all set it.
+	needFull bool
+	// loggedVer is the inner version after the last intercepted mutation;
+	// a mismatch at save time means someone mutated the inner map directly.
+	loggedVer uint64
+	// savedOps counts the log prefix already persisted in the delta record,
+	// so an unchanged log skips the delta rewrite entirely.
+	savedOps int
+}
+
+// NewTracked builds a tracked map of the given scheme. A fresh map needs a
+// full serialization first, so it starts with an empty log and needFull.
+func NewTracked(scheme string) *Tracked { return Track(New(scheme)) }
+
+// Track wraps an existing map. The wrapper must intercept every subsequent
+// mutation: callers hand over ownership.
+func Track(m Map) *Tracked { return &Tracked{Map: m, needFull: true} }
+
+func (t *Tracked) log(op Op, units int) {
+	t.loggedVer = t.Map.Version()
+	if t.needFull {
+		return
+	}
+	t.opUnits += units
+	if t.opUnits > t.Len()/deltaRatio+deltaSlack {
+		t.needFull = true
+		t.ops = nil
+		t.opUnits = 0
+		t.savedOps = 0
+		return
+	}
+	t.ops = append(t.ops, op)
+}
+
+// Insert implements Map.
+func (t *Tracked) Insert(pos int, rid rdbms.RID) bool {
+	if !t.Map.Insert(pos, rid) {
+		return false
+	}
+	t.log(Op{Kind: OpInsert, Pos: pos, RIDs: []rdbms.RID{rid}}, 1)
+	return true
+}
+
+// InsertMany implements Map.
+func (t *Tracked) InsertMany(pos int, rids []rdbms.RID) bool {
+	if !t.Map.InsertMany(pos, rids) {
+		return false
+	}
+	if len(rids) > 0 {
+		t.log(Op{Kind: OpInsert, Pos: pos, RIDs: append([]rdbms.RID(nil), rids...)}, len(rids))
+	}
+	return true
+}
+
+// Delete implements Map.
+func (t *Tracked) Delete(pos int) (rdbms.RID, bool) {
+	rid, ok := t.Map.Delete(pos)
+	if ok {
+		t.log(Op{Kind: OpDelete, Pos: pos, N: 1}, 1)
+	}
+	return rid, ok
+}
+
+// DeleteMany implements Map.
+func (t *Tracked) DeleteMany(pos, count int) []rdbms.RID {
+	out := t.Map.DeleteMany(pos, count)
+	if len(out) > 0 {
+		t.log(Op{Kind: OpDelete, Pos: max(pos, 1), N: len(out)}, len(out))
+	}
+	return out
+}
+
+// Update implements Map.
+func (t *Tracked) Update(pos int, rid rdbms.RID) bool {
+	if !t.Map.Update(pos, rid) {
+		return false
+	}
+	t.log(Op{Kind: OpUpdate, Pos: pos, RIDs: []rdbms.RID{rid}}, 1)
+	return true
+}
+
+// Gen returns the generation of the persisted base the log is relative to.
+func (t *Tracked) Gen() uint64 { return t.gen }
+
+// NeedsFull reports whether the next save must rewrite the full ordering:
+// no base yet, an outgrown log, or an inner mutation that bypassed the
+// wrapper.
+func (t *Tracked) NeedsFull() bool {
+	return t.needFull || t.loggedVer != t.Map.Version()
+}
+
+// Ops returns the replay log accumulated since the base. The slice is owned
+// by the wrapper; callers serialize it without holding on to it.
+func (t *Tracked) Ops() []Op { return t.ops }
+
+// DeltaDirty reports whether the log gained ops since MarkDeltaSaved.
+func (t *Tracked) DeltaDirty() bool { return len(t.ops) != t.savedOps }
+
+// MarkBase records that the full ordering was just persisted under a new
+// generation (returned), resetting the log.
+func (t *Tracked) MarkBase() uint64 {
+	t.gen++
+	t.ops = nil
+	t.opUnits = 0
+	t.savedOps = 0
+	t.needFull = false
+	t.loggedVer = t.Map.Version()
+	return t.gen
+}
+
+// MarkDeltaSaved records that the current log was just persisted.
+func (t *Tracked) MarkDeltaSaved() { t.savedOps = len(t.ops) }
+
+// BeginDelta is the load-side counterpart of MarkBase: the caller has just
+// rebuilt the inner map to the persisted base of generation gen and is
+// about to replay the persisted delta ops through the wrapper (re-logging
+// them), after which MarkDeltaSaved restores the saved-prefix mark.
+func (t *Tracked) BeginDelta(gen uint64) {
+	t.gen = gen
+	t.ops = nil
+	t.opUnits = 0
+	t.savedOps = 0
+	t.needFull = false
+	t.loggedVer = t.Map.Version()
+}
+
+// Apply replays one logged op through the wrapper, erroring when the op no
+// longer fits the map (a corrupt or misordered delta).
+func (t *Tracked) Apply(op Op) error {
+	switch op.Kind {
+	case OpInsert:
+		if !t.InsertMany(op.Pos, op.RIDs) {
+			return fmt.Errorf("posmap: replay insert of %d at %d (len %d)", len(op.RIDs), op.Pos, t.Len())
+		}
+	case OpDelete:
+		if got := len(t.DeleteMany(op.Pos, op.N)); got != op.N {
+			return fmt.Errorf("posmap: replay delete of %d at %d removed %d (len %d)", op.N, op.Pos, got, t.Len())
+		}
+	case OpUpdate:
+		if len(op.RIDs) != 1 || !t.Update(op.Pos, op.RIDs[0]) {
+			return fmt.Errorf("posmap: replay update at %d (len %d)", op.Pos, t.Len())
+		}
+	default:
+		return fmt.Errorf("posmap: unknown replay op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// Version implements Map, delegating to the inner counter so wrapper users
+// observe the same dirtiness signal.
+func (t *Tracked) Version() uint64 { return t.Map.Version() }

@@ -1,6 +1,7 @@
 package rdbms
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,8 +44,26 @@ type DB struct {
 	// meta is a generic metadata key-value store, persisted with the
 	// catalog manifest. Upper layers use it to store their own manifests
 	// (sheet region maps, engine state) so a whole session round-trips.
+	// On a file-backed database it is a cache: values live out-of-line in
+	// per-key page chains (metaLoc) and are read in on first GetMeta;
+	// commits restage only the chains of dirty keys.
 	meta map[string][]byte
-	path string // data file path; "" for in-memory databases
+	// metaDirty marks keys whose cached value diverged from the staged
+	// chain since the last commit; metaDel tombstones keys deleted but not
+	// yet unstaged.
+	metaDirty map[string]bool
+	metaDel   map[string]bool
+	// metaLoc locates each key's staged on-disk value chain (file-backed
+	// databases only).
+	metaLoc map[string]metaChainLoc
+	path    string // data file path; "" for in-memory databases
+}
+
+// metaChainLoc locates one out-of-line metadata value: its page chain and
+// byte length.
+type metaChainLoc struct {
+	pages []PageID
+	n     int
 }
 
 // Options configures a DB.
@@ -111,10 +130,13 @@ func Open(opts Options) *DB {
 	}
 	disk := &MemPager{}
 	return &DB{
-		disk:   disk,
-		pool:   newBufferPool(disk, opts.BufferPoolPages),
-		tables: make(map[string]*Table),
-		meta:   make(map[string][]byte),
+		disk:      disk,
+		pool:      newBufferPool(disk, opts.BufferPoolPages),
+		tables:    make(map[string]*Table),
+		meta:      make(map[string][]byte),
+		metaDirty: make(map[string]bool),
+		metaDel:   make(map[string]bool),
+		metaLoc:   make(map[string]metaChainLoc),
 	}
 }
 
@@ -133,11 +155,14 @@ func OpenFile(path string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		disk:   fp,
-		pool:   newBufferPool(fp, opts.BufferPoolPages),
-		tables: make(map[string]*Table),
-		meta:   make(map[string][]byte),
-		path:   path,
+		disk:      fp,
+		pool:      newBufferPool(fp, opts.BufferPoolPages),
+		tables:    make(map[string]*Table),
+		meta:      make(map[string][]byte),
+		metaDirty: make(map[string]bool),
+		metaDel:   make(map[string]bool),
+		metaLoc:   make(map[string]metaChainLoc),
+		path:      path,
 	}
 	// Commits serialize against staging (FlushWAL holds db.mu exclusively
 	// while staging, the pager holds it shared while committing), so the
@@ -186,6 +211,7 @@ func (db *DB) FlushWAL() error {
 	// staging itself.)
 	db.mu.Lock()
 	fp.promotePendingFree() // the manifest below no longer references them
+	db.stageMetaLocked(fp)
 	blob, err := db.manifestLocked()
 	if err == nil {
 		fp.writeMeta(blob)
@@ -209,6 +235,7 @@ func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	fp.promotePendingFree()
+	db.stageMetaLocked(fp)
 	blob, err := db.manifestLocked()
 	if err != nil {
 		return err
@@ -259,39 +286,153 @@ func (db *DB) VerifyChecksums() error {
 
 // PutMeta stores an entry in the metadata KV (persisted with the catalog
 // manifest on the next FlushWAL/Checkpoint). A nil value deletes the key.
+// Writing a value byte-identical to the current one is a no-op: the key's
+// staged chain is not rewritten by the next commit, which is what lets
+// upper layers re-serialize cheap manifests unconditionally and still get
+// O(dirty) commit cost.
 func (db *DB) PutMeta(key string, val []byte) {
+	if val == nil {
+		db.DeleteMeta(key)
+		return
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if val == nil {
-		delete(db.meta, key)
+	if cur, ok := db.meta[key]; ok && !db.metaDel[key] && bytes.Equal(cur, val) {
 		return
 	}
 	db.meta[key] = append([]byte(nil), val...)
+	delete(db.metaDel, key)
+	db.metaDirty[key] = true
 }
 
-// GetMeta fetches a metadata entry.
+// DeleteMeta removes a metadata entry; its out-of-line value chain is
+// reclaimed by the next FlushWAL/Checkpoint. Deleting a missing key is a
+// no-op.
+func (db *DB) DeleteMeta(key string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, cached := db.meta[key]
+	_, staged := db.metaLoc[key]
+	if (!cached && !staged) || db.metaDel[key] {
+		return
+	}
+	delete(db.meta, key)
+	db.metaDel[key] = true
+	db.metaDirty[key] = true
+}
+
+// GetMeta fetches a metadata entry, reading its out-of-line value chain on
+// first access. A chain read failure (torn or corrupt manifest pages)
+// reports the key as missing and surfaces the error through Pool().Err;
+// callers that must distinguish absent from unreadable use MetaValue.
 func (db *DB) GetMeta(key string) ([]byte, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	v, ok := db.meta[key]
-	if !ok {
+	v, ok, err := db.MetaValue(key)
+	if err != nil {
+		db.pool.setErr(err)
 		return nil, false
 	}
-	return append([]byte(nil), v...), true
+	return v, ok
 }
 
-// MetaKeys lists metadata keys with the prefix, sorted.
+// MetaValue is GetMeta with the chain read error surfaced: (nil, false,
+// nil) means the key does not exist; a non-nil error means the key exists
+// but its value chain could not be read (torn or corrupt manifest pages).
+// Cached hits (and misses) stay on a shared lock; only the one-time chain
+// read that populates the cache takes the exclusive lock.
+func (db *DB) MetaValue(key string) ([]byte, bool, error) {
+	db.mu.RLock()
+	if db.metaDel[key] {
+		db.mu.RUnlock()
+		return nil, false, nil
+	}
+	if v, ok := db.meta[key]; ok {
+		out := append([]byte(nil), v...)
+		db.mu.RUnlock()
+		return out, true, nil
+	}
+	if _, ok := db.metaLoc[key]; !ok {
+		db.mu.RUnlock()
+		return nil, false, nil
+	}
+	db.mu.RUnlock()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Re-check under the exclusive lock: the key may have been cached,
+	// rewritten or deleted while the lock was dropped.
+	if db.metaDel[key] {
+		return nil, false, nil
+	}
+	if v, ok := db.meta[key]; ok {
+		return append([]byte(nil), v...), true, nil
+	}
+	loc, ok := db.metaLoc[key]
+	if !ok {
+		return nil, false, nil
+	}
+	fp := db.filePager()
+	if fp == nil {
+		return nil, false, nil
+	}
+	blob, err := fp.readMetaValue(loc.pages, loc.n)
+	if err != nil {
+		return nil, false, fmt.Errorf("rdbms: meta %q: %w", key, err)
+	}
+	db.meta[key] = blob
+	return append([]byte(nil), blob...), true, nil
+}
+
+// MetaKeys lists metadata keys with the prefix, sorted: cached and staged
+// keys alike, minus pending deletions. This is the prefix iteration upper
+// layers use to enumerate (and GC) manifest segments.
 func (db *DB) MetaKeys(prefix string) []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	seen := make(map[string]bool)
 	var out []string
-	for k := range db.meta {
-		if strings.HasPrefix(k, prefix) {
+	add := func(k string) {
+		if strings.HasPrefix(k, prefix) && !db.metaDel[k] && !seen[k] {
+			seen[k] = true
 			out = append(out, k)
 		}
 	}
+	for k := range db.meta {
+		add(k)
+	}
+	for k := range db.metaLoc {
+		add(k)
+	}
 	sort.Strings(out)
 	return out
+}
+
+// stageMetaLocked writes every dirty metadata value into its out-of-line
+// page chain and reclaims the chains of deleted keys, so the manifest
+// serialized next references exactly the staged state. Cost is proportional
+// to the dirty set. db.mu must be held; fp is the database's file pager.
+func (db *DB) stageMetaLocked(fp *FilePager) {
+	if len(db.metaDirty) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(db.metaDirty))
+	for k := range db.metaDirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if db.metaDel[k] {
+			if loc, ok := db.metaLoc[k]; ok {
+				fp.free(loc.pages)
+				delete(db.metaLoc, k)
+			}
+			delete(db.metaDel, k)
+			continue
+		}
+		loc := db.metaLoc[k]
+		pages := fp.writeMetaValue(loc.pages, db.meta[k])
+		db.metaLoc[k] = metaChainLoc{pages: pages, n: len(db.meta[k])}
+	}
+	db.metaDirty = make(map[string]bool)
 }
 
 // CreateTable registers a new table. The heap is allocated lazily except

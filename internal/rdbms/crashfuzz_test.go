@@ -1,6 +1,7 @@
 package rdbms
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"os"
@@ -121,6 +122,145 @@ func TestCrashFuzzWALTruncation(t *testing.T) {
 				}
 			}
 			// Property 3: whatever survived is checksum-clean.
+			if err := db.VerifyChecksums(); err != nil {
+				t.Fatalf("corrupt page after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestCrashFuzzSegmentedManifests extends the torn-tail property to runs
+// whose batches write segmented/delta-style manifest state through the
+// out-of-line meta KV: every batch rewrites a small root, appends to (or,
+// every fourth batch, rewrites and clears) a base/delta key pair, and
+// deletes a per-batch scratch key from two batches earlier. Recovery from
+// any WAL truncation must land on the meta state of an exact batch prefix
+// — never a half-applied delta, never a base without its matching delta
+// generation, never a resurrected deleted key.
+func TestCrashFuzzSegmentedManifests(t *testing.T) {
+	const (
+		batches      = 10
+		rowsPerBatch = 40
+		trials       = 24
+	)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "segfuzz.dsdb")
+	db, err := OpenFile(path, Options{
+		GroupCommit:         true,
+		GroupCommitInterval: 100 * time.Microsecond,
+		AutoCheckpointPages: -1, // keep every batch in the WAL
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.CreateTable("t", NewSchema(
+		Column{Name: "batch", Type: DTInt},
+		Column{Name: "v", Type: DTInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// expect[k] is the exact meta state after batches 0..k-1 committed.
+	expect := make([]map[string][]byte, batches+1)
+	expect[0] = map[string][]byte{}
+	live := map[string][]byte{}
+	gen := 0
+	var delta []byte
+	for b := 0; b < batches; b++ {
+		for i := 0; i < rowsPerBatch; i++ {
+			if _, err := tab.Insert(Row{Int(int64(b)), Int(int64(b*rowsPerBatch + i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if b%4 == 3 {
+			// Base rewrite: new generation, delta cleared — both must land
+			// (or not land) together.
+			gen++
+			base := []byte(fmt.Sprintf(`{"gen":%d,"rows":%d}`, gen, (b+1)*rowsPerBatch))
+			db.PutMeta("seg:base", base)
+			db.DeleteMeta("seg:delta")
+			live["seg:base"] = base
+			delete(live, "seg:delta")
+			delta = nil
+		} else {
+			delta = append(delta, []byte(fmt.Sprintf(`[%d,%d]`, gen, b))...)
+			db.PutMeta("seg:delta", delta)
+			live["seg:delta"] = append([]byte(nil), delta...)
+		}
+		root := []byte(fmt.Sprintf(`{"version":3,"batch":%d,"gen":%d}`, b, gen))
+		db.PutMeta("seg:root", root)
+		live["seg:root"] = root
+		scratch := fmt.Sprintf("scratch:%d", b)
+		db.PutMeta(scratch, []byte{byte(b)})
+		live[scratch] = []byte{byte(b)}
+		if old := fmt.Sprintf("scratch:%d", b-2); b >= 2 {
+			db.DeleteMeta(old)
+			delete(live, old)
+		}
+		if err := db.FlushWAL(); err != nil {
+			t.Fatal(err)
+		}
+		snap := make(map[string][]byte, len(live))
+		for k, v := range live {
+			snap[k] = append([]byte(nil), v...)
+		}
+		expect[b+1] = snap
+	}
+	if err := db.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := path + ".wal"
+	snapData := filepath.Join(dir, "snap.dsdb")
+	snapWAL := filepath.Join(dir, "snap.wal")
+	copyFile(t, path, snapData)
+	copyFile(t, walPath, snapWAL)
+	walSt, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walSt.Size() == 0 {
+		t.Fatal("WAL empty after crash; nothing to fuzz")
+	}
+
+	rng := rand.New(rand.NewSource(20260728))
+	for trial := 0; trial < trials; trial++ {
+		cut := rng.Int63n(walSt.Size() + 1)
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			copyFile(t, snapData, path)
+			copyFile(t, snapWAL, walPath)
+			if err := os.Truncate(walPath, cut); err != nil {
+				t.Fatal(err)
+			}
+			db, err := OpenFile(path, Options{})
+			if err != nil {
+				t.Fatalf("recovery open failed: %v", err)
+			}
+			defer db.SimulateCrash()
+			rows := 0
+			if tab := db.Table("t"); tab != nil {
+				rows = tab.RowCount()
+			}
+			if rows%rowsPerBatch != 0 || rows > batches*rowsPerBatch {
+				t.Fatalf("recovered %d rows: not a committed batch prefix", rows)
+			}
+			k := rows / rowsPerBatch
+			want := expect[k]
+			for key, val := range want {
+				got, ok := db.GetMeta(key)
+				if !ok {
+					t.Fatalf("prefix %d: meta %q missing after recovery", k, key)
+				}
+				if !bytes.Equal(got, val) {
+					t.Fatalf("prefix %d: meta %q = %q, want %q (torn manifest state)", k, key, got, val)
+				}
+			}
+			for _, key := range db.MetaKeys("") {
+				if _, ok := want[key]; !ok {
+					t.Fatalf("prefix %d: meta %q leaked from an uncommitted batch", k, key)
+				}
+			}
 			if err := db.VerifyChecksums(); err != nil {
 				t.Fatalf("corrupt page after recovery: %v", err)
 			}

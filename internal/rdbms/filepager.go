@@ -79,6 +79,7 @@ type FilePager struct {
 
 	diskReads, diskWrites, walAppends   atomic.Int64
 	walSyncs, walBytes, checkpointCount atomic.Int64
+	manifestBytes, manifestSegments     atomic.Int64
 
 	// Group-commit flusher state (see flushLoop). All g* fields are
 	// guarded by gmu, never fp.mu.
@@ -710,6 +711,83 @@ func (fp *FilePager) writeMeta(blob []byte) {
 		fp.metaHead = noPage
 	}
 	fp.metaLen = uint32(len(blob))
+	fp.manifestBytes.Add(int64(len(blob)))
+}
+
+// writeMetaValue stages one out-of-line metadata value into its own page
+// chain, reusing the existing chain's pages in place (safe under WAL
+// full-page redo: the previous content is recoverable from the last
+// committed batch until the new one commits), allocating more pages as the
+// value grows and queueing surplus pages for reclamation as it shrinks.
+// Unlike the catalog chain, value pages carry raw payload — the page list
+// and byte length live in the catalog manifest's meta directory. Returns
+// the chain now holding the value.
+func (fp *FilePager) writeMetaValue(chain []PageID, blob []byte) []PageID {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	need := (len(blob) + PageSize - 1) / PageSize
+	for len(chain) < need {
+		chain = append(chain, fp.allocLocked())
+	}
+	if len(chain) > need {
+		fp.pendingFree = append(fp.pendingFree, chain[need:]...)
+		chain = append([]PageID(nil), chain[:need]...)
+	}
+	for i, id := range chain {
+		p := fp.shadow[id]
+		if p == nil {
+			p = &page{}
+			fp.shadow[id] = p
+		}
+		lo := i * PageSize
+		hi := lo + PageSize
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		n := copy(p.buf[:], blob[lo:hi])
+		for j := n; j < PageSize; j++ {
+			p.buf[j] = 0
+		}
+		fp.walDirty[id] = true
+	}
+	fp.manifestBytes.Add(int64(len(blob)))
+	fp.manifestSegments.Add(1)
+	return chain
+}
+
+// readMetaValue loads an out-of-line metadata value from its chain,
+// preferring staged (shadow) images over data-file slots.
+func (fp *FilePager) readMetaValue(chain []PageID, n int) ([]byte, error) {
+	fp.mu.RLock()
+	defer fp.mu.RUnlock()
+	out := make([]byte, 0, n)
+	remaining := n
+	for _, id := range chain {
+		if remaining <= 0 {
+			break
+		}
+		p, ok := fp.shadow[id]
+		if !ok {
+			if int(id) >= fp.pages {
+				return nil, fmt.Errorf("rdbms: meta value chain references unknown page %d", id)
+			}
+			var err error
+			p, err = fp.readPageFromFile(id)
+			if err != nil {
+				return nil, err
+			}
+		}
+		take := remaining
+		if take > PageSize {
+			take = PageSize
+		}
+		out = append(out, p.buf[:take]...)
+		remaining -= take
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("rdbms: truncated meta value chain (%d of %d bytes)", n-remaining, n)
+	}
+	return out, nil
 }
 
 // readMeta loads the catalog manifest from the meta chain (nil when the
@@ -790,10 +868,11 @@ func (fp *FilePager) closeFiles() error {
 
 // fileCounters is the snapshot of real-I/O counters surfaced via IOStats.
 type fileCounters struct {
-	diskReads, diskWrites          int64
-	walAppends, walSyncs, walBytes int64
-	checkpoints                    int64
-	freePages                      int64
+	diskReads, diskWrites           int64
+	walAppends, walSyncs, walBytes  int64
+	checkpoints                     int64
+	freePages                       int64
+	manifestBytes, manifestSegments int64
 }
 
 func (fp *FilePager) ioCounters() fileCounters {
@@ -801,13 +880,15 @@ func (fp *FilePager) ioCounters() fileCounters {
 	freePages := int64(len(fp.freeList) + len(fp.pendingFree))
 	fp.mu.RUnlock()
 	return fileCounters{
-		diskReads:   fp.diskReads.Load(),
-		diskWrites:  fp.diskWrites.Load(),
-		walAppends:  fp.walAppends.Load(),
-		walSyncs:    fp.walSyncs.Load(),
-		walBytes:    fp.walBytes.Load(),
-		checkpoints: fp.checkpointCount.Load(),
-		freePages:   freePages,
+		diskReads:        fp.diskReads.Load(),
+		diskWrites:       fp.diskWrites.Load(),
+		walAppends:       fp.walAppends.Load(),
+		walSyncs:         fp.walSyncs.Load(),
+		walBytes:         fp.walBytes.Load(),
+		checkpoints:      fp.checkpointCount.Load(),
+		freePages:        freePages,
+		manifestBytes:    fp.manifestBytes.Load(),
+		manifestSegments: fp.manifestSegments.Load(),
 	}
 }
 
@@ -818,4 +899,6 @@ func (fp *FilePager) resetIOCounters() {
 	fp.walSyncs.Store(0)
 	fp.walBytes.Store(0)
 	fp.checkpointCount.Store(0)
+	fp.manifestBytes.Store(0)
+	fp.manifestSegments.Store(0)
 }

@@ -9,27 +9,54 @@ import (
 
 // The catalog manifest is the serialized system-table state written into
 // the meta page chain on every WAL commit: table schemas, heap extents and
-// index definitions, plus the generic metadata key-value store that upper
-// layers (the hybrid store, the engine) use to persist their own manifests.
-// Heap tuples live in checksummed pages; the manifest only records which
-// pages belong to which heap. B+ tree indexes are rebuilt from the heaps on
-// open, so the manifest stores just the indexed column names.
+// index definitions, plus the *directory* of the generic metadata key-value
+// store that upper layers (the hybrid store, the engine) use to persist
+// their own manifests. Metadata values themselves live out-of-line in
+// per-key page chains (see writeMetaValue): a commit restages only the
+// chains of keys that actually changed, so manifest write cost follows the
+// dirty set instead of the total metadata size. Heap tuples live in
+// checksummed pages; the manifest only records which pages belong to which
+// heap (as contiguous runs — heaps allocate mostly sequentially). B+ tree
+// indexes are rebuilt from the heaps on open, so the manifest stores just
+// the indexed column names.
 type dbManifest struct {
-	Tables []tableManifest   `json:"tables"`
-	Meta   map[string][]byte `json:"meta,omitempty"`
+	Tables []tableManifest `json:"tables"`
+	// Meta carried every metadata value inline up to format v2. Still read
+	// (legacy databases upgrade transparently on their next commit), never
+	// written.
+	Meta map[string][]byte `json:"meta,omitempty"`
+	// MetaDir lists the out-of-line metadata value chains, sorted by key.
+	MetaDir []metaDirEntry `json:"meta_dir,omitempty"`
 	// FreePages is the pager's free-page list (format v2): pages owned by
 	// dropped or truncated heaps, reused by later allocations. Absent in
 	// v1 manifests, which predate space reclamation.
 	FreePages []uint32 `json:"free_pages,omitempty"`
 }
 
+// metaDirEntry locates one out-of-line metadata value.
+type metaDirEntry struct {
+	Key   string   `json:"k"`
+	Pages []uint32 `json:"p,omitempty"`
+	Len   int      `json:"n"`
+}
+
 type tableManifest struct {
-	Name     string           `json:"name"`
-	Cols     []columnManifest `json:"cols"`
-	Pages    []uint32         `json:"pages"`
-	FreeHint int              `json:"free_hint"`
-	Tuples   int              `json:"tuples"`
-	Indexes  []string         `json:"indexes,omitempty"`
+	Name string           `json:"name"`
+	Cols []columnManifest `json:"cols"`
+	// Pages is the legacy explicit page list; still read, never written.
+	Pages []uint32 `json:"pages,omitempty"`
+	// PageRuns is the run-length form: {first page, count} per contiguous
+	// ascending run. Large heaps serialize to a handful of runs instead of
+	// one integer per page, keeping the per-commit catalog blob small.
+	PageRuns []pageRun `json:"page_runs,omitempty"`
+	FreeHint int       `json:"free_hint"`
+	Tuples   int       `json:"tuples"`
+	Indexes  []string  `json:"indexes,omitempty"`
+}
+
+type pageRun struct {
+	First uint32 `json:"f"`
+	Count uint32 `json:"c"`
 }
 
 type columnManifest struct {
@@ -37,11 +64,57 @@ type columnManifest struct {
 	Type uint8  `json:"type"`
 }
 
-// manifestLocked serializes the catalog and metadata KV. db.mu must be held.
+// packPageRuns run-length encodes a heap's page list.
+func packPageRuns(pages []PageID) []pageRun {
+	var runs []pageRun
+	for _, id := range pages {
+		if n := len(runs); n > 0 && uint32(id) == runs[n-1].First+runs[n-1].Count {
+			runs[n-1].Count++
+			continue
+		}
+		runs = append(runs, pageRun{First: uint32(id), Count: 1})
+	}
+	return runs
+}
+
+// heapPages expands a table manifest's page extent (either encoding).
+func (tm *tableManifest) heapPages() []PageID {
+	var out []PageID
+	for _, id := range tm.Pages {
+		out = append(out, PageID(id))
+	}
+	for _, r := range tm.PageRuns {
+		for i := uint32(0); i < r.Count; i++ {
+			out = append(out, PageID(r.First+i))
+		}
+	}
+	return out
+}
+
+// manifestLocked serializes the catalog and the metadata directory. Every
+// dirty metadata value must already be staged (stageMetaLocked) so the
+// directory reflects the chains being committed. db.mu must be held.
 func (db *DB) manifestLocked() ([]byte, error) {
-	m := dbManifest{Meta: db.meta}
+	m := dbManifest{}
 	if fp := db.filePager(); fp != nil {
 		m.FreePages = fp.freePageIDs()
+		keys := make([]string, 0, len(db.metaLoc))
+		for k := range db.metaLoc {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			loc := db.metaLoc[k]
+			e := metaDirEntry{Key: k, Len: loc.n}
+			for _, id := range loc.pages {
+				e.Pages = append(e.Pages, uint32(id))
+			}
+			m.MetaDir = append(m.MetaDir, e)
+		}
+	} else {
+		// In-memory databases never commit, but keep the inline form
+		// coherent for any direct serialization.
+		m.Meta = db.meta
 	}
 	keys := make([]string, 0, len(db.tables))
 	for k := range db.tables {
@@ -54,9 +127,7 @@ func (db *DB) manifestLocked() ([]byte, error) {
 		for _, c := range t.Schema.Cols {
 			tm.Cols = append(tm.Cols, columnManifest{Name: c.Name, Type: uint8(c.Type)})
 		}
-		for _, id := range t.heap.pages {
-			tm.Pages = append(tm.Pages, uint32(id))
-		}
+		tm.PageRuns = packPageRuns(t.heap.pages)
 		idxCols := make([]string, 0, len(t.indexes))
 		for col := range t.indexes {
 			idxCols = append(idxCols, col)
@@ -70,13 +141,24 @@ func (db *DB) manifestLocked() ([]byte, error) {
 
 // loadManifest rebuilds the catalog from a serialized manifest: schemas and
 // heap extents are restored directly, B+ tree indexes by scanning the heaps.
+// Metadata values referenced by the directory stay on disk until GetMeta
+// asks for them; legacy inline values are adopted into the cache and marked
+// dirty so the next commit restages them out-of-line.
 func (db *DB) loadManifest(blob []byte) error {
 	var m dbManifest
 	if err := json.Unmarshal(blob, &m); err != nil {
 		return fmt.Errorf("rdbms: corrupt catalog manifest: %w", err)
 	}
-	if m.Meta != nil {
-		db.meta = m.Meta
+	for _, e := range m.MetaDir {
+		loc := metaChainLoc{n: e.Len}
+		for _, id := range e.Pages {
+			loc.pages = append(loc.pages, PageID(id))
+		}
+		db.metaLoc[e.Key] = loc
+	}
+	for k, v := range m.Meta {
+		db.meta[k] = v
+		db.metaDirty[k] = true
 	}
 	if fp := db.filePager(); fp != nil {
 		fp.setFreePageIDs(m.FreePages)
@@ -87,9 +169,7 @@ func (db *DB) loadManifest(blob []byte) error {
 			schema.Cols = append(schema.Cols, Column{Name: c.Name, Type: DType(c.Type)})
 		}
 		h := newHeapFile(db.disk, db.pool)
-		for _, id := range tm.Pages {
-			h.pages = append(h.pages, PageID(id))
-		}
+		h.pages = tm.heapPages()
 		h.freeHint = tm.FreeHint
 		h.tuples = tm.Tuples
 		t := &Table{

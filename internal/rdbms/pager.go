@@ -28,6 +28,13 @@ type IOStats struct {
 	WALBytes    int64 // bytes appended to the write-ahead log
 	Checkpoints int64 // data-file checkpoints (manual and automatic)
 	FreePages   int64 // pages currently on the free list, awaiting reuse
+	// Manifest persistence counters (the incremental-commit signal): how
+	// many bytes of catalog/metadata manifest were staged into meta page
+	// chains, and how many out-of-line metadata values (manifest segments)
+	// were rewritten. With dirty-tracked segmented manifests these grow
+	// with what changed, not with sheet size.
+	ManifestBytes    int64 // manifest bytes staged (catalog blob + rewritten values)
+	ManifestSegments int64 // out-of-line metadata values rewritten
 }
 
 // Pager is the stable-storage layer beneath the buffer pool: a growable
@@ -303,6 +310,7 @@ func (b *BufferPool) Stats() IOStats {
 		s.DiskReads, s.DiskWrites, s.WALAppends = fc.diskReads, fc.diskWrites, fc.walAppends
 		s.WALSyncs, s.WALBytes, s.Checkpoints = fc.walSyncs, fc.walBytes, fc.checkpoints
 		s.FreePages = fc.freePages
+		s.ManifestBytes, s.ManifestSegments = fc.manifestBytes, fc.manifestSegments
 	}
 	return s
 }
