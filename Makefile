@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-disk bench-scan bench-struct bench-commit lint fmt ci
+.PHONY: all build test test-serve bench bench-disk bench-scan bench-struct bench-commit bench-serve lint staticcheck fmt ci
 
 all: build
 
@@ -11,7 +11,13 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
+
+# Serving stack alone under the race detector: snapshot reads, per-table
+# latches, session lifecycle and the disconnect fuzz. CI runs this as a
+# dedicated step so latch regressions are named, not buried in ./...
+test-serve:
+	$(GO) test -race -run Serve -timeout 10m -v ./internal/serve/...
 
 # Bench smoke: every benchmark executes once so perf code paths (including
 # the file-backed pager via BenchmarkDurable*) run on every push.
@@ -56,13 +62,34 @@ bench-commit:
 	BENCH_COMMIT_JSON=BENCH_commit.json $(GO) test -run=TestCommitSnapshot -v .
 	@cat BENCH_commit.json
 
+# Serving snapshot: boots a dsserver on a file-backed pager, seeds 100k
+# cells through the wire, then runs the mixed read/write driver and writes
+# BENCH_serve.json; fails if get-range p99 under sustained 4096-cell write
+# batches exceeds 10x the idle p99 (snapshot reads must not queue behind
+# bulk loads; needs >=2 CPUs) or if 4 readers fail to beat 1 reader by
+# >2x aggregate throughput (needs >=4 CPUs).
+bench-serve:
+	BENCH_SERVE_JSON=BENCH_serve.json $(GO) test -run=TestServeThroughputSnapshot -v .
+	@cat BENCH_serve.json
+
 lint:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 
+# Mirrors the staticcheck CI job. The binary is installed there with
+# `go install honnef.co/go/tools/cmd/staticcheck@2025.1.1`; locally we
+# skip (with a note) when it is not on PATH rather than hitting the
+# network from a build target.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins honnef.co/go/tools/cmd/staticcheck@2025.1.1)"; \
+	fi
+
 fmt:
 	gofmt -w .
 
-ci: lint build test bench bench-disk bench-scan bench-struct bench-commit
+ci: lint staticcheck build test test-serve bench bench-disk bench-scan bench-struct bench-commit bench-serve

@@ -1,0 +1,90 @@
+// Command dsserver serves a DataSpread database over TCP: many clients
+// share one database, each sheet one engine, with generation-stamped
+// snapshot reads so viewports keep scrolling while bulk loads commit.
+//
+//	dsserver -db data.ds -addr :7529
+//
+// Connect with dsshell:
+//
+//	dsshell
+//	> .connect localhost:7529
+//
+// Without -db the database is in-memory and nothing survives exit
+// (useful for demos and tests). Group commit defaults on — the server
+// exists to take concurrent writers, which is exactly the workload that
+// amortizes shared fsyncs. SIGINT/SIGTERM shut down gracefully: stop
+// accepting, drain sessions, flush every sheet, close the database.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dataspread/internal/core"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":7529", "TCP listen address")
+	dbPath := flag.String("db", "", "durable database file (default: in-memory, nothing survives exit)")
+	groupCommit := flag.Bool("group-commit", true, "coalesce concurrent WAL commits into shared fsyncs")
+	poolPages := flag.Int("pool-pages", 0, "buffer pool size in pages (0: default 1024)")
+	cacheBlocks := flag.Int("cache-blocks", 2048, "cell cache size in 64x16 blocks, per sheet")
+	checkpointPages := flag.Int("checkpoint-pages", 0, "auto-checkpoint when this many pages are dirty since the last checkpoint (0: default, negative: disable)")
+	flag.Parse()
+
+	var db *rdbms.DB
+	var err error
+	if *dbPath != "" {
+		db, err = rdbms.OpenFile(*dbPath, rdbms.Options{
+			BufferPoolPages:     *poolPages,
+			GroupCommit:         *groupCommit,
+			AutoCheckpointPages: *checkpointPages,
+		})
+	} else {
+		db = rdbms.Open(rdbms.Options{BufferPoolPages: *poolPages})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsserver:", err)
+		os.Exit(1)
+	}
+
+	srv := serve.New(db, core.Options{CacheBlocks: *cacheBlocks})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.ListenAndServe(*addr)
+	}()
+	fmt.Printf("dsserver: serving %s on %s\n", backing(*dbPath), *addr)
+
+	select {
+	case s := <-sig:
+		fmt.Printf("dsserver: %v, shutting down\n", s)
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dsserver: close:", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsserver:", err)
+			db.Close()
+			os.Exit(1)
+		}
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsserver: close:", err)
+		os.Exit(1)
+	}
+}
+
+func backing(path string) string {
+	if path == "" {
+		return "in-memory database"
+	}
+	return path
+}

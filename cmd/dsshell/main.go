@@ -13,6 +13,11 @@
 // data file on start (after WAL crash recovery), `save` commits the current
 // state to the write-ahead log, and quitting checkpoints and closes the
 // database.
+//
+// With `.connect host:port` the shell switches to a dsserver: set, view,
+// the structural commands, load, save and .stats route over the wire
+// (views report the snapshot generation they were served at), and
+// `.disconnect` returns to the local engine.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"dataspread/internal/core"
 	"dataspread/internal/rdbms"
+	"dataspread/internal/serve/client"
 	"dataspread/internal/sheet"
 	"dataspread/internal/workload"
 )
@@ -83,8 +89,10 @@ func main() {
 	fmt.Println("DataSpread shell. Commands: set <ref> <value|=formula>, view <range>,")
 	fmt.Println("sql <query>, link <range> <table>, optimize <dp|greedy|agg>, insrow <n> [count],")
 	fmt.Println("delrow <n> [count], inscol <n> [count], delcol <n> [count], load <file.grid>,")
-	fmt.Println("save, .stats, quit")
+	fmt.Println("save, .stats, .connect <host:port> [sheet], .disconnect, quit")
 	sc := bufio.NewScanner(os.Stdin)
+	sh := &shell{eng: eng}
+	defer sh.disconnect()
 	var lastIOErr string
 	for {
 		fmt.Print("> ")
@@ -95,7 +103,7 @@ func main() {
 		if line == "" {
 			continue
 		}
-		if err := dispatch(eng, line); err != nil {
+		if err := dispatch(sh, line); err != nil {
 			if err == errQuit {
 				return
 			}
@@ -126,16 +134,72 @@ func hasSheet(db *rdbms.DB, name string) bool {
 
 var errQuit = fmt.Errorf("quit")
 
-func dispatch(eng *core.Engine, line string) error {
+// shell is the dispatch state: the local engine, plus the remote session
+// when `.connect` is active (remote routes set/view/structural/load/save
+// and .stats over the wire; everything else needs the local engine).
+type shell struct {
+	eng         *core.Engine
+	remote      *client.Client
+	remoteSheet string
+}
+
+func (sh *shell) disconnect() {
+	if sh.remote != nil {
+		sh.remote.Close()
+		sh.remote = nil
+	}
+}
+
+func dispatch(sh *shell, line string) error {
+	eng := sh.eng
 	cmd, rest, _ := strings.Cut(line, " ")
 	rest = strings.TrimSpace(rest)
 	switch strings.ToLower(cmd) {
 	case "quit", "exit":
 		return errQuit
+	case ".connect":
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || len(fields) > 2 {
+			return fmt.Errorf("usage: .connect <host:port> [sheet]")
+		}
+		name := sheetName
+		if len(fields) == 2 {
+			name = fields[1]
+		}
+		c, err := client.Dial(fields[0])
+		if err != nil {
+			return err
+		}
+		if err := c.Open(name); err != nil {
+			c.Close()
+			return err
+		}
+		sh.disconnect()
+		sh.remote, sh.remoteSheet = c, name
+		fmt.Printf("connected to %s, sheet %q (local engine parked; .disconnect to return)\n",
+			c.Addr(), name)
+		return nil
+	case ".disconnect":
+		if sh.remote == nil {
+			return fmt.Errorf("not connected")
+		}
+		sh.disconnect()
+		fmt.Println("disconnected (back on the local engine)")
+		return nil
 	case ".stats", "stats":
+		if sh.remote != nil {
+			return printRemoteStats(sh)
+		}
 		printStats(eng)
 		return nil
 	case "save":
+		if sh.remote != nil {
+			if err := sh.remote.CloseSheet(sh.remoteSheet); err != nil {
+				return err
+			}
+			fmt.Println("saved (server-side WAL commit)")
+			return nil
+		}
 		if err := eng.Save(); err != nil {
 			return err
 		}
@@ -154,15 +218,32 @@ func dispatch(eng *core.Engine, line string) error {
 		if err != nil {
 			return err
 		}
+		if sh.remote != nil {
+			_, err := sh.remote.Set(sh.remoteSheet, ref.Row, ref.Col, strings.TrimSpace(val))
+			return err
+		}
 		return eng.Set(ref.Row, ref.Col, strings.TrimSpace(val))
 	case "view":
 		g, err := sheet.ParseRange(rest)
 		if err != nil {
 			return err
 		}
+		if sh.remote != nil {
+			cells, gen, err := sh.remote.GetRange(sh.remoteSheet,
+				g.From.Row, g.From.Col, g.To.Row, g.To.Col)
+			if err != nil {
+				return err
+			}
+			printCells(g, cells)
+			fmt.Printf("(snapshot generation %d)\n", gen)
+			return nil
+		}
 		printGrid(eng, g)
 		return nil
 	case "sql":
+		if sh.remote != nil {
+			return fmt.Errorf("sql runs on the local engine; .disconnect first")
+		}
 		tv, err := eng.SQL(rest)
 		if err != nil {
 			return err
@@ -177,6 +258,9 @@ func dispatch(eng *core.Engine, line string) error {
 		}
 		return nil
 	case "link":
+		if sh.remote != nil {
+			return fmt.Errorf("link runs on the local engine; .disconnect first")
+		}
 		rangeText, table, ok := strings.Cut(rest, " ")
 		if !ok {
 			return fmt.Errorf("usage: link <range> <table>")
@@ -188,6 +272,9 @@ func dispatch(eng *core.Engine, line string) error {
 		_, err = eng.LinkTable(g, strings.TrimSpace(table))
 		return err
 	case "optimize":
+		if sh.remote != nil {
+			return fmt.Errorf("optimize runs on the local engine; .disconnect first")
+		}
 		if rest == "" {
 			rest = "agg"
 		}
@@ -207,6 +294,25 @@ func dispatch(eng *core.Engine, line string) error {
 		s, err := workload.ReadGrid(f, rest)
 		if err != nil {
 			return err
+		}
+		if sh.remote != nil {
+			// One set-cells batch: the server applies it as a single bulk
+			// write (one WAL commit) while other clients keep reading the
+			// pre-load snapshot.
+			var edits []core.CellEdit
+			s.EachSorted(func(r sheet.Ref, c sheet.Cell) {
+				input := c.Value.Text()
+				if c.HasFormula() {
+					input = "=" + c.Formula
+				}
+				edits = append(edits, core.CellEdit{Row: r.Row, Col: r.Col, Input: input})
+			})
+			gen, err := sh.remote.SetCells(sh.remoteSheet, edits)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("loaded %d cells (committed at generation %d)\n", len(edits), gen)
+			return nil
 		}
 		var loadErr error
 		s.EachSorted(func(r sheet.Ref, c sheet.Cell) {
@@ -243,6 +349,26 @@ func dispatch(eng *core.Engine, line string) error {
 			return fmt.Errorf("%s: count must be >= 1", cmd)
 		}
 		start := time.Now()
+		if sh.remote != nil {
+			var gen uint64
+			switch cmd {
+			case "insrow":
+				gen, err = sh.remote.InsertRows(sh.remoteSheet, n, count)
+			case "delrow":
+				gen, err = sh.remote.DeleteRows(sh.remoteSheet, n, count)
+			case "inscol":
+				gen, err = sh.remote.InsertCols(sh.remoteSheet, n, count)
+			default:
+				gen, err = sh.remote.DeleteCols(sh.remoteSheet, n, count)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%d %s(s) in %v (committed at generation %d)\n",
+				count, map[string]string{"insrow": "row", "delrow": "row", "inscol": "col", "delcol": "col"}[cmd],
+				time.Since(start).Round(time.Microsecond), gen)
+			return nil
+		}
 		switch cmd {
 		case "insrow":
 			err = eng.InsertRowsAfter(n, count)
@@ -288,8 +414,31 @@ func printStats(eng *core.Engine) {
 	}
 }
 
+// printRemoteStats reports the connected server's session counters: live
+// connections, in-flight requests, and each open sheet's snapshot
+// generation.
+func printRemoteStats(sh *shell) error {
+	st, err := sh.remote.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server %s: %d conns, %d in-flight requests, %d served, commit generation %d\n",
+		sh.remote.Addr(), st.Conns, st.InFlight, st.Requests, st.CommitGen)
+	for _, s := range st.Sheets {
+		marker := ""
+		if s.Name == sh.remoteSheet {
+			marker = " (this session)"
+		}
+		fmt.Printf("  sheet %q: snapshot generation %d%s\n", s.Name, s.Gen, marker)
+	}
+	return nil
+}
+
 func printGrid(eng *core.Engine, g sheet.Range) {
-	cells := eng.GetCells(g)
+	printCells(g, eng.GetCells(g))
+}
+
+func printCells(g sheet.Range, cells [][]sheet.Cell) {
 	// Header.
 	fmt.Printf("%6s", "")
 	for c := g.From.Col; c <= g.To.Col; c++ {

@@ -41,6 +41,7 @@ func (e *Engine) LinkTable(g sheet.Range, tableName string) (*model.TOM, error) 
 	}
 	e.grow(rect.To.Row, rect.To.Col)
 	e.cache.Invalidate(rect)
+	e.bumpGeneration()
 	return tom, nil
 }
 
@@ -210,6 +211,7 @@ func (e *Engine) Optimize(algo string, eta float64) (*hybrid.IncrementalResult, 
 	}
 	e.store = hs
 	e.cache = newEngineCache(e)
+	e.bumpGeneration()
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"dataspread/internal/cache"
 	"dataspread/internal/depgraph"
@@ -59,6 +60,11 @@ type Engine struct {
 	// set entirely (the meta KV's byte-equality check backstops false
 	// positives).
 	formulasDirty bool
+	// gen counts applied mutation batches; latches serializes concurrent
+	// readers and writers per table (see latch.go). Both are inert for
+	// single-goroutine use.
+	gen     atomic.Uint64
+	latches latchTable
 }
 
 // storeBacking adapts the hybrid store to the cache's Backing interface:
@@ -217,6 +223,12 @@ func (e *Engine) GetCell(row, col int) sheet.Cell {
 // GetCells is the getCells(range) primitive of Section III.
 func (e *Engine) GetCells(g sheet.Range) [][]sheet.Cell { return e.cache.GetRange(g) }
 
+// PeekCells materializes g from resident cache blocks only, returning
+// (nil, false) when any covering block would need a storage read. Safe
+// concurrently with a storage-layer writer — the serving layer's snapshot
+// reads are built on it.
+func (e *Engine) PeekCells(g sheet.Range) ([][]sheet.Cell, bool) { return e.cache.PeekRange(g) }
+
 // ReadErr returns the first storage read error recorded since the last call
 // and clears it (nil when none). The read primitives (GetCell, GetCells,
 // VisitRange, CellValue) render unreadable cells blank rather than failing
@@ -245,7 +257,11 @@ func (e *Engine) SetValue(row, col int, v sheet.Value) error {
 		return err
 	}
 	e.grow(row, col)
-	return e.propagate(ref)
+	if err := e.propagate(ref); err != nil {
+		return err
+	}
+	e.bumpGeneration()
+	return nil
 }
 
 // Clear blanks a cell.
@@ -255,7 +271,11 @@ func (e *Engine) Clear(row, col int) error {
 	if err := e.cache.Put(ref, sheet.Cell{}); err != nil {
 		return err
 	}
-	return e.propagate(ref)
+	if err := e.propagate(ref); err != nil {
+		return err
+	}
+	e.bumpGeneration()
+	return nil
 }
 
 // SetFormula installs a formula (source without '='), evaluates it, and
@@ -266,9 +286,14 @@ func (e *Engine) SetFormula(row, col int, src string) error {
 		return err
 	}
 	if _, ok := e.exprs[ref]; !ok {
+		e.bumpGeneration()
 		return nil // cycle: the cell is poisoned, nothing to propagate
 	}
-	return e.propagate(ref)
+	if err := e.propagate(ref); err != nil {
+		return err
+	}
+	e.bumpGeneration()
+	return nil
 }
 
 // installFormula parses, registers and evaluates a formula at ref without
@@ -318,6 +343,21 @@ type CellEdit struct {
 // apply in order: the last one wins. On an in-memory database the batch
 // write path still applies, the WAL commit is a no-op.
 func (e *Engine) SetCells(edits []CellEdit) error {
+	if len(edits) == 0 {
+		return nil
+	}
+	if err := e.ApplyCells(edits); err != nil {
+		return err
+	}
+	return e.Save()
+}
+
+// ApplyCells is SetCells without the trailing Save: the batch applies to
+// the store, cache, and dependency graph, but durability is the caller's.
+// The serving layer uses the split to commit visibility (generation bump,
+// overlay retirement) under its latches and run the WAL fsync after
+// releasing them, so snapshot readers never wait on disk.
+func (e *Engine) ApplyCells(edits []CellEdit) error {
 	if len(edits) == 0 {
 		return nil
 	}
@@ -382,7 +422,8 @@ func (e *Engine) SetCells(edits []CellEdit) error {
 			return err
 		}
 	}
-	return e.Save()
+	e.bumpGeneration()
+	return nil
 }
 
 func (e *Engine) dropFormula(ref sheet.Ref) {

@@ -86,6 +86,7 @@ func (e *Engine) InsertRowsAfter(row, count int) error {
 	if err := e.recalcSeeds(e.deps.DirectDependents(band)); err != nil {
 		return err
 	}
+	e.bumpGeneration()
 	return e.Save()
 }
 
@@ -122,6 +123,7 @@ func (e *Engine) DeleteRows(row, count int) error {
 	if err := e.recalcSeeds(shiftSeeds(seeds, depgraph.Rows, row, count)); err != nil {
 		return err
 	}
+	e.bumpGeneration()
 	return e.Save()
 }
 
@@ -153,6 +155,7 @@ func (e *Engine) InsertColumnsAfter(col, count int) error {
 	if err := e.recalcSeeds(e.deps.DirectDependents(band)); err != nil {
 		return err
 	}
+	e.bumpGeneration()
 	return e.Save()
 }
 
@@ -184,6 +187,7 @@ func (e *Engine) DeleteColumns(col, count int) error {
 	if err := e.recalcSeeds(shiftSeeds(seeds, depgraph.Cols, col, count)); err != nil {
 		return err
 	}
+	e.bumpGeneration()
 	return e.Save()
 }
 

@@ -178,6 +178,52 @@ func (h *HybridStore) Regions() []hybrid.Region {
 	return out
 }
 
+// SegsFor returns the manifest segment ids of every backing table a read
+// of the absolute range g can touch: each region intersecting g plus the
+// shared overflow RCV (which spans the whole grid, so any range may read
+// it). Segment ids are the stable per-table identity the engine's latch
+// table keys on — callers latch these before reading concurrently with
+// writers. The result is sorted ascending, giving a global latch
+// acquisition order.
+func (h *HybridStore) SegsFor(g sheet.Range) []int {
+	segs := []int{overflowSeg}
+	for i := range h.regions {
+		if h.regions[i].rect.Intersects(g) {
+			segs = append(segs, h.regions[i].seg)
+		}
+	}
+	sortInts(segs)
+	return segs
+}
+
+// SegsForRefs returns the segment ids of the backing tables a write of the
+// given cells mutates: the owning region of each cell, or the overflow RCV
+// for cells outside every region. Sorted ascending (the latch order).
+func (h *HybridStore) SegsForRefs(refs []sheet.Ref) []int {
+	seen := map[int]bool{}
+	for _, r := range refs {
+		seg := overflowSeg
+		if reg := h.regionAt(r.Row, r.Col); reg != nil {
+			seg = reg.seg
+		}
+		seen[seg] = true
+	}
+	segs := make([]int, 0, len(seen))
+	for s := range seen {
+		segs = append(segs, s)
+	}
+	sortInts(segs)
+	return segs
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
 // regionAt returns the region containing the cell, or nil.
 func (h *HybridStore) regionAt(row, col int) *storeRegion {
 	for i := range h.regions {

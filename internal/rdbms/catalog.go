@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -57,6 +58,13 @@ type DB struct {
 	// databases only).
 	metaLoc map[string]metaChainLoc
 	path    string // data file path; "" for in-memory databases
+	// commitGen counts committed WAL batches (FlushWAL/Checkpoint). It is
+	// the database-wide durable generation that snapshot readers pin: a
+	// reader holding generation g observes every batch up to g and nothing
+	// past it. In-memory databases advance it too (each FlushWAL is a
+	// zero-cost commit), so visibility stamps behave identically on both
+	// pagers.
+	commitGen atomic.Uint64
 }
 
 // metaChainLoc locates one out-of-line metadata value: its page chain and
@@ -202,6 +210,7 @@ func (db *DB) filePager() *FilePager {
 func (db *DB) FlushWAL() error {
 	fp := db.filePager()
 	if fp == nil {
+		db.commitGen.Add(1)
 		return nil
 	}
 	// Stage under db.mu, but commit outside it: with group commit enabled
@@ -221,8 +230,17 @@ func (db *DB) FlushWAL() error {
 	if err != nil {
 		return err
 	}
-	return fp.commitWAL()
+	if err := fp.commitWAL(); err != nil {
+		return err
+	}
+	db.commitGen.Add(1)
+	return nil
 }
+
+// CommitGen returns the commit generation: the number of WAL batches made
+// durable so far (FlushWAL and Checkpoint each count one). Safe to read
+// concurrently; see the field doc for the visibility contract.
+func (db *DB) CommitGen() uint64 { return db.commitGen.Load() }
 
 // Checkpoint makes the state durable and writes every modified page into
 // its checksummed data-file slot, then truncates the WAL. No-op for
@@ -230,6 +248,7 @@ func (db *DB) FlushWAL() error {
 func (db *DB) Checkpoint() error {
 	fp := db.filePager()
 	if fp == nil {
+		db.commitGen.Add(1)
 		return nil
 	}
 	db.mu.Lock()
@@ -244,7 +263,11 @@ func (db *DB) Checkpoint() error {
 	if err := db.pool.flushDirty(); err != nil {
 		return err
 	}
-	return fp.checkpoint()
+	if err := fp.checkpoint(); err != nil {
+		return err
+	}
+	db.commitGen.Add(1)
+	return nil
 }
 
 // Close checkpoints and releases the file handles. No-op for in-memory

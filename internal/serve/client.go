@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"dataspread/internal/core"
+	"dataspread/internal/sheet"
+)
+
+// Client is one connection to a dsserver, speaking the wire protocol of
+// this package. It is safe for concurrent use; requests serialize on the
+// connection (the server processes one request per connection at a time —
+// open more clients for parallelism). dsshell's .connect mode and the
+// mixed-workload benchmark driver use it via internal/serve/client.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to a dsserver at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Addr returns the remote address.
+func (c *Client) Addr() string { return c.conn.RemoteAddr().String() }
+
+// roundTrip sends one request payload and returns a decoder positioned
+// after the status byte (a StatusErr response becomes a Go error).
+func (c *Client) roundTrip(payload []byte) (decoder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, payload); err != nil {
+		return decoder{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return decoder{}, err
+	}
+	resp, err := readFrame(c.br, c.buf)
+	if err != nil {
+		return decoder{}, err
+	}
+	c.buf = resp
+	d := decoder{b: resp}
+	switch d.byte() {
+	case StatusOK:
+		return d, nil
+	case StatusErr:
+		msg := d.str()
+		if err := d.done(); err != nil {
+			return decoder{}, err
+		}
+		return decoder{}, fmt.Errorf("dsserver: %s", msg)
+	}
+	return decoder{}, fmt.Errorf("serve: malformed response status")
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	d, err := c.roundTrip([]byte{OpPing})
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// Open opens (creating if absent) the named sheet on the server.
+func (c *Client) Open(name string) error {
+	d, err := c.roundTrip(appendString([]byte{OpOpen}, name))
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// CloseSheet flushes the named sheet on the server.
+func (c *Client) CloseSheet(name string) error {
+	d, err := c.roundTrip(appendString([]byte{OpClose}, name))
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// GetRange reads the rectangle (r1,c1)-(r2,c2) and reports the snapshot
+// generation it was served at.
+func (c *Client) GetRange(name string, r1, c1, r2, c2 int) ([][]sheet.Cell, uint64, error) {
+	p := appendString([]byte{OpGetRange}, name)
+	p = binary.AppendUvarint(p, uint64(r1))
+	p = binary.AppendUvarint(p, uint64(c1))
+	p = binary.AppendUvarint(p, uint64(r2))
+	p = binary.AppendUvarint(p, uint64(c2))
+	d, err := c.roundTrip(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	gen, cells := d.rangeBody()
+	if err := d.done(); err != nil {
+		return nil, 0, err
+	}
+	return cells, gen, nil
+}
+
+// SetCells applies a batch of edits (Set semantics per cell: "=..."
+// installs a formula, "" clears, anything else is a literal) and returns
+// the generation the batch committed at.
+func (c *Client) SetCells(name string, edits []core.CellEdit) (uint64, error) {
+	p := appendString([]byte{OpSetCells}, name)
+	p = binary.AppendUvarint(p, uint64(len(edits)))
+	for _, ed := range edits {
+		p = binary.AppendUvarint(p, uint64(ed.Row))
+		p = binary.AppendUvarint(p, uint64(ed.Col))
+		p = appendString(p, ed.Input)
+	}
+	return c.genOp(p)
+}
+
+// Set writes one cell (a one-edit SetCells).
+func (c *Client) Set(name string, row, col int, input string) (uint64, error) {
+	return c.SetCells(name, []core.CellEdit{{Row: row, Col: col, Input: input}})
+}
+
+// InsertRows inserts count rows after `after` (0 prepends).
+func (c *Client) InsertRows(name string, after, count int) (uint64, error) {
+	return c.genOp(structuralReq(OpInsertRows, name, after, count))
+}
+
+// DeleteRows deletes the count rows starting at row.
+func (c *Client) DeleteRows(name string, row, count int) (uint64, error) {
+	return c.genOp(structuralReq(OpDeleteRows, name, row, count))
+}
+
+// InsertCols inserts count columns after `after` (0 prepends).
+func (c *Client) InsertCols(name string, after, count int) (uint64, error) {
+	return c.genOp(structuralReq(OpInsertCols, name, after, count))
+}
+
+// DeleteCols deletes the count columns starting at col.
+func (c *Client) DeleteCols(name string, col, count int) (uint64, error) {
+	return c.genOp(structuralReq(OpDeleteCols, name, col, count))
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (Stats, error) {
+	d, err := c.roundTrip([]byte{OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	st := d.stats()
+	if err := d.done(); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+func structuralReq(op byte, name string, at, count int) []byte {
+	p := appendString([]byte{op}, name)
+	p = binary.AppendUvarint(p, uint64(at))
+	p = binary.AppendUvarint(p, uint64(count))
+	return p
+}
+
+// genOp round-trips a request whose response body is one generation.
+func (c *Client) genOp(payload []byte) (uint64, error) {
+	d, err := c.roundTrip(payload)
+	if err != nil {
+		return 0, err
+	}
+	gen := d.uvarint()
+	if err := d.done(); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}

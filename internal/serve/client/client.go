@@ -1,0 +1,54 @@
+// Package client connects to a dsserver speaking the internal/serve wire
+// protocol. It re-exports the client half of that package under its own
+// import path, so callers (dsshell's .connect mode, the mixed-workload
+// benchmark driver) do not see the server internals.
+package client
+
+import (
+	"dataspread/internal/core"
+	"dataspread/internal/serve"
+	"dataspread/internal/sheet"
+	"dataspread/internal/workload"
+)
+
+// Client is one connection to a dsserver; see serve.Client.
+type Client = serve.Client
+
+// Stats is the server counter snapshot; see serve.Stats.
+type Stats = serve.Stats
+
+// SheetStat is one sheet's entry in Stats; see serve.SheetStat.
+type SheetStat = serve.SheetStat
+
+// Dial connects to a dsserver at addr ("host:port").
+func Dial(addr string) (*Client, error) { return serve.Dial(addr) }
+
+// MixedDialer adapts dsserver connections to the mixed-workload driver:
+// pass it as workload.MixedConfig.Dial to run RunMixed against addr.
+func MixedDialer(addr string) func() (workload.MixedSession, error) {
+	return func() (workload.MixedSession, error) {
+		c, err := Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return mixedSession{c}, nil
+	}
+}
+
+type mixedSession struct{ c *Client }
+
+func (s mixedSession) Open(sheet string) error { return s.c.Open(sheet) }
+
+func (s mixedSession) GetRange(sheet string, r1, c1, r2, c2 int) ([][]sheet.Cell, uint64, error) {
+	return s.c.GetRange(sheet, r1, c1, r2, c2)
+}
+
+func (s mixedSession) SetCells(sheet string, edits []workload.Edit) (uint64, error) {
+	ce := make([]core.CellEdit, len(edits))
+	for i, ed := range edits {
+		ce[i] = core.CellEdit{Row: ed.Row, Col: ed.Col, Input: ed.Input}
+	}
+	return s.c.SetCells(sheet, ce)
+}
+
+func (s mixedSession) Close() error { return s.c.Close() }

@@ -1,0 +1,315 @@
+// Package serve exposes a DATASPREAD database over TCP: a small
+// length-prefixed binary protocol (open sheet, get-range, set-cells,
+// structural edits, stats) served by one goroutine per connection, with
+// generation-stamped snapshot reads so a scrolling viewport never blocks
+// behind a bulk load (see sheet.go for the concurrency protocol).
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dataspread/internal/sheet"
+)
+
+// Frame layout: a 4-byte big-endian payload length, then the payload.
+// Request payloads start with an op byte; response payloads with a status
+// byte (StatusOK / StatusErr). Integers are unsigned varints; strings are
+// a uvarint length followed by the bytes.
+const (
+	// MaxFrame caps a frame payload (requests and responses). A get-range
+	// response for the largest allowed range fits: MaxRangeCells cells at
+	// a handful of bytes each.
+	MaxFrame = 16 << 20
+	// MaxRangeCells caps the area of one get-range request.
+	MaxRangeCells = 1 << 20
+	// MaxEdits caps one set-cells batch.
+	MaxEdits = 1 << 18
+)
+
+// Request ops.
+const (
+	OpPing byte = iota + 1
+	OpOpen
+	OpClose
+	OpGetRange
+	OpSetCells
+	OpInsertRows
+	OpDeleteRows
+	OpInsertCols
+	OpDeleteCols
+	OpStats
+)
+
+// Response status.
+const (
+	StatusOK byte = iota
+	StatusErr
+)
+
+// Cell wire encoding: one flags byte — low nibble sheet.Kind, bit 4 set
+// when a formula string follows the value — then the kind-specific value
+// payload (number: 8-byte big-endian IEEE-754; string/error: string;
+// bool: 1 byte; empty: nothing), then the formula string when flagged.
+const cellHasFormula = 0x10
+
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds cap %d", n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds cap %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// decoder consumes a frame payload; the first decode error sticks.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("serve: truncated %s", what)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// num returns a bounds-checked non-negative int.
+func (d *decoder) num(what string, max int) int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(max) {
+		d.err = fmt.Errorf("serve: %s %d exceeds cap %d", what, v, max)
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail("float")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("serve: %d trailing bytes in frame", len(d.b))
+	}
+	return nil
+}
+
+func appendCell(b []byte, c sheet.Cell) []byte {
+	flags := byte(c.Value.Kind())
+	if c.Formula != "" {
+		flags |= cellHasFormula
+	}
+	b = append(b, flags)
+	switch c.Value.Kind() {
+	case sheet.KindNumber:
+		f, _ := c.Value.Num()
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+	case sheet.KindString, sheet.KindError:
+		b = appendString(b, c.Value.Text())
+	case sheet.KindBool:
+		v, _ := c.Value.BoolVal()
+		var bit byte
+		if v {
+			bit = 1
+		}
+		b = append(b, bit)
+	}
+	if c.Formula != "" {
+		b = appendString(b, c.Formula)
+	}
+	return b
+}
+
+func (d *decoder) cell() sheet.Cell {
+	flags := d.byte()
+	var c sheet.Cell
+	switch sheet.Kind(flags &^ cellHasFormula) {
+	case sheet.KindEmpty:
+	case sheet.KindNumber:
+		c.Value = sheet.Number(d.float())
+	case sheet.KindString:
+		c.Value = sheet.Str(d.str())
+	case sheet.KindBool:
+		c.Value = sheet.Bool(d.byte() != 0)
+	case sheet.KindError:
+		c.Value = sheet.Errorf(d.str())
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("serve: unknown cell kind %d", flags&^cellHasFormula)
+		}
+	}
+	if flags&cellHasFormula != 0 {
+		c.Formula = d.str()
+	}
+	return c
+}
+
+// appendRange encodes a get-range response body: generation, dimensions,
+// then cells in row-major order.
+func appendRange(b []byte, gen uint64, cells [][]sheet.Cell) []byte {
+	b = binary.AppendUvarint(b, gen)
+	rows := len(cells)
+	cols := 0
+	if rows > 0 {
+		cols = len(cells[0])
+	}
+	b = binary.AppendUvarint(b, uint64(rows))
+	b = binary.AppendUvarint(b, uint64(cols))
+	for _, row := range cells {
+		for _, c := range row {
+			b = appendCell(b, c)
+		}
+	}
+	return b
+}
+
+func (d *decoder) rangeBody() (uint64, [][]sheet.Cell) {
+	gen := d.uvarint()
+	rows := d.num("rows", MaxRangeCells)
+	cols := d.num("cols", MaxRangeCells)
+	if d.err != nil || rows*cols > MaxRangeCells {
+		if d.err == nil {
+			d.err = fmt.Errorf("serve: range %dx%d exceeds cap %d", rows, cols, MaxRangeCells)
+		}
+		return 0, nil
+	}
+	flat := make([]sheet.Cell, rows*cols)
+	out := make([][]sheet.Cell, rows)
+	for i := range out {
+		out[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+		for j := range out[i] {
+			out[i][j] = d.cell()
+		}
+	}
+	return gen, out
+}
+
+// SheetStat is one open sheet's entry in a stats response.
+type SheetStat struct {
+	Name string
+	// Gen is the sheet's snapshot generation: the number of mutation
+	// batches applied since it was opened by the server process.
+	Gen uint64
+}
+
+// Stats is the server-wide counter snapshot returned by OpStats.
+type Stats struct {
+	// Conns is the number of currently open client connections.
+	Conns int64
+	// InFlight is the number of requests being processed right now.
+	InFlight int64
+	// Requests counts requests processed since the server started.
+	Requests uint64
+	// CommitGen is the database-wide durable generation (committed WAL
+	// batches).
+	CommitGen uint64
+	// Sheets lists the open sheets and their snapshot generations.
+	Sheets []SheetStat
+}
+
+func appendStats(b []byte, st Stats) []byte {
+	b = binary.AppendUvarint(b, uint64(st.Conns))
+	b = binary.AppendUvarint(b, uint64(st.InFlight))
+	b = binary.AppendUvarint(b, st.Requests)
+	b = binary.AppendUvarint(b, st.CommitGen)
+	b = binary.AppendUvarint(b, uint64(len(st.Sheets)))
+	for _, sh := range st.Sheets {
+		b = appendString(b, sh.Name)
+		b = binary.AppendUvarint(b, sh.Gen)
+	}
+	return b
+}
+
+func (d *decoder) stats() Stats {
+	st := Stats{
+		Conns:     int64(d.uvarint()),
+		InFlight:  int64(d.uvarint()),
+		Requests:  d.uvarint(),
+		CommitGen: d.uvarint(),
+	}
+	n := d.num("sheet count", 1<<16)
+	if d.err != nil {
+		return st
+	}
+	st.Sheets = make([]SheetStat, n)
+	for i := range st.Sheets {
+		st.Sheets[i] = SheetStat{Name: d.str(), Gen: d.uvarint()}
+	}
+	return st
+}

@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dataspread/internal/core"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// Server serves one database to many clients: one goroutine per
+// connection, engines shared across connections and synchronized through
+// the sheetHandle protocol.
+type Server struct {
+	db   *rdbms.DB
+	opts core.Options
+
+	mu     sync.Mutex
+	sheets map[string]*sheetHandle
+
+	connMu sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+
+	nconns   atomic.Int64
+	inflight atomic.Int64
+	requests atomic.Uint64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New builds a server over an open database. opts configures the engines
+// the server opens on demand (cache size, positional scheme).
+func New(db *rdbms.DB, opts core.Options) *Server {
+	return &Server{
+		db:     db,
+		opts:   opts,
+		sheets: make(map[string]*sheetHandle),
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close. It blocks; the returned
+// error is nil after a clean Close.
+func (s *Server) Serve(ln net.Listener) error {
+	defer s.wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		if s.closed.Load() {
+			conn.Close()
+			continue
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.session(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Listen(ln)
+	return s.Serve(ln)
+}
+
+// Listen records the listener so Close can stop the accept loop; call it
+// before Serve when managing the listener yourself.
+func (s *Server) Listen(ln net.Listener) {
+	s.connMu.Lock()
+	s.ln = ln
+	s.connMu.Unlock()
+}
+
+// Addr returns the listener address ("" before Listen).
+func (s *Server) Addr() string {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, closes every live connection, waits for all
+// sessions to drain, and saves every open sheet. Safe to call once.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.connMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	var first error
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.sheets {
+		if err := h.eng.Save(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Conns:     s.nconns.Load(),
+		InFlight:  s.inflight.Load(),
+		Requests:  s.requests.Load(),
+		CommitGen: s.db.CommitGen(),
+	}
+	s.mu.Lock()
+	for name, h := range s.sheets {
+		st.Sheets = append(st.Sheets, SheetStat{Name: name, Gen: h.generation()})
+	}
+	s.mu.Unlock()
+	sortSheetStats(st.Sheets)
+	return st
+}
+
+func sortSheetStats(sh []SheetStat) {
+	for i := 1; i < len(sh); i++ {
+		for j := i; j > 0 && sh[j].Name < sh[j-1].Name; j-- {
+			sh[j], sh[j-1] = sh[j-1], sh[j]
+		}
+	}
+}
+
+// sheetHandleFor returns the handle for name, opening (or creating) the
+// sheet on first use.
+func (s *Server) sheetHandleFor(name string, create bool) (*sheetHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.sheets[name]; ok {
+		return h, nil
+	}
+	exists := false
+	for _, n := range core.SheetNames(s.db) {
+		if n == name {
+			exists = true
+			break
+		}
+	}
+	var (
+		eng *core.Engine
+		err error
+	)
+	switch {
+	case exists:
+		eng, err = core.Load(s.db, name, s.opts)
+	case create:
+		eng, err = core.New(s.db, name, s.opts)
+	default:
+		return nil, fmt.Errorf("serve: sheet %q not open", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h := newSheetHandle(name, eng)
+	s.sheets[name] = h
+	return h, nil
+}
+
+// session is one connection's request loop. Requests on a connection are
+// processed in order; concurrency comes from concurrent connections.
+func (s *Server) session(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		s.nconns.Add(-1)
+	}()
+	s.nconns.Add(1)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var reqBuf, respBuf []byte
+	for {
+		payload, err := readFrame(br, reqBuf)
+		if err != nil {
+			// EOF, a mid-frame disconnect, or an oversized frame: the
+			// session ends. A request whose frame never completed was
+			// never dispatched, so it has no engine effects.
+			return
+		}
+		reqBuf = payload
+		s.inflight.Add(1)
+		respBuf = s.dispatch(respBuf[:0], payload)
+		s.requests.Add(1)
+		err = writeFrame(bw, respBuf)
+		if err == nil {
+			err = bw.Flush()
+		}
+		s.inflight.Add(-1)
+		if err != nil {
+			return
+		}
+	}
+}
+
+func appendErr(b []byte, err error) []byte {
+	b = append(b, StatusErr)
+	return appendString(b, err.Error())
+}
+
+// dispatch handles one request payload and appends the response to b.
+func (s *Server) dispatch(b, payload []byte) []byte {
+	d := &decoder{b: payload}
+	op := d.byte()
+	if d.err != nil {
+		return appendErr(b, errors.New("serve: empty request"))
+	}
+	switch op {
+	case OpPing:
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		return append(b, StatusOK)
+
+	case OpOpen, OpClose:
+		name := d.str()
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		h, err := s.sheetHandleFor(name, op == OpOpen)
+		if err != nil {
+			return appendErr(b, err)
+		}
+		if op == OpClose {
+			// Close flushes; the engine stays open for other sessions.
+			h.wmu.Lock()
+			err = h.eng.Save()
+			h.wmu.Unlock()
+			if err != nil {
+				return appendErr(b, err)
+			}
+		}
+		return append(b, StatusOK)
+
+	case OpGetRange:
+		name := d.str()
+		r1 := d.num("row", 1<<30)
+		c1 := d.num("col", 1<<30)
+		r2 := d.num("row", 1<<30)
+		c2 := d.num("col", 1<<30)
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		if r1 < 1 || c1 < 1 || r2 < r1 || c2 < c1 {
+			return appendErr(b, fmt.Errorf("serve: bad range (%d,%d)-(%d,%d)", r1, c1, r2, c2))
+		}
+		if area := (r2 - r1 + 1) * (c2 - c1 + 1); area > MaxRangeCells {
+			return appendErr(b, fmt.Errorf("serve: range of %d cells exceeds cap %d", area, MaxRangeCells))
+		}
+		h, err := s.sheetHandleFor(name, false)
+		if err != nil {
+			return appendErr(b, err)
+		}
+		cells, gen, err := h.getRange(sheet.NewRange(r1, c1, r2, c2))
+		if err != nil {
+			return appendErr(b, err)
+		}
+		b = append(b, StatusOK)
+		return appendRange(b, gen, cells)
+
+	case OpSetCells:
+		name := d.str()
+		n := d.num("edit count", MaxEdits)
+		if d.err != nil {
+			return appendErr(b, d.err)
+		}
+		edits := make([]core.CellEdit, n)
+		for i := range edits {
+			edits[i] = core.CellEdit{
+				Row:   d.num("row", 1<<30),
+				Col:   d.num("col", 1<<30),
+				Input: d.str(),
+			}
+		}
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		h, err := s.sheetHandleFor(name, false)
+		if err != nil {
+			return appendErr(b, err)
+		}
+		gen, err := h.setCells(edits)
+		if err != nil {
+			return appendErr(b, err)
+		}
+		b = append(b, StatusOK)
+		return binary.AppendUvarint(b, gen)
+
+	case OpInsertRows, OpDeleteRows, OpInsertCols, OpDeleteCols:
+		name := d.str()
+		at := d.num("position", 1<<30)
+		count := d.num("count", 1<<30)
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		h, err := s.sheetHandleFor(name, false)
+		if err != nil {
+			return appendErr(b, err)
+		}
+		var gen uint64
+		switch op {
+		case OpInsertRows:
+			gen, err = h.structural(func() error { return h.eng.InsertRowsAfter(at, count) })
+		case OpDeleteRows:
+			gen, err = h.structural(func() error { return h.eng.DeleteRows(at, count) })
+		case OpInsertCols:
+			gen, err = h.structural(func() error { return h.eng.InsertColumnsAfter(at, count) })
+		case OpDeleteCols:
+			gen, err = h.structural(func() error { return h.eng.DeleteColumns(at, count) })
+		}
+		if err != nil {
+			return appendErr(b, err)
+		}
+		b = append(b, StatusOK)
+		return binary.AppendUvarint(b, gen)
+
+	case OpStats:
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		b = append(b, StatusOK)
+		return appendStats(b, s.Stats())
+	}
+	return appendErr(b, fmt.Errorf("serve: unknown op %d", op))
+}

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dataspread/internal/sheet"
+)
+
+// Edit is one cell edit of a mixed-workload write batch, following the
+// engine's Set convention ("=..." installs a formula, "" clears, anything
+// else is a literal).
+type Edit struct {
+	Row, Col int
+	Input    string
+}
+
+// MixedSession is the connection surface RunMixed drives. The dsserver
+// client satisfies it via client.MixedDialer; the indirection keeps this
+// package free of engine imports (engine tests consume these workloads).
+type MixedSession interface {
+	Open(sheet string) error
+	GetRange(sheet string, r1, c1, r2, c2 int) ([][]sheet.Cell, uint64, error)
+	SetCells(sheet string, edits []Edit) (uint64, error)
+	Close() error
+}
+
+// MixedConfig drives RunMixed: a mixed read/write workload modelling
+// concurrent users scrolling viewports while writers stream edits — the
+// serving benchmark's traffic shape (90/10 read/write when Readers=9,
+// Writers=1).
+type MixedConfig struct {
+	// Dial opens one session per worker (each its own connection).
+	Dial func() (MixedSession, error)
+	// Sheet is the sheet to hit (opened by the driver if absent).
+	Sheet string
+	// Readers and Writers are the client counts per role.
+	Readers, Writers int
+	// Duration bounds the run.
+	Duration time.Duration
+	// Rows and Cols bound the area viewports and edits roam over.
+	Rows, Cols int
+	// ViewRows x ViewCols is the scrolled viewport shape (default 50x10).
+	ViewRows, ViewCols int
+	// WriteBatch is the number of cells per set-cells request (default 32).
+	WriteBatch int
+	// Seed makes the roaming deterministic per role and worker index.
+	Seed int64
+}
+
+// MixedResult aggregates a RunMixed run.
+type MixedResult struct {
+	Elapsed       time.Duration
+	Reads, Writes int
+	ReadP50       time.Duration
+	ReadP99       time.Duration
+	ReadMax       time.Duration
+	WriteP50      time.Duration
+	WriteP99      time.Duration
+	ReadsPerSec   float64
+	WritesPerSec  float64
+	// GenMin and GenMax span the snapshot generations readers observed.
+	GenMin, GenMax uint64
+}
+
+func (c *MixedConfig) defaults() {
+	if c.ViewRows == 0 {
+		c.ViewRows = 50
+	}
+	if c.ViewCols == 0 {
+		c.ViewCols = 10
+	}
+	if c.WriteBatch == 0 {
+		c.WriteBatch = 32
+	}
+}
+
+type mixedWorker struct {
+	lat  []time.Duration
+	ops  int
+	gmin uint64
+	gmax uint64
+	err  error
+}
+
+// RunMixed runs the mixed workload and reports latency percentiles per
+// role. The first worker error aborts the report.
+func RunMixed(cfg MixedConfig) (MixedResult, error) {
+	cfg.defaults()
+	if cfg.Rows < cfg.ViewRows || cfg.Cols < cfg.ViewCols {
+		return MixedResult{}, fmt.Errorf("workload: extent %dx%d smaller than viewport %dx%d",
+			cfg.Rows, cfg.Cols, cfg.ViewRows, cfg.ViewCols)
+	}
+	// Ensure the sheet exists before the clock starts.
+	boot, err := cfg.Dial()
+	if err != nil {
+		return MixedResult{}, err
+	}
+	err = boot.Open(cfg.Sheet)
+	boot.Close()
+	if err != nil {
+		return MixedResult{}, err
+	}
+
+	readers := make([]mixedWorker, cfg.Readers)
+	writers := make([]mixedWorker, cfg.Writers)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range readers {
+		wg.Add(1)
+		go func(w *mixedWorker, seed int64) {
+			defer wg.Done()
+			w.runReader(cfg, seed, deadline)
+		}(&readers[i], cfg.Seed+int64(i))
+	}
+	for i := range writers {
+		wg.Add(1)
+		go func(w *mixedWorker, seed int64) {
+			defer wg.Done()
+			w.runWriter(cfg, seed, deadline)
+		}(&writers[i], cfg.Seed+1000+int64(i))
+	}
+	wg.Wait()
+	res := MixedResult{Elapsed: time.Since(start)}
+
+	var readLat, writeLat []time.Duration
+	for i := range readers {
+		w := &readers[i]
+		if w.err != nil {
+			return res, w.err
+		}
+		res.Reads += w.ops
+		readLat = append(readLat, w.lat...)
+		if res.GenMin == 0 || (w.gmin > 0 && w.gmin < res.GenMin) {
+			res.GenMin = w.gmin
+		}
+		if w.gmax > res.GenMax {
+			res.GenMax = w.gmax
+		}
+	}
+	for i := range writers {
+		w := &writers[i]
+		if w.err != nil {
+			return res, w.err
+		}
+		res.Writes += w.ops
+		writeLat = append(writeLat, w.lat...)
+	}
+	res.ReadP50 = Percentile(readLat, 0.50)
+	res.ReadP99 = Percentile(readLat, 0.99)
+	res.ReadMax = Percentile(readLat, 1)
+	res.WriteP50 = Percentile(writeLat, 0.50)
+	res.WriteP99 = Percentile(writeLat, 0.99)
+	secs := res.Elapsed.Seconds()
+	if secs > 0 {
+		res.ReadsPerSec = float64(res.Reads) / secs
+		res.WritesPerSec = float64(res.Writes) / secs
+	}
+	return res, nil
+}
+
+func (w *mixedWorker) runReader(cfg MixedConfig, seed int64, deadline time.Time) {
+	s, err := cfg.Dial()
+	if err != nil {
+		w.err = err
+		return
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(seed))
+	for time.Now().Before(deadline) {
+		r1 := 1 + rng.Intn(cfg.Rows-cfg.ViewRows+1)
+		c1 := 1 + rng.Intn(cfg.Cols-cfg.ViewCols+1)
+		t0 := time.Now()
+		_, gen, err := s.GetRange(cfg.Sheet, r1, c1, r1+cfg.ViewRows-1, c1+cfg.ViewCols-1)
+		if err != nil {
+			w.err = err
+			return
+		}
+		w.lat = append(w.lat, time.Since(t0))
+		w.ops++
+		if w.gmin == 0 || gen < w.gmin {
+			w.gmin = gen
+		}
+		if gen > w.gmax {
+			w.gmax = gen
+		}
+	}
+}
+
+func (w *mixedWorker) runWriter(cfg MixedConfig, seed int64, deadline time.Time) {
+	s, err := cfg.Dial()
+	if err != nil {
+		w.err = err
+		return
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(seed))
+	edits := make([]Edit, cfg.WriteBatch)
+	for time.Now().Before(deadline) {
+		for i := range edits {
+			edits[i] = Edit{
+				Row:   1 + rng.Intn(cfg.Rows),
+				Col:   1 + rng.Intn(cfg.Cols),
+				Input: fmt.Sprintf("%d", rng.Intn(1_000_000)),
+			}
+		}
+		t0 := time.Now()
+		if _, err := s.SetCells(cfg.Sheet, edits); err != nil {
+			w.err = err
+			return
+		}
+		w.lat = append(w.lat, time.Since(t0))
+		w.ops++
+	}
+}
+
+// Percentile returns the q-quantile (0..1) of the sample, 0 when empty.
+// The sample is sorted in place.
+func Percentile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	i := int(q*float64(len(lat))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(lat) {
+		i = len(lat) - 1
+	}
+	return lat[i]
+}
