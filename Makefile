@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test test-serve bench bench-disk bench-scan bench-struct bench-commit bench-serve lint staticcheck fmt ci
+.PHONY: all build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve soak lint staticcheck fmt ci
+
+# Rounds for the crash-fuzz soak (`make soak`); ~200 is 60-90s locally.
+SOAK_ROUNDS ?= 200
 
 all: build
 
@@ -62,6 +65,23 @@ bench-commit:
 	BENCH_COMMIT_JSON=BENCH_commit.json $(GO) test -run=TestCommitSnapshot -v .
 	@cat BENCH_commit.json
 
+# Fault-injection suites alone under the race detector: poisoning,
+# read-only degradation, WAL rotation/compaction, client retry and the
+# soak smoke. CI runs this as a dedicated step so failure-semantics
+# regressions are named, not buried in ./...
+test-faults:
+	$(GO) test -race -run 'Fault|Poison|Rotation|Segment|ENOSPC|BitFlip|ShortWrite|LegacySingleFileWAL|Retr|ReadOnly|Soak' -timeout 10m -v ./internal/rdbms/ ./internal/core/ ./internal/workload/soak/ .
+
+# Crash-fuzz soak (~60-90s at the default SOAK_ROUNDS): mixed edits over a
+# fault-injected disk with kill-points at WAL rotation and checkpoint
+# boundaries; every reopen is byte-compared against a shadow model. Writes
+# BENCH_soak.json; fails on torn state, WAL over the rotation budget, or
+# reads failing while poisoned.
+soak:
+	SOAK_SEEDS=100 $(GO) test -run=TestSoakSeeds -timeout 10m -v ./internal/workload/soak/
+	BENCH_SOAK_JSON=BENCH_soak.json SOAK_ROUNDS=$(SOAK_ROUNDS) $(GO) test -run=TestSoakCrashFuzz -timeout 20m -v .
+	@cat BENCH_soak.json
+
 # Serving snapshot: boots a dsserver on a file-backed pager, seeds 100k
 # cells through the wire, then runs the mixed read/write driver and writes
 # BENCH_serve.json; fails if get-range p99 under sustained 4096-cell write
@@ -92,4 +112,4 @@ staticcheck:
 fmt:
 	gofmt -w .
 
-ci: lint staticcheck build test test-serve bench bench-disk bench-scan bench-struct bench-commit bench-serve
+ci: lint staticcheck build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve soak

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"dataspread/internal/core"
@@ -35,6 +36,8 @@ func main() {
 	poolPages := flag.Int("pool-pages", 0, "buffer pool size in pages (0: default 1024)")
 	cacheBlocks := flag.Int("cache-blocks", 2048, "cell cache size in 64x16 blocks, per sheet")
 	checkpointPages := flag.Int("checkpoint-pages", 0, "auto-checkpoint when this many pages are dirty since the last checkpoint (0: default, negative: disable)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 0, "rotate the WAL into a new segment at this size (0: default 4MiB, negative: disable rotation)")
+	walMaxSegs := flag.Int("wal-max-segments", 0, "checkpoint-compact the WAL when more than this many segments are live (0: default 4, negative: disable)")
 	flag.Parse()
 
 	var db *rdbms.DB
@@ -44,6 +47,8 @@ func main() {
 			BufferPoolPages:     *poolPages,
 			GroupCommit:         *groupCommit,
 			AutoCheckpointPages: *checkpointPages,
+			WALSegmentBytes:     *walSegBytes,
+			WALMaxSegments:      *walMaxSegs,
 		})
 	} else {
 		db = rdbms.Open(rdbms.Options{BufferPoolPages: *poolPages})
@@ -62,11 +67,18 @@ func main() {
 	}()
 	fmt.Printf("dsserver: serving %s on %s\n", backing(*dbPath), *addr)
 
+	exitCode := 0
 	select {
 	case s := <-sig:
 		fmt.Printf("dsserver: %v, shutting down\n", s)
 		if err := srv.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "dsserver: close:", err)
+			// srv.Close joins one error per failed sheet save; log each
+			// on its own line so operators see exactly which sheets may
+			// have lost their last edits.
+			for _, line := range strings.Split(err.Error(), "\n") {
+				fmt.Fprintln(os.Stderr, "dsserver: save failed:", line)
+			}
+			exitCode = 1
 		}
 		<-done
 	case err := <-done:
@@ -78,8 +90,9 @@ func main() {
 	}
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "dsserver: close:", err)
-		os.Exit(1)
+		exitCode = 1
 	}
+	os.Exit(exitCode)
 }
 
 func backing(path string) string {

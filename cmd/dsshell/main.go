@@ -411,6 +411,16 @@ func printStats(eng *core.Engine) {
 			ps.DiskReads, ps.DiskWrites, ps.WALSyncs, ps.WALBytes/1024, ps.Checkpoints, ps.FreePages)
 		fmt.Printf("manifest: %d bytes staged, %d segment writes\n",
 			ps.ManifestBytes, ps.ManifestSegments)
+		fmt.Printf("wal: %d segments live (%d KiB on disk), %d rotations, %d compacted\n",
+			ps.WALSegments, ps.WALDiskBytes/1024, ps.WALRotations, ps.WALCompacted)
+		if err := eng.DB().Poisoned(); err != nil {
+			fmt.Printf("POISONED (read-only): %v\n", err)
+		}
+		if fs := eng.DB().Faults(); fs != nil {
+			fc := fs.Injected()
+			fmt.Printf("injected faults: %d (io errors %d, enospc %d, short writes %d, bit flips %d)\n",
+				fc.Total(), fc.IOErrs, fc.NoSpace, fc.ShortWrites, fc.BitFlips)
+		}
 	}
 }
 
@@ -424,6 +434,14 @@ func printRemoteStats(sh *shell) error {
 	}
 	fmt.Printf("server %s: %d conns, %d in-flight requests, %d served, commit generation %d\n",
 		sh.remote.Addr(), st.Conns, st.InFlight, st.Requests, st.CommitGen)
+	fmt.Printf("wal: %d segments live, %d rotations, %d compacted\n",
+		st.WALSegments, st.WALRotations, st.WALCompacted)
+	if st.Poisoned {
+		fmt.Println("POISONED (read-only): mutations are rejected until the server reopens the database")
+	}
+	if st.InjectedFaults > 0 {
+		fmt.Printf("injected faults: %d\n", st.InjectedFaults)
+	}
 	for _, s := range st.Sheets {
 		marker := ""
 		if s.Name == sh.remoteSheet {

@@ -60,7 +60,52 @@ type (
 	CostParams = hybrid.CostParams
 	// Decomposition is a chosen physical layout.
 	Decomposition = hybrid.Decomposition
+	// FaultSchedule is a seeded fault-injection plan for WithFaults.
+	FaultSchedule = rdbms.FaultSchedule
+	// FaultRule schedules one injected fault within a FaultSchedule.
+	FaultRule = rdbms.FaultRule
 )
+
+// Failure-semantics sentinels, errors.Is-testable through every layer (the
+// engine, the serving stack, and the wire protocol):
+//
+//   - ErrReadOnly: the mutation was rejected because the database is in
+//     read-only degradation (it was poisoned by an I/O failure). Reads keep
+//     working.
+//   - ErrPoisoned: a durability-critical I/O failure (failed WAL append or
+//     fsync, failed checkpoint write) put the pager into its sticky failed
+//     state; reopen the database to recover.
+//   - ErrChecksum: a page failed its CRC on read (torn write, bit rot);
+//     surfaces through Engine.ReadErr.
+var (
+	ErrReadOnly = rdbms.ErrReadOnly
+	ErrPoisoned = rdbms.ErrPoisoned
+	ErrChecksum = rdbms.ErrChecksum
+)
+
+// Fault-rule vocabulary for NewFaultSchedule, re-exported from rdbms: the
+// operation a rule matches, the failure it injects, and the file roles it
+// can target.
+const (
+	FaultRead     = rdbms.FaultRead
+	FaultWrite    = rdbms.FaultWrite
+	FaultSync     = rdbms.FaultSync
+	FaultTruncate = rdbms.FaultTruncate
+
+	FaultIOErr      = rdbms.FaultIOErr
+	FaultENOSPC     = rdbms.FaultENOSPC
+	FaultShortWrite = rdbms.FaultShortWrite
+	FaultBitFlip    = rdbms.FaultBitFlip
+
+	FaultFileData = rdbms.FaultFileData
+	FaultFileWAL  = rdbms.FaultFileWAL
+)
+
+// NewFaultSchedule builds a deterministic fault-injection plan for
+// WithFaults; see rdbms.NewFaultSchedule.
+func NewFaultSchedule(seed int64, rules ...FaultRule) *FaultSchedule {
+	return rdbms.NewFaultSchedule(seed, rules...)
+}
 
 // OpenDB creates an empty in-memory database.
 func OpenDB() *DB { return rdbms.Open(rdbms.Options{}) }
@@ -91,6 +136,25 @@ func WithGroupCommit(batch int, interval time.Duration) FileDBOption {
 // 4096 pages; pass a negative value to disable auto-checkpointing).
 func WithAutoCheckpoint(pages int) FileDBOption {
 	return func(o *rdbms.Options) { o.AutoCheckpointPages = pages }
+}
+
+// WithWALSegments bounds WAL disk usage for long-lived databases: the log
+// rotates into a fresh segment file once the active one reaches
+// segmentBytes (default 4 MiB; negative disables rotation), and a
+// checkpoint compacts the log whenever more than maxSegments are live
+// (default 4; negative disables the trigger).
+func WithWALSegments(segmentBytes int64, maxSegments int) FileDBOption {
+	return func(o *rdbms.Options) {
+		o.WALSegmentBytes = segmentBytes
+		o.WALMaxSegments = maxSegments
+	}
+}
+
+// WithFaults opens the database over a hostile disk: the schedule's seeded
+// faults (fsync errors, torn writes, ENOSPC, read bit-flips) are injected
+// into the pager's file I/O. For tests and soak harnesses.
+func WithFaults(fs *FaultSchedule) FileDBOption {
+	return func(o *rdbms.Options) { o.Faults = fs }
 }
 
 // OpenFileDB opens (or creates) a durable database backed by the single

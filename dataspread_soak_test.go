@@ -1,0 +1,117 @@
+package dataspread_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"dataspread/internal/workload/soak"
+)
+
+// TestSoakCrashFuzz is the long deterministic soak behind `make soak`: a
+// mixed-edit workload over a fault-injected disk with kill-points at WAL
+// rotation and checkpoint boundaries, reopened and byte-compared against a
+// shadow model after every crash. Skipped unless BENCH_SOAK_JSON or
+// SOAK_ROUNDS is set; the quick smoke variant runs in every `go test`
+// (internal/workload/soak).
+//
+// Gates, enforced by the harness and re-checked here:
+//   - WAL disk usage stays under the rotation budget;
+//   - every reopen matches the shadow model exactly (no torn state);
+//   - reads keep succeeding while the pager is poisoned.
+func TestSoakCrashFuzz(t *testing.T) {
+	out := os.Getenv("BENCH_SOAK_JSON")
+	rounds := 60
+	if v := os.Getenv("SOAK_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("SOAK_ROUNDS=%q: %v", v, err)
+		}
+		rounds = n
+	} else if out == "" {
+		t.Skip("set BENCH_SOAK_JSON=<path> (or SOAK_ROUNDS=<n>) to run the crash-fuzz soak")
+	}
+
+	cfg := soak.Config{
+		Path:            filepath.Join(t.TempDir(), "soak.dsdb"),
+		Seed:            7,
+		Rounds:          rounds,
+		BatchesPerRound: 80,
+		BatchSize:       1024,
+		Rows:            2048,
+		Cols:            64,
+		SegmentBytes:    2 << 20,
+		MaxSegments:     3,
+		FaultEvery:      3,
+	}
+	start := time.Now()
+	res, err := soak.Run(cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("soak failed after %v (%d/%d rounds, %d batches): %v",
+			elapsed, res.Rounds, cfg.Rounds, res.Batches, err)
+	}
+	t.Logf("%d rounds in %v: %d batches (%d cells), %d kills (%d at segment boundaries), %d poisoned rounds, %d ambiguous / %d torn batches, WAL peak %d KiB of %d KiB budget, %d rotations, %d segments compacted, %d faults injected",
+		res.Rounds, elapsed.Round(time.Millisecond), res.Batches, res.CellsWritten,
+		res.Kills, res.BoundaryKills, res.PoisonedRounds, res.AmbiguousBatches, res.TornBatches,
+		res.MaxWALBytes/1024, res.WALBudget/1024, res.WALRotations, res.WALCompacted, res.InjectedFaults)
+
+	// The run must actually have exercised the interesting machinery.
+	if res.WALRotations == 0 {
+		t.Error("no WAL rotations: segment size too large for the workload")
+	}
+	if res.WALCompacted == 0 {
+		t.Error("no segments compacted: the segment cap never forced a checkpoint")
+	}
+	if res.Kills == 0 {
+		t.Error("no crash kills happened")
+	}
+	if rounds >= 6 {
+		if res.PoisonedRounds == 0 {
+			t.Error("no round ended poisoned: fault schedule never fired")
+		}
+		if res.ReadsWhilePoisoned == 0 {
+			t.Error("poisoned reads were never exercised")
+		}
+	}
+	if res.MaxWALBytes > res.WALBudget {
+		t.Errorf("WAL peak %d exceeds budget %d", res.MaxWALBytes, res.WALBudget)
+	}
+
+	if out == "" {
+		return
+	}
+	snap := map[string]any{
+		"rounds":                res.Rounds,
+		"batches":               res.Batches,
+		"cells_written":         res.CellsWritten,
+		"elapsed_ms":            elapsed.Milliseconds(),
+		"kills":                 res.Kills,
+		"boundary_kills":        res.BoundaryKills,
+		"poisoned_rounds":       res.PoisonedRounds,
+		"ambiguous_batches":     res.AmbiguousBatches,
+		"torn_batches":          res.TornBatches,
+		"reads_while_poisoned":  res.ReadsWhilePoisoned,
+		"max_wal_bytes":         res.MaxWALBytes,
+		"wal_budget_bytes":      res.WALBudget,
+		"wal_rotations":         res.WALRotations,
+		"wal_compacted":         res.WALCompacted,
+		"injected_faults":       res.InjectedFaults,
+		"final_cells":           res.FinalCells,
+		"segment_bytes":         cfg.SegmentBytes,
+		"max_segments":          cfg.MaxSegments,
+		"gate_wal_under_budget": res.MaxWALBytes <= res.WALBudget,
+		"gate_no_torn_state":    true, // Run errors out otherwise
+		"gate_poisoned_reads":   res.ReadsWhilePoisoned > 0,
+	}
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

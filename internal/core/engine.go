@@ -239,6 +239,20 @@ func (e *Engine) ReadErr() error { return e.cache.TakeErr() }
 // CacheStats returns the cell cache's hit/miss/eviction counters.
 func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
 
+// writeGuard rejects mutations while the backing database is poisoned,
+// before they touch in-memory state: a write applied in memory could never
+// become durable, and would make the served state diverge from what a
+// restart recovers. The returned error unwraps to rdbms.ErrReadOnly (and
+// rdbms.ErrPoisoned), so callers degrade to read-only with one errors.Is.
+// Reads are never guarded — they keep serving the committed generation and
+// resident cache.
+func (e *Engine) writeGuard() error {
+	if err := e.db.Poisoned(); err != nil {
+		return fmt.Errorf("core: %s: %w", e.name, err)
+	}
+	return nil
+}
+
 // Set writes user input: text beginning with '=' installs a formula,
 // anything else a literal value; empty text clears the cell.
 func (e *Engine) Set(row, col int, input string) error {
@@ -251,6 +265,9 @@ func (e *Engine) Set(row, col int, input string) error {
 // SetValue writes a plain value and recomputes dependents (updateCell of
 // Section III).
 func (e *Engine) SetValue(row, col int, v sheet.Value) error {
+	if err := e.writeGuard(); err != nil {
+		return err
+	}
 	ref := sheet.Ref{Row: row, Col: col}
 	e.dropFormula(ref)
 	if err := e.cache.Put(ref, sheet.Cell{Value: v}); err != nil {
@@ -266,6 +283,9 @@ func (e *Engine) SetValue(row, col int, v sheet.Value) error {
 
 // Clear blanks a cell.
 func (e *Engine) Clear(row, col int) error {
+	if err := e.writeGuard(); err != nil {
+		return err
+	}
 	ref := sheet.Ref{Row: row, Col: col}
 	e.dropFormula(ref)
 	if err := e.cache.Put(ref, sheet.Cell{}); err != nil {
@@ -281,6 +301,9 @@ func (e *Engine) Clear(row, col int) error {
 // SetFormula installs a formula (source without '='), evaluates it, and
 // recomputes dependents. Cycles poison the cell with #CYCLE!.
 func (e *Engine) SetFormula(row, col int, src string) error {
+	if err := e.writeGuard(); err != nil {
+		return err
+	}
 	ref := sheet.Ref{Row: row, Col: col}
 	if err := e.installFormula(ref, src); err != nil {
 		return err
@@ -360,6 +383,9 @@ func (e *Engine) SetCells(edits []CellEdit) error {
 func (e *Engine) ApplyCells(edits []CellEdit) error {
 	if len(edits) == 0 {
 		return nil
+	}
+	if err := e.writeGuard(); err != nil {
+		return err
 	}
 	// Validate the whole batch before mutating anything, so a malformed
 	// edit rejects the batch instead of leaving it half-applied (per-cell

@@ -65,6 +65,9 @@ func (e *Engine) InsertRowsAfter(row, count int) error {
 	if row < 0 {
 		return fmt.Errorf("core: insert after row %d", row)
 	}
+	if err := e.writeGuard(); err != nil {
+		return err
+	}
 	e.lastEdit = EditStats{}
 	if err := e.store.InsertRowsAfter(row, count); err != nil {
 		return err
@@ -101,6 +104,9 @@ func (e *Engine) DeleteRows(row, count int) error {
 	}
 	if row < 1 {
 		return fmt.Errorf("core: delete of row %d", row)
+	}
+	if err := e.writeGuard(); err != nil {
+		return err
 	}
 	e.lastEdit = EditStats{}
 	// Formulas reading the doomed band recompute after the shift (their
@@ -139,6 +145,9 @@ func (e *Engine) InsertColumnsAfter(col, count int) error {
 	if col < 0 {
 		return fmt.Errorf("core: insert after column %d", col)
 	}
+	if err := e.writeGuard(); err != nil {
+		return err
+	}
 	e.lastEdit = EditStats{}
 	if err := e.store.InsertColumnsAfter(col, count); err != nil {
 		return err
@@ -170,6 +179,9 @@ func (e *Engine) DeleteColumns(col, count int) error {
 	}
 	if col < 1 {
 		return fmt.Errorf("core: delete of column %d", col)
+	}
+	if err := e.writeGuard(); err != nil {
+		return err
 	}
 	e.lastEdit = EditStats{}
 	band := sheet.NewRange(1, col, maxCoord, col+count-1)

@@ -99,6 +99,22 @@ type Options struct {
 	// redo state. 0 means the default of 4096 pages (32 MiB); negative
 	// disables auto-checkpointing.
 	AutoCheckpointPages int
+	// WALSegmentBytes rotates the write-ahead log into a fresh segment
+	// file (<path>.wal.0001, ...) once the active segment reaches this
+	// size; commits never straddle a boundary, and checkpoints delete the
+	// sealed segments. 0 means the default of 4 MiB; negative disables
+	// rotation (single-file WAL, the pre-rotation layout).
+	WALSegmentBytes int64
+	// WALMaxSegments checkpoints automatically when the live segment
+	// count (active + sealed) exceeds it, which bounds WAL disk usage to
+	// roughly (WALMaxSegments+1) * WALSegmentBytes. 0 means the default
+	// of 4; negative disables the segment-count trigger.
+	WALMaxSegments int
+	// Faults, when set, injects the schedule's seeded failures into every
+	// data-file and WAL operation of the file-backed pager — the hostile
+	// disk used by fault-injection tests and the soak harness. Nil (the
+	// default) performs real I/O with zero overhead.
+	Faults *FaultSchedule
 }
 
 // Resolved group-commit / checkpoint defaults.
@@ -106,6 +122,8 @@ const (
 	defaultGroupCommitBatch    = 8
 	defaultGroupCommitInterval = time.Millisecond
 	defaultAutoCheckpointPages = 4096
+	defaultWALSegmentBytes     = 4 << 20
+	defaultWALMaxSegments      = 4
 )
 
 func (o Options) filePagerOptions() filePagerOptions {
@@ -114,6 +132,9 @@ func (o Options) filePagerOptions() filePagerOptions {
 		groupBatch:          o.GroupCommitBatch,
 		groupInterval:       o.GroupCommitInterval,
 		autoCheckpointPages: o.AutoCheckpointPages,
+		walSegmentBytes:     o.WALSegmentBytes,
+		walMaxSegments:      o.WALMaxSegments,
+		faults:              o.Faults,
 	}
 	if fo.groupBatch <= 0 {
 		fo.groupBatch = defaultGroupCommitBatch
@@ -126,6 +147,18 @@ func (o Options) filePagerOptions() filePagerOptions {
 		fo.autoCheckpointPages = defaultAutoCheckpointPages
 	case fo.autoCheckpointPages < 0:
 		fo.autoCheckpointPages = 0
+	}
+	switch {
+	case fo.walSegmentBytes == 0:
+		fo.walSegmentBytes = defaultWALSegmentBytes
+	case fo.walSegmentBytes < 0:
+		fo.walSegmentBytes = 0
+	}
+	switch {
+	case fo.walMaxSegments == 0:
+		fo.walMaxSegments = defaultWALMaxSegments
+	case fo.walMaxSegments < 0:
+		fo.walMaxSegments = 0
 	}
 	return fo
 }
@@ -294,6 +327,30 @@ func (db *DB) SimulateCrash() error {
 		return nil
 	}
 	return fp.closeFiles()
+}
+
+// Poisoned reports the database's sticky failure state: nil while healthy,
+// otherwise an error unwrapping to ErrPoisoned, ErrReadOnly and the
+// original I/O failure. A poisoned database keeps serving reads but every
+// commit (FlushWAL, Checkpoint, Close) fails until it is reopened — upper
+// layers use this to degrade to read-only instead of retrying a failed
+// fsync. Always nil for in-memory databases.
+func (db *DB) Poisoned() error {
+	fp := db.filePager()
+	if fp == nil {
+		return nil
+	}
+	return fp.poisonedErr()
+}
+
+// Faults returns the fault-injection schedule the database was opened with,
+// or nil when none is active.
+func (db *DB) Faults() *FaultSchedule {
+	fp := db.filePager()
+	if fp == nil {
+		return nil
+	}
+	return fp.opts.faults
 }
 
 // VerifyChecksums reads every page slot in the data file and validates its

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,9 +22,9 @@ import (
 //	header block (8 KiB): magic, version, page count, meta chain head+length, CRC
 //	page slots: per page, 4-byte CRC-32C + 4-byte page id + 8 KiB image
 //
-// WAL layout (<path>.wal):
+// WAL layout (<path>.wal, rotated into <path>.wal.0001, .0002, ...):
 //
-//	8-byte magic, then records:
+//	per segment: 8-byte magic, then records:
 //	  page record:   0x01, u32 page id, 8 KiB image, u32 CRC-32C
 //	  commit record: 0x02, u32 page count, u32 meta head, u32 meta len, u32 CRC-32C
 //
@@ -30,10 +32,22 @@ import (
 // write-back target of buffer-pool evictions and flushes). A WAL commit
 // snapshots every page dirtied since the previous commit into the log,
 // appends a commit record and fsyncs — at that point the batch is durable.
-// A checkpoint additionally writes the shadow pages into their data-file
-// slots, fsyncs, and truncates the WAL. On open, committed WAL batches are
-// redone into the data file before anything is read (crash recovery);
-// uncommitted or torn tails are discarded.
+// When the active segment outgrows its bound the log rotates: appends move
+// to the next numbered segment (commits never straddle a boundary), and a
+// checkpoint — triggered explicitly, by shadow size, or by the live-segment
+// cap — writes the shadow pages into their data-file slots, fsyncs, and
+// deletes every sealed segment (compaction). On open, committed WAL batches
+// are redone across all segments in order before anything is read (crash
+// recovery); uncommitted or torn tails are discarded. A pre-rotation
+// single-file WAL is simply a database whose log never rotated — the v2/v3
+// open path is unchanged.
+//
+// Failure semantics: any WAL append/fsync or checkpoint write/fsync error
+// poisons the pager — every later commit and checkpoint returns a sticky
+// error unwrapping to ErrPoisoned and ErrReadOnly, while page reads keep
+// working. A failed fsync is never retried against the same file handles:
+// the kernel may have dropped the dirty pages the failure reported, so only
+// a fresh open (whose recovery replays the WAL) re-establishes known state.
 type FilePager struct {
 	// mu guards all mutable pager state. Readers (fetch, verify) take it
 	// shared — page reads are positioned pread calls, so concurrent range
@@ -42,8 +56,8 @@ type FilePager struct {
 	// exclusively.
 	mu   sync.RWMutex
 	path string
-	f    *os.File // data file
-	wal  *os.File
+	f    dbFile // data file (possibly fault-wrapped)
+	wal  dbFile // active WAL segment (possibly fault-wrapped)
 	opts filePagerOptions
 
 	pages int
@@ -68,8 +82,20 @@ type FilePager struct {
 	metaLen   uint32
 	metaPages []PageID
 
-	walSize int64 // append offset in the WAL
-	closed  bool
+	walSize int64 // append offset in the active WAL segment
+	// walSeq numbers the active WAL segment: 0 is <path>.wal (every
+	// database starts there, which is also what keeps pre-rotation
+	// databases openable), rotations move to <path>.wal.0001 and up.
+	// sealed lists the full segments behind the active one, oldest first;
+	// they are deleted when a checkpoint makes them redundant.
+	walSeq int
+	sealed []walSegment
+	closed bool
+
+	// pmu guards the sticky poison state (readable without fp.mu so the
+	// stats path and upper-layer write guards never queue behind I/O).
+	pmu         sync.Mutex
+	poisonCause error
 
 	// gate, when set (always, for pagers owned by a DB), is held shared
 	// around every commit. Staging — manifest serialization plus the
@@ -80,6 +106,7 @@ type FilePager struct {
 	diskReads, diskWrites, walAppends   atomic.Int64
 	walSyncs, walBytes, checkpointCount atomic.Int64
 	manifestBytes, manifestSegments     atomic.Int64
+	walRotations, walCompacted          atomic.Int64
 
 	// Group-commit flusher state (see flushLoop). All g* fields are
 	// guarded by gmu, never fp.mu.
@@ -107,6 +134,22 @@ type filePagerOptions struct {
 	// autoCheckpointPages checkpoints automatically when a commit leaves
 	// the shadow overlay holding at least this many pages (0: disabled).
 	autoCheckpointPages int
+	// walSegmentBytes rotates the WAL into a fresh segment once the
+	// active one reaches this size (0: disabled — single-file WAL).
+	walSegmentBytes int64
+	// walMaxSegments checkpoints automatically when the live segment
+	// count (active + sealed) exceeds it, bounding WAL disk usage
+	// (0: disabled).
+	walMaxSegments int
+	// faults, when set, injects the schedule's failures into every data
+	// and WAL file operation.
+	faults *FaultSchedule
+}
+
+// walSegment records one sealed (rotated-out) WAL segment.
+type walSegment struct {
+	seq  int
+	size int64
 }
 
 const (
@@ -162,8 +205,8 @@ func newFilePager(path string, opts filePagerOptions) (*FilePager, error) {
 	}
 	fp := &FilePager{
 		path:     path,
-		f:        f,
-		wal:      wal,
+		f:        wrapFaultFile(f, FaultFileData, opts.faults),
+		wal:      wrapFaultFile(wal, FaultFileWAL, opts.faults),
 		opts:     opts,
 		shadow:   make(map[PageID]*page),
 		walDirty: make(map[PageID]bool),
@@ -248,10 +291,10 @@ func (fp *FilePager) readPageFromFile(id PageID) (*page, error) {
 	}
 	fp.diskReads.Add(1)
 	if stored := binary.LittleEndian.Uint32(buf[4:8]); stored != uint32(id) {
-		return nil, fmt.Errorf("rdbms: page %d slot holds page %d (misplaced write)", id, stored)
+		return nil, fmt.Errorf("rdbms: page %d slot holds page %d (misplaced write): %w", id, stored, ErrChecksum)
 	}
 	if crc32.Checksum(buf[8:], castagnoli) != binary.LittleEndian.Uint32(buf[0:4]) {
-		return nil, fmt.Errorf("rdbms: page %d checksum mismatch (torn or corrupt page)", id)
+		return nil, fmt.Errorf("rdbms: page %d (torn or corrupt page): %w", id, ErrChecksum)
 	}
 	p := &page{}
 	copy(p.buf[:], buf[8:])
@@ -413,6 +456,12 @@ func (fp *FilePager) commitSync() error {
 	if fp.opts.autoCheckpointPages > 0 && len(fp.shadow) >= fp.opts.autoCheckpointPages {
 		return fp.checkpointLocked()
 	}
+	if fp.opts.walMaxSegments > 0 && len(fp.sealed)+1 > fp.opts.walMaxSegments {
+		// Too many live segments: checkpoint to compact the log. The
+		// caller's batch is already durable; a checkpoint failure here
+		// poisons the pager but is reported to this (conservative) caller.
+		return fp.checkpointLocked()
+	}
 	return nil
 }
 
@@ -436,9 +485,10 @@ func (fp *FilePager) groupCommit() error {
 		return errors.New("rdbms: pager closed before commit completed")
 	}
 	// glastErr is the newest flush's outcome. Reading a newer flush's
-	// result is sound: a failed commit leaves walDirty intact, so a later
-	// successful flush re-commits those pages (and a later failure is
-	// merely a conservative report).
+	// result is sound: a failed flush poisons the pager, so every flush
+	// after it reports the same sticky error — a commit is never silently
+	// re-tried behind a caller's back (and a newer failure covering an
+	// older success is merely a conservative report).
 	return fp.glastErr
 }
 
@@ -495,13 +545,38 @@ func (fp *FilePager) stopFlusher() {
 	fp.gmu.Unlock()
 }
 
+// poison records the first durability-critical failure and returns the
+// sticky error for it. Every later commit or checkpoint fails with the same
+// cause until the database is reopened.
+func (fp *FilePager) poison(cause error) error {
+	fp.pmu.Lock()
+	defer fp.pmu.Unlock()
+	if fp.poisonCause == nil {
+		fp.poisonCause = cause
+	}
+	return &poisonedError{cause: fp.poisonCause}
+}
+
+// poisonedErr returns the sticky poison error, or nil while healthy.
+func (fp *FilePager) poisonedErr() error {
+	fp.pmu.Lock()
+	defer fp.pmu.Unlock()
+	if fp.poisonCause == nil {
+		return nil
+	}
+	return &poisonedError{cause: fp.poisonCause}
+}
+
 func (fp *FilePager) commitWALLocked() error {
+	if err := fp.poisonedErr(); err != nil {
+		return err
+	}
 	if len(fp.walDirty) == 0 {
 		return nil
 	}
 	if fp.walSize == 0 {
 		if _, err := fp.wal.WriteAt([]byte(walMagic), 0); err != nil {
-			return err
+			return fp.poison(fmt.Errorf("rdbms: WAL magic write: %w", err))
 		}
 		fp.walSize = int64(len(walMagic))
 	}
@@ -532,16 +607,91 @@ func (fp *FilePager) commitWALLocked() error {
 	binary.LittleEndian.PutUint32(c[13:], crc32.Checksum(c[:13], castagnoli))
 	buf = append(buf, c[:]...)
 	if _, err := fp.wal.WriteAt(buf, fp.walSize); err != nil {
-		return err
+		// The append may have landed partially (a torn record); walSize is
+		// not advanced, but the handle's durable state is now unknown, so
+		// the pager poisons rather than re-append over the tear. Recovery
+		// discards the torn tail on reopen.
+		return fp.poison(fmt.Errorf("rdbms: WAL append: %w", err))
 	}
 	fp.walSize += int64(len(buf))
 	fp.walBytes.Add(int64(len(buf)))
 	if err := fp.wal.Sync(); err != nil {
-		return err
+		// fsyncgate: a failed WAL fsync may have dropped the very pages it
+		// failed on from the kernel's dirty set, so retrying the fsync and
+		// trusting a later success would be wrong. Poison instead.
+		return fp.poison(fmt.Errorf("rdbms: WAL fsync: %w", err))
 	}
 	fp.walSyncs.Add(1)
 	fp.walDirty = make(map[PageID]bool)
+	if fp.opts.walSegmentBytes > 0 && fp.walSize >= fp.opts.walSegmentBytes {
+		if err := fp.rotateWALLocked(); err != nil {
+			// The batch just committed is durable; only the rotation
+			// failed. Poison quietly so later commits refuse, but report
+			// success for this one.
+			fp.poison(fmt.Errorf("rdbms: WAL rotation: %w", err))
+		}
+	}
 	return nil
+}
+
+// rotateWALLocked seals the active WAL segment and starts appending to the
+// next numbered one. Called only between commits, so no batch ever
+// straddles a segment boundary. fp.mu must be held.
+func (fp *FilePager) rotateWALLocked() error {
+	if err := fp.wal.Close(); err != nil {
+		return err
+	}
+	fp.sealed = append(fp.sealed, walSegment{seq: fp.walSeq, size: fp.walSize})
+	fp.walSeq++
+	raw, err := os.OpenFile(fp.walSegPath(fp.walSeq), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fp.wal = wrapFaultFile(raw, FaultFileWAL, fp.opts.faults)
+	fp.walSize = 0
+	fp.walRotations.Add(1)
+	return nil
+}
+
+// walSegPath names a WAL segment file: segment 0 is the plain <path>.wal
+// (so never-rotated and legacy databases share the layout), later segments
+// are numbered.
+func (fp *FilePager) walSegPath(seq int) string {
+	if seq == 0 {
+		return fp.path + ".wal"
+	}
+	return fmt.Sprintf("%s.wal.%04d", fp.path, seq)
+}
+
+// listWALSegments finds the numbered segment files on disk, sorted
+// ascending. Segment 0 (<path>.wal) is not listed; it always exists once
+// the pager is open.
+func (fp *FilePager) listWALSegments() ([]int, error) {
+	matches, err := filepath.Glob(fp.path + ".wal.*")
+	if err != nil {
+		return nil, err
+	}
+	prefix := fp.path + ".wal."
+	var out []int
+	for _, m := range matches {
+		n, err := strconv.Atoi(m[len(prefix):])
+		if err != nil || n <= 0 {
+			continue // not one of ours (e.g. editor backup files)
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// walDiskBytes sums the live WAL footprint: sealed segments plus the
+// active append offset. fp.mu must be held (shared suffices).
+func (fp *FilePager) walDiskBytes() int64 {
+	n := fp.walSize
+	for _, s := range fp.sealed {
+		n += s.size
+	}
+	return n
 }
 
 // checkpoint commits the WAL, writes every shadow page into its data-file
@@ -563,96 +713,161 @@ func (fp *FilePager) checkpointLocked() error {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		if err := fp.writePageToFile(id, fp.shadow[id]); err != nil {
-			return err
+			return fp.poison(err)
 		}
 	}
 	if err := fp.writeHeader(); err != nil {
-		return err
+		return fp.poison(fmt.Errorf("rdbms: write header: %w", err))
 	}
 	if err := fp.f.Sync(); err != nil {
-		return err
+		// fsyncgate again, on the data file: the checkpointed pages may or
+		// may not be durable, and the WAL is about to be truncated on that
+		// assumption. Poison; recovery on reopen replays the intact WAL.
+		return fp.poison(fmt.Errorf("rdbms: data file fsync: %w", err))
 	}
 	if err := fp.resetWAL(); err != nil {
-		return err
+		return fp.poison(fmt.Errorf("rdbms: WAL reset: %w", err))
 	}
 	fp.shadow = make(map[PageID]*page)
 	fp.checkpointCount.Add(1)
 	return nil
 }
 
+// resetWAL compacts the log after a checkpoint: the active handle moves
+// back to segment 0, which is truncated, and every now-redundant numbered
+// segment file is deleted. The order matters for crash safety: segment 0 —
+// the oldest — is emptied and synced before any deletions, and deletions
+// run oldest-first, so a crash at any point leaves a contiguous *suffix* of
+// segments on disk. Replaying a suffix of committed batches over a
+// checkpointed data file reconverges to the checkpoint state (later images
+// overwrite earlier ones); replaying a prefix would regress it.
 func (fp *FilePager) resetWAL() error {
+	if fp.walSeq != 0 {
+		if err := fp.wal.Close(); err != nil {
+			return err
+		}
+		raw, err := os.OpenFile(fp.walSegPath(0), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		fp.wal = wrapFaultFile(raw, FaultFileWAL, fp.opts.faults)
+	}
 	if err := fp.wal.Truncate(0); err != nil {
 		return err
 	}
+	if err := fp.wal.Sync(); err != nil {
+		return err
+	}
+	removed := 0
+	for _, s := range fp.sealed {
+		if s.seq == 0 {
+			continue
+		}
+		// A failed deletion must not be ignored: a stale old segment
+		// surviving next to a fresh segment 0 would replay stale images
+		// *after* newer ones on recovery.
+		if err := os.Remove(fp.walSegPath(s.seq)); err != nil {
+			return err
+		}
+		removed++
+	}
+	if fp.walSeq != 0 {
+		if err := os.Remove(fp.walSegPath(fp.walSeq)); err != nil {
+			return err
+		}
+		removed++
+	}
+	fp.walCompacted.Add(int64(removed))
+	fp.sealed = nil
+	fp.walSeq = 0
 	fp.walSize = 0
-	return fp.wal.Sync()
+	return nil
 }
 
 // recover redoes committed WAL batches into the data file (idempotent) and
-// discards uncommitted or torn tails. Called once on open. It reports
-// whether a committed batch was applied (which also rebuilds the header
-// from the commit record).
+// discards uncommitted or torn tails. Called once on open. It reads every
+// segment on disk in sequence order — a checkpoint interrupted mid-
+// compaction legitimately leaves an empty segment 0 ahead of surviving
+// numbered segments (a suffix of the log), and a batch never straddles a
+// boundary, so a continuous scan across segments is sound. The scan stops
+// at the first torn or corrupt record and ignores everything after it,
+// including later segments. It reports whether a committed batch was
+// applied (which also rebuilds the header from the commit record), and
+// always leaves the log compacted back to an empty segment 0.
 func (fp *FilePager) recover() (bool, error) {
-	st, err := fp.wal.Stat()
+	numbered, err := fp.listWALSegments()
 	if err != nil {
 		return false, err
 	}
-	if st.Size() < int64(len(walMagic)) {
-		if st.Size() > 0 {
-			return false, fp.resetWAL()
-		}
-		return false, nil
-	}
-	data := make([]byte, st.Size())
-	if _, err := fp.wal.ReadAt(data, 0); err != nil {
-		return false, err
-	}
-	if string(data[:len(walMagic)]) != walMagic {
-		return false, fp.resetWAL()
-	}
-	off := len(walMagic)
+	seqs := append([]int{0}, numbered...)
 	batch := make(map[PageID][]byte)
 	committed := make(map[PageID][]byte)
 	var pages, metaHead, metaLen uint32
 	haveCommit := false
+	sawData := false
 scan:
-	for off < len(data) {
-		switch data[off] {
-		case walPageRec:
-			if off+walPageRecSize > len(data) {
-				break scan
-			}
-			rec := data[off : off+walPageRecSize]
-			if crc32.Checksum(rec[:walPageRecSize-4], castagnoli) !=
-				binary.LittleEndian.Uint32(rec[walPageRecSize-4:]) {
-				break scan
-			}
-			id := PageID(binary.LittleEndian.Uint32(rec[1:5]))
-			batch[id] = rec[5 : 5+PageSize]
-			off += walPageRecSize
-		case walCommitRec:
-			if off+walCommitRecSize > len(data) {
-				break scan
-			}
-			rec := data[off : off+walCommitRecSize]
-			if crc32.Checksum(rec[:walCommitRecSize-4], castagnoli) !=
-				binary.LittleEndian.Uint32(rec[walCommitRecSize-4:]) {
-				break scan
-			}
-			for id, img := range batch {
-				committed[id] = img
-			}
-			batch = make(map[PageID][]byte)
-			pages = binary.LittleEndian.Uint32(rec[1:5])
-			metaHead = binary.LittleEndian.Uint32(rec[5:9])
-			metaLen = binary.LittleEndian.Uint32(rec[9:13])
-			haveCommit = true
-			off += walCommitRecSize
-		default:
+	for _, seq := range seqs {
+		data, err := os.ReadFile(fp.walSegPath(seq))
+		if err != nil {
+			return false, err
+		}
+		if len(data) == 0 {
+			continue // truncated by a past compaction, or a fresh rotation
+		}
+		sawData = true
+		if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
 			break scan
 		}
+		off := len(walMagic)
+		for off < len(data) {
+			switch data[off] {
+			case walPageRec:
+				if off+walPageRecSize > len(data) {
+					break scan
+				}
+				rec := data[off : off+walPageRecSize]
+				if crc32.Checksum(rec[:walPageRecSize-4], castagnoli) !=
+					binary.LittleEndian.Uint32(rec[walPageRecSize-4:]) {
+					break scan
+				}
+				id := PageID(binary.LittleEndian.Uint32(rec[1:5]))
+				batch[id] = rec[5 : 5+PageSize]
+				off += walPageRecSize
+			case walCommitRec:
+				if off+walCommitRecSize > len(data) {
+					break scan
+				}
+				rec := data[off : off+walCommitRecSize]
+				if crc32.Checksum(rec[:walCommitRecSize-4], castagnoli) !=
+					binary.LittleEndian.Uint32(rec[walCommitRecSize-4:]) {
+					break scan
+				}
+				for id, img := range batch {
+					committed[id] = img
+				}
+				batch = make(map[PageID][]byte)
+				pages = binary.LittleEndian.Uint32(rec[1:5])
+				metaHead = binary.LittleEndian.Uint32(rec[5:9])
+				metaLen = binary.LittleEndian.Uint32(rec[9:13])
+				haveCommit = true
+				off += walCommitRecSize
+			default:
+				break scan
+			}
+		}
+	}
+	// Adopt the on-disk segments so resetWAL compacts exactly what exists,
+	// whatever state the scan stopped in.
+	fp.sealed = fp.sealed[:0]
+	for _, seq := range numbered {
+		fp.sealed = append(fp.sealed, walSegment{seq: seq})
 	}
 	if !haveCommit {
+		if !sawData && len(numbered) == 0 {
+			// Nothing to discard; skip the reset so a fresh open performs
+			// no WAL writes at all.
+			return false, nil
+		}
 		return false, fp.resetWAL()
 	}
 	for id, img := range committed {
@@ -863,7 +1078,14 @@ func (fp *FilePager) closeFiles() error {
 		return nil
 	}
 	fp.closed = true
-	return errors.Join(fp.f.Close(), fp.wal.Close())
+	ferr := fp.f.Close()
+	werr := fp.wal.Close()
+	// A failed rotation can leave the WAL handle already closed; that is
+	// not a close failure worth reporting on top of the poison state.
+	if errors.Is(werr, os.ErrClosed) {
+		werr = nil
+	}
+	return errors.Join(ferr, werr)
 }
 
 // fileCounters is the snapshot of real-I/O counters surfaced via IOStats.
@@ -873,11 +1095,15 @@ type fileCounters struct {
 	checkpoints                     int64
 	freePages                       int64
 	manifestBytes, manifestSegments int64
+	walSegments, walRotations       int64
+	walCompacted, walDiskBytes      int64
 }
 
 func (fp *FilePager) ioCounters() fileCounters {
 	fp.mu.RLock()
 	freePages := int64(len(fp.freeList) + len(fp.pendingFree))
+	walSegments := int64(len(fp.sealed) + 1)
+	walDiskBytes := fp.walDiskBytes()
 	fp.mu.RUnlock()
 	return fileCounters{
 		diskReads:        fp.diskReads.Load(),
@@ -889,6 +1115,10 @@ func (fp *FilePager) ioCounters() fileCounters {
 		freePages:        freePages,
 		manifestBytes:    fp.manifestBytes.Load(),
 		manifestSegments: fp.manifestSegments.Load(),
+		walSegments:      walSegments,
+		walRotations:     fp.walRotations.Load(),
+		walCompacted:     fp.walCompacted.Load(),
+		walDiskBytes:     walDiskBytes,
 	}
 }
 

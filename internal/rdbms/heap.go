@@ -44,6 +44,16 @@ func newHeapFile(disk Pager, pool *BufferPool) *heapFile {
 	return &heapFile{disk: disk, pool: pool}
 }
 
+// pageReadErr formats an unreadable-page failure, wrapping the pool's
+// retained error (a checksum mismatch, an injected read fault) so callers
+// can errors.Is against sentinels like ErrChecksum.
+func pageReadErr(what string, id PageID, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("rdbms: cannot read %s %d: %w", what, id, cause)
+	}
+	return fmt.Errorf("rdbms: cannot read %s %d", what, id)
+}
+
 // insertRaw places one already-framed record and returns its RID.
 func (h *heapFile) insertRaw(payload []byte) (RID, error) {
 	for i := h.freeHint; i < len(h.pages); i++ {
@@ -208,7 +218,7 @@ func (h *heapFile) getMany(rids []RID, proj []int, fn func(i int, vals Row) erro
 			cur = h.pool.fetch(rid.Page)
 			curID = rid.Page
 			if cur == nil {
-				return fmt.Errorf("rdbms: cannot read page %d: %v", rid.Page, h.pool.Err())
+				return pageReadErr("page", rid.Page, h.pool.Err())
 			}
 		}
 		buf := cur.read(rid.Slot)
@@ -225,7 +235,7 @@ func (h *heapFile) getMany(rids []RID, proj []int, fn func(i int, vals Row) erro
 			for next != endChunk {
 				np := h.pool.fetch(next.Page)
 				if np == nil {
-					return fmt.Errorf("rdbms: cannot read chunk page %d: %v", next.Page, h.pool.Err())
+					return pageReadErr("chunk page", next.Page, h.pool.Err())
 				}
 				nb := np.read(next.Slot)
 				if len(nb) == 0 || nb[0] != tupMid {

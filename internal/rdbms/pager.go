@@ -28,6 +28,13 @@ type IOStats struct {
 	WALBytes    int64 // bytes appended to the write-ahead log
 	Checkpoints int64 // data-file checkpoints (manual and automatic)
 	FreePages   int64 // pages currently on the free list, awaiting reuse
+	// WAL segmentation counters (the long-lived-operations signal): the
+	// log rotates into bounded segments and checkpoints compact them away,
+	// so disk usage stays bounded over months of commits.
+	WALSegments  int64 // live WAL segments (active + sealed)
+	WALRotations int64 // segment rotations since open
+	WALCompacted int64 // sealed segment files deleted by checkpoints
+	WALDiskBytes int64 // current WAL footprint on disk (all live segments)
 	// Manifest persistence counters (the incremental-commit signal): how
 	// many bytes of catalog/metadata manifest were staged into meta page
 	// chains, and how many out-of-line metadata values (manifest segments)
@@ -311,6 +318,8 @@ func (b *BufferPool) Stats() IOStats {
 		s.WALSyncs, s.WALBytes, s.Checkpoints = fc.walSyncs, fc.walBytes, fc.checkpoints
 		s.FreePages = fc.freePages
 		s.ManifestBytes, s.ManifestSegments = fc.manifestBytes, fc.manifestSegments
+		s.WALSegments, s.WALRotations = fc.walSegments, fc.walRotations
+		s.WALCompacted, s.WALDiskBytes = fc.walCompacted, fc.walDiskBytes
 	}
 	return s
 }

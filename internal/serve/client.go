@@ -3,13 +3,38 @@ package serve
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"dataspread/internal/core"
+	"dataspread/internal/rdbms"
 	"dataspread/internal/sheet"
 )
+
+// ClientOptions tunes a Client's connection handling. The zero value keeps
+// the historic behavior: no timeouts, no retries.
+type ClientOptions struct {
+	// DialTimeout bounds each connection attempt (0: no limit).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request round-trip, send to response
+	// (0: no limit).
+	RequestTimeout time.Duration
+	// RetryAttempts is how many extra attempts an idempotent request
+	// (ping, open, close-sheet, get-range, stats) makes after a transient
+	// connection failure, reconnecting between attempts. Mutations
+	// (set-cells, structural edits) are never retried: once the request
+	// may have reached the server, a retry could apply it twice.
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt with jitter, capped at 64x. 0 means 10ms when retries are
+	// enabled.
+	RetryBackoff time.Duration
+}
 
 // Client is one connection to a dsserver, speaking the wire protocol of
 // this package. It is safe for concurrent use; requests serialize on the
@@ -17,6 +42,9 @@ import (
 // open more clients for parallelism). dsshell's .connect mode and the
 // mixed-workload benchmark driver use it via internal/serve/client.
 type Client struct {
+	addr string
+	opts ClientOptions
+
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
@@ -24,17 +52,35 @@ type Client struct {
 	buf  []byte
 }
 
-// Dial connects to a dsserver at addr ("host:port").
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// Dial connects to a dsserver at addr ("host:port") with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, ClientOptions{}) }
+
+// DialOptions connects to a dsserver at addr. When opts enables retries,
+// transient dial failures are retried with backoff before giving up.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	c := &Client{addr: addr, opts: opts}
+	for try := 0; ; try++ {
+		err := c.dialLocked()
+		if err == nil {
+			return c, nil
+		}
+		if try >= opts.RetryAttempts || !transientErr(err) {
+			return nil, err
+		}
+		c.backoff(try)
 	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
-	}, nil
+}
+
+// dialLocked (re)connects; on failure the previous conn fields are kept.
+func (c *Client) dialLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 64<<10)
+	c.bw = bufio.NewWriterSize(conn, 64<<10)
+	return nil
 }
 
 // Close tears down the connection.
@@ -43,11 +89,68 @@ func (c *Client) Close() error { return c.conn.Close() }
 // Addr returns the remote address.
 func (c *Client) Addr() string { return c.conn.RemoteAddr().String() }
 
+// transientErr reports whether err is a connection-level failure (dial
+// error, reset, timeout, truncated frame) that a reconnect may clear, as
+// opposed to a protocol or server-side error.
+func transientErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// backoff sleeps before retry number try: exponential with jitter so a
+// thundering herd of clients spreads out, bounded at 64x the base.
+func (c *Client) backoff(try int) {
+	base := c.opts.RetryBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if try > 6 {
+		try = 6
+	}
+	d := base << uint(try)
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	time.Sleep(d)
+}
+
 // roundTrip sends one request payload and returns a decoder positioned
-// after the status byte (a StatusErr response becomes a Go error).
-func (c *Client) roundTrip(payload []byte) (decoder, error) {
+// after the status byte (a StatusErr response becomes a Go error; a
+// StatusReadOnly response becomes an error wrapping rdbms.ErrReadOnly).
+// Idempotent requests that fail at the connection level are retried per
+// ClientOptions, reconnecting between attempts; mutations never are — an
+// ambiguous ack must surface to the caller, not double-apply.
+func (c *Client) roundTrip(payload []byte, idempotent bool) (decoder, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	retries := 0
+	if idempotent {
+		retries = c.opts.RetryAttempts
+	}
+	for try := 0; ; try++ {
+		d, err := c.attemptLocked(payload)
+		if err == nil || !transientErr(err) {
+			return d, err
+		}
+		// The stream may hold a half-written or half-read frame; the
+		// connection is unusable either way.
+		c.conn.Close()
+		if try >= retries {
+			return decoder{}, err
+		}
+		c.backoff(try)
+		// Best effort: on failure the closed conn stays and the next
+		// attempt fails fast, consuming the retry budget.
+		_ = c.dialLocked()
+	}
+}
+
+func (c *Client) attemptLocked(payload []byte) (decoder, error) {
+	if c.opts.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(c.bw, payload); err != nil {
 		return decoder{}, err
 	}
@@ -63,10 +166,13 @@ func (c *Client) roundTrip(payload []byte) (decoder, error) {
 	switch d.byte() {
 	case StatusOK:
 		return d, nil
-	case StatusErr:
+	case StatusErr, StatusReadOnly:
 		msg := d.str()
 		if err := d.done(); err != nil {
 			return decoder{}, err
+		}
+		if resp[0] == StatusReadOnly {
+			return decoder{}, fmt.Errorf("dsserver: %s: %w", msg, rdbms.ErrReadOnly)
 		}
 		return decoder{}, fmt.Errorf("dsserver: %s", msg)
 	}
@@ -75,7 +181,7 @@ func (c *Client) roundTrip(payload []byte) (decoder, error) {
 
 // Ping round-trips an empty request.
 func (c *Client) Ping() error {
-	d, err := c.roundTrip([]byte{OpPing})
+	d, err := c.roundTrip([]byte{OpPing}, true)
 	if err != nil {
 		return err
 	}
@@ -84,7 +190,7 @@ func (c *Client) Ping() error {
 
 // Open opens (creating if absent) the named sheet on the server.
 func (c *Client) Open(name string) error {
-	d, err := c.roundTrip(appendString([]byte{OpOpen}, name))
+	d, err := c.roundTrip(appendString([]byte{OpOpen}, name), true)
 	if err != nil {
 		return err
 	}
@@ -93,7 +199,7 @@ func (c *Client) Open(name string) error {
 
 // CloseSheet flushes the named sheet on the server.
 func (c *Client) CloseSheet(name string) error {
-	d, err := c.roundTrip(appendString([]byte{OpClose}, name))
+	d, err := c.roundTrip(appendString([]byte{OpClose}, name), true)
 	if err != nil {
 		return err
 	}
@@ -108,7 +214,7 @@ func (c *Client) GetRange(name string, r1, c1, r2, c2 int) ([][]sheet.Cell, uint
 	p = binary.AppendUvarint(p, uint64(c1))
 	p = binary.AppendUvarint(p, uint64(r2))
 	p = binary.AppendUvarint(p, uint64(c2))
-	d, err := c.roundTrip(p)
+	d, err := c.roundTrip(p, true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -160,7 +266,7 @@ func (c *Client) DeleteCols(name string, col, count int) (uint64, error) {
 
 // Stats fetches the server counters.
 func (c *Client) Stats() (Stats, error) {
-	d, err := c.roundTrip([]byte{OpStats})
+	d, err := c.roundTrip([]byte{OpStats}, true)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -178,9 +284,10 @@ func structuralReq(op byte, name string, at, count int) []byte {
 	return p
 }
 
-// genOp round-trips a request whose response body is one generation.
+// genOp round-trips a mutation whose response body is one generation;
+// never retried (see roundTrip).
 func (c *Client) genOp(payload []byte) (uint64, error) {
-	d, err := c.roundTrip(payload)
+	d, err := c.roundTrip(payload, false)
 	if err != nil {
 		return 0, err
 	}

@@ -20,8 +20,18 @@ type Stats = serve.Stats
 // SheetStat is one sheet's entry in Stats; see serve.SheetStat.
 type SheetStat = serve.SheetStat
 
+// Options tunes timeouts and idempotent-request retries; see
+// serve.ClientOptions.
+type Options = serve.ClientOptions
+
 // Dial connects to a dsserver at addr ("host:port").
 func Dial(addr string) (*Client, error) { return serve.Dial(addr) }
+
+// DialOptions connects to a dsserver at addr with explicit timeouts and
+// retry policy; see serve.DialOptions.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	return serve.DialOptions(addr, opts)
+}
 
 // MixedDialer adapts dsserver connections to the mixed-workload driver:
 // pass it as workload.MixedConfig.Dial to run RunMixed against addr.

@@ -47,6 +47,10 @@ const (
 const (
 	StatusOK byte = iota
 	StatusErr
+	// StatusReadOnly reports a mutation rejected because the server's
+	// database is in read-only degradation (poisoned by an I/O failure).
+	// The client surfaces it as an error wrapping rdbms.ErrReadOnly.
+	StatusReadOnly
 )
 
 // Cell wire encoding: one flags byte — low nibble sheet.Kind, bit 4 set
@@ -279,6 +283,20 @@ type Stats struct {
 	// CommitGen is the database-wide durable generation (committed WAL
 	// batches).
 	CommitGen uint64
+	// Poisoned reports that the database is in read-only degradation: a
+	// durability-critical I/O failure made every further mutation fail,
+	// while reads keep serving from the committed state.
+	Poisoned bool
+	// WALSegments is the number of live WAL segment files (active plus
+	// sealed); WALRotations and WALCompacted count segment rotations and
+	// segments removed by checkpoint compaction since the server opened
+	// the database.
+	WALSegments  int64
+	WALRotations int64
+	WALCompacted int64
+	// InjectedFaults counts scheduled I/O faults fired so far when the
+	// database was opened over a fault-injection schedule (zero otherwise).
+	InjectedFaults int64
 	// Sheets lists the open sheets and their snapshot generations.
 	Sheets []SheetStat
 }
@@ -288,6 +306,15 @@ func appendStats(b []byte, st Stats) []byte {
 	b = binary.AppendUvarint(b, uint64(st.InFlight))
 	b = binary.AppendUvarint(b, st.Requests)
 	b = binary.AppendUvarint(b, st.CommitGen)
+	var poisoned byte
+	if st.Poisoned {
+		poisoned = 1
+	}
+	b = append(b, poisoned)
+	b = binary.AppendUvarint(b, uint64(st.WALSegments))
+	b = binary.AppendUvarint(b, uint64(st.WALRotations))
+	b = binary.AppendUvarint(b, uint64(st.WALCompacted))
+	b = binary.AppendUvarint(b, uint64(st.InjectedFaults))
 	b = binary.AppendUvarint(b, uint64(len(st.Sheets)))
 	for _, sh := range st.Sheets {
 		b = appendString(b, sh.Name)
@@ -303,6 +330,11 @@ func (d *decoder) stats() Stats {
 		Requests:  d.uvarint(),
 		CommitGen: d.uvarint(),
 	}
+	st.Poisoned = d.byte() != 0
+	st.WALSegments = int64(d.uvarint())
+	st.WALRotations = int64(d.uvarint())
+	st.WALCompacted = int64(d.uvarint())
+	st.InjectedFaults = int64(d.uvarint())
 	n := d.num("sheet count", 1<<16)
 	if d.err != nil {
 		return st

@@ -111,24 +111,32 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
-	var first error
+	var errs []error
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, h := range s.sheets {
-		if err := h.eng.Save(); err != nil && first == nil {
-			first = err
+	for name, h := range s.sheets {
+		if err := h.eng.Save(); err != nil {
+			errs = append(errs, fmt.Errorf("sheet %q: %w", name, err))
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
+	io := s.db.Pool().Stats()
 	st := Stats{
-		Conns:     s.nconns.Load(),
-		InFlight:  s.inflight.Load(),
-		Requests:  s.requests.Load(),
-		CommitGen: s.db.CommitGen(),
+		Conns:        s.nconns.Load(),
+		InFlight:     s.inflight.Load(),
+		Requests:     s.requests.Load(),
+		CommitGen:    s.db.CommitGen(),
+		Poisoned:     s.db.Poisoned() != nil,
+		WALSegments:  io.WALSegments,
+		WALRotations: io.WALRotations,
+		WALCompacted: io.WALCompacted,
+	}
+	if fs := s.db.Faults(); fs != nil {
+		st.InjectedFaults = fs.Injected().Total()
 	}
 	s.mu.Lock()
 	for name, h := range s.sheets {
@@ -221,7 +229,14 @@ func (s *Server) session(conn net.Conn) {
 }
 
 func appendErr(b []byte, err error) []byte {
-	b = append(b, StatusErr)
+	// A poisoned pager rejects every mutation; report it with a dedicated
+	// status so clients can distinguish read-only degradation from a
+	// per-request failure without parsing messages.
+	if errors.Is(err, rdbms.ErrReadOnly) {
+		b = append(b, StatusReadOnly)
+	} else {
+		b = append(b, StatusErr)
+	}
 	return appendString(b, err.Error())
 }
 

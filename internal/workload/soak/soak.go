@@ -1,0 +1,442 @@
+// Soak and crash-fuzz harness: a deterministic mixed-edit workload over a
+// file-backed database opened on a hostile (fault-injected) disk, with
+// kill-points at WAL rotation and checkpoint boundaries. After every kill
+// or poisoning the database reopens and is byte-compared against a shadow
+// model, proving three properties end to end:
+//
+//   - bounded log: WAL disk usage never exceeds the rotation budget
+//     (segments * segment size, plus one in-flight commit);
+//   - no torn state: every reopen sees exactly the committed prefix — a
+//     batch whose commit failed is either fully present (the fsync error
+//     hit after the OS had the data: an ambiguous ack) or fully absent,
+//     never half-applied;
+//   - reads survive poisoning: after a durability failure the engine keeps
+//     answering reads from the committed generation while every mutation
+//     is rejected with ErrReadOnly.
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"dataspread/internal/core"
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+// Config parameterizes Run. Zero values take the defaults noted on
+// each field; Path is required.
+type Config struct {
+	// Path is the database file; the harness owns it (and its WAL
+	// segments) for the duration of the run.
+	Path string
+	// Seed drives every random decision: edit positions, fault
+	// placement, kill-points. Same seed, same run.
+	Seed int64
+	// Rounds is the number of open→edit→(kill|close) cycles (default 8).
+	Rounds int
+	// BatchesPerRound is how many SetCells batches each round commits
+	// (default 12).
+	BatchesPerRound int
+	// BatchSize is the number of cell edits per batch (default 24).
+	BatchSize int
+	// Rows and Cols bound the edited rectangle (default 48x12).
+	Rows, Cols int
+	// SegmentBytes and MaxSegments configure WAL rotation (defaults
+	// 128 KiB and 3) — small enough that a run crosses many segment
+	// boundaries.
+	SegmentBytes int64
+	MaxSegments  int
+	// FaultEvery injects a WAL-write or WAL-fsync fault every N'th round
+	// (default 3; negative disables fault rounds).
+	FaultEvery int
+}
+
+// Result reports what a a Run exercised and observed.
+type Result struct {
+	Rounds       int
+	Batches      int // committed (acked) batches
+	CellsWritten int
+
+	Kills            int // hard kills (SimulateCrash) instead of clean closes
+	BoundaryKills    int // kills placed right after a rotation or checkpoint
+	PoisonedRounds   int // rounds ended in read-only degradation
+	AmbiguousBatches int // failed-commit batches found durable on reopen
+	TornBatches      int // failed-commit batches discarded by recovery
+
+	ReadsWhilePoisoned int // successful reads served after poisoning
+	RecoveryFaults     int // faults that fired during crash recovery itself
+
+	MaxWALBytes    int64 // peak WAL footprint observed (all live segments)
+	WALBudget      int64 // the bound MaxWALBytes was checked against
+	WALRotations   int64
+	WALCompacted   int64
+	InjectedFaults int64
+
+	FinalCells int // non-empty cells in the final verified state
+}
+
+type soakKey struct{ r, c int }
+
+// Run runs the crash-fuzz soak workload and verifies its invariants,
+// returning an error on the first violation (torn state, WAL over budget,
+// reads failing while poisoned, checksum mismatch).
+func Run(cfg Config) (Result, error) {
+	if cfg.Path == "" {
+		return Result{}, errors.New("soak: Config.Path required")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 8
+	}
+	if cfg.BatchesPerRound <= 0 {
+		cfg.BatchesPerRound = 12
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 24
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 48
+	}
+	if cfg.Cols <= 0 {
+		cfg.Cols = 12
+	}
+	if cfg.SegmentBytes == 0 {
+		cfg.SegmentBytes = 128 << 10
+	}
+	if cfg.MaxSegments == 0 {
+		cfg.MaxSegments = 3
+	}
+	if cfg.FaultEvery == 0 {
+		cfg.FaultEvery = 3
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result
+	model := make(map[soakKey]int64) // committed shadow state
+	var pending map[soakKey]int64    // the one batch whose ack was ambiguous
+	counter := int64(0)              // unique value per edit, never reused
+	var maxBatchWAL int64            // largest WAL growth from one commit
+
+	for round := 0; round < cfg.Rounds; round++ {
+		res.Rounds++
+		var fs *rdbms.FaultSchedule
+		if cfg.FaultEvery > 0 && round > 0 && round%cfg.FaultEvery == 0 {
+			fs = soakFaults(rng, cfg.BatchesPerRound)
+		}
+		db, err := rdbms.OpenFile(cfg.Path, rdbms.Options{
+			WALSegmentBytes: cfg.SegmentBytes,
+			WALMaxSegments:  cfg.MaxSegments,
+			Faults:          fs,
+		})
+		if err != nil && fs != nil && errors.Is(err, rdbms.ErrInjected) {
+			// The scheduled fault hit during crash recovery itself (a
+			// recovery-time read, fsync, or the WAL reset). That is a
+			// crash-during-recovery: recovery is idempotent, so a clean
+			// retry must converge — and the rest of the round runs on a
+			// healthy disk.
+			res.RecoveryFaults++
+			res.InjectedFaults += fs.Injected().Total()
+			fs = nil
+			db, err = rdbms.OpenFile(cfg.Path, rdbms.Options{
+				WALSegmentBytes: cfg.SegmentBytes,
+				WALMaxSegments:  cfg.MaxSegments,
+			})
+		}
+		if err != nil {
+			return res, fmt.Errorf("soak: round %d: reopen: %w", round, err)
+		}
+		if err := db.VerifyChecksums(); err != nil {
+			db.SimulateCrash()
+			return res, fmt.Errorf("soak: round %d: %w", round, err)
+		}
+		eng, err := soakEngine(db)
+		if err != nil {
+			db.SimulateCrash()
+			return res, fmt.Errorf("soak: round %d: open sheet: %w", round, err)
+		}
+
+		// Resolve last round's ambiguous batch against the recovered
+		// state, then require an exact match with the shadow model.
+		if pending != nil {
+			applied, err := resolvePending(eng, cfg, model, pending)
+			if err != nil {
+				db.SimulateCrash()
+				return res, fmt.Errorf("soak: round %d: %w", round, err)
+			}
+			if applied {
+				res.AmbiguousBatches++
+				for k, v := range pending {
+					model[k] = v
+				}
+			} else {
+				res.TornBatches++
+			}
+			pending = nil
+		}
+		if err := verifyModel(eng, cfg, model); err != nil {
+			db.SimulateCrash()
+			return res, fmt.Errorf("soak: round %d: after reopen: %w", round, err)
+		}
+
+		poisoned := false
+		killed := false
+		stats := func() rdbms.IOStats { return db.Pool().Stats() }
+		before := stats()
+		lastWAL := before.WALDiskBytes
+		for b := 0; b < cfg.BatchesPerRound && !poisoned && !killed; b++ {
+			edits := make([]core.CellEdit, cfg.BatchSize)
+			batch := make(map[soakKey]int64, cfg.BatchSize)
+			for i := range edits {
+				counter++
+				k := soakKey{rng.Intn(cfg.Rows) + 1, rng.Intn(cfg.Cols) + 1}
+				edits[i] = core.CellEdit{Row: k.r, Col: k.c, Input: strconv.FormatInt(counter, 10)}
+				batch[k] = counter
+			}
+			if err := eng.SetCells(edits); err != nil {
+				if !errors.Is(err, rdbms.ErrPoisoned) && !errors.Is(err, rdbms.ErrReadOnly) {
+					db.SimulateCrash()
+					return res, fmt.Errorf("soak: round %d batch %d: %w", round, b, err)
+				}
+				// The commit failed mid-durability: the batch may or may
+				// not have reached disk (all-or-nothing either way).
+				poisoned = true
+				pending = batch
+				break
+			}
+			res.Batches++
+			res.CellsWritten += len(edits)
+			for k, v := range batch {
+				model[k] = v
+			}
+			st := stats()
+			if st.WALDiskBytes > res.MaxWALBytes {
+				res.MaxWALBytes = st.WALDiskBytes
+			}
+			if grew := st.WALDiskBytes - lastWAL; grew > maxBatchWAL {
+				maxBatchWAL = grew
+			}
+			lastWAL = st.WALDiskBytes
+			// Kill-point: right after a commit that rotated or
+			// checkpointed, sometimes pull the plug — recovery must then
+			// cross a segment boundary that has barely been written.
+			atBoundary := st.WALRotations != before.WALRotations || st.Checkpoints != before.Checkpoints
+			before = st
+			if atBoundary && rng.Intn(3) == 0 {
+				killed = true
+				res.BoundaryKills++
+			}
+		}
+
+		if poisoned {
+			res.PoisonedRounds++
+			if err := db.Poisoned(); err == nil {
+				db.SimulateCrash()
+				return res, fmt.Errorf("soak: round %d: commit failed but pager not poisoned", round)
+			}
+			// Read-only degradation: the engine must keep serving reads
+			// and keep rejecting writes.
+			cells := eng.GetCells(sheet.NewRange(1, 1, cfg.Rows, cfg.Cols))
+			if err := eng.ReadErr(); err != nil {
+				db.SimulateCrash()
+				return res, fmt.Errorf("soak: round %d: read while poisoned: %w", round, err)
+			}
+			if len(cells) != cfg.Rows {
+				db.SimulateCrash()
+				return res, fmt.Errorf("soak: round %d: short read while poisoned", round)
+			}
+			res.ReadsWhilePoisoned++
+			if err := eng.Set(1, 1, "1"); !errors.Is(err, rdbms.ErrReadOnly) {
+				db.SimulateCrash()
+				return res, fmt.Errorf("soak: round %d: write while poisoned returned %v, want ErrReadOnly", round, err)
+			}
+		}
+
+		// The pager's I/O counters are per-open: fold this round's into
+		// the running totals before dropping the handle.
+		st := stats()
+		res.WALRotations += st.WALRotations
+		res.WALCompacted += st.WALCompacted
+		res.InjectedFaults += injected(db)
+		if poisoned || killed || rng.Intn(3) > 0 {
+			// Hard kill: drop every handle without flushing, as a crash
+			// (or a poisoned process giving up) would.
+			res.Kills++
+			if err := db.SimulateCrash(); err != nil {
+				return res, fmt.Errorf("soak: round %d: simulate crash: %w", round, err)
+			}
+		} else {
+			if err := db.Close(); err != nil {
+				return res, fmt.Errorf("soak: round %d: close: %w", round, err)
+			}
+		}
+	}
+
+	// The rotation budget: MaxSegments sealed segments plus the active one,
+	// each of which may overshoot by at most one commit (rotation and
+	// compaction run between commits, never inside one).
+	res.WALBudget = int64(cfg.MaxSegments+1) * (cfg.SegmentBytes + maxBatchWAL)
+	if res.MaxWALBytes > res.WALBudget {
+		return res, fmt.Errorf("soak:: WAL peaked at %d bytes, budget %d (segments %d x %d + %d/commit)",
+			res.MaxWALBytes, res.WALBudget, cfg.MaxSegments+1, cfg.SegmentBytes, maxBatchWAL)
+	}
+
+	// Final clean verification pass.
+	db, err := rdbms.OpenFile(cfg.Path, rdbms.Options{
+		WALSegmentBytes: cfg.SegmentBytes,
+		WALMaxSegments:  cfg.MaxSegments,
+	})
+	if err != nil {
+		return res, fmt.Errorf("soak: final reopen: %w", err)
+	}
+	defer db.Close()
+	if err := db.VerifyChecksums(); err != nil {
+		return res, fmt.Errorf("soak: final: %w", err)
+	}
+	eng, err := soakEngine(db)
+	if err != nil {
+		return res, fmt.Errorf("soak: final: %w", err)
+	}
+	if pending != nil {
+		applied, err := resolvePending(eng, cfg, model, pending)
+		if err != nil {
+			return res, fmt.Errorf("soak: final: %w", err)
+		}
+		if applied {
+			res.AmbiguousBatches++
+			for k, v := range pending {
+				model[k] = v
+			}
+		} else {
+			res.TornBatches++
+		}
+	}
+	if err := verifyModel(eng, cfg, model); err != nil {
+		return res, fmt.Errorf("soak: final: %w", err)
+	}
+	res.FinalCells = len(model)
+	return res, nil
+}
+
+// soakFaults builds one round's hostile-disk schedule: a single WAL-side
+// fault (fsync error, ENOSPC, or a short torn write) placed somewhere in
+// the round. Read faults are deliberately absent — poisoned databases must
+// keep serving clean reads.
+func soakFaults(rng *rand.Rand, batches int) *rdbms.FaultSchedule {
+	// Place the fault in the first few batches: rounds often end early at
+	// a kill-point, and a fault scheduled past the kill never fires.
+	window := batches
+	if window > 6 {
+		window = 6
+	}
+	var rule rdbms.FaultRule
+	switch rng.Intn(3) {
+	case 0:
+		rule = rdbms.FaultRule{
+			File:  rdbms.FaultFileWAL,
+			Op:    rdbms.FaultSync,
+			Kind:  rdbms.FaultIOErr,
+			After: rng.Intn(window) + 1, // one WAL fsync per commit
+		}
+	case 1:
+		rule = rdbms.FaultRule{
+			File:  rdbms.FaultFileWAL,
+			Op:    rdbms.FaultWrite,
+			Kind:  rdbms.FaultENOSPC,
+			After: rng.Intn(window*2) + 1, // at least one WAL write per commit
+		}
+	default:
+		rule = rdbms.FaultRule{
+			File:  rdbms.FaultFileWAL,
+			Op:    rdbms.FaultWrite,
+			Kind:  rdbms.FaultShortWrite,
+			After: rng.Intn(window*2) + 1,
+		}
+	}
+	return rdbms.NewFaultSchedule(rng.Int63(), rule)
+}
+
+func soakEngine(db *rdbms.DB) (*core.Engine, error) {
+	const name = "soak"
+	for _, n := range core.SheetNames(db) {
+		if n == name {
+			return core.Load(db, name, core.Options{})
+		}
+	}
+	return core.New(db, name, core.Options{})
+}
+
+func injected(db *rdbms.DB) int64 {
+	if fs := db.Faults(); fs != nil {
+		return fs.Injected().Total()
+	}
+	return 0
+}
+
+// readSoakCell returns the recovered value at k (0 when empty) plus
+// whether the cell is non-empty.
+func readSoakCell(cells [][]sheet.Cell, k soakKey) (int64, bool) {
+	c := cells[k.r-1][k.c-1]
+	if c.Value.IsEmpty() {
+		return 0, false
+	}
+	n, _ := c.Value.Num()
+	return int64(n), true
+}
+
+// resolvePending decides whether the batch with the ambiguous ack made it
+// to disk. A WAL commit is atomic under recovery, so every cell of the
+// batch must agree — all new values, or all prior; disagreement is torn
+// state and fails the run.
+func resolvePending(eng *core.Engine, cfg Config, model, pending map[soakKey]int64) (bool, error) {
+	cells := eng.GetCells(sheet.NewRange(1, 1, cfg.Rows, cfg.Cols))
+	if err := eng.ReadErr(); err != nil {
+		return false, fmt.Errorf("resolving ambiguous batch: %w", err)
+	}
+	applied, decided := false, false
+	for k, v := range pending {
+		got, set := readSoakCell(cells, k)
+		prior, inModel := model[k]
+		var this bool
+		switch {
+		case set && got == v:
+			this = true
+		case (inModel && set && got == prior) || (!inModel && !set):
+			this = false
+		default:
+			return false, fmt.Errorf("torn state: cell (%d,%d) = %d (set=%v), want %d (batch) or prior", k.r, k.c, got, set, v)
+		}
+		if !decided {
+			applied, decided = this, true
+		} else if this != applied {
+			return false, fmt.Errorf("torn batch: cell (%d,%d) disagrees with batch outcome applied=%v", k.r, k.c, applied)
+		}
+	}
+	return applied, nil
+}
+
+// verifyModel requires the engine's visible state to match the shadow
+// model exactly over the whole edited rectangle.
+func verifyModel(eng *core.Engine, cfg Config, model map[soakKey]int64) error {
+	cells := eng.GetCells(sheet.NewRange(1, 1, cfg.Rows, cfg.Cols))
+	if err := eng.ReadErr(); err != nil {
+		return fmt.Errorf("verify read: %w", err)
+	}
+	for r := 1; r <= cfg.Rows; r++ {
+		for c := 1; c <= cfg.Cols; c++ {
+			got, set := readSoakCell(cells, soakKey{r, c})
+			want, inModel := model[soakKey{r, c}]
+			if !inModel {
+				if set {
+					return fmt.Errorf("cell (%d,%d) = %d, want empty", r, c, got)
+				}
+				continue
+			}
+			if !set || got != want {
+				return fmt.Errorf("cell (%d,%d) = %d (set=%v), want %d", r, c, got, set, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package soak
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// A small deterministic run: the full harness (faults, kills, reopen
+// verification) at a size suitable for every `go test` invocation. The
+// long soak lives in the repository root (TestSoakCrashFuzz) behind the
+// `make soak` target.
+func TestSoakSmoke(t *testing.T) {
+	res, err := Run(Config{
+		Path:            filepath.Join(t.TempDir(), "soak.dsdb"),
+		Seed:            1,
+		Rounds:          4,
+		BatchesPerRound: 8,
+		BatchSize:       16,
+		SegmentBytes:    64 << 10,
+		FaultEvery:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches == 0 || res.Rounds != 4 {
+		t.Fatalf("suspicious result: %+v", res)
+	}
+	if res.MaxWALBytes > res.WALBudget {
+		t.Fatalf("WAL over budget: %+v", res)
+	}
+}
+
+// TestSoakSeeds runs the harness across SOAK_SEEDS consecutive seeds
+// (skipped when unset): every seed must satisfy all invariants — shadow
+// model matches after each reopen, WAL stays under budget, poisoned
+// engines serve reads. `SOAK_SEEDS=100 go test -run TestSoakSeeds` is
+// the acceptance sweep.
+func TestSoakSeeds(t *testing.T) {
+	v := os.Getenv("SOAK_SEEDS")
+	if v == "" {
+		t.Skip("set SOAK_SEEDS=<n> to sweep n consecutive seeds")
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("SOAK_SEEDS=%q: %v", v, err)
+	}
+	dir := t.TempDir()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		res, err := Run(Config{
+			Path:            filepath.Join(dir, strconv.FormatInt(seed, 10)+".dsdb"),
+			Seed:            seed,
+			Rounds:          6,
+			BatchesPerRound: 10,
+			BatchSize:       24,
+			SegmentBytes:    32 << 10,
+			MaxSegments:     2,
+			FaultEvery:      2,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.MaxWALBytes > res.WALBudget {
+			t.Fatalf("seed %d: WAL over budget: %+v", seed, res)
+		}
+	}
+}
+
+func TestSoakDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:            42,
+		Rounds:          3,
+		BatchesPerRound: 6,
+		BatchSize:       12,
+		FaultEvery:      2,
+	}
+	cfg.Path = filepath.Join(t.TempDir(), "a.dsdb")
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Path = filepath.Join(t.TempDir(), "b.dsdb")
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different runs:\n a=%+v\n b=%+v", a, b)
+	}
+}
