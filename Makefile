@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve soak lint staticcheck fmt ci
+.PHONY: all build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint soak lint staticcheck fmt ci
 
 # Rounds for the crash-fuzz soak (`make soak`); ~200 is 60-90s locally.
 SOAK_ROUNDS ?= 200
@@ -66,11 +66,12 @@ bench-commit:
 	@cat BENCH_commit.json
 
 # Fault-injection suites alone under the race detector: poisoning,
-# read-only degradation, WAL rotation/compaction, client retry and the
-# soak smoke. CI runs this as a dedicated step so failure-semantics
-# regressions are named, not buried in ./...
+# read-only degradation, WAL rotation/compaction, client retry, the soak
+# smoke, and the self-healing surface (scrub, vacuum, in-place recovery).
+# CI runs this as a dedicated step so failure-semantics regressions are
+# named, not buried in ./...
 test-faults:
-	$(GO) test -race -run 'Fault|Poison|Rotation|Segment|ENOSPC|BitFlip|ShortWrite|LegacySingleFileWAL|Retr|ReadOnly|Soak' -timeout 10m -v ./internal/rdbms/ ./internal/core/ ./internal/workload/soak/ .
+	$(GO) test -race -run 'Fault|Poison|Rotation|Segment|ENOSPC|BitFlip|ShortWrite|LegacySingleFileWAL|Retr|ReadOnly|Soak|Scrub|Vacuum|Recover|Maint' -timeout 10m -v ./internal/rdbms/ ./internal/core/ ./internal/workload/soak/ .
 
 # Crash-fuzz soak (~60-90s at the default SOAK_ROUNDS): mixed edits over a
 # fault-injected disk with kill-points at WAL rotation and checkpoint
@@ -92,6 +93,16 @@ bench-serve:
 	BENCH_SERVE_JSON=BENCH_serve.json $(GO) test -run=TestServeThroughputSnapshot -v .
 	@cat BENCH_serve.json
 
+# Maintenance snapshot: runs the self-healing storage workload (bulk load,
+# small delta, drop, vacuum, scrub) on the file-backed pager and writes
+# BENCH_maint.json; fails if an incremental checkpoint writes more than
+# O(dirty) pages (or less than 10x under the full baseline), if a vacuum
+# after dropping the churn table reclaims less than half the bytes on disk
+# (checked against os.Stat), or if the post-vacuum scrub finds a bad slot.
+bench-maint:
+	BENCH_MAINT_JSON=BENCH_maint.json $(GO) test -run=TestMaintenanceSnapshot -v .
+	@cat BENCH_maint.json
+
 lint:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -112,4 +123,4 @@ staticcheck:
 fmt:
 	gofmt -w .
 
-ci: lint staticcheck build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve soak
+ci: lint staticcheck build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint soak

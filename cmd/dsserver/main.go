@@ -22,7 +22,9 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"dataspread/internal/core"
 	"dataspread/internal/rdbms"
@@ -38,6 +40,9 @@ func main() {
 	checkpointPages := flag.Int("checkpoint-pages", 0, "auto-checkpoint when this many pages are dirty since the last checkpoint (0: default, negative: disable)")
 	walSegBytes := flag.Int64("wal-segment-bytes", 0, "rotate the WAL into a new segment at this size (0: default 4MiB, negative: disable rotation)")
 	walMaxSegs := flag.Int("wal-max-segments", 0, "checkpoint-compact the WAL when more than this many segments are live (0: default 4, negative: disable)")
+	scrubEvery := flag.Duration("scrub-every", 0, "run an online checksum scrub at this interval (0: disabled; needs -db)")
+	scrubRate := flag.Int("scrub-rate", 1024, "scrub read budget in pages/sec (0: unthrottled)")
+	vacuumEvery := flag.Duration("vacuum-every", 0, "defragment the data file at this interval (0: disabled; needs -db)")
 	flag.Parse()
 
 	var db *rdbms.DB
@@ -67,10 +72,68 @@ func main() {
 	}()
 	fmt.Printf("dsserver: serving %s on %s\n", backing(*dbPath), *addr)
 
+	// Background maintenance: periodic online scrub and vacuum, stopped at
+	// shutdown. Both are best-effort — a failed pass is logged and retried
+	// at the next tick, never fatal (a scrub finding bad pages degrades the
+	// affected region only, and a vacuum on a poisoned store just fails).
+	maintStop := make(chan struct{})
+	var maintWG sync.WaitGroup
+	if *dbPath != "" && *scrubEvery > 0 {
+		maintWG.Add(1)
+		go func() {
+			defer maintWG.Done()
+			t := time.NewTicker(*scrubEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-maintStop:
+					return
+				case <-t.C:
+					sum, err := srv.Scrub(*scrubRate)
+					switch {
+					case err != nil:
+						fmt.Fprintln(os.Stderr, "dsserver: scrub:", err)
+					case sum.Repaired > 0 || sum.Bad > 0:
+						fmt.Printf("dsserver: scrub: %d slots clean, %d repaired, %d quarantined\n",
+							sum.Scanned, sum.Repaired, sum.Bad)
+					}
+				}
+			}
+		}()
+	}
+	if *dbPath != "" && *vacuumEvery > 0 {
+		maintWG.Add(1)
+		go func() {
+			defer maintWG.Done()
+			t := time.NewTicker(*vacuumEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-maintStop:
+					return
+				case <-t.C:
+					sum, err := srv.Vacuum()
+					switch {
+					case err != nil:
+						fmt.Fprintln(os.Stderr, "dsserver: vacuum:", err)
+					case sum.BytesReclaimed > 0:
+						fmt.Printf("dsserver: vacuum: %d -> %d pages, %d KiB reclaimed\n",
+							sum.PagesBefore, sum.PagesAfter, sum.BytesReclaimed/1024)
+					}
+				}
+			}
+		}()
+	}
+	stopMaint := func() {
+		close(maintStop)
+		maintWG.Wait()
+	}
+
 	exitCode := 0
 	select {
 	case s := <-sig:
 		fmt.Printf("dsserver: %v, shutting down\n", s)
+		stopMaint()
 		if err := srv.Close(); err != nil {
 			// srv.Close joins one error per failed sheet save; log each
 			// on its own line so operators see exactly which sheets may
@@ -82,6 +145,7 @@ func main() {
 		}
 		<-done
 	case err := <-done:
+		stopMaint()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsserver:", err)
 			db.Close()

@@ -74,11 +74,12 @@ func main() {
 		os.Exit(1)
 	}
 	durable := *dbPath != ""
+	sh := &shell{eng: eng, db: db}
 	defer func() {
 		if !durable {
 			return
 		}
-		if err := eng.Checkpoint(); err != nil {
+		if err := sh.eng.Checkpoint(); err != nil {
 			fmt.Fprintln(os.Stderr, "dsshell: checkpoint:", err)
 		}
 		if err := db.Close(); err != nil {
@@ -89,9 +90,9 @@ func main() {
 	fmt.Println("DataSpread shell. Commands: set <ref> <value|=formula>, view <range>,")
 	fmt.Println("sql <query>, link <range> <table>, optimize <dp|greedy|agg>, insrow <n> [count],")
 	fmt.Println("delrow <n> [count], inscol <n> [count], delcol <n> [count], load <file.grid>,")
-	fmt.Println("save, .stats, .connect <host:port> [sheet], .disconnect, quit")
+	fmt.Println("save, .stats, .scrub [pages/sec], .vacuum, .recover,")
+	fmt.Println(".connect <host:port> [sheet], .disconnect, quit")
 	sc := bufio.NewScanner(os.Stdin)
-	sh := &shell{eng: eng}
 	defer sh.disconnect()
 	var lastIOErr string
 	for {
@@ -113,7 +114,7 @@ func main() {
 		// data file) render the affected cells blank; surface them so
 		// blank != lost silently. ReadErr catches failures the engine's
 		// read path recorded, Pool().Err anything below it.
-		if err := eng.ReadErr(); err != nil {
+		if err := sh.eng.ReadErr(); err != nil {
 			fmt.Println("warning: read error:", err)
 		}
 		if err := db.Pool().Err(); err != nil && err.Error() != lastIOErr {
@@ -139,6 +140,7 @@ var errQuit = fmt.Errorf("quit")
 // and .stats over the wire; everything else needs the local engine).
 type shell struct {
 	eng         *core.Engine
+	db          *rdbms.DB
 	remote      *client.Client
 	remoteSheet string
 }
@@ -191,6 +193,85 @@ func dispatch(sh *shell, line string) error {
 			return printRemoteStats(sh)
 		}
 		printStats(eng)
+		return nil
+	case ".scrub":
+		rate := 0
+		if rest != "" {
+			var err error
+			if rate, err = strconv.Atoi(rest); err != nil || rate < 0 {
+				return fmt.Errorf("usage: .scrub [pages/sec]")
+			}
+		}
+		if sh.remote != nil {
+			sum, err := sh.remote.Scrub(rate)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("scrub (server): %d slots clean, %d skipped, %d repaired, %d quarantined\n",
+				sum.Scanned, sum.Skipped, sum.Repaired, sum.Bad)
+			return nil
+		}
+		if sh.db.Path() == "" {
+			fmt.Println("scrub: in-memory database, nothing on disk to verify")
+			return nil
+		}
+		res, err := sh.db.Scrub(rdbms.ScrubOptions{PagesPerSecond: rate})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scrub: %d slots clean, %d skipped, %d repaired, %d quarantined\n",
+			res.Scanned, res.Skipped, len(res.Repaired), len(res.Bad))
+		if len(res.Bad) > 0 {
+			fmt.Printf("quarantined pages (degraded, reads of them fail): %v\n", res.Bad)
+		}
+		return nil
+	case ".vacuum":
+		if sh.remote != nil {
+			sum, err := sh.remote.Vacuum()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("vacuum (server): %d -> %d pages, %d meta pages moved, %d KiB reclaimed\n",
+				sum.PagesBefore, sum.PagesAfter, sum.PagesMoved, sum.BytesReclaimed/1024)
+			return nil
+		}
+		if sh.db.Path() == "" {
+			fmt.Println("vacuum: in-memory database, nothing to defragment")
+			return nil
+		}
+		// Save first so the durable manifest matches the session state and
+		// the pass can relocate against a current free list.
+		if err := eng.Save(); err != nil {
+			return err
+		}
+		res, err := sh.db.Vacuum()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vacuum: %d -> %d pages, %d meta pages moved, %d KiB reclaimed\n",
+			res.PagesBefore, res.PagesAfter, res.PagesMoved, res.BytesReclaimed/1024)
+		return nil
+	case ".recover":
+		if sh.remote != nil {
+			if err := sh.remote.Recover(); err != nil {
+				return err
+			}
+			fmt.Println("recovered (server reopened its database; state is the last durable commit)")
+			return nil
+		}
+		if sh.db.Path() == "" {
+			fmt.Println("recover: in-memory database, nothing to recover")
+			return nil
+		}
+		// The engine is rebuilt from the recovered catalog: uncommitted
+		// session edits are gone, exactly as a crash would lose them.
+		fresh, err := core.Recover(sh.db, sheetName, core.Options{})
+		if err != nil {
+			return err
+		}
+		sh.eng = fresh
+		rows, cols := fresh.Bounds()
+		fmt.Printf("recovered: poison cleared, sheet reloaded from last durable commit (%dx%d used)\n", rows, cols)
 		return nil
 	case "save":
 		if sh.remote != nil {
@@ -409,18 +490,46 @@ func printStats(eng *core.Engine) {
 	if eng.DB().Path() != "" {
 		fmt.Printf("disk: %d page reads, %d page writes, %d WAL syncs (%d KiB), %d checkpoints, %d free pages\n",
 			ps.DiskReads, ps.DiskWrites, ps.WALSyncs, ps.WALBytes/1024, ps.Checkpoints, ps.FreePages)
+		fmt.Printf("checkpoints: %d pages written incrementally (%d dirty now, %d cached in overlay)\n",
+			ps.CheckpointPages, ps.DirtyPages, ps.ShadowPages)
 		fmt.Printf("manifest: %d bytes staged, %d segment writes\n",
 			ps.ManifestBytes, ps.ManifestSegments)
 		fmt.Printf("wal: %d segments live (%d KiB on disk), %d rotations, %d compacted\n",
 			ps.WALSegments, ps.WALDiskBytes/1024, ps.WALRotations, ps.WALCompacted)
+		if ps.ScrubRuns > 0 || ps.Vacuums > 0 || ps.Recoveries > 0 || ps.QuarantinedPages > 0 {
+			fmt.Printf("maintenance: %d scrub passes (%d slots, %d repaired, %d bad), %d vacuums (%d pages moved, %d KiB reclaimed), %d recoveries\n",
+				ps.ScrubRuns, ps.ScrubPages, ps.ScrubRepaired, ps.ScrubBad,
+				ps.Vacuums, ps.VacuumPagesMoved, ps.VacuumBytesFreed/1024, ps.Recoveries)
+		}
+		if ps.QuarantinedPages > 0 {
+			fmt.Printf("DEGRADED: %d pages quarantined (unreadable; .scrub retries repair)\n", ps.QuarantinedPages)
+		}
 		if err := eng.DB().Poisoned(); err != nil {
-			fmt.Printf("POISONED (read-only): %v\n", err)
+			fmt.Printf("POISONED (read-only): %v (.recover to heal in place)\n", err)
 		}
 		if fs := eng.DB().Faults(); fs != nil {
 			fc := fs.Injected()
 			fmt.Printf("injected faults: %d (io errors %d, enospc %d, short writes %d, bit flips %d)\n",
 				fc.Total(), fc.IOErrs, fc.NoSpace, fc.ShortWrites, fc.BitFlips)
+			printFaultRules(fs.RuleStats())
 		}
+	}
+}
+
+// printFaultRules renders the per-rule injected-fault breakdown so an
+// operator can see which scheduled failure a degraded store actually hit.
+func printFaultRules(rules []rdbms.FaultRuleStat) {
+	for _, fr := range rules {
+		file := fr.Rule.File
+		if file == "" {
+			file = "any"
+		}
+		count := fmt.Sprintf("count %d", fr.Rule.Count)
+		if fr.Rule.Count < 0 {
+			count = "forever"
+		}
+		fmt.Printf("  rule %s/%s %s (after %d, %s): %d matched, %d injected\n",
+			file, fr.Rule.Op, fr.Rule.Kind, fr.Rule.After, count, fr.Matched, fr.Injected)
 	}
 }
 
@@ -436,12 +545,24 @@ func printRemoteStats(sh *shell) error {
 		sh.remote.Addr(), st.Conns, st.InFlight, st.Requests, st.CommitGen)
 	fmt.Printf("wal: %d segments live, %d rotations, %d compacted\n",
 		st.WALSegments, st.WALRotations, st.WALCompacted)
+	fmt.Printf("checkpoints: %d pages written incrementally\n", st.CheckpointPages)
+	if st.ScrubRuns > 0 || st.Vacuums > 0 || st.Recoveries > 0 || st.QuarantinedPages > 0 {
+		fmt.Printf("maintenance: %d scrub passes (%d slots, %d repaired, %d bad), %d vacuums (%d pages moved, %d KiB reclaimed), %d recoveries\n",
+			st.ScrubRuns, st.ScrubPages, st.ScrubRepaired, st.ScrubBad,
+			st.Vacuums, st.VacuumPagesMoved, st.VacuumBytesFreed/1024, st.Recoveries)
+	}
+	if st.QuarantinedPages > 0 {
+		fmt.Printf("DEGRADED: %d pages quarantined (unreadable; .scrub retries repair)\n", st.QuarantinedPages)
+	}
 	if st.Poisoned {
-		fmt.Println("POISONED (read-only): mutations are rejected until the server reopens the database")
+		fmt.Println("POISONED (read-only): mutations are rejected until recovery (.recover heals in place)")
 	}
 	if st.InjectedFaults > 0 {
-		fmt.Printf("injected faults: %d\n", st.InjectedFaults)
+		fmt.Printf("injected faults: %d (io errors %d, enospc %d, short writes %d, bit flips %d)\n",
+			st.InjectedFaults, st.InjectedByKind.IOErrs, st.InjectedByKind.NoSpace,
+			st.InjectedByKind.ShortWrites, st.InjectedByKind.BitFlips)
 	}
+	printFaultRules(st.Faults)
 	for _, s := range st.Sheets {
 		marker := ""
 		if s.Name == sh.remoteSheet {

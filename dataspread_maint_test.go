@@ -1,0 +1,183 @@
+package dataspread_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dataspread/internal/rdbms"
+)
+
+// TestMaintenanceSnapshot emits BENCH_maint.json (path from the
+// BENCH_MAINT_JSON env var; skipped when unset) and enforces the
+// self-healing storage targets on a churn-heavy database:
+//
+//   - an incremental checkpoint after a small delta writes O(dirty) pages,
+//     not the whole retained overlay (pages written stay within the dirty
+//     set plus the catalog chain, and at least 10x under the preceding
+//     full checkpoint);
+//   - a vacuum after dropping the churn table relocates trailing live
+//     pages, truncates the data file, and reclaims at least half the
+//     bytes on disk (verified against os.Stat, not just counters);
+//   - an online scrub pass over the compacted file finds every slot clean.
+func TestMaintenanceSnapshot(t *testing.T) {
+	out := os.Getenv("BENCH_MAINT_JSON")
+	if out == "" {
+		t.Skip("set BENCH_MAINT_JSON=<path> to emit the maintenance snapshot")
+	}
+	path := filepath.Join(t.TempDir(), "maint.ds")
+	db, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const keepRows, churnRows = 500, 30000
+	keep, err := db.CreateTable("keep", rdbms.NewSchema(
+		rdbms.Column{Name: "id", Type: rdbms.DTInt},
+		rdbms.Column{Name: "name", Type: rdbms.DTText},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := db.CreateTable("churn", rdbms.NewSchema(
+		rdbms.Column{Name: "id", Type: rdbms.DTInt},
+		rdbms.Column{Name: "pad", Type: rdbms.DTText},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keepRows; i++ {
+		if _, err := keep.Insert(rdbms.Row{rdbms.Int(int64(i)), rdbms.Text(fmt.Sprintf("keep-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < churnRows; i++ {
+		if _, err := churn.Insert(rdbms.Row{rdbms.Int(int64(i)), rdbms.Text(fmt.Sprintf("churn-row-payload-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	snap := map[string]any{"keep_rows": keepRows, "churn_rows": churnRows}
+
+	// Full checkpoint of the bulk load: the baseline every page is dirty
+	// against.
+	s0 := db.Pool().Stats()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s1 := db.Pool().Stats()
+	fullPages := s1.CheckpointPages - s0.CheckpointPages
+
+	// A small delta, then an incremental checkpoint: pages written must
+	// follow the delta (dirty set + catalog chain), not the retained
+	// overlay. The delta lands in churn's tail page — heap pages are
+	// pinned, so appending to keep here would pin a live page above the
+	// churn extent and block the truncate below.
+	for i := 0; i < 20; i++ {
+		if _, err := churn.Insert(rdbms.Row{rdbms.Int(int64(churnRows + i)), rdbms.Text("delta")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db.Pool().Stats()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := db.Pool().Stats()
+	incPages := s3.CheckpointPages - s2.CheckpointPages
+	snap["full_checkpoint_pages"] = fullPages
+	snap["incremental_checkpoint_pages"] = incPages
+	snap["dirty_pages_before_incremental"] = s2.DirtyPages
+	snap["shadow_pages_before_incremental"] = s2.ShadowPages
+	gateInc := incPages <= s2.DirtyPages+16 && incPages*10 <= fullPages
+	snap["gate_incremental_checkpoint"] = gateInc
+	if !gateInc {
+		t.Errorf("incremental checkpoint wrote %d pages (dirty %d, full baseline %d): not O(dirty)",
+			incPages, s2.DirtyPages, fullPages)
+	}
+	if s2.ShadowPages < int64(s2.DirtyPages) || s2.ShadowPages <= incPages {
+		t.Errorf("overlay not retained as clean cache: shadow %d, dirty %d", s2.ShadowPages, s2.DirtyPages)
+	}
+
+	// Churn: drop the big table, then vacuum. The reclaim is measured on
+	// the file itself — counters must agree with os.Stat.
+	if err := db.DropTable("churn"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	vres, err := db.Vacuum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vacMS := time.Since(start).Seconds() * 1e3
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap["vacuum_ms"] = vacMS
+	snap["file_bytes_before"] = before.Size()
+	snap["file_bytes_after"] = after.Size()
+	snap["vacuum_pages_before"] = vres.PagesBefore
+	snap["vacuum_pages_after"] = vres.PagesAfter
+	snap["vacuum_pages_moved"] = vres.PagesMoved
+	snap["vacuum_bytes_reclaimed"] = vres.BytesReclaimed
+	gateVac := after.Size() <= before.Size()/2
+	snap["gate_vacuum_reclaims_half"] = gateVac
+	if !gateVac {
+		t.Errorf("vacuum reclaimed %d -> %d bytes: less than half", before.Size(), after.Size())
+	}
+	if got := before.Size() - after.Size(); got != vres.BytesReclaimed {
+		t.Errorf("BytesReclaimed = %d, file shrank by %d", vres.BytesReclaimed, got)
+	}
+
+	// An online scrub over the compacted file: every remaining slot clean.
+	start = time.Now()
+	sres, err := db.Scrub(rdbms.ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap["scrub_ms"] = time.Since(start).Seconds() * 1e3
+	snap["scrub_scanned"] = sres.Scanned
+	gateScrub := len(sres.Bad) == 0 && sres.Scanned > 0
+	snap["gate_scrub_clean"] = gateScrub
+	if !gateScrub {
+		t.Errorf("scrub after vacuum: %d scanned, %d bad", sres.Scanned, len(sres.Bad))
+	}
+
+	// The compacted store must still hold every surviving row after a
+	// clean reopen.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Table("keep").RowCount(); got != keepRows {
+		t.Fatalf("keep rows after vacuum+reopen = %d, want %d", got, keepRows)
+	}
+
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

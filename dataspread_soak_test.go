@@ -58,6 +58,8 @@ func TestSoakCrashFuzz(t *testing.T) {
 		res.Rounds, elapsed.Round(time.Millisecond), res.Batches, res.CellsWritten,
 		res.Kills, res.BoundaryKills, res.PoisonedRounds, res.AmbiguousBatches, res.TornBatches,
 		res.MaxWALBytes/1024, res.WALBudget/1024, res.WALRotations, res.WALCompacted, res.InjectedFaults)
+	t.Logf("maintenance: %d in-place recoveries, %d scrub passes (%d killed mid-scan), %d vacuums (%d poisoned by armed faults)",
+		res.Recoveries, res.ScrubPasses, res.ScrubKills, res.VacuumPasses, res.VacuumFaults)
 
 	// The run must actually have exercised the interesting machinery.
 	if res.WALRotations == 0 {
@@ -75,6 +77,23 @@ func TestSoakCrashFuzz(t *testing.T) {
 		}
 		if res.ReadsWhilePoisoned == 0 {
 			t.Error("poisoned reads were never exercised")
+		}
+	}
+	if rounds >= 30 {
+		// A long run must hit every maintenance path: in-place recovery of
+		// a poisoned store, completed scrubs, kills inside a scrub, and
+		// vacuum passes.
+		if res.Recoveries == 0 {
+			t.Error("no poisoned round recovered in place")
+		}
+		if res.ScrubPasses == 0 {
+			t.Error("no scrub pass completed")
+		}
+		if res.ScrubKills == 0 {
+			t.Error("no crash landed inside a scrub")
+		}
+		if res.VacuumPasses == 0 {
+			t.Error("no vacuum pass completed")
 		}
 	}
 	if res.MaxWALBytes > res.WALBudget {
@@ -100,6 +119,11 @@ func TestSoakCrashFuzz(t *testing.T) {
 		"wal_rotations":         res.WALRotations,
 		"wal_compacted":         res.WALCompacted,
 		"injected_faults":       res.InjectedFaults,
+		"recoveries":            res.Recoveries,
+		"scrub_passes":          res.ScrubPasses,
+		"scrub_kills":           res.ScrubKills,
+		"vacuum_passes":         res.VacuumPasses,
+		"vacuum_faults":         res.VacuumFaults,
 		"final_cells":           res.FinalCells,
 		"segment_bytes":         cfg.SegmentBytes,
 		"max_segments":          cfg.MaxSegments,

@@ -286,6 +286,14 @@ func (db *DB) Checkpoint() error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.commitCheckpointLocked(fp)
+}
+
+// commitCheckpointLocked is the full checkpoint sequence — promote pending
+// frees, stage dirty metadata, serialize and stage the manifest, flush the
+// pool, checkpoint the pager — for callers already holding db.mu
+// exclusively (Checkpoint, Vacuum).
+func (db *DB) commitCheckpointLocked(fp *FilePager) error {
 	fp.promotePendingFree()
 	db.stageMetaLocked(fp)
 	blob, err := db.manifestLocked()

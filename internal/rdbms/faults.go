@@ -158,6 +158,16 @@ func (c FaultCounts) Total() int64 {
 	return c.IOErrs + c.NoSpace + c.ShortWrites + c.BitFlips
 }
 
+// FaultRuleStat is the per-rule breakdown of a schedule: the rule itself
+// plus how many operations it matched and how many faults it injected.
+// Surfaced over the serve Stats op so operators can see which scheduled
+// failure a degraded server actually hit.
+type FaultRuleStat struct {
+	Rule     FaultRule
+	Matched  int64
+	Injected int64
+}
+
 // FaultSchedule is a deterministic, seeded fault plan shared by the data
 // and WAL files of one FilePager. It counts every matching operation per
 // rule and injects the configured failure when a rule triggers; with no
@@ -212,6 +222,36 @@ func (fs *FaultSchedule) Injected() FaultCounts {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.hits
+}
+
+// RuleStats returns the per-rule breakdown, in rule order.
+func (fs *FaultSchedule) RuleStats() []FaultRuleStat {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]FaultRuleStat, len(fs.rules))
+	for i := range fs.rules {
+		r := &fs.rules[i]
+		out[i] = FaultRuleStat{Rule: r.FaultRule, Matched: int64(r.matched)}
+		if r.matched >= r.After {
+			out[i].Injected = int64(r.fired)
+		}
+	}
+	return out
+}
+
+// Arm appends rules to a live schedule. A rule's matched count starts at
+// zero when armed, so After means "the N'th matching operation from now" —
+// which is what the soak harness uses to drop a fault deterministically
+// inside a maintenance pass it is about to start.
+func (fs *FaultSchedule) Arm(rules ...FaultRule) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, r := range rules {
+		if r.After < 1 {
+			r.After = 1
+		}
+		fs.rules = append(fs.rules, faultRuleState{FaultRule: r})
+	}
 }
 
 // fire records one operation and reports whether a rule injects a fault on

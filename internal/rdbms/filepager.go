@@ -34,9 +34,10 @@ import (
 // appends a commit record and fsyncs — at that point the batch is durable.
 // When the active segment outgrows its bound the log rotates: appends move
 // to the next numbered segment (commits never straddle a boundary), and a
-// checkpoint — triggered explicitly, by shadow size, or by the live-segment
-// cap — writes the shadow pages into their data-file slots, fsyncs, and
-// deletes every sealed segment (compaction). On open, committed WAL batches
+// checkpoint — triggered explicitly, by dirty-page count, or by the
+// live-segment cap — incrementally writes the pages dirtied since the last
+// checkpoint into their data-file slots, fsyncs, and deletes every sealed
+// segment (compaction). On open, committed WAL batches
 // are redone across all segments in order before anything is read (crash
 // recovery); uncommitted or torn tails are discarded. A pre-rotation
 // single-file WAL is simply a database whose log never rotated — the v2/v3
@@ -61,11 +62,25 @@ type FilePager struct {
 	opts filePagerOptions
 
 	pages int
-	// shadow holds pages modified since the last checkpoint: the newest
-	// version of those pages, not yet written to their data-file slot.
+	// shadow is the in-memory page overlay: the newest version of every
+	// page written since open (bounded — see trimShadowLocked). Pages in
+	// ckptDirty exist only here until the next checkpoint writes their
+	// data-file slot; the rest are a retained clean cache of checkpointed
+	// images (also the scrubber's repair source).
 	shadow map[PageID]*page
 	// walDirty marks pages modified since the last WAL commit.
 	walDirty map[PageID]bool
+	// ckptDirty marks pages modified since the last checkpoint. Checkpoints
+	// are incremental: only these pages are written back, not the whole
+	// shadow overlay. Invariant: walDirty ⊆ ckptDirty ⊆ shadow keys, and
+	// every shadow entry outside ckptDirty matches its on-disk slot.
+	ckptDirty map[PageID]bool
+	// quarantined marks page slots the scrubber found corrupt and could not
+	// repair. Reads of them keep failing with ErrChecksum (the region is
+	// degraded); the store as a whole is not poisoned. A page leaves
+	// quarantine when a checkpoint rewrites its slot, a later scrub finds it
+	// clean, or it is freed.
+	quarantined map[PageID]bool
 	// freeList holds pages returned by dropped or truncated heaps, reused
 	// by alloc before the file grows. Persisted in the catalog manifest so
 	// reclaimed space survives reopen.
@@ -107,6 +122,11 @@ type FilePager struct {
 	walSyncs, walBytes, checkpointCount atomic.Int64
 	manifestBytes, manifestSegments     atomic.Int64
 	walRotations, walCompacted          atomic.Int64
+	checkpointPages                     atomic.Int64
+	scrubRuns, scrubPages               atomic.Int64
+	scrubRepaired, scrubBad             atomic.Int64
+	vacuumRuns, vacuumPagesMoved        atomic.Int64
+	vacuumBytesFreed, recoveries        atomic.Int64
 
 	// Group-commit flusher state (see flushLoop). All g* fields are
 	// guarded by gmu, never fp.mu.
@@ -190,42 +210,62 @@ func pageOffset(id PageID) int64 {
 // WAL batches are applied to the data file, torn or uncommitted tails
 // discarded.
 func newFilePager(path string, opts filePagerOptions) (*FilePager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fp := &FilePager{
+		path:        path,
+		opts:        opts,
+		shadow:      make(map[PageID]*page),
+		walDirty:    make(map[PageID]bool),
+		ckptDirty:   make(map[PageID]bool),
+		quarantined: make(map[PageID]bool),
+		metaHead:    noPage,
+	}
+	if err := fp.openFilesLocked(); err != nil {
+		return nil, err
+	}
+	if opts.groupCommit {
+		fp.gcond = sync.NewCond(&fp.gmu)
+		fp.gdone = sync.NewCond(&fp.gmu)
+		go fp.flushLoop()
+	}
+	return fp, nil
+}
+
+// openFilesLocked opens and locks the data file, opens the WAL, reads (or
+// initializes) the header and runs WAL redo recovery — the whole open
+// sequence. On failure both handles are closed. Shared by newFilePager
+// (no locking needed yet) and reopenLocked (fp.mu held exclusively).
+func (fp *FilePager) openFilesLocked() error {
+	f, err := os.OpenFile(fp.path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("rdbms: open data file: %w", err)
+		return fmt.Errorf("rdbms: open data file: %w", err)
 	}
 	if err := lockFile(f); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("rdbms: database %s is locked by another process: %w", path, err)
+		return fmt.Errorf("rdbms: database %s is locked by another process: %w", fp.path, err)
 	}
-	wal, err := os.OpenFile(path+".wal", os.O_RDWR|os.O_CREATE, 0o644)
+	wal, err := os.OpenFile(fp.path+".wal", os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("rdbms: open WAL: %w", err)
+		return fmt.Errorf("rdbms: open WAL: %w", err)
 	}
-	fp := &FilePager{
-		path:     path,
-		f:        wrapFaultFile(f, FaultFileData, opts.faults),
-		wal:      wrapFaultFile(wal, FaultFileWAL, opts.faults),
-		opts:     opts,
-		shadow:   make(map[PageID]*page),
-		walDirty: make(map[PageID]bool),
-		metaHead: noPage,
+	fp.f = wrapFaultFile(f, FaultFileData, fp.opts.faults)
+	fp.wal = wrapFaultFile(wal, FaultFileWAL, fp.opts.faults)
+	fail := func(err error) error {
+		fp.f.Close()
+		fp.wal.Close()
+		return err
 	}
 	st, err := f.Stat()
 	if err != nil {
-		fp.closeFiles()
-		return nil, err
+		return fail(err)
 	}
 	var hdrErr error
 	if st.Size() == 0 {
 		if err := fp.writeHeader(); err != nil {
-			fp.closeFiles()
-			return nil, err
+			return fail(err)
 		}
 		if err := f.Sync(); err != nil {
-			fp.closeFiles()
-			return nil, err
+			return fail(err)
 		}
 	} else {
 		hdrErr = fp.readHeader()
@@ -236,19 +276,46 @@ func newFilePager(path string, opts filePagerOptions) (*FilePager, error) {
 	// torn one. Only fail on a bad header when the WAL cannot help.
 	redone, recErr := fp.recover()
 	if recErr != nil {
-		fp.closeFiles()
-		return nil, fmt.Errorf("rdbms: WAL recovery: %w", recErr)
+		return fail(fmt.Errorf("rdbms: WAL recovery: %w", recErr))
 	}
 	if hdrErr != nil && !redone {
-		fp.closeFiles()
-		return nil, hdrErr
+		return fail(hdrErr)
 	}
-	if opts.groupCommit {
-		fp.gcond = sync.NewCond(&fp.gmu)
-		fp.gdone = sync.NewCond(&fp.gmu)
-		go fp.flushLoop()
+	return nil
+}
+
+// reopenLocked is the poison-recovery path: it discards the distrusted file
+// handles and every piece of in-memory state derived from them (uncommitted
+// staged work is lost, exactly as a crash would lose it), then re-runs the
+// open sequence — header read plus WAL redo recovery — so the pager
+// converges to the last durably committed state on fresh handles. fp.mu
+// must be held exclusively and the group-commit flusher must be stopped.
+// On failure the pager is left closed; a later reopen attempt may still
+// succeed (e.g. once the disk stops rejecting writes).
+func (fp *FilePager) reopenLocked() error {
+	// The old handles are exactly the ones whose durable state is unknown
+	// (fsyncgate); close errors on them carry no information.
+	fp.f.Close()
+	fp.wal.Close()
+	fp.closed = true
+	fp.pages = 0
+	fp.shadow = make(map[PageID]*page)
+	fp.walDirty = make(map[PageID]bool)
+	fp.ckptDirty = make(map[PageID]bool)
+	fp.quarantined = make(map[PageID]bool)
+	fp.freeList = nil
+	fp.pendingFree = nil
+	fp.metaHead = noPage
+	fp.metaLen = 0
+	fp.metaPages = nil
+	fp.walSize = 0
+	fp.walSeq = 0
+	fp.sealed = nil
+	if err := fp.openFilesLocked(); err != nil {
+		return err
 	}
-	return fp, nil
+	fp.closed = false
+	return nil
 }
 
 func (fp *FilePager) writeHeader() error {
@@ -333,8 +400,16 @@ func (fp *FilePager) allocLocked() PageID {
 	p := &page{}
 	p.init()
 	fp.shadow[id] = p
-	fp.walDirty[id] = true
+	fp.markDirtyLocked(id)
 	return id
+}
+
+// markDirtyLocked stages page id for the next WAL commit and the next
+// (incremental) checkpoint. fp.mu must be held exclusively and fp.shadow
+// must already hold the page's newest image.
+func (fp *FilePager) markDirtyLocked(id PageID) {
+	fp.walDirty[id] = true
+	fp.ckptDirty[id] = true
 }
 
 // free implements Pager: the pages are queued for reclamation. They are not
@@ -359,6 +434,8 @@ func (fp *FilePager) promotePendingFree() {
 	for _, id := range fp.pendingFree {
 		delete(fp.shadow, id)
 		delete(fp.walDirty, id)
+		delete(fp.ckptDirty, id)
+		delete(fp.quarantined, id)
 	}
 	fp.freeList = append(fp.freeList, fp.pendingFree...)
 	fp.pendingFree = nil
@@ -413,7 +490,7 @@ func (fp *FilePager) writeBack(id PageID, p *page) error {
 	cp := &page{}
 	*cp = *p
 	fp.shadow[id] = cp
-	fp.walDirty[id] = true
+	fp.markDirtyLocked(id)
 	return nil
 }
 
@@ -440,8 +517,8 @@ func (fp *FilePager) commitWAL() error {
 }
 
 // commitSync is the direct commit path: one WAL append + fsync on the
-// caller's thread, then an auto-checkpoint when the shadow overlay has
-// outgrown its threshold. The gate excludes concurrent staging for the
+// caller's thread, then an auto-checkpoint when the dirty-since-checkpoint
+// set has outgrown its threshold. The gate excludes concurrent staging for the
 // whole commit, so the committed batch is always a fully staged one.
 func (fp *FilePager) commitSync() error {
 	if fp.gate != nil {
@@ -453,7 +530,7 @@ func (fp *FilePager) commitSync() error {
 	if err := fp.commitWALLocked(); err != nil {
 		return err
 	}
-	if fp.opts.autoCheckpointPages > 0 && len(fp.shadow) >= fp.opts.autoCheckpointPages {
+	if fp.opts.autoCheckpointPages > 0 && len(fp.ckptDirty) >= fp.opts.autoCheckpointPages {
 		return fp.checkpointLocked()
 	}
 	if fp.opts.walMaxSegments > 0 && len(fp.sealed)+1 > fp.opts.walMaxSegments {
@@ -545,6 +622,24 @@ func (fp *FilePager) stopFlusher() {
 	fp.gmu.Unlock()
 }
 
+// startFlusher relaunches the group-commit flusher after stopFlusher — the
+// recovery path stops it (its commits hold the gate, which Recover needs
+// exclusively), reopens the files and starts it again. No-op when group
+// commit is off or the flusher is already running.
+func (fp *FilePager) startFlusher() {
+	if fp.gcond == nil {
+		return
+	}
+	fp.gmu.Lock()
+	defer fp.gmu.Unlock()
+	if !fp.gstopped || !fp.gexited {
+		return
+	}
+	fp.gstopped = false
+	fp.gexited = false
+	go fp.flushLoop()
+}
+
 // poison records the first durability-critical failure and returns the
 // sticky error for it. Every later commit or checkpoint fails with the same
 // cause until the database is reopened.
@@ -565,6 +660,15 @@ func (fp *FilePager) poisonedErr() error {
 		return nil
 	}
 	return &poisonedError{cause: fp.poisonCause}
+}
+
+// clearPoison lifts the sticky failure. Only the recovery path calls it,
+// after a reopen re-established known durable state on fresh handles and
+// full page verification passed.
+func (fp *FilePager) clearPoison() {
+	fp.pmu.Lock()
+	fp.poisonCause = nil
+	fp.pmu.Unlock()
 }
 
 func (fp *FilePager) commitWALLocked() error {
@@ -694,7 +798,7 @@ func (fp *FilePager) walDiskBytes() int64 {
 	return n
 }
 
-// checkpoint commits the WAL, writes every shadow page into its data-file
+// checkpoint commits the WAL, writes every dirty page into its data-file
 // slot, fsyncs the data file, and truncates the WAL.
 func (fp *FilePager) checkpoint() error {
 	fp.mu.Lock()
@@ -702,17 +806,27 @@ func (fp *FilePager) checkpoint() error {
 	return fp.checkpointLocked()
 }
 
+// checkpointLocked is incremental: it writes only the pages dirtied since
+// the previous checkpoint (ckptDirty), not the whole shadow overlay, so the
+// commit-latency spike of an auto-checkpoint is O(changed pages). Clean
+// shadow entries are retained afterwards as a cache of checkpointed images
+// — they serve reads without file I/O and are the scrubber's repair source
+// — trimmed to a bound so memory stays proportional to the threshold.
 func (fp *FilePager) checkpointLocked() error {
 	if err := fp.commitWALLocked(); err != nil {
 		return err
 	}
-	ids := make([]PageID, 0, len(fp.shadow))
-	for id := range fp.shadow {
+	ids := make([]PageID, 0, len(fp.ckptDirty))
+	for id := range fp.ckptDirty {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		if err := fp.writePageToFile(id, fp.shadow[id]); err != nil {
+		p := fp.shadow[id]
+		if p == nil {
+			return fmt.Errorf("rdbms: checkpoint-dirty page %d missing from shadow", id)
+		}
+		if err := fp.writePageToFile(id, p); err != nil {
 			return fp.poison(err)
 		}
 	}
@@ -728,9 +842,36 @@ func (fp *FilePager) checkpointLocked() error {
 	if err := fp.resetWAL(); err != nil {
 		return fp.poison(fmt.Errorf("rdbms: WAL reset: %w", err))
 	}
-	fp.shadow = make(map[PageID]*page)
+	for _, id := range ids {
+		// The slot now holds this exact image; a previously quarantined
+		// page is healed by the rewrite.
+		delete(fp.quarantined, id)
+	}
+	fp.ckptDirty = make(map[PageID]bool)
+	fp.trimShadowLocked()
 	fp.checkpointCount.Add(1)
+	fp.checkpointPages.Add(int64(len(ids)))
 	return nil
+}
+
+// trimShadowLocked bounds the retained clean-page cache after a checkpoint:
+// only pages outside ckptDirty are dropped (their slots are current), in no
+// particular order. The bound reuses the auto-checkpoint threshold so the
+// overlay never holds more than about twice the checkpoint working set.
+func (fp *FilePager) trimShadowLocked() {
+	bound := fp.opts.autoCheckpointPages
+	if bound <= 0 {
+		bound = defaultAutoCheckpointPages
+	}
+	for id := range fp.shadow {
+		if len(fp.shadow) <= bound {
+			return
+		}
+		if fp.ckptDirty[id] {
+			continue
+		}
+		delete(fp.shadow, id)
+	}
 }
 
 // resetWAL compacts the log after a checkpoint: the active handle moves
@@ -918,7 +1059,7 @@ func (fp *FilePager) writeMeta(blob []byte) {
 			hi = len(blob)
 		}
 		copy(p.buf[4:], blob[lo:hi])
-		fp.walDirty[id] = true
+		fp.markDirtyLocked(id)
 	}
 	if need > 0 {
 		fp.metaHead = chain[0]
@@ -963,7 +1104,7 @@ func (fp *FilePager) writeMetaValue(chain []PageID, blob []byte) []PageID {
 		for j := n; j < PageSize; j++ {
 			p.buf[j] = 0
 		}
-		fp.walDirty[id] = true
+		fp.markDirtyLocked(id)
 	}
 	fp.manifestBytes.Add(int64(len(blob)))
 	fp.manifestSegments.Add(1)
@@ -1042,21 +1183,17 @@ func (fp *FilePager) readMeta() ([]byte, error) {
 	return out, nil
 }
 
-// verify checksum-checks every page slot in the data file. Pages pending
-// write-back (shadow) have no on-disk slot yet; free pages hold dead (often
-// never-written) slots. Both are skipped.
+// verify checksum-checks every page slot in the data file. Pages dirtied
+// since the last checkpoint have no current on-disk slot yet; free and
+// pending-free pages hold dead (often never-written) slots. Both are
+// skipped. Retained clean shadow entries are NOT skipped: their slots were
+// written by a past checkpoint and must verify.
 func (fp *FilePager) verify() error {
 	fp.mu.RLock()
 	defer fp.mu.RUnlock()
-	freed := make(map[PageID]bool, len(fp.freeList))
-	for _, id := range fp.freeList {
-		freed[id] = true
-	}
+	skip := fp.unverifiableLocked()
 	for id := 0; id < fp.pages; id++ {
-		if _, ok := fp.shadow[PageID(id)]; ok {
-			continue
-		}
-		if freed[PageID(id)] {
+		if skip[PageID(id)] {
 			continue
 		}
 		if _, err := fp.readPageFromFile(PageID(id)); err != nil {
@@ -1064,6 +1201,23 @@ func (fp *FilePager) verify() error {
 		}
 	}
 	return nil
+}
+
+// unverifiableLocked builds the set of pages whose data-file slot is not
+// expected to hold a valid current image: dirty since the last checkpoint,
+// freed, or pending free. fp.mu must be held (shared suffices).
+func (fp *FilePager) unverifiableLocked() map[PageID]bool {
+	skip := make(map[PageID]bool, len(fp.ckptDirty)+len(fp.freeList)+len(fp.pendingFree))
+	for id := range fp.ckptDirty {
+		skip[id] = true
+	}
+	for _, id := range fp.freeList {
+		skip[id] = true
+	}
+	for _, id := range fp.pendingFree {
+		skip[id] = true
+	}
+	return skip
 }
 
 // closeFiles stops the group-commit flusher (serving commits already
@@ -1092,16 +1246,25 @@ func (fp *FilePager) closeFiles() error {
 type fileCounters struct {
 	diskReads, diskWrites           int64
 	walAppends, walSyncs, walBytes  int64
-	checkpoints                     int64
+	checkpoints, checkpointPages    int64
 	freePages                       int64
+	shadowPages, dirtyPages         int64
 	manifestBytes, manifestSegments int64
 	walSegments, walRotations       int64
 	walCompacted, walDiskBytes      int64
+	scrubRuns, scrubPages           int64
+	scrubRepaired, scrubBad         int64
+	quarantinedPages                int64
+	vacuums, vacuumPagesMoved       int64
+	vacuumBytesFreed, recoveries    int64
 }
 
 func (fp *FilePager) ioCounters() fileCounters {
 	fp.mu.RLock()
 	freePages := int64(len(fp.freeList) + len(fp.pendingFree))
+	shadowPages := int64(len(fp.shadow))
+	dirtyPages := int64(len(fp.ckptDirty))
+	quarantined := int64(len(fp.quarantined))
 	walSegments := int64(len(fp.sealed) + 1)
 	walDiskBytes := fp.walDiskBytes()
 	fp.mu.RUnlock()
@@ -1112,13 +1275,25 @@ func (fp *FilePager) ioCounters() fileCounters {
 		walSyncs:         fp.walSyncs.Load(),
 		walBytes:         fp.walBytes.Load(),
 		checkpoints:      fp.checkpointCount.Load(),
+		checkpointPages:  fp.checkpointPages.Load(),
 		freePages:        freePages,
+		shadowPages:      shadowPages,
+		dirtyPages:       dirtyPages,
 		manifestBytes:    fp.manifestBytes.Load(),
 		manifestSegments: fp.manifestSegments.Load(),
 		walSegments:      walSegments,
 		walRotations:     fp.walRotations.Load(),
 		walCompacted:     fp.walCompacted.Load(),
 		walDiskBytes:     walDiskBytes,
+		scrubRuns:        fp.scrubRuns.Load(),
+		scrubPages:       fp.scrubPages.Load(),
+		scrubRepaired:    fp.scrubRepaired.Load(),
+		scrubBad:         fp.scrubBad.Load(),
+		quarantinedPages: quarantined,
+		vacuums:          fp.vacuumRuns.Load(),
+		vacuumPagesMoved: fp.vacuumPagesMoved.Load(),
+		vacuumBytesFreed: fp.vacuumBytesFreed.Load(),
+		recoveries:       fp.recoveries.Load(),
 	}
 }
 
@@ -1129,6 +1304,15 @@ func (fp *FilePager) resetIOCounters() {
 	fp.walSyncs.Store(0)
 	fp.walBytes.Store(0)
 	fp.checkpointCount.Store(0)
+	fp.checkpointPages.Store(0)
 	fp.manifestBytes.Store(0)
 	fp.manifestSegments.Store(0)
+	fp.scrubRuns.Store(0)
+	fp.scrubPages.Store(0)
+	fp.scrubRepaired.Store(0)
+	fp.scrubBad.Store(0)
+	fp.vacuumRuns.Store(0)
+	fp.vacuumPagesMoved.Store(0)
+	fp.vacuumBytesFreed.Store(0)
+	fp.recoveries.Store(0)
 }

@@ -1,0 +1,451 @@
+package rdbms
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+// corruptSlot smashes a few bytes in the middle of page id's data-file
+// slot, out of band of the pager's own handle — the shape of bit rot or a
+// misplaced write landing while the database is running.
+func corruptSlot(t *testing.T, path string, id PageID) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := int64(fileHeaderSize) + int64(id)*pageSlotSize + 512
+	if _, err := f.WriteAt([]byte("CORRUPTCORRUPT"), off); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalCheckpointWritesOnlyDirtyPages(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	defer db.Close()
+	tab, err := db.CreateTable("t", NewSchema(
+		Column{Name: "id", Type: DTInt},
+		Column{Name: "name", Type: DTText},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tab, 0, 4000)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Pool().Stats()
+	full := st.CheckpointPages
+	if full < 20 {
+		t.Fatalf("first checkpoint wrote %d pages, want a multi-page table", full)
+	}
+	if st.DirtyPages != 0 {
+		t.Fatalf("DirtyPages = %d after checkpoint, want 0", st.DirtyPages)
+	}
+	if st.ShadowPages == 0 {
+		t.Fatal("ShadowPages = 0 after checkpoint, want retained clean cache")
+	}
+	// One more row dirties the tail heap page plus the rewritten catalog
+	// chain — the next checkpoint must write only those, not the overlay.
+	if _, err := tab.Insert(Row{Int(9999), Text("tail")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st = db.Pool().Stats()
+	delta := st.CheckpointPages - full
+	if delta <= 0 || delta > 8 {
+		t.Fatalf("incremental checkpoint wrote %d pages, want 1..8 (full pass was %d)", delta, full)
+	}
+	if st.ShadowPages < delta {
+		t.Fatalf("ShadowPages = %d, want the clean cache retained", st.ShadowPages)
+	}
+}
+
+func TestScrubRepairsFromCleanCache(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	defer db.Close()
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	rids := fillTable(t, tab, 0, 1000)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint retained every written page as a clean shadow entry —
+	// the repair source. Corrupt one heap slot behind the pager's back.
+	victim := rids[len(rids)/2].Page
+	corruptSlot(t, path, victim)
+	if err := db.VerifyChecksums(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("VerifyChecksums = %v, want checksum failure before scrub", err)
+	}
+
+	res, err := db.Scrub(ScrubOptions{BatchPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repaired) != 1 || res.Repaired[0] != victim {
+		t.Fatalf("Repaired = %v, want [%d]", res.Repaired, victim)
+	}
+	if len(res.Bad) != 0 {
+		t.Fatalf("Bad = %v, want none (clean cache held the image)", res.Bad)
+	}
+	if err := db.VerifyChecksums(); err != nil {
+		t.Fatalf("VerifyChecksums after repair: %v", err)
+	}
+	st := db.Pool().Stats()
+	if st.ScrubRuns != 1 || st.ScrubRepaired != 1 || st.ScrubBad != 0 || st.QuarantinedPages != 0 {
+		t.Fatalf("scrub counters = runs %d repaired %d bad %d quarantined %d",
+			st.ScrubRuns, st.ScrubRepaired, st.ScrubBad, st.QuarantinedPages)
+	}
+	if st.ScrubPages == 0 {
+		t.Fatal("ScrubPages = 0 after a pass")
+	}
+	// The repair must be the checkpointed image: the table reads back whole.
+	got := 0
+	db.Table("t").Scan(func(_ RID, r Row) bool { got++; return true })
+	if got != 1000 {
+		t.Fatalf("scan after repair saw %d rows, want 1000", got)
+	}
+}
+
+func TestScrubQuarantinesWithoutPoisoning(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	rids := fillTable(t, tab, 0, 1000)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	victim := rids[len(rids)/2].Page
+	corruptSlot(t, path, victim)
+
+	// A fresh open has no retained cache and the pool never read the page:
+	// no repair source exists, so the slot must be quarantined — degraded,
+	// not poisoned.
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+	res, err := db2.Scrub(ScrubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bad) != 1 || res.Bad[0] != victim {
+		t.Fatalf("Bad = %v, want [%d]", res.Bad, victim)
+	}
+	if len(res.Repaired) != 0 {
+		t.Fatalf("Repaired = %v, want none", res.Repaired)
+	}
+	st := db2.Pool().Stats()
+	if st.ScrubBad != 1 || st.QuarantinedPages != 1 {
+		t.Fatalf("ScrubBad = %d QuarantinedPages = %d, want 1/1", st.ScrubBad, st.QuarantinedPages)
+	}
+	if err := db2.Poisoned(); err != nil {
+		t.Fatalf("scrub poisoned the store: %v", err)
+	}
+	// Writes elsewhere keep working.
+	t2, err := db2.CreateTable("other", NewSchema(Column{Name: "v", Type: DTInt}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, t2, 0, 10)
+	if err := db2.FlushWAL(); err != nil {
+		t.Fatalf("commit on degraded store: %v", err)
+	}
+	// A second scrub pass does not double-count the same quarantined slot.
+	if _, err := db2.Scrub(ScrubOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := db2.Pool().Stats(); st.ScrubBad != 1 || st.QuarantinedPages != 1 {
+		t.Fatalf("second pass re-counted: ScrubBad = %d QuarantinedPages = %d", st.ScrubBad, st.QuarantinedPages)
+	}
+}
+
+func TestScrubProgressAbort(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	defer db.Close()
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab, 0, 2000)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	abort := errors.New("stop here")
+	calls := 0
+	_, err := db.Scrub(ScrubOptions{BatchPages: 4, Progress: func(done, total int) error {
+		calls++
+		if done >= total/2 {
+			return abort
+		}
+		return nil
+	}})
+	if !errors.Is(err, abort) {
+		t.Fatalf("Scrub = %v, want the progress callback's error", err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never ran")
+	}
+	if st := db.Pool().Stats(); st.ScrubRuns != 0 {
+		t.Fatalf("aborted pass counted as a run: ScrubRuns = %d", st.ScrubRuns)
+	}
+}
+
+func TestVacuumTruncatesAfterDrop(t *testing.T) {
+	path := tempDBPath(t)
+	db := mustOpenFile(t, path)
+	defer db.Close()
+	keep, err := db.CreateTable("keep", NewSchema(
+		Column{Name: "id", Type: DTInt},
+		Column{Name: "name", Type: DTText},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, keep, 0, 50)
+	big, err := db.CreateTable("big", NewSchema(
+		Column{Name: "id", Type: DTInt},
+		Column{Name: "name", Type: DTText},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, big, 0, 4000)
+	db.PutMeta("app:cfg", bytes.Repeat([]byte("x"), 3*PageSize))
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the bulk of the file. Its pages free up, but the catalog and
+	// meta-value chains were allocated above them — without relocation the
+	// tail could never be returned.
+	if err := db.DropTable("big"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Vacuum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PagesAfter >= res.PagesBefore {
+		t.Fatalf("Vacuum pages %d -> %d, want a shrink", res.PagesBefore, res.PagesAfter)
+	}
+	if res.PagesMoved == 0 {
+		t.Fatal("Vacuum moved no meta pages; chains should have been relocated downward")
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() > before.Size()/2 {
+		t.Fatalf("file %d -> %d bytes, want at least half reclaimed", before.Size(), after.Size())
+	}
+	if res.BytesReclaimed != before.Size()-after.Size() {
+		t.Fatalf("BytesReclaimed = %d, want %d (stat delta)", res.BytesReclaimed, before.Size()-after.Size())
+	}
+	if st := db.Pool().Stats(); st.Vacuums != 1 || st.VacuumPagesMoved == 0 || st.VacuumBytesFreed != res.BytesReclaimed {
+		t.Fatalf("vacuum counters = %d/%d/%d", st.Vacuums, st.VacuumPagesMoved, st.VacuumBytesFreed)
+	}
+	if err := db.VerifyChecksums(); err != nil {
+		t.Fatalf("VerifyChecksums after vacuum: %v", err)
+	}
+
+	// Everything that survived the drop must survive the vacuum and a
+	// reopen: relocated chains are committed, not just staged.
+	check := func(d *DB, label string) {
+		t.Helper()
+		if got := d.Table("keep").RowCount(); got != 50 {
+			t.Fatalf("%s: keep.RowCount = %d, want 50", label, got)
+		}
+		v, ok := d.GetMeta("app:cfg")
+		if !ok || len(v) != 3*PageSize || v[0] != 'x' {
+			t.Fatalf("%s: meta value lost (ok=%v len=%d)", label, ok, len(v))
+		}
+	}
+	check(db, "post-vacuum")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+	check(db2, "reopen")
+	if err := db2.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotence: a second pass on the compacted file reclaims nothing.
+	res2, err := db2.Vacuum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BytesReclaimed != 0 {
+		t.Fatalf("second Vacuum reclaimed %d bytes, want 0", res2.BytesReclaimed)
+	}
+}
+
+// TestVacuumMidCompactionDataFaultPoisons is the checkpoint-compaction
+// fault satellite: a data-file write fault fires inside the vacuum's
+// checkpoint, the store poisons cleanly (no torn manifest), and a reopen
+// recovers every committed row.
+func TestVacuumMidCompactionDataFaultPoisons(t *testing.T) {
+	for _, kind := range []FaultKind{FaultIOErr, FaultENOSPC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			path := tempDBPath(t)
+			fs := NewFaultSchedule(11)
+			db, err := OpenFile(path, Options{Faults: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+			fillTable(t, tab, 0, 800)
+			if err := db.FlushWAL(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.DropTable("t"); err != nil {
+				t.Fatal(err)
+			}
+			t2, _ := db.CreateTable("t2", NewSchema(Column{Name: "v", Type: DTInt}))
+			fillTable(t, t2, 0, 200)
+			// Arm now: the very next data-file write is the vacuum's own
+			// checkpoint compaction writing a dirty page.
+			fs.Arm(FaultRule{File: FaultFileData, Op: FaultWrite, Kind: kind, After: 1, Count: -1})
+			_, err = db.Vacuum()
+			if !errors.Is(err, ErrPoisoned) || !errors.Is(err, ErrInjected) {
+				t.Fatalf("Vacuum = %v, want poisoned/injected", err)
+			}
+			if err := db.FlushWAL(); !errors.Is(err, ErrReadOnly) {
+				t.Fatalf("commit after poisoned vacuum = %v, want read-only", err)
+			}
+			if err := db.SimulateCrash(); err != nil {
+				t.Fatal(err)
+			}
+			db2 := mustOpenFile(t, path)
+			defer db2.Close()
+			if got := db2.Table("t2").RowCount(); got != 200 {
+				t.Fatalf("recovered t2.RowCount = %d, want 200", got)
+			}
+			if db2.Table("t") != nil {
+				t.Fatal("dropped table resurrected by recovery")
+			}
+			if err := db2.VerifyChecksums(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRecoverAfterDiskFull is the engine half of the disk-full-then-
+// recovers story: ENOSPC mid-commit poisons, space frees up (the fault
+// rule exhausts), and DB.Recover clears the poison in place — acked state
+// intact, new writes resuming — without ever closing the *DB.
+func TestRecoverAfterDiskFull(t *testing.T) {
+	path := tempDBPath(t)
+	fs := NewFaultSchedule(3)
+	db, err := OpenFile(path, Options{Faults: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab, 0, 300)
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk fills: the next WAL append tears and fails. Count=0 means the
+	// space is freed right afterwards — the transient-fault shape.
+	fs.Arm(FaultRule{File: FaultFileWAL, Op: FaultWrite, Kind: FaultENOSPC, After: 1})
+	fillTable(t, tab, 300, 100)
+	if err := db.FlushWAL(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("commit on full disk = %v, want poisoned", err)
+	}
+	if err := db.Poisoned(); err == nil {
+		t.Fatal("Poisoned() = nil after ENOSPC")
+	}
+
+	if err := db.Recover(); err != nil {
+		t.Fatalf("Recover after space freed: %v", err)
+	}
+	if err := db.Poisoned(); err != nil {
+		t.Fatalf("still poisoned after successful Recover: %v", err)
+	}
+	if got := db.Pool().Stats().Recoveries; got != 1 {
+		t.Fatalf("Recoveries = %d, want 1", got)
+	}
+
+	// The acked batch survived; the torn one is gone whole, not partially.
+	tab = db.Table("t") // handles from before Recover are stale
+	if got := tab.RowCount(); got != 300 {
+		t.Fatalf("recovered RowCount = %d, want the acked 300", got)
+	}
+	// Writes resume and are durable across a real reopen.
+	fillTable(t, tab, 300, 50)
+	if err := db.FlushWAL(); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := mustOpenFile(t, path)
+	defer db2.Close()
+	if got := db2.Table("t").RowCount(); got != 350 {
+		t.Fatalf("RowCount after reopen = %d, want 350", got)
+	}
+	if err := db2.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverKeepsPoisonWhenFaultPersists: recovery must not clear the
+// poison while the underlying device still fails — the reopen's own
+// verification hits the live fault and the store stays read-only.
+func TestRecoverKeepsPoisonWhenFaultPersists(t *testing.T) {
+	path := tempDBPath(t)
+	fs := NewFaultSchedule(5)
+	db, err := OpenFile(path, Options{Faults: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := db.CreateTable("t", NewSchema(Column{Name: "v", Type: DTInt}))
+	fillTable(t, tab, 0, 200)
+	if err := db.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Arm(FaultRule{File: FaultFileWAL, Op: FaultSync, Kind: FaultIOErr, After: 1})
+	fillTable(t, tab, 200, 10)
+	if err := db.FlushWAL(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("commit = %v, want poisoned", err)
+	}
+	// The device now fails every data-file read: Recover cannot verify the
+	// store and must leave the poison in place.
+	fs.Arm(FaultRule{File: FaultFileData, Op: FaultRead, Kind: FaultIOErr, After: 1, Count: -1})
+	if err := db.Recover(); err == nil {
+		t.Fatal("Recover succeeded against a persistently failing device")
+	}
+	if err := db.Poisoned(); err == nil {
+		t.Fatal("Recover cleared the poison without verifying the store")
+	}
+	if got := db.Pool().Stats().Recoveries; got != 0 {
+		t.Fatalf("failed recovery counted: Recoveries = %d", got)
+	}
+}
+
+func TestRecoverInMemoryNoop(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Scrub(ScrubOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+}

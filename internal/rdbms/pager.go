@@ -27,7 +27,14 @@ type IOStats struct {
 	WALSyncs    int64 // fsyncs of the write-ahead log (one per commit batch)
 	WALBytes    int64 // bytes appended to the write-ahead log
 	Checkpoints int64 // data-file checkpoints (manual and automatic)
-	FreePages   int64 // pages currently on the free list, awaiting reuse
+	// CheckpointPages counts data-file page writes performed by checkpoints.
+	// Checkpoints are incremental — only pages dirtied since the previous
+	// checkpoint are written — so this grows with what changed, not with the
+	// overlay size (the incremental-checkpoint signal gated in BENCH_maint).
+	CheckpointPages int64
+	FreePages       int64 // pages currently on the free list, awaiting reuse
+	ShadowPages     int64 // pages resident in the in-memory overlay (dirty + retained clean cache)
+	DirtyPages      int64 // pages dirtied since the last checkpoint (next checkpoint's write set)
 	// WAL segmentation counters (the long-lived-operations signal): the
 	// log rotates into bounded segments and checkpoints compact them away,
 	// so disk usage stays bounded over months of commits.
@@ -42,6 +49,18 @@ type IOStats struct {
 	// with what changed, not with sheet size.
 	ManifestBytes    int64 // manifest bytes staged (catalog blob + rewritten values)
 	ManifestSegments int64 // out-of-line metadata values rewritten
+	// Self-healing counters (the degrade→repair→resume lifecycle): online
+	// scrub progress and findings, vacuum reclamation, and in-place
+	// poison recoveries.
+	ScrubRuns        int64 // completed scrub passes
+	ScrubPages       int64 // page slots visited by the scrubber
+	ScrubRepaired    int64 // corrupt slots rewritten from a clean in-memory image
+	ScrubBad         int64 // corrupt slots quarantined (unrepairable at scrub time)
+	QuarantinedPages int64 // slots currently quarantined (degraded regions)
+	Vacuums          int64 // completed vacuum passes
+	VacuumPagesMoved int64 // meta-chain pages relocated into lower free slots
+	VacuumBytesFreed int64 // data-file bytes returned by vacuum truncation
+	Recoveries       int64 // successful in-place poison recoveries (DB.Recover)
 }
 
 // Pager is the stable-storage layer beneath the buffer pool: a growable
@@ -286,6 +305,39 @@ func (b *BufferPool) discard(ids []PageID) {
 	}
 }
 
+// peek returns a copy of the page's resident frame when it is cached and
+// clean, else nil. The scrubber uses it as a repair source: for a page with
+// no pending checkpoint write, a clean frame holds exactly the content its
+// data-file slot should hold.
+func (b *BufferPool) peek(id PageID) *page {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.frames[id]
+	if !ok {
+		return nil
+	}
+	f := e.Value.(*frame)
+	if f.dirty {
+		return nil
+	}
+	cp := &page{}
+	*cp = *f.page
+	return cp
+}
+
+// reset drops every frame (without write-back) and clears the sticky error.
+// The recovery path uses it: cached frames may hold pre-fault staged state
+// that the reopen just discarded.
+func (b *BufferPool) reset() {
+	b.mu.Lock()
+	b.frames = make(map[PageID]*list.Element)
+	b.lru = list.New()
+	b.mu.Unlock()
+	b.errMu.Lock()
+	b.lastErr = nil
+	b.errMu.Unlock()
+}
+
 func (b *BufferPool) setErr(err error) {
 	b.errMu.Lock()
 	if b.lastErr == nil {
@@ -316,10 +368,17 @@ func (b *BufferPool) Stats() IOStats {
 		fc := fp.ioCounters()
 		s.DiskReads, s.DiskWrites, s.WALAppends = fc.diskReads, fc.diskWrites, fc.walAppends
 		s.WALSyncs, s.WALBytes, s.Checkpoints = fc.walSyncs, fc.walBytes, fc.checkpoints
+		s.CheckpointPages = fc.checkpointPages
 		s.FreePages = fc.freePages
+		s.ShadowPages, s.DirtyPages = fc.shadowPages, fc.dirtyPages
 		s.ManifestBytes, s.ManifestSegments = fc.manifestBytes, fc.manifestSegments
 		s.WALSegments, s.WALRotations = fc.walSegments, fc.walRotations
 		s.WALCompacted, s.WALDiskBytes = fc.walCompacted, fc.walDiskBytes
+		s.ScrubRuns, s.ScrubPages = fc.scrubRuns, fc.scrubPages
+		s.ScrubRepaired, s.ScrubBad = fc.scrubRepaired, fc.scrubBad
+		s.QuarantinedPages = fc.quarantinedPages
+		s.Vacuums, s.VacuumPagesMoved = fc.vacuums, fc.vacuumPagesMoved
+		s.VacuumBytesFreed, s.Recoveries = fc.vacuumBytesFreed, fc.recoveries
 	}
 	return s
 }

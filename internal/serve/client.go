@@ -277,6 +277,50 @@ func (c *Client) Stats() (Stats, error) {
 	return st, nil
 }
 
+// Scrub runs one online checksum scrub pass on the server at the given
+// read rate (pages per second, 0 = unthrottled). Idempotent: a pass that
+// may have run twice verified twice, nothing more.
+func (c *Client) Scrub(rate int) (ScrubSummary, error) {
+	p := binary.AppendUvarint([]byte{OpScrub}, uint64(rate))
+	d, err := c.roundTrip(p, true)
+	if err != nil {
+		return ScrubSummary{}, err
+	}
+	sum := d.scrubSummary()
+	if err := d.done(); err != nil {
+		return ScrubSummary{}, err
+	}
+	return sum, nil
+}
+
+// Vacuum defragments the server's data file, returning trailing free
+// space to the filesystem. Not retried: a vacuum saves open sheets, which
+// commits state — on an ambiguous ack the caller must observe, not
+// re-apply.
+func (c *Client) Vacuum() (VacuumSummary, error) {
+	d, err := c.roundTrip([]byte{OpVacuum}, false)
+	if err != nil {
+		return VacuumSummary{}, err
+	}
+	sum := d.vacuumSummary()
+	if err := d.done(); err != nil {
+		return VacuumSummary{}, err
+	}
+	return sum, nil
+}
+
+// Recover asks the server to heal a poisoned database in place (reopen,
+// WAL recovery, page verification). Idempotent: recovering a healthy
+// database reverts it to its last committed state, the same state a
+// duplicate delivery would find.
+func (c *Client) Recover() error {
+	d, err := c.roundTrip([]byte{OpRecover}, true)
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
 func structuralReq(op byte, name string, at, count int) []byte {
 	p := appendString([]byte{op}, name)
 	p = binary.AppendUvarint(p, uint64(at))

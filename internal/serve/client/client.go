@@ -24,6 +24,12 @@ type SheetStat = serve.SheetStat
 // serve.ClientOptions.
 type Options = serve.ClientOptions
 
+// ScrubSummary is one scrub pass's findings; see serve.ScrubSummary.
+type ScrubSummary = serve.ScrubSummary
+
+// VacuumSummary is one vacuum pass's result; see serve.VacuumSummary.
+type VacuumSummary = serve.VacuumSummary
+
 // Dial connects to a dsserver at addr ("host:port").
 func Dial(addr string) (*Client, error) { return serve.Dial(addr) }
 

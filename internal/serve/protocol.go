@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 
+	"dataspread/internal/rdbms"
 	"dataspread/internal/sheet"
 )
 
@@ -41,6 +42,11 @@ const (
 	OpInsertCols
 	OpDeleteCols
 	OpStats
+	// Maintenance ops (self-healing storage): run an online checksum scrub,
+	// defragment the data file, or recover a poisoned database in place.
+	OpScrub
+	OpVacuum
+	OpRecover
 )
 
 // Response status.
@@ -123,6 +129,20 @@ func (d *decoder) uvarint() uint64 {
 		return 0
 	}
 	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// varint decodes a zigzag-signed varint (fault-rule Count can be negative).
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
 	if n <= 0 {
 		d.fail("varint")
 		return 0
@@ -297,8 +317,44 @@ type Stats struct {
 	// InjectedFaults counts scheduled I/O faults fired so far when the
 	// database was opened over a fault-injection schedule (zero otherwise).
 	InjectedFaults int64
+	// InjectedByKind breaks InjectedFaults down per fault kind, and Faults
+	// is the per-rule breakdown (rule, operations matched, faults
+	// injected) — so an operator of a degraded server can see which
+	// scheduled failure actually hit. Both are zero/empty without a
+	// fault schedule.
+	InjectedByKind rdbms.FaultCounts
+	Faults         []rdbms.FaultRuleStat
+	// Maintenance counters (self-healing storage): incremental-checkpoint
+	// page writes, scrub progress and findings, vacuum reclamation, and
+	// in-place poison recoveries. See rdbms.IOStats for field semantics.
+	CheckpointPages  int64
+	ScrubRuns        int64
+	ScrubPages       int64
+	ScrubRepaired    int64
+	ScrubBad         int64
+	QuarantinedPages int64
+	Vacuums          int64
+	VacuumPagesMoved int64
+	VacuumBytesFreed int64
+	Recoveries       int64
 	// Sheets lists the open sheets and their snapshot generations.
 	Sheets []SheetStat
+}
+
+// ScrubSummary is the wire form of one scrub pass's findings.
+type ScrubSummary struct {
+	Scanned  int // slots read and verified clean
+	Skipped  int // dirty or free slots with nothing on disk to verify
+	Repaired int // corrupt slots rewritten from a clean in-memory image
+	Bad      int // corrupt slots left quarantined
+}
+
+// VacuumSummary is the wire form of one vacuum pass's result.
+type VacuumSummary struct {
+	PagesBefore    int
+	PagesAfter     int
+	PagesMoved     int
+	BytesReclaimed int64
 }
 
 func appendStats(b []byte, st Stats) []byte {
@@ -315,6 +371,29 @@ func appendStats(b []byte, st Stats) []byte {
 	b = binary.AppendUvarint(b, uint64(st.WALRotations))
 	b = binary.AppendUvarint(b, uint64(st.WALCompacted))
 	b = binary.AppendUvarint(b, uint64(st.InjectedFaults))
+	b = binary.AppendUvarint(b, uint64(st.InjectedByKind.IOErrs))
+	b = binary.AppendUvarint(b, uint64(st.InjectedByKind.NoSpace))
+	b = binary.AppendUvarint(b, uint64(st.InjectedByKind.ShortWrites))
+	b = binary.AppendUvarint(b, uint64(st.InjectedByKind.BitFlips))
+	b = binary.AppendUvarint(b, uint64(len(st.Faults)))
+	for _, fr := range st.Faults {
+		b = appendString(b, fr.Rule.File)
+		b = append(b, byte(fr.Rule.Op), byte(fr.Rule.Kind))
+		b = binary.AppendUvarint(b, uint64(fr.Rule.After))
+		b = binary.AppendVarint(b, int64(fr.Rule.Count))
+		b = binary.AppendUvarint(b, uint64(fr.Matched))
+		b = binary.AppendUvarint(b, uint64(fr.Injected))
+	}
+	b = binary.AppendUvarint(b, uint64(st.CheckpointPages))
+	b = binary.AppendUvarint(b, uint64(st.ScrubRuns))
+	b = binary.AppendUvarint(b, uint64(st.ScrubPages))
+	b = binary.AppendUvarint(b, uint64(st.ScrubRepaired))
+	b = binary.AppendUvarint(b, uint64(st.ScrubBad))
+	b = binary.AppendUvarint(b, uint64(st.QuarantinedPages))
+	b = binary.AppendUvarint(b, uint64(st.Vacuums))
+	b = binary.AppendUvarint(b, uint64(st.VacuumPagesMoved))
+	b = binary.AppendUvarint(b, uint64(st.VacuumBytesFreed))
+	b = binary.AppendUvarint(b, uint64(st.Recoveries))
 	b = binary.AppendUvarint(b, uint64(len(st.Sheets)))
 	for _, sh := range st.Sheets {
 		b = appendString(b, sh.Name)
@@ -335,6 +414,42 @@ func (d *decoder) stats() Stats {
 	st.WALRotations = int64(d.uvarint())
 	st.WALCompacted = int64(d.uvarint())
 	st.InjectedFaults = int64(d.uvarint())
+	st.InjectedByKind = rdbms.FaultCounts{
+		IOErrs:      int64(d.uvarint()),
+		NoSpace:     int64(d.uvarint()),
+		ShortWrites: int64(d.uvarint()),
+		BitFlips:    int64(d.uvarint()),
+	}
+	nr := d.num("fault rule count", 1<<16)
+	if d.err != nil {
+		return st
+	}
+	if nr > 0 {
+		st.Faults = make([]rdbms.FaultRuleStat, nr)
+		for i := range st.Faults {
+			st.Faults[i] = rdbms.FaultRuleStat{
+				Rule: rdbms.FaultRule{
+					File:  d.str(),
+					Op:    rdbms.FaultOp(d.byte()),
+					Kind:  rdbms.FaultKind(d.byte()),
+					After: int(d.uvarint()),
+					Count: int(d.varint()),
+				},
+				Matched:  int64(d.uvarint()),
+				Injected: int64(d.uvarint()),
+			}
+		}
+	}
+	st.CheckpointPages = int64(d.uvarint())
+	st.ScrubRuns = int64(d.uvarint())
+	st.ScrubPages = int64(d.uvarint())
+	st.ScrubRepaired = int64(d.uvarint())
+	st.ScrubBad = int64(d.uvarint())
+	st.QuarantinedPages = int64(d.uvarint())
+	st.Vacuums = int64(d.uvarint())
+	st.VacuumPagesMoved = int64(d.uvarint())
+	st.VacuumBytesFreed = int64(d.uvarint())
+	st.Recoveries = int64(d.uvarint())
 	n := d.num("sheet count", 1<<16)
 	if d.err != nil {
 		return st
@@ -344,4 +459,38 @@ func (d *decoder) stats() Stats {
 		st.Sheets[i] = SheetStat{Name: d.str(), Gen: d.uvarint()}
 	}
 	return st
+}
+
+func appendScrubSummary(b []byte, s ScrubSummary) []byte {
+	b = binary.AppendUvarint(b, uint64(s.Scanned))
+	b = binary.AppendUvarint(b, uint64(s.Skipped))
+	b = binary.AppendUvarint(b, uint64(s.Repaired))
+	b = binary.AppendUvarint(b, uint64(s.Bad))
+	return b
+}
+
+func (d *decoder) scrubSummary() ScrubSummary {
+	return ScrubSummary{
+		Scanned:  int(d.uvarint()),
+		Skipped:  int(d.uvarint()),
+		Repaired: int(d.uvarint()),
+		Bad:      int(d.uvarint()),
+	}
+}
+
+func appendVacuumSummary(b []byte, v VacuumSummary) []byte {
+	b = binary.AppendUvarint(b, uint64(v.PagesBefore))
+	b = binary.AppendUvarint(b, uint64(v.PagesAfter))
+	b = binary.AppendUvarint(b, uint64(v.PagesMoved))
+	b = binary.AppendUvarint(b, uint64(v.BytesReclaimed))
+	return b
+}
+
+func (d *decoder) vacuumSummary() VacuumSummary {
+	return VacuumSummary{
+		PagesBefore:    int(d.uvarint()),
+		PagesAfter:     int(d.uvarint()),
+		PagesMoved:     int(d.uvarint()),
+		BytesReclaimed: int64(d.uvarint()),
+	}
 }

@@ -126,17 +126,29 @@ func (s *Server) Close() error {
 func (s *Server) Stats() Stats {
 	io := s.db.Pool().Stats()
 	st := Stats{
-		Conns:        s.nconns.Load(),
-		InFlight:     s.inflight.Load(),
-		Requests:     s.requests.Load(),
-		CommitGen:    s.db.CommitGen(),
-		Poisoned:     s.db.Poisoned() != nil,
-		WALSegments:  io.WALSegments,
-		WALRotations: io.WALRotations,
-		WALCompacted: io.WALCompacted,
+		Conns:            s.nconns.Load(),
+		InFlight:         s.inflight.Load(),
+		Requests:         s.requests.Load(),
+		CommitGen:        s.db.CommitGen(),
+		Poisoned:         s.db.Poisoned() != nil,
+		WALSegments:      io.WALSegments,
+		WALRotations:     io.WALRotations,
+		WALCompacted:     io.WALCompacted,
+		CheckpointPages:  io.CheckpointPages,
+		ScrubRuns:        io.ScrubRuns,
+		ScrubPages:       io.ScrubPages,
+		ScrubRepaired:    io.ScrubRepaired,
+		ScrubBad:         io.ScrubBad,
+		QuarantinedPages: io.QuarantinedPages,
+		Vacuums:          io.Vacuums,
+		VacuumPagesMoved: io.VacuumPagesMoved,
+		VacuumBytesFreed: io.VacuumBytesFreed,
+		Recoveries:       io.Recoveries,
 	}
 	if fs := s.db.Faults(); fs != nil {
-		st.InjectedFaults = fs.Injected().Total()
+		st.InjectedByKind = fs.Injected()
+		st.InjectedFaults = st.InjectedByKind.Total()
+		st.Faults = fs.RuleStats()
 	}
 	s.mu.Lock()
 	for name, h := range s.sheets {
@@ -145,6 +157,72 @@ func (s *Server) Stats() Stats {
 	s.mu.Unlock()
 	sortSheetStats(st.Sheets)
 	return st
+}
+
+// Scrub runs one online checksum scrub pass over the database at the
+// given read rate (pages per second, 0 = unthrottled). Reads and writes
+// keep being served; corrupt slots are repaired from clean in-memory
+// images where possible and quarantined otherwise.
+func (s *Server) Scrub(rate int) (ScrubSummary, error) {
+	res, err := s.db.Scrub(rdbms.ScrubOptions{PagesPerSecond: rate})
+	if err != nil {
+		return ScrubSummary{}, err
+	}
+	return ScrubSummary{
+		Scanned:  res.Scanned,
+		Skipped:  res.Skipped,
+		Repaired: len(res.Repaired),
+		Bad:      len(res.Bad),
+	}, nil
+}
+
+// Vacuum saves every open sheet (so the durable manifest reflects current
+// state) and defragments the data file, returning trailing free space to
+// the filesystem. The pass holds the database exclusively; concurrent
+// requests queue behind it.
+func (s *Server) Vacuum() (VacuumSummary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, h := range s.sheets {
+		h.wmu.Lock()
+		err := h.eng.Save()
+		h.wmu.Unlock()
+		if err != nil {
+			return VacuumSummary{}, fmt.Errorf("serve: save sheet %q before vacuum: %w", name, err)
+		}
+	}
+	res, err := s.db.Vacuum()
+	if err != nil {
+		return VacuumSummary{}, err
+	}
+	return VacuumSummary{
+		PagesBefore:    res.PagesBefore,
+		PagesAfter:     res.PagesAfter,
+		PagesMoved:     res.PagesMoved,
+		BytesReclaimed: res.BytesReclaimed,
+	}, nil
+}
+
+// Recover heals a poisoned database in place: open sheets are saved
+// best-effort (on a poisoned store those saves fail — recovery proceeds
+// from the last durable commit regardless), the pager reopens its files
+// and re-runs WAL recovery plus full page verification, and on success the
+// read-only degradation lifts. Every server-side engine is dropped — the
+// recovered catalog reloads sheets on their next use. Requests racing the
+// recovery window may fail transiently; clients retry idempotent ops.
+func (s *Server) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range s.sheets {
+		h.wmu.Lock()
+		_ = h.eng.Save()
+		h.wmu.Unlock()
+	}
+	if err := s.db.Recover(); err != nil {
+		return err
+	}
+	s.sheets = make(map[string]*sheetHandle)
+	return nil
 }
 
 func sortSheetStats(sh []SheetStat) {
@@ -362,6 +440,38 @@ func (s *Server) dispatch(b, payload []byte) []byte {
 		}
 		b = append(b, StatusOK)
 		return appendStats(b, s.Stats())
+
+	case OpScrub:
+		rate := d.num("scrub rate", 1<<30)
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		sum, err := s.Scrub(rate)
+		if err != nil {
+			return appendErr(b, err)
+		}
+		b = append(b, StatusOK)
+		return appendScrubSummary(b, sum)
+
+	case OpVacuum:
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		sum, err := s.Vacuum()
+		if err != nil {
+			return appendErr(b, err)
+		}
+		b = append(b, StatusOK)
+		return appendVacuumSummary(b, sum)
+
+	case OpRecover:
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		if err := s.Recover(); err != nil {
+			return appendErr(b, err)
+		}
+		return append(b, StatusOK)
 	}
 	return appendErr(b, fmt.Errorf("serve: unknown op %d", op))
 }

@@ -12,7 +12,11 @@
 //     never half-applied;
 //   - reads survive poisoning: after a durability failure the engine keeps
 //     answering reads from the committed generation while every mutation
-//     is rejected with ErrReadOnly.
+//     is rejected with ErrReadOnly;
+//   - maintenance is crash-safe: online scrubs (sometimes killed mid-scan),
+//     vacuums (sometimes poisoned by an armed data-file fault), and
+//     in-place recovery of a poisoned store all preserve the committed
+//     prefix exactly.
 package soak
 
 import (
@@ -69,6 +73,12 @@ type Result struct {
 	ReadsWhilePoisoned int // successful reads served after poisoning
 	RecoveryFaults     int // faults that fired during crash recovery itself
 
+	Recoveries   int // poisoned rounds healed in place via DB.Recover
+	ScrubPasses  int // completed online scrub passes (all slots clean)
+	ScrubKills   int // crashes triggered mid-scrub at the progress kill-point
+	VacuumPasses int // completed vacuum passes
+	VacuumFaults int // vacuums poisoned by an armed data-file fault
+
 	MaxWALBytes    int64 // peak WAL footprint observed (all live segments)
 	WALBudget      int64 // the bound MaxWALBytes was checked against
 	WALRotations   int64
@@ -124,6 +134,10 @@ func Run(cfg Config) (Result, error) {
 		var fs *rdbms.FaultSchedule
 		if cfg.FaultEvery > 0 && round > 0 && round%cfg.FaultEvery == 0 {
 			fs = soakFaults(rng, cfg.BatchesPerRound)
+		} else {
+			// Even healthy rounds carry an (empty) schedule so the vacuum
+			// kill-point below can arm a data-file fault mid-round.
+			fs = rdbms.NewFaultSchedule(rng.Int63())
 		}
 		db, err := rdbms.OpenFile(cfg.Path, rdbms.Options{
 			WALSegmentBytes: cfg.SegmentBytes,
@@ -251,6 +265,147 @@ func Run(cfg Config) (Result, error) {
 				db.SimulateCrash()
 				return res, fmt.Errorf("soak: round %d: write while poisoned returned %v, want ErrReadOnly", round, err)
 			}
+
+			// Recovery round: the soak's disk faults are transient (each
+			// rule fires once), so sometimes heal in place with DB.Recover
+			// instead of crashing — the ambiguous batch resolves against
+			// the recovered state, the shadow model must match exactly,
+			// and writes must resume on the same process.
+			if rng.Intn(2) == 0 {
+				if err := db.Recover(); err != nil {
+					db.SimulateCrash()
+					return res, fmt.Errorf("soak: round %d: in-place recover: %w", round, err)
+				}
+				res.Recoveries++
+				poisoned = false
+				// Recovery rebuilt the catalog: the old engine handle is
+				// stale and must be reloaded from the recovered state.
+				eng, err = soakEngine(db)
+				if err != nil {
+					db.SimulateCrash()
+					return res, fmt.Errorf("soak: round %d: reload after recover: %w", round, err)
+				}
+				if pending != nil {
+					applied, err := resolvePending(eng, cfg, model, pending)
+					if err != nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: after recover: %w", round, err)
+					}
+					if applied {
+						res.AmbiguousBatches++
+						for k, v := range pending {
+							model[k] = v
+						}
+					} else {
+						res.TornBatches++
+					}
+					pending = nil
+				}
+				if err := verifyModel(eng, cfg, model); err != nil {
+					db.SimulateCrash()
+					return res, fmt.Errorf("soak: round %d: after recover: %w", round, err)
+				}
+				// Writes resume: one more acked batch on the healed store.
+				edits := make([]core.CellEdit, cfg.BatchSize)
+				batch := make(map[soakKey]int64, cfg.BatchSize)
+				for i := range edits {
+					counter++
+					k := soakKey{rng.Intn(cfg.Rows) + 1, rng.Intn(cfg.Cols) + 1}
+					edits[i] = core.CellEdit{Row: k.r, Col: k.c, Input: strconv.FormatInt(counter, 10)}
+					batch[k] = counter
+				}
+				if err := eng.SetCells(edits); err != nil {
+					db.SimulateCrash()
+					return res, fmt.Errorf("soak: round %d: write after recover: %w", round, err)
+				}
+				res.Batches++
+				res.CellsWritten += len(edits)
+				for k, v := range batch {
+					model[k] = v
+				}
+			}
+		}
+
+		// Online maintenance: on rounds that end unpoisoned — including ones
+		// already marked for a boundary kill — sometimes run a scrub
+		// (occasionally killed mid-scan via the progress kill-point) or a
+		// vacuum (occasionally poisoned by an armed data-file fault, the
+		// mid-compaction kill-point). Either way the next reopen must still
+		// match the shadow model.
+		if !poisoned {
+			switch rng.Intn(4) {
+			case 0, 1:
+				killAfter := 0
+				if rng.Intn(3) == 0 {
+					killAfter = rng.Intn(4) + 1
+				}
+				batches := 0
+				sres, err := db.Scrub(rdbms.ScrubOptions{
+					BatchPages: 8,
+					Progress: func(done, total int) error {
+						batches++
+						if killAfter > 0 && batches >= killAfter {
+							return errScrubKill
+						}
+						return nil
+					},
+				})
+				switch {
+				case errors.Is(err, errScrubKill):
+					// Kill-point inside the scrub: crash with the scan half
+					// done; the reopen below must verify regardless.
+					killed = true
+					res.ScrubKills++
+				case err != nil:
+					db.SimulateCrash()
+					return res, fmt.Errorf("soak: round %d: scrub: %w", round, err)
+				default:
+					res.ScrubPasses++
+					if len(sres.Bad) != 0 || len(sres.Repaired) != 0 {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: scrub found %d bad / %d repaired slots on a healthy disk",
+							round, len(sres.Bad), len(sres.Repaired))
+					}
+				}
+			case 2:
+				armed := fs != nil && rng.Intn(3) == 0
+				if armed {
+					// The data file turns hostile for the compaction's first
+					// write: the vacuum must poison cleanly, never corrupt.
+					fs.Arm(rdbms.FaultRule{
+						File:  rdbms.FaultFileData,
+						Op:    rdbms.FaultWrite,
+						Kind:  rdbms.FaultIOErr,
+						After: 1,
+					})
+				}
+				if _, err := db.Vacuum(); err != nil {
+					if db.Poisoned() == nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: vacuum failed without poisoning: %w", round, err)
+					}
+					poisoned = true
+					if armed {
+						res.VacuumFaults++
+					}
+					if err := eng.Set(1, 1, "1"); !errors.Is(err, rdbms.ErrReadOnly) {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: write after vacuum poison returned %v, want ErrReadOnly", round, err)
+					}
+				} else {
+					res.VacuumPasses++
+					if armed {
+						// The armed rule found nothing to write and is still
+						// live; a clean Close would trip it mid-checkpoint.
+						// End the round with a crash instead.
+						killed = true
+					}
+					if err := verifyModel(eng, cfg, model); err != nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: after vacuum: %w", round, err)
+					}
+				}
+			}
 		}
 
 		// The pager's I/O counters are per-open: fold this round's into
@@ -318,6 +473,10 @@ func Run(cfg Config) (Result, error) {
 	res.FinalCells = len(model)
 	return res, nil
 }
+
+// errScrubKill is the sentinel a scrub progress callback returns at a
+// kill-point: the pass aborts mid-scan and the harness pulls the plug.
+var errScrubKill = errors.New("soak: scrub kill-point")
 
 // soakFaults builds one round's hostile-disk schedule: a single WAL-side
 // fault (fsync error, ENOSPC, or a short torn write) placed somewhere in
