@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint soak lint staticcheck fmt ci
+.PHONY: all build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint bench-backup soak lint staticcheck fmt ci
 
 # Rounds for the crash-fuzz soak (`make soak`); ~200 is 60-90s locally.
 SOAK_ROUNDS ?= 200
@@ -71,7 +71,7 @@ bench-commit:
 # CI runs this as a dedicated step so failure-semantics regressions are
 # named, not buried in ./...
 test-faults:
-	$(GO) test -race -run 'Fault|Poison|Rotation|Segment|ENOSPC|BitFlip|ShortWrite|LegacySingleFileWAL|Retr|ReadOnly|Soak|Scrub|Vacuum|Recover|Maint' -timeout 10m -v ./internal/rdbms/ ./internal/core/ ./internal/workload/soak/ .
+	$(GO) test -race -run 'Fault|Poison|Rotation|Segment|ENOSPC|BitFlip|ShortWrite|LegacySingleFileWAL|Retr|ReadOnly|Soak|Scrub|Vacuum|Recover|Maint|Backup|Restore|Archive|PITR' -timeout 10m -v ./internal/rdbms/ ./internal/core/ ./internal/workload/soak/ .
 
 # Crash-fuzz soak (~60-90s at the default SOAK_ROUNDS): mixed edits over a
 # fault-injected disk with kill-points at WAL rotation and checkpoint
@@ -103,6 +103,16 @@ bench-maint:
 	BENCH_MAINT_JSON=BENCH_maint.json $(GO) test -run=TestMaintenanceSnapshot -v .
 	@cat BENCH_maint.json
 
+# Disaster-recovery snapshot: takes a paced online backup while a writer
+# keeps committing, restores it, and writes BENCH_backup.json; fails if the
+# writer's commit p99 during the stream exceeds 10x its idle p99, or if the
+# restored database is not fully verified at exactly the generation the
+# backup stamped (bulk table identical, hot table an exact committed
+# prefix).
+bench-backup:
+	BENCH_BACKUP_JSON=BENCH_backup.json $(GO) test -run=TestBackupSnapshot -v .
+	@cat BENCH_backup.json
+
 lint:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -123,4 +133,4 @@ staticcheck:
 fmt:
 	gofmt -w .
 
-ci: lint staticcheck build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint soak
+ci: lint staticcheck build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint bench-backup soak

@@ -22,9 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
-	"time"
 
 	"dataspread/internal/core"
 	"dataspread/internal/rdbms"
@@ -43,6 +41,10 @@ func main() {
 	scrubEvery := flag.Duration("scrub-every", 0, "run an online checksum scrub at this interval (0: disabled; needs -db)")
 	scrubRate := flag.Int("scrub-rate", 1024, "scrub read budget in pages/sec (0: unthrottled)")
 	vacuumEvery := flag.Duration("vacuum-every", 0, "defragment the data file at this interval (0: disabled; needs -db)")
+	backupEvery := flag.Duration("backup-every", 0, "take an online backup at this interval (0: disabled; needs -db and -backup-dir)")
+	backupDir := flag.String("backup-dir", "", "directory scheduled backups land in, named backup-<generation>.dsb")
+	backupRate := flag.Int("backup-rate", 4096, "backup read budget in pages/sec (0: unthrottled)")
+	archiveDir := flag.String("archive-dir", "", "preserve committed WAL segments here before compaction deletes them (enables point-in-time restore)")
 	flag.Parse()
 
 	var db *rdbms.DB
@@ -54,6 +56,7 @@ func main() {
 			AutoCheckpointPages: *checkpointPages,
 			WALSegmentBytes:     *walSegBytes,
 			WALMaxSegments:      *walMaxSegs,
+			ArchiveDir:          *archiveDir,
 		})
 	} else {
 		db = rdbms.Open(rdbms.Options{BufferPoolPages: *poolPages})
@@ -72,62 +75,34 @@ func main() {
 	}()
 	fmt.Printf("dsserver: serving %s on %s\n", backing(*dbPath), *addr)
 
-	// Background maintenance: periodic online scrub and vacuum, stopped at
-	// shutdown. Both are best-effort — a failed pass is logged and retried
-	// at the next tick, never fatal (a scrub finding bad pages degrades the
-	// affected region only, and a vacuum on a poisoned store just fails).
-	maintStop := make(chan struct{})
-	var maintWG sync.WaitGroup
-	if *dbPath != "" && *scrubEvery > 0 {
-		maintWG.Add(1)
-		go func() {
-			defer maintWG.Done()
-			t := time.NewTicker(*scrubEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-maintStop:
-					return
-				case <-t.C:
-					sum, err := srv.Scrub(*scrubRate)
-					switch {
-					case err != nil:
-						fmt.Fprintln(os.Stderr, "dsserver: scrub:", err)
-					case sum.Repaired > 0 || sum.Bad > 0:
-						fmt.Printf("dsserver: scrub: %d slots clean, %d repaired, %d quarantined\n",
-							sum.Scanned, sum.Repaired, sum.Bad)
-					}
+	// Background maintenance — periodic scrub, vacuum and backup — is the
+	// engine's own scheduler (db.StartMaintenance); these flags are thin
+	// wrappers over it. Every pass is best-effort: a failed one is logged
+	// and retried at the next tick, never fatal. Vacuum and backup save
+	// open sheets first so the durable manifest reflects what clients see.
+	if *dbPath != "" {
+		err := db.StartMaintenance(rdbms.MaintenanceOptions{
+			ScrubEvery:   *scrubEvery,
+			ScrubRate:    *scrubRate,
+			VacuumEvery:  *vacuumEvery,
+			BackupEvery:  *backupEvery,
+			BackupDir:    *backupDir,
+			BackupRate:   *backupRate,
+			BeforeVacuum: srv.SaveSheets,
+			BeforeBackup: srv.SaveSheets,
+			OnResult: func(op string, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dsserver: %s: %v\n", op, err)
 				}
-			}
-		}()
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsserver:", err)
+			db.Close()
+			os.Exit(1)
+		}
 	}
-	if *dbPath != "" && *vacuumEvery > 0 {
-		maintWG.Add(1)
-		go func() {
-			defer maintWG.Done()
-			t := time.NewTicker(*vacuumEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-maintStop:
-					return
-				case <-t.C:
-					sum, err := srv.Vacuum()
-					switch {
-					case err != nil:
-						fmt.Fprintln(os.Stderr, "dsserver: vacuum:", err)
-					case sum.BytesReclaimed > 0:
-						fmt.Printf("dsserver: vacuum: %d -> %d pages, %d KiB reclaimed\n",
-							sum.PagesBefore, sum.PagesAfter, sum.BytesReclaimed/1024)
-					}
-				}
-			}
-		}()
-	}
-	stopMaint := func() {
-		close(maintStop)
-		maintWG.Wait()
-	}
+	stopMaint := db.StopMaintenance
 
 	exitCode := 0
 	select {

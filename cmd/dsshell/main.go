@@ -91,6 +91,7 @@ func main() {
 	fmt.Println("sql <query>, link <range> <table>, optimize <dp|greedy|agg>, insrow <n> [count],")
 	fmt.Println("delrow <n> [count], inscol <n> [count], delcol <n> [count], load <file.grid>,")
 	fmt.Println("save, .stats, .scrub [pages/sec], .vacuum, .recover,")
+	fmt.Println(".backup <path>, .restore <backup> <dest> [archive-dir [gen]],")
 	fmt.Println(".connect <host:port> [sheet], .disconnect, quit")
 	sc := bufio.NewScanner(os.Stdin)
 	defer sh.disconnect()
@@ -250,6 +251,71 @@ func dispatch(sh *shell, line string) error {
 		}
 		fmt.Printf("vacuum: %d -> %d pages, %d meta pages moved, %d KiB reclaimed\n",
 			res.PagesBefore, res.PagesAfter, res.PagesMoved, res.BytesReclaimed/1024)
+		return nil
+	case ".backup":
+		if rest == "" {
+			return fmt.Errorf("usage: .backup <path>")
+		}
+		f, err := os.OpenFile(rest, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return err
+		}
+		if sh.remote != nil {
+			sum, err := sh.remote.Backup(f, 0)
+			if cerr := syncClose(f); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				os.Remove(rest)
+				return err
+			}
+			fmt.Printf("backup (server): %d pages + %d free slots, %d KiB, pinned generation %d\n",
+				sum.Pages, sum.FreePages, sum.Bytes/1024, sum.Gen)
+			return nil
+		}
+		if sh.db.Path() == "" {
+			f.Close()
+			os.Remove(rest)
+			return fmt.Errorf("backup: in-memory database, nothing durable to back up")
+		}
+		// Save first so the backup pins the session's current state, not the
+		// last explicit save.
+		err = eng.Save()
+		var res rdbms.BackupResult
+		if err == nil {
+			res, err = sh.db.Backup(f, rdbms.BackupOptions{})
+		}
+		if cerr := syncClose(f); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(rest)
+			return err
+		}
+		fmt.Printf("backup: %d pages + %d free slots, %d KiB, pinned generation %d\n",
+			res.Pages, res.FreePages, res.Bytes/1024, res.Gen)
+		return nil
+	case ".restore":
+		fields := strings.Fields(rest)
+		if len(fields) < 2 || len(fields) > 4 {
+			return fmt.Errorf("usage: .restore <backup> <dest> [archive-dir [gen]]")
+		}
+		var opts rdbms.RestoreOptions
+		if len(fields) >= 3 {
+			opts.ArchiveDir = fields[2]
+		}
+		if len(fields) == 4 {
+			gen, err := strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return fmt.Errorf(".restore: bad generation %q", fields[3])
+			}
+			opts.TargetGen = gen
+		}
+		if err := rdbms.Restore(fields[0], fields[1], opts); err != nil {
+			return err
+		}
+		fmt.Printf("restored %s -> %s (fully verified; open it with -db %s)\n",
+			fields[0], fields[1], fields[1])
 		return nil
 	case ".recover":
 		if sh.remote != nil {
@@ -501,6 +567,11 @@ func printStats(eng *core.Engine) {
 				ps.ScrubRuns, ps.ScrubPages, ps.ScrubRepaired, ps.ScrubBad,
 				ps.Vacuums, ps.VacuumPagesMoved, ps.VacuumBytesFreed/1024, ps.Recoveries)
 		}
+		if ps.Backups > 0 || ps.WALArchived > 0 {
+			fmt.Printf("backups: %d taken (%d pages, %d KiB), %d WAL segments archived (%d KiB), durable generation %d\n",
+				ps.Backups, ps.BackupPages, ps.BackupBytes/1024,
+				ps.WALArchived, ps.ArchiveBytes/1024, ps.DurableGen)
+		}
 		if ps.QuarantinedPages > 0 {
 			fmt.Printf("DEGRADED: %d pages quarantined (unreadable; .scrub retries repair)\n", ps.QuarantinedPages)
 		}
@@ -551,6 +622,11 @@ func printRemoteStats(sh *shell) error {
 			st.ScrubRuns, st.ScrubPages, st.ScrubRepaired, st.ScrubBad,
 			st.Vacuums, st.VacuumPagesMoved, st.VacuumBytesFreed/1024, st.Recoveries)
 	}
+	if st.Backups > 0 || st.WALArchived > 0 {
+		fmt.Printf("backups: %d taken (%d pages, %d KiB), %d WAL segments archived (%d KiB), durable generation %d\n",
+			st.Backups, st.BackupPages, st.BackupBytes/1024,
+			st.WALArchived, st.ArchiveBytes/1024, st.DurableGen)
+	}
 	if st.QuarantinedPages > 0 {
 		fmt.Printf("DEGRADED: %d pages quarantined (unreadable; .scrub retries repair)\n", st.QuarantinedPages)
 	}
@@ -571,6 +647,16 @@ func printRemoteStats(sh *shell) error {
 		fmt.Printf("  sheet %q: snapshot generation %d%s\n", s.Name, s.Gen, marker)
 	}
 	return nil
+}
+
+// syncClose flushes a freshly written backup to stable storage before
+// reporting success.
+func syncClose(f *os.File) error {
+	err := f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func printGrid(eng *core.Engine, g sheet.Range) {

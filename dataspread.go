@@ -64,6 +64,15 @@ type (
 	FaultSchedule = rdbms.FaultSchedule
 	// FaultRule schedules one injected fault within a FaultSchedule.
 	FaultRule = rdbms.FaultRule
+	// BackupOptions tunes one online backup pass (DB.Backup).
+	BackupOptions = rdbms.BackupOptions
+	// BackupResult reports one completed backup.
+	BackupResult = rdbms.BackupResult
+	// RestoreOptions tunes a point-in-time restore (Restore).
+	RestoreOptions = rdbms.RestoreOptions
+	// MaintenanceOptions schedules background scrub/vacuum/backup inside
+	// the engine (DB.StartMaintenance).
+	MaintenanceOptions = rdbms.MaintenanceOptions
 )
 
 // Failure-semantics sentinels, errors.Is-testable through every layer (the
@@ -82,6 +91,31 @@ var (
 	ErrPoisoned = rdbms.ErrPoisoned
 	ErrChecksum = rdbms.ErrChecksum
 )
+
+// Disaster-recovery sentinels, errors.Is-testable:
+//
+//   - ErrStopped: a maintenance pass (Scrub, Backup) was interrupted by its
+//     Stop channel; a clean shutdown, not a failure.
+//   - ErrBackupFormat: the file handed to Restore is not a backup (bad
+//     magic or unsupported format version).
+//   - ErrBackupCorrupt: a backup or archived segment is torn, truncated or
+//     bit-flipped; the restore target is left untouched.
+//   - ErrArchiveGap: the WAL archive cannot reach the requested generation
+//     (missing segment, or a target before the base backup).
+var (
+	ErrStopped       = rdbms.ErrStopped
+	ErrBackupFormat  = rdbms.ErrBackupFormat
+	ErrBackupCorrupt = rdbms.ErrBackupCorrupt
+	ErrArchiveGap    = rdbms.ErrArchiveGap
+)
+
+// Restore rebuilds a database at destPath from the backup at backupPath,
+// optionally replaying archived WAL segments up to RestoreOptions.TargetGen
+// (point-in-time recovery). Fully verified before the target path appears;
+// see rdbms.Restore.
+func Restore(backupPath, destPath string, opts RestoreOptions) error {
+	return rdbms.Restore(backupPath, destPath, opts)
+}
 
 // Fault-rule vocabulary for NewFaultSchedule, re-exported from rdbms: the
 // operation a rule matches, the failure it injects, and the file roles it
@@ -155,6 +189,13 @@ func WithWALSegments(segmentBytes int64, maxSegments int) FileDBOption {
 // into the pager's file I/O. For tests and soak harnesses.
 func WithFaults(fs *FaultSchedule) FileDBOption {
 	return func(o *rdbms.Options) { o.Faults = fs }
+}
+
+// WithArchiveDir preserves the committed prefix of every WAL segment into
+// dir before checkpoint compaction deletes it, enabling point-in-time
+// restore (Restore with RestoreOptions.ArchiveDir) on top of a base backup.
+func WithArchiveDir(dir string) FileDBOption {
+	return func(o *rdbms.Options) { o.ArchiveDir = dir }
 }
 
 // OpenFileDB opens (or creates) a durable database backed by the single

@@ -60,6 +60,8 @@ func TestSoakCrashFuzz(t *testing.T) {
 		res.MaxWALBytes/1024, res.WALBudget/1024, res.WALRotations, res.WALCompacted, res.InjectedFaults)
 	t.Logf("maintenance: %d in-place recoveries, %d scrub passes (%d killed mid-scan), %d vacuums (%d poisoned by armed faults)",
 		res.Recoveries, res.ScrubPasses, res.ScrubKills, res.VacuumPasses, res.VacuumFaults)
+	t.Logf("disaster recovery: %d backups (%d killed mid-stream), %d restores verified, %d PITR replays verified, %d WAL segments archived",
+		res.BackupPasses, res.BackupKills, res.RestoreVerifies, res.PITRVerifies, res.WALArchived)
 
 	// The run must actually have exercised the interesting machinery.
 	if res.WALRotations == 0 {
@@ -95,6 +97,22 @@ func TestSoakCrashFuzz(t *testing.T) {
 		if res.VacuumPasses == 0 {
 			t.Error("no vacuum pass completed")
 		}
+		// ... and every disaster-recovery path: completed online backups
+		// restored and verified, a kill mid-stream whose torn artifact was
+		// rejected, point-in-time replays through the WAL archive, and
+		// sealed segments actually reaching the archive.
+		if res.BackupPasses == 0 || res.RestoreVerifies == 0 {
+			t.Error("no online backup completed and restore-verified")
+		}
+		if res.BackupKills == 0 {
+			t.Error("no backup was killed mid-stream")
+		}
+		if res.PITRVerifies == 0 {
+			t.Error("no point-in-time restore verified through the archive")
+		}
+		if res.WALArchived == 0 {
+			t.Error("no WAL segment was archived")
+		}
 	}
 	if res.MaxWALBytes > res.WALBudget {
 		t.Errorf("WAL peak %d exceeds budget %d", res.MaxWALBytes, res.WALBudget)
@@ -124,12 +142,18 @@ func TestSoakCrashFuzz(t *testing.T) {
 		"scrub_kills":           res.ScrubKills,
 		"vacuum_passes":         res.VacuumPasses,
 		"vacuum_faults":         res.VacuumFaults,
+		"backup_passes":         res.BackupPasses,
+		"backup_kills":          res.BackupKills,
+		"restore_verifies":      res.RestoreVerifies,
+		"pitr_verifies":         res.PITRVerifies,
+		"wal_archived":          res.WALArchived,
 		"final_cells":           res.FinalCells,
 		"segment_bytes":         cfg.SegmentBytes,
 		"max_segments":          cfg.MaxSegments,
 		"gate_wal_under_budget": res.MaxWALBytes <= res.WALBudget,
 		"gate_no_torn_state":    true, // Run errors out otherwise
 		"gate_poisoned_reads":   res.ReadsWhilePoisoned > 0,
+		"gate_restore_verified": res.RestoreVerifies > 0 && res.PITRVerifies > 0,
 	}
 	blob, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -65,6 +65,10 @@ type DB struct {
 	// zero-cost commit), so visibility stamps behave identically on both
 	// pagers.
 	commitGen atomic.Uint64
+	// maint is the engine-side maintenance scheduler (StartMaintenance);
+	// maintMu serializes start/stop against Close.
+	maintMu sync.Mutex
+	maint   *maintenance
 }
 
 // metaChainLoc locates one out-of-line metadata value: its page chain and
@@ -115,6 +119,13 @@ type Options struct {
 	// disk used by fault-injection tests and the soak harness. Nil (the
 	// default) performs real I/O with zero overhead.
 	Faults *FaultSchedule
+	// ArchiveDir, when non-empty, preserves the committed prefix of every
+	// WAL segment into this directory before checkpoint compaction deletes
+	// it, enabling point-in-time restore (Restore with
+	// RestoreOptions.ArchiveDir) on top of a base backup. An archive copy
+	// failure fails the checkpoint — and poisons the database — rather than
+	// silently breaking the archive's generation chain.
+	ArchiveDir string
 }
 
 // Resolved group-commit / checkpoint defaults.
@@ -135,6 +146,7 @@ func (o Options) filePagerOptions() filePagerOptions {
 		walSegmentBytes:     o.WALSegmentBytes,
 		walMaxSegments:      o.WALMaxSegments,
 		faults:              o.Faults,
+		archiveDir:          o.ArchiveDir,
 	}
 	if fo.groupBatch <= 0 {
 		fo.groupBatch = defaultGroupCommitBatch
@@ -275,6 +287,20 @@ func (db *DB) FlushWAL() error {
 // concurrently; see the field doc for the visibility contract.
 func (db *DB) CommitGen() uint64 { return db.commitGen.Load() }
 
+// DurableGen returns the on-disk durable generation: the stamp carried by
+// the last committed non-empty WAL batch, persisted in commit records and
+// the data-file header. It is the generation backups pin and point-in-time
+// restore targets. Unlike CommitGen (a process-local visibility counter
+// that restarts from zero), DurableGen survives reopen and is monotone
+// across the store's whole life. Zero for in-memory databases.
+func (db *DB) DurableGen() uint64 {
+	fp := db.filePager()
+	if fp == nil {
+		return 0
+	}
+	return fp.gen.Load()
+}
+
 // Checkpoint makes the state durable and writes every modified page into
 // its checksummed data-file slot, then truncates the WAL. No-op for
 // in-memory databases.
@@ -311,9 +337,10 @@ func (db *DB) commitCheckpointLocked(fp *FilePager) error {
 	return nil
 }
 
-// Close checkpoints and releases the file handles. No-op for in-memory
-// databases.
+// Close stops background maintenance, checkpoints and releases the file
+// handles. No-op for in-memory databases (beyond stopping maintenance).
 func (db *DB) Close() error {
+	db.StopMaintenance()
 	fp := db.filePager()
 	if fp == nil {
 		return nil

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +28,8 @@ import (
 //	per segment: 8-byte magic, then records:
 //	  page record:   0x01, u32 page id, 8 KiB image, u32 CRC-32C
 //	  commit record: 0x02, u32 page count, u32 meta head, u32 meta len, u32 CRC-32C
+//	  commit v2:     0x03, u32 page count, u32 meta head, u32 meta len,
+//	                 u64 durable generation, u32 CRC-32C
 //
 // Write path: mutated pages accumulate in an in-memory shadow overlay (the
 // write-back target of buffer-pool evictions and flushes). A WAL commit
@@ -107,6 +110,35 @@ type FilePager struct {
 	sealed []walSegment
 	closed bool
 
+	// recoveredExtents, set by recover before its resetWAL calls, maps each
+	// on-disk WAL segment to its committed prefix length so archiving copies
+	// exactly the replayable bytes (a torn tail is never archived). Nil in
+	// normal operation, where the sealed sizes and walSize are authoritative.
+	recoveredExtents map[int]int64
+
+	// gen is the durable commit generation: the number of non-empty WAL
+	// batches ever committed to this database. Unlike DB.commitGen (a
+	// process-local visibility stamp that also counts empty and in-memory
+	// commits), gen is persisted — stamped into every commit record and the
+	// data-file header — so backups and archived WAL segments can name an
+	// exact point in time across restarts. Mutated only under fp.mu; atomic
+	// so DurableGen and the stats path read it without queueing behind I/O.
+	gen atomic.Uint64
+
+	// Hot-backup walk state. backupActive is set while DB.Backup streams the
+	// data file; checkpointLocked then preserves the pre-image of any slot it
+	// is about to overwrite that the walker (whose progress is backupCursor)
+	// has not yet passed, so the backup lands on the single committed
+	// generation it pinned. All fields except the atomic cursor are guarded
+	// by fp.mu.
+	backupActive bool
+	backupPages  int
+	backupGen    uint64
+	backupFree   map[PageID]bool
+	backupPre    map[PageID]*page
+	backupErr    error
+	backupCursor atomic.Int64
+
 	// pmu guards the sticky poison state (readable without fp.mu so the
 	// stats path and upper-layer write guards never queue behind I/O).
 	pmu         sync.Mutex
@@ -127,6 +159,9 @@ type FilePager struct {
 	scrubRepaired, scrubBad             atomic.Int64
 	vacuumRuns, vacuumPagesMoved        atomic.Int64
 	vacuumBytesFreed, recoveries        atomic.Int64
+	backupRuns, backupPagesStreamed     atomic.Int64
+	backupByteCount, walArchived        atomic.Int64
+	archiveByteCount                    atomic.Int64
 
 	// Group-commit flusher state (see flushLoop). All g* fields are
 	// guarded by gmu, never fp.mu.
@@ -161,6 +196,10 @@ type filePagerOptions struct {
 	// count (active + sealed) exceeds it, bounding WAL disk usage
 	// (0: disabled).
 	walMaxSegments int
+	// archiveDir, when non-empty, preserves the committed prefix of every
+	// WAL segment in this directory before checkpoint compaction deletes
+	// it, enabling point-in-time restore on top of a base backup.
+	archiveDir string
 	// faults, when set, injects the schedule's failures into every data
 	// and WAL file operation.
 	faults *FaultSchedule
@@ -176,9 +215,11 @@ const (
 	fileMagic = "DSPDB001"
 	walMagic  = "DSWAL001"
 	// fileVersion 2 added the persisted free-page list (carried in the
-	// catalog manifest). Version-1 files are still readable — they simply
-	// have no free list — and are upgraded in place by the next checkpoint.
-	fileVersion       = 2
+	// catalog manifest); version 3 added the 8-byte durable commit
+	// generation to the header. Older files are still readable — they
+	// simply have no free list / start at generation 0 — and are upgraded
+	// in place by the next checkpoint.
+	fileVersion       = 3
 	oldestFileVersion = 1
 
 	// fileHeaderSize keeps page slots page-aligned.
@@ -191,9 +232,14 @@ const (
 
 	walPageRec   byte = 1
 	walCommitRec byte = 2
+	// walCommitRec2 is the generation-stamped commit record every new
+	// commit writes; the legacy walCommitRec is still replayed (its batch
+	// predates generation tracking and leaves the generation untouched).
+	walCommitRec2 byte = 3
 
-	walPageRecSize   = 1 + 4 + PageSize + 4
-	walCommitRecSize = 1 + 12 + 4
+	walPageRecSize    = 1 + 4 + PageSize + 4
+	walCommitRecSize  = 1 + 12 + 4
+	walCommitRec2Size = 1 + 12 + 8 + 4
 )
 
 // noPage is the nil page id (meta chain terminator).
@@ -311,6 +357,13 @@ func (fp *FilePager) reopenLocked() error {
 	fp.walSize = 0
 	fp.walSeq = 0
 	fp.sealed = nil
+	fp.recoveredExtents = nil
+	if fp.backupActive && fp.backupErr == nil {
+		// The slots an in-flight backup still has to stream are about to be
+		// rewritten by recovery; the walk cannot land on one generation any
+		// more.
+		fp.backupErr = errors.New("rdbms: backup aborted: database recovered underneath it")
+	}
 	if err := fp.openFilesLocked(); err != nil {
 		return err
 	}
@@ -319,30 +372,50 @@ func (fp *FilePager) reopenLocked() error {
 }
 
 func (fp *FilePager) writeHeader() error {
+	return writeStoreHeader(fp.f, fp.pages, fp.metaHead, fp.metaLen, fp.gen.Load())
+}
+
+// writeStoreHeader writes a v3 data-file header block. Shared by the pager
+// (checkpoint, recovery) and the restore path, which rebuilds a store
+// without ever opening a pager on it.
+func writeStoreHeader(w io.WriterAt, pages int, metaHead PageID, metaLen uint32, gen uint64) error {
 	var b [fileHeaderSize]byte
 	copy(b[0:8], fileMagic)
 	binary.LittleEndian.PutUint32(b[8:], fileVersion)
-	binary.LittleEndian.PutUint32(b[12:], uint32(fp.pages))
-	binary.LittleEndian.PutUint32(b[16:], uint32(fp.metaHead))
-	binary.LittleEndian.PutUint32(b[20:], fp.metaLen)
-	binary.LittleEndian.PutUint32(b[24:], crc32.Checksum(b[0:24], castagnoli))
-	_, err := fp.f.WriteAt(b[:], 0)
+	binary.LittleEndian.PutUint32(b[12:], uint32(pages))
+	binary.LittleEndian.PutUint32(b[16:], uint32(metaHead))
+	binary.LittleEndian.PutUint32(b[20:], metaLen)
+	binary.LittleEndian.PutUint64(b[24:], gen)
+	binary.LittleEndian.PutUint32(b[32:], crc32.Checksum(b[0:32], castagnoli))
+	_, err := w.WriteAt(b[:], 0)
 	return err
 }
 
 func (fp *FilePager) readHeader() error {
-	var b [28]byte
+	var b [36]byte
 	if _, err := fp.f.ReadAt(b[:], 0); err != nil {
 		return fmt.Errorf("rdbms: read header: %w", err)
 	}
 	if string(b[0:8]) != fileMagic {
 		return fmt.Errorf("rdbms: %s is not a DataSpread database (bad magic)", fp.path)
 	}
-	if v := binary.LittleEndian.Uint32(b[8:]); v < oldestFileVersion || v > fileVersion {
+	v := binary.LittleEndian.Uint32(b[8:])
+	if v < oldestFileVersion || v > fileVersion {
 		return fmt.Errorf("rdbms: unsupported database version %d", v)
 	}
-	if crc32.Checksum(b[0:24], castagnoli) != binary.LittleEndian.Uint32(b[24:]) {
-		return fmt.Errorf("rdbms: header checksum mismatch (corrupt database)")
+	// Version 3 added the 8-byte durable generation, which shifted the
+	// header CRC; pre-3 headers checksum only their first 24 bytes and
+	// carry no generation.
+	if v >= 3 {
+		if crc32.Checksum(b[0:32], castagnoli) != binary.LittleEndian.Uint32(b[32:]) {
+			return fmt.Errorf("rdbms: header checksum mismatch (corrupt database)")
+		}
+		fp.gen.Store(binary.LittleEndian.Uint64(b[24:32]))
+	} else {
+		if crc32.Checksum(b[0:24], castagnoli) != binary.LittleEndian.Uint32(b[24:28]) {
+			return fmt.Errorf("rdbms: header checksum mismatch (corrupt database)")
+		}
+		fp.gen.Store(0)
 	}
 	fp.pages = int(binary.LittleEndian.Uint32(b[12:]))
 	fp.metaHead = PageID(binary.LittleEndian.Uint32(b[16:]))
@@ -370,14 +443,23 @@ func (fp *FilePager) readPageFromFile(id PageID) (*page, error) {
 
 // writePageToFile stores one page slot with its checksum.
 func (fp *FilePager) writePageToFile(id PageID, p *page) error {
-	buf := make([]byte, pageSlotSize)
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(id))
-	copy(buf[8:], p.buf[:])
-	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(buf[8:], castagnoli))
-	if _, err := fp.f.WriteAt(buf, pageOffset(id)); err != nil {
-		return fmt.Errorf("rdbms: write page %d: %w", id, err)
+	if err := writeSlot(fp.f, id, p.buf[:]); err != nil {
+		return err
 	}
 	fp.diskWrites.Add(1)
+	return nil
+}
+
+// writeSlot stores one checksummed page slot through any positioned writer.
+// Shared by the pager and the restore path.
+func writeSlot(w io.WriterAt, id PageID, img []byte) error {
+	buf := make([]byte, pageSlotSize)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(id))
+	copy(buf[8:], img)
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(buf[8:], castagnoli))
+	if _, err := w.WriteAt(buf, pageOffset(id)); err != nil {
+		return fmt.Errorf("rdbms: write page %d: %w", id, err)
+	}
 	return nil
 }
 
@@ -703,12 +785,14 @@ func (fp *FilePager) commitWALLocked() error {
 		buf = append(buf, rec...)
 		fp.walAppends.Add(1)
 	}
-	var c [walCommitRecSize]byte
-	c[0] = walCommitRec
+	gen := fp.gen.Load() + 1
+	var c [walCommitRec2Size]byte
+	c[0] = walCommitRec2
 	binary.LittleEndian.PutUint32(c[1:], uint32(fp.pages))
 	binary.LittleEndian.PutUint32(c[5:], uint32(fp.metaHead))
 	binary.LittleEndian.PutUint32(c[9:], fp.metaLen)
-	binary.LittleEndian.PutUint32(c[13:], crc32.Checksum(c[:13], castagnoli))
+	binary.LittleEndian.PutUint64(c[13:], gen)
+	binary.LittleEndian.PutUint32(c[21:], crc32.Checksum(c[:21], castagnoli))
 	buf = append(buf, c[:]...)
 	if _, err := fp.wal.WriteAt(buf, fp.walSize); err != nil {
 		// The append may have landed partially (a torn record); walSize is
@@ -726,6 +810,8 @@ func (fp *FilePager) commitWALLocked() error {
 		return fp.poison(fmt.Errorf("rdbms: WAL fsync: %w", err))
 	}
 	fp.walSyncs.Add(1)
+	// The batch is durable: its generation stamp is now the database's.
+	fp.gen.Store(gen)
 	fp.walDirty = make(map[PageID]bool)
 	if fp.opts.walSegmentBytes > 0 && fp.walSize >= fp.opts.walSegmentBytes {
 		if err := fp.rotateWALLocked(); err != nil {
@@ -826,6 +912,7 @@ func (fp *FilePager) checkpointLocked() error {
 		if p == nil {
 			return fmt.Errorf("rdbms: checkpoint-dirty page %d missing from shadow", id)
 		}
+		fp.preserveBackupImageLocked(id)
 		if err := fp.writePageToFile(id, p); err != nil {
 			return fp.poison(err)
 		}
@@ -883,6 +970,12 @@ func (fp *FilePager) trimShadowLocked() {
 // checkpointed data file reconverges to the checkpoint state (later images
 // overwrite earlier ones); replaying a prefix would regress it.
 func (fp *FilePager) resetWAL() error {
+	if fp.opts.archiveDir != "" {
+		if err := fp.archiveSegmentsLocked(); err != nil {
+			return fmt.Errorf("archive: %w", err)
+		}
+	}
+	fp.recoveredExtents = nil
 	if fp.walSeq != 0 {
 		if err := fp.wal.Close(); err != nil {
 			return err
@@ -944,8 +1037,15 @@ func (fp *FilePager) recover() (bool, error) {
 	batch := make(map[PageID][]byte)
 	committed := make(map[PageID][]byte)
 	var pages, metaHead, metaLen uint32
+	gen := fp.gen.Load() // header generation; commit records advance it
 	haveCommit := false
 	sawData := false
+	// extents tracks how far into each segment the committed,
+	// generation-stamped prefix reaches, so the resetWAL below archives
+	// exactly the replayable bytes and never a torn tail. Legacy commit
+	// records are replayed but not archived — they carry no generation, so
+	// point-in-time replay could not order them.
+	extents := make(map[int]int64)
 scan:
 	for _, seq := range seqs {
 		data, err := os.ReadFile(fp.walSegPath(seq))
@@ -992,17 +1092,39 @@ scan:
 				metaLen = binary.LittleEndian.Uint32(rec[9:13])
 				haveCommit = true
 				off += walCommitRecSize
+			case walCommitRec2:
+				if off+walCommitRec2Size > len(data) {
+					break scan
+				}
+				rec := data[off : off+walCommitRec2Size]
+				if crc32.Checksum(rec[:walCommitRec2Size-4], castagnoli) !=
+					binary.LittleEndian.Uint32(rec[walCommitRec2Size-4:]) {
+					break scan
+				}
+				for id, img := range batch {
+					committed[id] = img
+				}
+				batch = make(map[PageID][]byte)
+				pages = binary.LittleEndian.Uint32(rec[1:5])
+				metaHead = binary.LittleEndian.Uint32(rec[5:9])
+				metaLen = binary.LittleEndian.Uint32(rec[9:13])
+				gen = binary.LittleEndian.Uint64(rec[13:21])
+				haveCommit = true
+				off += walCommitRec2Size
+				extents[seq] = int64(off)
 			default:
 				break scan
 			}
 		}
 	}
 	// Adopt the on-disk segments so resetWAL compacts exactly what exists,
-	// whatever state the scan stopped in.
+	// whatever state the scan stopped in, and hand it the committed extents
+	// so compaction archives them first.
 	fp.sealed = fp.sealed[:0]
 	for _, seq := range numbered {
 		fp.sealed = append(fp.sealed, walSegment{seq: seq})
 	}
+	fp.recoveredExtents = extents
 	if !haveCommit {
 		if !sawData && len(numbered) == 0 {
 			// Nothing to discard; skip the reset so a fresh open performs
@@ -1021,6 +1143,7 @@ scan:
 	fp.pages = int(pages)
 	fp.metaHead = PageID(metaHead)
 	fp.metaLen = metaLen
+	fp.gen.Store(gen)
 	if err := fp.writeHeader(); err != nil {
 		return false, err
 	}
@@ -1257,6 +1380,10 @@ type fileCounters struct {
 	quarantinedPages                int64
 	vacuums, vacuumPagesMoved       int64
 	vacuumBytesFreed, recoveries    int64
+	backups, backupPages            int64
+	backupBytes, walArchived        int64
+	archiveBytes                    int64
+	durableGen                      int64
 }
 
 func (fp *FilePager) ioCounters() fileCounters {
@@ -1294,6 +1421,12 @@ func (fp *FilePager) ioCounters() fileCounters {
 		vacuumPagesMoved: fp.vacuumPagesMoved.Load(),
 		vacuumBytesFreed: fp.vacuumBytesFreed.Load(),
 		recoveries:       fp.recoveries.Load(),
+		backups:          fp.backupRuns.Load(),
+		backupPages:      fp.backupPagesStreamed.Load(),
+		backupBytes:      fp.backupByteCount.Load(),
+		walArchived:      fp.walArchived.Load(),
+		archiveBytes:     fp.archiveByteCount.Load(),
+		durableGen:       int64(fp.gen.Load()),
 	}
 }
 
@@ -1315,4 +1448,9 @@ func (fp *FilePager) resetIOCounters() {
 	fp.vacuumPagesMoved.Store(0)
 	fp.vacuumBytesFreed.Store(0)
 	fp.recoveries.Store(0)
+	fp.backupRuns.Store(0)
+	fp.backupPagesStreamed.Store(0)
+	fp.backupByteCount.Store(0)
+	fp.walArchived.Store(0)
+	fp.archiveByteCount.Store(0)
 }

@@ -96,6 +96,10 @@ type ScrubOptions struct {
 	// error aborts the scrub with that error — this is also the hook the
 	// soak harness uses to kill the process mid-scrub.
 	Progress func(done, total int) error
+	// Stop aborts the scrub with ErrStopped when closed, including during
+	// the pacing sleep, so a rate-limited pass never stalls graceful
+	// shutdown.
+	Stop <-chan struct{}
 }
 
 // ScrubResult reports one scrub pass.
@@ -139,6 +143,9 @@ func (fp *FilePager) scrub(opts ScrubOptions, lookup func(PageID) *page) (ScrubR
 	total := fp.pages
 	fp.mu.RUnlock()
 	for lo := 0; lo < total; lo += batch {
+		if err := stopErr(opts.Stop); err != nil {
+			return res, err
+		}
 		hi := lo + batch
 		if hi > total {
 			hi = total
@@ -174,7 +181,11 @@ func (fp *FilePager) scrub(opts ScrubOptions, lookup func(PageID) *page) (ScrubR
 			}
 		}
 		if pause > 0 && hi < total {
-			time.Sleep(pause)
+			select {
+			case <-time.After(pause):
+			case <-opts.Stop:
+				return res, ErrStopped
+			}
 		}
 	}
 	fp.scrubRuns.Add(1)
@@ -259,6 +270,15 @@ func (db *DB) Vacuum() (VacuumResult, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// A hot backup's walker addresses slots by the page count it pinned;
+	// relocation and truncation underneath it would stream garbage. Backup
+	// setup also holds db.mu, so this check is race-free.
+	fp.mu.RLock()
+	backupActive := fp.backupActive
+	fp.mu.RUnlock()
+	if backupActive {
+		return VacuumResult{}, errors.New("rdbms: vacuum refused: a backup is in progress")
+	}
 	res := VacuumResult{PagesBefore: fp.pageCount()}
 	// Flush everything first so the overlay is clean, pending frees are
 	// promoted and the durable manifest matches memory: relocation below

@@ -61,6 +61,15 @@ type IOStats struct {
 	VacuumPagesMoved int64 // meta-chain pages relocated into lower free slots
 	VacuumBytesFreed int64 // data-file bytes returned by vacuum truncation
 	Recoveries       int64 // successful in-place poison recoveries (DB.Recover)
+	// Disaster-recovery counters (the survive-losing-the-file signal):
+	// online hot backups streamed, WAL segments preserved into the archive,
+	// and the durable generation backups pin and PITR targets.
+	Backups      int64 // completed online backups (DB.Backup)
+	BackupPages  int64 // live page slots streamed by backups
+	BackupBytes  int64 // bytes written to backup streams
+	WALArchived  int64 // WAL segments copied into the archive directory
+	ArchiveBytes int64 // bytes copied into the archive directory
+	DurableGen   int64 // current durable generation (see DB.DurableGen)
 }
 
 // Pager is the stable-storage layer beneath the buffer pool: a growable
@@ -291,6 +300,18 @@ func (b *BufferPool) flushDirty() error {
 	return nil
 }
 
+// hasDirty reports whether any frame awaits write-back.
+func (b *BufferPool) hasDirty() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for e := b.lru.Back(); e != nil; e = e.Prev() {
+		if e.Value.(*frame).dirty {
+			return true
+		}
+	}
+	return false
+}
+
 // discard drops the frames for the given pages without writing them back.
 // Used when pages are freed: their contents are dead, and a stale frame must
 // not shadow a future reallocation of the same page id.
@@ -379,6 +400,9 @@ func (b *BufferPool) Stats() IOStats {
 		s.QuarantinedPages = fc.quarantinedPages
 		s.Vacuums, s.VacuumPagesMoved = fc.vacuums, fc.vacuumPagesMoved
 		s.VacuumBytesFreed, s.Recoveries = fc.vacuumBytesFreed, fc.recoveries
+		s.Backups, s.BackupPages, s.BackupBytes = fc.backups, fc.backupPages, fc.backupBytes
+		s.WALArchived, s.ArchiveBytes = fc.walArchived, fc.archiveBytes
+		s.DurableGen = fc.durableGen
 	}
 	return s
 }

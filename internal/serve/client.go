@@ -293,6 +293,71 @@ func (c *Client) Scrub(rate int) (ScrubSummary, error) {
 	return sum, nil
 }
 
+// Backup streams an online backup of the server's database into w and
+// returns its summary. The response arrives as StatusChunk frames
+// terminated by a status frame; RequestTimeout, when set, bounds each
+// frame rather than the whole stream. Not retried: a reconnect would
+// restart the stream mid-file against a database that has moved on — on a
+// connection failure the caller re-invokes with a fresh writer.
+func (c *Client) Backup(w io.Writer, rate int) (BackupSummary, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opts.RequestTimeout > 0 {
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	// A failure mid-stream leaves unread chunk frames in flight; the
+	// connection is unusable for the next request, so close it rather
+	// than drain an arbitrarily large remainder.
+	fail := func(err error) (BackupSummary, error) {
+		c.conn.Close()
+		return BackupSummary{}, err
+	}
+	if c.opts.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
+	}
+	p := binary.AppendUvarint([]byte{OpBackup}, uint64(rate))
+	if err := writeFrame(c.bw, p); err != nil {
+		return fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	for {
+		if c.opts.RequestTimeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
+		}
+		resp, err := readFrame(c.br, c.buf)
+		if err != nil {
+			return fail(err)
+		}
+		c.buf = resp
+		d := decoder{b: resp}
+		switch d.byte() {
+		case StatusChunk:
+			if _, err := w.Write(resp[1:]); err != nil {
+				return fail(err)
+			}
+		case StatusOK:
+			sum := d.backupSummary()
+			if err := d.done(); err != nil {
+				return BackupSummary{}, err
+			}
+			return sum, nil
+		case StatusErr, StatusReadOnly:
+			msg := d.str()
+			if err := d.done(); err != nil {
+				return BackupSummary{}, err
+			}
+			if resp[0] == StatusReadOnly {
+				return BackupSummary{}, fmt.Errorf("dsserver: %s: %w", msg, rdbms.ErrReadOnly)
+			}
+			return BackupSummary{}, fmt.Errorf("dsserver: %s", msg)
+		default:
+			return fail(fmt.Errorf("serve: malformed response status"))
+		}
+	}
+}
+
 // Vacuum defragments the server's data file, returning trailing free
 // space to the filesystem. Not retried: a vacuum saves open sheets, which
 // commits state — on an ambiguous ack the caller must observe, not

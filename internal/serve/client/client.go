@@ -30,6 +30,9 @@ type ScrubSummary = serve.ScrubSummary
 // VacuumSummary is one vacuum pass's result; see serve.VacuumSummary.
 type VacuumSummary = serve.VacuumSummary
 
+// BackupSummary is one completed backup; see serve.BackupSummary.
+type BackupSummary = serve.BackupSummary
+
 // Dial connects to a dsserver at addr ("host:port").
 func Dial(addr string) (*Client, error) { return serve.Dial(addr) }
 

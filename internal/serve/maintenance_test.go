@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -159,5 +160,95 @@ func TestServeScrubVacuumOps(t *testing.T) {
 	}
 	if cells[0][0].Value.Text() != "payload payload payload" {
 		t.Fatalf("cell after maintenance = %q", cells[0][0].Value.Text())
+	}
+}
+
+// TestServeBackupStream drives OpBackup over the wire: the chunked response
+// reassembles into a valid backup (large enough to span several StatusChunk
+// frames), unsaved sheet edits are captured because the server saves open
+// sheets first, the restored database serves the same cells, the backup
+// counters surface in Stats, and the connection stays usable for ordinary
+// requests after the stream.
+func TestServeBackupStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.ds")
+	db, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	_, addr := startServer(t, db, core.Options{})
+	c := dialT(t, addr)
+
+	if err := c.Open("s"); err != nil {
+		t.Fatal(err)
+	}
+	edits := make([]core.CellEdit, 0, 8192)
+	for i := 1; i <= 8192; i++ {
+		edits = append(edits, core.CellEdit{Row: i, Col: 1, Input: "backup payload backup payload"})
+	}
+	if _, err := c.SetCells("s", edits); err != nil {
+		t.Fatal(err)
+	}
+
+	bak := filepath.Join(dir, "serve.dsb")
+	f, err := os.Create(bak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Backup(f, 0)
+	if err != nil {
+		t.Fatalf("Backup over the wire: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pages == 0 || sum.Bytes == 0 || sum.Gen == 0 {
+		t.Fatalf("backup summary = %+v", sum)
+	}
+	fi, err := os.Stat(bak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != sum.Bytes {
+		t.Fatalf("reassembled stream is %d bytes, summary says %d", fi.Size(), sum.Bytes)
+	}
+	if fi.Size() <= backupChunkSize {
+		t.Fatalf("backup of %d bytes fits one chunk; grow the sheet so the test exercises chunking", fi.Size())
+	}
+
+	// The connection survives the stream.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after backup stream: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Backups != 1 || st.BackupBytes != sum.Bytes || st.DurableGen != int64(sum.Gen) {
+		t.Fatalf("backup counters = backups %d bytes %d gen %d, want 1/%d/%d",
+			st.Backups, st.BackupBytes, st.DurableGen, sum.Bytes, sum.Gen)
+	}
+
+	// The backup restores to a database serving the same cells, including
+	// the edits that were unsaved when the backup was requested.
+	restored := filepath.Join(dir, "restored.ds")
+	if err := rdbms.Restore(bak, restored, rdbms.RestoreOptions{}); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	rdb, err := rdbms.OpenFile(restored, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	eng, err := core.Load(rdb, "s", core.Options{})
+	if err != nil {
+		t.Fatalf("load restored sheet: %v", err)
+	}
+	for _, row := range []int{1, 4096, 8192} {
+		got := eng.GetCell(row, 1).Value.Text()
+		if got != "backup payload backup payload" {
+			t.Fatalf("restored cell (%d,1) = %q", row, got)
+		}
 	}
 }

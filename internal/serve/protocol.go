@@ -47,6 +47,11 @@ const (
 	OpScrub
 	OpVacuum
 	OpRecover
+	// OpBackup streams an online backup of the server's database. The
+	// response is a sequence of StatusChunk frames carrying the raw backup
+	// stream, terminated by a StatusOK frame with a BackupSummary (or a
+	// StatusErr frame; the chunks received so far must be discarded).
+	OpBackup
 )
 
 // Response status.
@@ -57,6 +62,9 @@ const (
 	// database is in read-only degradation (poisoned by an I/O failure).
 	// The client surfaces it as an error wrapping rdbms.ErrReadOnly.
 	StatusReadOnly
+	// StatusChunk carries one chunk of a streaming response (OpBackup);
+	// the terminating frame is a plain StatusOK or StatusErr.
+	StatusChunk
 )
 
 // Cell wire encoding: one flags byte — low nibble sheet.Kind, bit 4 set
@@ -337,6 +345,15 @@ type Stats struct {
 	VacuumPagesMoved int64
 	VacuumBytesFreed int64
 	Recoveries       int64
+	// Disaster-recovery counters: online backups streamed, WAL segments
+	// preserved into the archive, and the durable generation backups pin
+	// (see rdbms.IOStats for field semantics).
+	Backups      int64
+	BackupPages  int64
+	BackupBytes  int64
+	WALArchived  int64
+	ArchiveBytes int64
+	DurableGen   int64
 	// Sheets lists the open sheets and their snapshot generations.
 	Sheets []SheetStat
 }
@@ -355,6 +372,14 @@ type VacuumSummary struct {
 	PagesAfter     int
 	PagesMoved     int
 	BytesReclaimed int64
+}
+
+// BackupSummary is the wire form of one completed backup.
+type BackupSummary struct {
+	Pages     int    // live page slots streamed
+	FreePages int    // free slots recorded in the trailer
+	Bytes     int64  // bytes in the backup stream
+	Gen       uint64 // durable generation the backup pinned
 }
 
 func appendStats(b []byte, st Stats) []byte {
@@ -394,6 +419,12 @@ func appendStats(b []byte, st Stats) []byte {
 	b = binary.AppendUvarint(b, uint64(st.VacuumPagesMoved))
 	b = binary.AppendUvarint(b, uint64(st.VacuumBytesFreed))
 	b = binary.AppendUvarint(b, uint64(st.Recoveries))
+	b = binary.AppendUvarint(b, uint64(st.Backups))
+	b = binary.AppendUvarint(b, uint64(st.BackupPages))
+	b = binary.AppendUvarint(b, uint64(st.BackupBytes))
+	b = binary.AppendUvarint(b, uint64(st.WALArchived))
+	b = binary.AppendUvarint(b, uint64(st.ArchiveBytes))
+	b = binary.AppendUvarint(b, uint64(st.DurableGen))
 	b = binary.AppendUvarint(b, uint64(len(st.Sheets)))
 	for _, sh := range st.Sheets {
 		b = appendString(b, sh.Name)
@@ -450,6 +481,12 @@ func (d *decoder) stats() Stats {
 	st.VacuumPagesMoved = int64(d.uvarint())
 	st.VacuumBytesFreed = int64(d.uvarint())
 	st.Recoveries = int64(d.uvarint())
+	st.Backups = int64(d.uvarint())
+	st.BackupPages = int64(d.uvarint())
+	st.BackupBytes = int64(d.uvarint())
+	st.WALArchived = int64(d.uvarint())
+	st.ArchiveBytes = int64(d.uvarint())
+	st.DurableGen = int64(d.uvarint())
 	n := d.num("sheet count", 1<<16)
 	if d.err != nil {
 		return st
@@ -492,5 +529,22 @@ func (d *decoder) vacuumSummary() VacuumSummary {
 		PagesAfter:     int(d.uvarint()),
 		PagesMoved:     int(d.uvarint()),
 		BytesReclaimed: int64(d.uvarint()),
+	}
+}
+
+func appendBackupSummary(b []byte, s BackupSummary) []byte {
+	b = binary.AppendUvarint(b, uint64(s.Pages))
+	b = binary.AppendUvarint(b, uint64(s.FreePages))
+	b = binary.AppendUvarint(b, uint64(s.Bytes))
+	b = binary.AppendUvarint(b, s.Gen)
+	return b
+}
+
+func (d *decoder) backupSummary() BackupSummary {
+	return BackupSummary{
+		Pages:     int(d.uvarint()),
+		FreePages: int(d.uvarint()),
+		Bytes:     int64(d.uvarint()),
+		Gen:       d.uvarint(),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -144,6 +145,12 @@ func (s *Server) Stats() Stats {
 		VacuumPagesMoved: io.VacuumPagesMoved,
 		VacuumBytesFreed: io.VacuumBytesFreed,
 		Recoveries:       io.Recoveries,
+		Backups:          io.Backups,
+		BackupPages:      io.BackupPages,
+		BackupBytes:      io.BackupBytes,
+		WALArchived:      io.WALArchived,
+		ArchiveBytes:     io.ArchiveBytes,
+		DurableGen:       io.DurableGen,
 	}
 	if fs := s.db.Faults(); fs != nil {
 		st.InjectedByKind = fs.Injected()
@@ -176,11 +183,10 @@ func (s *Server) Scrub(rate int) (ScrubSummary, error) {
 	}, nil
 }
 
-// Vacuum saves every open sheet (so the durable manifest reflects current
-// state) and defragments the data file, returning trailing free space to
-// the filesystem. The pass holds the database exclusively; concurrent
-// requests queue behind it.
-func (s *Server) Vacuum() (VacuumSummary, error) {
+// SaveSheets saves every open sheet, so the durable manifest reflects what
+// clients currently see. Maintenance passes (vacuum, backup) run it first;
+// it is also the BeforeVacuum hook dsserver hands the engine scheduler.
+func (s *Server) SaveSheets() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name, h := range s.sheets {
@@ -188,8 +194,19 @@ func (s *Server) Vacuum() (VacuumSummary, error) {
 		err := h.eng.Save()
 		h.wmu.Unlock()
 		if err != nil {
-			return VacuumSummary{}, fmt.Errorf("serve: save sheet %q before vacuum: %w", name, err)
+			return fmt.Errorf("serve: save sheet %q: %w", name, err)
 		}
+	}
+	return nil
+}
+
+// Vacuum saves every open sheet (so the durable manifest reflects current
+// state) and defragments the data file, returning trailing free space to
+// the filesystem. The pass holds the database exclusively; concurrent
+// requests queue behind it.
+func (s *Server) Vacuum() (VacuumSummary, error) {
+	if err := s.SaveSheets(); err != nil {
+		return VacuumSummary{}, fmt.Errorf("serve: before vacuum: %w", err)
 	}
 	res, err := s.db.Vacuum()
 	if err != nil {
@@ -200,6 +217,26 @@ func (s *Server) Vacuum() (VacuumSummary, error) {
 		PagesAfter:     res.PagesAfter,
 		PagesMoved:     res.PagesMoved,
 		BytesReclaimed: res.BytesReclaimed,
+	}, nil
+}
+
+// Backup saves every open sheet (so the backup captures what clients
+// currently see) and streams an online backup of the database to w at the
+// given read rate (pages per second, 0 = unthrottled). Reads and writes
+// keep being served while the backup walks the data file.
+func (s *Server) Backup(w io.Writer, rate int) (BackupSummary, error) {
+	if err := s.SaveSheets(); err != nil {
+		return BackupSummary{}, fmt.Errorf("serve: before backup: %w", err)
+	}
+	res, err := s.db.Backup(w, rdbms.BackupOptions{PagesPerSecond: rate})
+	if err != nil {
+		return BackupSummary{}, err
+	}
+	return BackupSummary{
+		Pages:     res.Pages,
+		FreePages: res.FreePages,
+		Bytes:     res.Bytes,
+		Gen:       res.Gen,
 	}, nil
 }
 
@@ -293,9 +330,16 @@ func (s *Server) session(conn net.Conn) {
 		}
 		reqBuf = payload
 		s.inflight.Add(1)
-		respBuf = s.dispatch(respBuf[:0], payload)
+		if len(payload) > 0 && payload[0] == OpBackup {
+			// Streaming response: many StatusChunk frames, then a
+			// terminating StatusOK/StatusErr frame. Handled outside
+			// dispatch, which assumes one response frame per request.
+			err = s.backupSession(bw, payload)
+		} else {
+			respBuf = s.dispatch(respBuf[:0], payload)
+			err = writeFrame(bw, respBuf)
+		}
 		s.requests.Add(1)
-		err = writeFrame(bw, respBuf)
 		if err == nil {
 			err = bw.Flush()
 		}
@@ -474,4 +518,55 @@ func (s *Server) dispatch(b, payload []byte) []byte {
 		return append(b, StatusOK)
 	}
 	return appendErr(b, fmt.Errorf("serve: unknown op %d", op))
+}
+
+// backupChunkSize bounds one StatusChunk frame's payload.
+const backupChunkSize = 256 << 10
+
+// chunkWriter frames the raw backup stream into StatusChunk response
+// frames. A write error is sticky: it means the connection itself failed,
+// so no terminating status frame can reach the client either.
+type chunkWriter struct {
+	bw    *bufio.Writer
+	frame []byte
+	err   error
+}
+
+func (w *chunkWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		c := p
+		if len(c) > backupChunkSize {
+			c = c[:backupChunkSize]
+		}
+		p = p[len(c):]
+		w.frame = append(w.frame[:0], StatusChunk)
+		w.frame = append(w.frame, c...)
+		if err := writeFrame(w.bw, w.frame); err != nil {
+			w.err = err
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// backupSession answers one OpBackup request with a streamed response.
+func (s *Server) backupSession(bw *bufio.Writer, payload []byte) error {
+	d := &decoder{b: payload[1:]}
+	rate := d.num("backup rate", 1<<30)
+	if err := d.done(); err != nil {
+		return writeFrame(bw, appendErr(nil, err))
+	}
+	cw := &chunkWriter{bw: bw}
+	sum, err := s.Backup(cw, rate)
+	if cw.err != nil {
+		return cw.err
+	}
+	if err != nil {
+		return writeFrame(bw, appendErr(nil, err))
+	}
+	return writeFrame(bw, appendBackupSummary([]byte{StatusOK}, sum))
 }

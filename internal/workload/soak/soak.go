@@ -16,13 +16,18 @@
 //   - maintenance is crash-safe: online scrubs (sometimes killed mid-scan),
 //     vacuums (sometimes poisoned by an armed data-file fault), and
 //     in-place recovery of a poisoned store all preserve the committed
-//     prefix exactly.
+//     prefix exactly;
+//   - disaster recovery holds: online backups taken mid-workload restore to
+//     exactly the shadow model, a backup killed mid-stream never restores,
+//     and archived WAL segments replay a base backup to both its own
+//     generation and the latest one (point-in-time recovery).
 package soak
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"strconv"
 
 	"dataspread/internal/core"
@@ -56,6 +61,11 @@ type Config struct {
 	// FaultEvery injects a WAL-write or WAL-fsync fault every N'th round
 	// (default 3; negative disables fault rounds).
 	FaultEvery int
+	// ArchiveDir is where checkpoint compaction preserves sealed WAL
+	// segments, enabling the point-in-time restore rounds (default
+	// Path+".archive"). Every open in the run archives, so the archive
+	// stays gap-free across crashes.
+	ArchiveDir string
 }
 
 // Result reports what a a Run exercised and observed.
@@ -78,6 +88,12 @@ type Result struct {
 	ScrubKills   int // crashes triggered mid-scrub at the progress kill-point
 	VacuumPasses int // completed vacuum passes
 	VacuumFaults int // vacuums poisoned by an armed data-file fault
+
+	BackupPasses    int   // online backups completed mid-workload
+	BackupKills     int   // backups aborted at the mid-stream kill-point
+	RestoreVerifies int   // restored copies verified against the shadow model
+	PITRVerifies    int   // archive replays verified at base and latest gens
+	WALArchived     int64 // WAL segments preserved into the archive
 
 	MaxWALBytes    int64 // peak WAL footprint observed (all live segments)
 	WALBudget      int64 // the bound MaxWALBytes was checked against
@@ -121,6 +137,9 @@ func Run(cfg Config) (Result, error) {
 	if cfg.FaultEvery == 0 {
 		cfg.FaultEvery = 3
 	}
+	if cfg.ArchiveDir == "" {
+		cfg.ArchiveDir = cfg.Path + ".archive"
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var res Result
@@ -142,6 +161,7 @@ func Run(cfg Config) (Result, error) {
 		db, err := rdbms.OpenFile(cfg.Path, rdbms.Options{
 			WALSegmentBytes: cfg.SegmentBytes,
 			WALMaxSegments:  cfg.MaxSegments,
+			ArchiveDir:      cfg.ArchiveDir,
 			Faults:          fs,
 		})
 		if err != nil && fs != nil && errors.Is(err, rdbms.ErrInjected) {
@@ -156,6 +176,7 @@ func Run(cfg Config) (Result, error) {
 			db, err = rdbms.OpenFile(cfg.Path, rdbms.Options{
 				WALSegmentBytes: cfg.SegmentBytes,
 				WALMaxSegments:  cfg.MaxSegments,
+				ArchiveDir:      cfg.ArchiveDir,
 			})
 		}
 		if err != nil {
@@ -328,12 +349,14 @@ func Run(cfg Config) (Result, error) {
 
 		// Online maintenance: on rounds that end unpoisoned — including ones
 		// already marked for a boundary kill — sometimes run a scrub
-		// (occasionally killed mid-scan via the progress kill-point) or a
+		// (occasionally killed mid-scan via the progress kill-point), a
 		// vacuum (occasionally poisoned by an armed data-file fault, the
-		// mid-compaction kill-point). Either way the next reopen must still
-		// match the shadow model.
+		// mid-compaction kill-point), an online backup (occasionally killed
+		// mid-stream, and otherwise restored and verified against the shadow
+		// model), or a point-in-time restore through the WAL archive. Either
+		// way the next reopen must still match the shadow model.
 		if !poisoned {
-			switch rng.Intn(4) {
+			switch rng.Intn(6) {
 			case 0, 1:
 				killAfter := 0
 				if rng.Intn(3) == 0 {
@@ -405,6 +428,164 @@ func Run(cfg Config) (Result, error) {
 						return res, fmt.Errorf("soak: round %d: after vacuum: %w", round, err)
 					}
 				}
+			case 3:
+				// Online backup, sometimes killed mid-stream. A kill leaves a
+				// partial artifact that must never restore; a completed backup
+				// must restore to exactly the shadow model.
+				bak := cfg.Path + ".dsb"
+				dest := cfg.Path + ".restored"
+				removeRestoreScratch(bak, dest)
+				killAfter := 0
+				if rng.Intn(3) == 0 {
+					killAfter = rng.Intn(3) + 1
+				}
+				f, err := os.Create(bak)
+				if err != nil {
+					db.SimulateCrash()
+					return res, fmt.Errorf("soak: round %d: backup create: %w", round, err)
+				}
+				steps := 0
+				_, err = db.Backup(f, rdbms.BackupOptions{
+					BatchPages: 4,
+					Progress: func(done, total int) error {
+						steps++
+						if killAfter > 0 && steps >= killAfter {
+							return errBackupKill
+						}
+						return nil
+					},
+				})
+				f.Close()
+				switch {
+				case errors.Is(err, errBackupKill):
+					// Crash mid-backup: the torn artifact must be rejected
+					// atomically, the target path untouched.
+					killed = true
+					res.BackupKills++
+					if rerr := rdbms.Restore(bak, dest, rdbms.RestoreOptions{}); rerr == nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: partial backup restored cleanly", round)
+					}
+					if _, serr := os.Stat(dest); serr == nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: failed restore left the target path", round)
+					}
+				case err != nil:
+					// The backup's pinning checkpoint can trip a scheduled
+					// WAL fault; that poisons cleanly, like any failed commit.
+					if db.Poisoned() == nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: backup: %w", round, err)
+					}
+					poisoned = true
+				default:
+					res.BackupPasses++
+					if err := rdbms.Restore(bak, dest, rdbms.RestoreOptions{}); err != nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: restore: %w", round, err)
+					}
+					if err := verifyRestored(dest, cfg, model); err != nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: restored copy: %w", round, err)
+					}
+					res.RestoreVerifies++
+				}
+				removeRestoreScratch(bak, dest)
+			case 4:
+				// Point-in-time restore: base backup now, a few more committed
+				// batches, checkpoint (seals and archives the WAL), then replay
+				// the archive onto the base — to the base's own generation
+				// (must see the snapshot) and to the latest (must see the
+				// current model).
+				bak := cfg.Path + ".dsb"
+				dest := cfg.Path + ".restored"
+				removeRestoreScratch(bak, dest)
+				f, err := os.Create(bak)
+				if err != nil {
+					db.SimulateCrash()
+					return res, fmt.Errorf("soak: round %d: backup create: %w", round, err)
+				}
+				bres, err := db.Backup(f, rdbms.BackupOptions{})
+				f.Close()
+				if err != nil {
+					if db.Poisoned() == nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: pitr base backup: %w", round, err)
+					}
+					poisoned = true
+					removeRestoreScratch(bak, dest)
+					break
+				}
+				snap := make(map[soakKey]int64, len(model))
+				for k, v := range model {
+					snap[k] = v
+				}
+				wrote := true
+				for b := 0; b < 2 && wrote; b++ {
+					edits := make([]core.CellEdit, cfg.BatchSize)
+					batch := make(map[soakKey]int64, cfg.BatchSize)
+					for i := range edits {
+						counter++
+						k := soakKey{rng.Intn(cfg.Rows) + 1, rng.Intn(cfg.Cols) + 1}
+						edits[i] = core.CellEdit{Row: k.r, Col: k.c, Input: strconv.FormatInt(counter, 10)}
+						batch[k] = counter
+					}
+					if err := eng.SetCells(edits); err != nil {
+						if !errors.Is(err, rdbms.ErrPoisoned) && !errors.Is(err, rdbms.ErrReadOnly) {
+							db.SimulateCrash()
+							return res, fmt.Errorf("soak: round %d: pitr batch: %w", round, err)
+						}
+						// A late scheduled fault fired: the round ends poisoned
+						// with this batch ambiguous, and the PITR check is
+						// abandoned.
+						poisoned, pending, wrote = true, batch, false
+						break
+					}
+					res.Batches++
+					res.CellsWritten += len(edits)
+					for k, v := range batch {
+						model[k] = v
+					}
+				}
+				if wrote {
+					if err := db.Checkpoint(); err != nil {
+						if db.Poisoned() == nil {
+							db.SimulateCrash()
+							return res, fmt.Errorf("soak: round %d: pitr checkpoint: %w", round, err)
+						}
+						poisoned = true
+					}
+				}
+				if wrote && !poisoned {
+					// Replay to the base backup's own generation: the extra
+					// batches must be absent.
+					err := rdbms.Restore(bak, dest, rdbms.RestoreOptions{
+						ArchiveDir: cfg.ArchiveDir, TargetGen: bres.Gen,
+					})
+					if err != nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: pitr restore to base gen %d: %w", round, bres.Gen, err)
+					}
+					if err := verifyRestored(dest, cfg, snap); err != nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: pitr at base gen: %w", round, err)
+					}
+					os.Remove(dest)
+					os.Remove(dest + ".wal")
+					// Replay as far as the archive reaches: the extra batches
+					// must be present.
+					err = rdbms.Restore(bak, dest, rdbms.RestoreOptions{ArchiveDir: cfg.ArchiveDir})
+					if err != nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: pitr restore to latest: %w", round, err)
+					}
+					if err := verifyRestored(dest, cfg, model); err != nil {
+						db.SimulateCrash()
+						return res, fmt.Errorf("soak: round %d: pitr at latest gen: %w", round, err)
+					}
+					res.PITRVerifies++
+				}
+				removeRestoreScratch(bak, dest)
 			}
 		}
 
@@ -413,6 +594,7 @@ func Run(cfg Config) (Result, error) {
 		st := stats()
 		res.WALRotations += st.WALRotations
 		res.WALCompacted += st.WALCompacted
+		res.WALArchived += st.WALArchived
 		res.InjectedFaults += injected(db)
 		if poisoned || killed || rng.Intn(3) > 0 {
 			// Hard kill: drop every handle without flushing, as a crash
@@ -441,6 +623,7 @@ func Run(cfg Config) (Result, error) {
 	db, err := rdbms.OpenFile(cfg.Path, rdbms.Options{
 		WALSegmentBytes: cfg.SegmentBytes,
 		WALMaxSegments:  cfg.MaxSegments,
+		ArchiveDir:      cfg.ArchiveDir,
 	})
 	if err != nil {
 		return res, fmt.Errorf("soak: final reopen: %w", err)
@@ -477,6 +660,38 @@ func Run(cfg Config) (Result, error) {
 // errScrubKill is the sentinel a scrub progress callback returns at a
 // kill-point: the pass aborts mid-scan and the harness pulls the plug.
 var errScrubKill = errors.New("soak: scrub kill-point")
+
+// errBackupKill is the same for backups: the stream aborts mid-file,
+// leaving a torn artifact that must never restore.
+var errBackupKill = errors.New("soak: backup kill-point")
+
+// removeRestoreScratch clears the backup/restore scratch paths (including
+// the temp path an aborted restore must already have cleaned up).
+func removeRestoreScratch(bak, dest string) {
+	os.Remove(bak)
+	os.Remove(dest)
+	os.Remove(dest + ".wal")
+	os.Remove(dest + ".restore-tmp")
+	os.Remove(dest + ".restore-tmp.wal")
+}
+
+// verifyRestored opens the restored copy at path and requires it to match
+// the shadow model exactly, dropping the handle without mutating the file.
+func verifyRestored(path string, cfg Config, model map[soakKey]int64) error {
+	db, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		return fmt.Errorf("open restored copy: %w", err)
+	}
+	defer db.SimulateCrash()
+	if err := db.VerifyChecksums(); err != nil {
+		return err
+	}
+	eng, err := soakEngine(db)
+	if err != nil {
+		return err
+	}
+	return verifyModel(eng, cfg, model)
+}
 
 // soakFaults builds one round's hostile-disk schedule: a single WAL-side
 // fault (fsync error, ENOSPC, or a short torn write) placed somewhere in
