@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint bench-backup soak lint staticcheck fmt ci
+.PHONY: all build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint bench-backup bench-recalc soak lint staticcheck fmt ci
 
 # Rounds for the crash-fuzz soak (`make soak`); ~200 is 60-90s locally.
 SOAK_ROUNDS ?= 200
@@ -16,11 +16,13 @@ build:
 test:
 	$(GO) test -race -timeout 10m ./...
 
-# Serving stack alone under the race detector: snapshot reads, per-table
-# latches, session lifecycle and the disconnect fuzz. CI runs this as a
-# dedicated step so latch regressions are named, not buried in ./...
+# Serving stack and async-recalc surface alone under the race detector:
+# snapshot reads, per-table latches, session lifecycle, the disconnect
+# fuzz, plus the background scheduler, staleness bits and viewport
+# priority. CI runs this as a dedicated step so latch and scheduler
+# regressions are named, not buried in ./...
 test-serve:
-	$(GO) test -race -run Serve -timeout 10m -v ./internal/serve/...
+	$(GO) test -race -run 'Serve|Recalc|Pending|Viewport' -timeout 10m -v ./internal/serve/... ./internal/core/... ./internal/cache/...
 
 # Bench smoke: every benchmark executes once so perf code paths (including
 # the file-backed pager via BenchmarkDurable*) run on every push.
@@ -113,6 +115,15 @@ bench-backup:
 	BENCH_BACKUP_JSON=BENCH_backup.json $(GO) test -run=TestBackupSnapshot -v .
 	@cat BENCH_backup.json
 
+# Async-recalc snapshot (LazyBrowsing): one tick into a >=100k-cell
+# dependency cone on the background scheduler, and writes
+# BENCH_recalc.json; fails if the registered viewport converges less than
+# 10x faster than the inline recalc served the same edit, or if the
+# drained background state diverges from the synchronous shadow engine.
+bench-recalc:
+	BENCH_RECALC_JSON=BENCH_recalc.json $(GO) test -run=TestRecalcSnapshot -v .
+	@cat BENCH_recalc.json
+
 lint:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -133,4 +144,4 @@ staticcheck:
 fmt:
 	gofmt -w .
 
-ci: lint staticcheck build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint bench-backup soak
+ci: lint staticcheck build test test-serve test-faults bench bench-disk bench-scan bench-struct bench-commit bench-serve bench-maint bench-backup bench-recalc soak

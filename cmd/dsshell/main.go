@@ -42,8 +42,10 @@ func main() {
 	dbPath := flag.String("db", "", "durable database file (default: in-memory, nothing survives exit)")
 	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent WAL commits into shared fsyncs (background flusher)")
 	checkpointPages := flag.Int("checkpoint-pages", 0, "auto-checkpoint when this many pages are dirty since the last checkpoint (0: default 4096, negative: disable)")
+	asyncRecalc := flag.Bool("async-recalc", false, "evaluate formula cones in the background; stale cells are flagged * in view until they converge")
 	flag.Parse()
 
+	engOpts := core.Options{AsyncRecalc: *asyncRecalc}
 	var db *rdbms.DB
 	var eng *core.Engine
 	var err error
@@ -57,25 +59,30 @@ func main() {
 			os.Exit(1)
 		}
 		if hasSheet(db, sheetName) {
-			eng, err = core.Load(db, sheetName, core.Options{})
+			eng, err = core.Load(db, sheetName, engOpts)
 			if err == nil {
 				rows, cols := eng.Bounds()
 				fmt.Printf("reopened %s (%dx%d used)\n", *dbPath, rows, cols)
 			}
 		} else {
-			eng, err = core.New(db, sheetName, core.Options{})
+			eng, err = core.New(db, sheetName, engOpts)
 		}
 	} else {
 		db = rdbms.Open(rdbms.Options{})
-		eng, err = core.New(db, sheetName, core.Options{})
+		eng, err = core.New(db, sheetName, engOpts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsshell:", err)
 		os.Exit(1)
 	}
 	durable := *dbPath != ""
-	sh := &shell{eng: eng, db: db}
+	sh := &shell{eng: eng, db: db, engOpts: engOpts}
 	defer func() {
+		// Stop the background recalc first (drains pending formulas so the
+		// checkpoint below captures converged values).
+		if err := sh.eng.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dsshell: recalc:", err)
+		}
 		if !durable {
 			return
 		}
@@ -142,6 +149,7 @@ var errQuit = fmt.Errorf("quit")
 type shell struct {
 	eng         *core.Engine
 	db          *rdbms.DB
+	engOpts     core.Options
 	remote      *client.Client
 	remoteSheet string
 }
@@ -330,8 +338,10 @@ func dispatch(sh *shell, line string) error {
 			return nil
 		}
 		// The engine is rebuilt from the recovered catalog: uncommitted
-		// session edits are gone, exactly as a crash would lose them.
-		fresh, err := core.Recover(sh.db, sheetName, core.Options{})
+		// session edits are gone, exactly as a crash would lose them. Stop
+		// the old engine's recalc scheduler first so it does not outlive it.
+		_ = sh.eng.Close()
+		fresh, err := core.Recover(sh.db, sheetName, sh.engOpts)
 		if err != nil {
 			return err
 		}
@@ -376,13 +386,19 @@ func dispatch(sh *shell, line string) error {
 			return err
 		}
 		if sh.remote != nil {
-			cells, gen, err := sh.remote.GetRange(sh.remoteSheet,
+			// The viewed range IS the session's viewport: tell the server so
+			// an async recalc evaluates these cells ahead of the rest.
+			if err := sh.remote.RegisterViewport(sh.remoteSheet,
+				g.From.Row, g.From.Col, g.To.Row, g.To.Col); err != nil {
+				return err
+			}
+			cells, pending, gen, err := sh.remote.GetRangePending(sh.remoteSheet,
 				g.From.Row, g.From.Col, g.To.Row, g.To.Col)
 			if err != nil {
 				return err
 			}
-			printCells(g, cells)
-			fmt.Printf("(snapshot generation %d)\n", gen)
+			printCells(g, cells, pending)
+			fmt.Printf("(snapshot generation %d%s)\n", gen, pendingNote(pending))
 			return nil
 		}
 		printGrid(eng, g)
@@ -550,6 +566,9 @@ func printStats(eng *core.Engine) {
 	}
 	fmt.Printf("cell cache: %d hits, %d misses (%.1f%% hit rate), %d evictions\n",
 		cs.Hits, cs.Misses, rate(cs.Hits, cs.Misses), cs.Evictions)
+	if eng.AsyncRecalc() {
+		fmt.Printf("recalc: async, %d cells pending background evaluation\n", eng.PendingCount())
+	}
 	ps := eng.DB().Pool().Stats()
 	fmt.Printf("buffer pool: %d hits, %d misses (%.1f%% hit rate), %d pages read\n",
 		ps.PoolHits, ps.PoolMisses, rate(ps.PoolHits, ps.PoolMisses), ps.PagesRead)
@@ -644,7 +663,8 @@ func printRemoteStats(sh *shell) error {
 		if s.Name == sh.remoteSheet {
 			marker = " (this session)"
 		}
-		fmt.Printf("  sheet %q: snapshot generation %d%s\n", s.Name, s.Gen, marker)
+		fmt.Printf("  sheet %q: snapshot generation %d, %d cells pending recalc%s\n",
+			s.Name, s.Gen, s.Pending, marker)
 	}
 	return nil
 }
@@ -660,10 +680,36 @@ func syncClose(f *os.File) error {
 }
 
 func printGrid(eng *core.Engine, g sheet.Range) {
-	printCells(g, eng.GetCells(g))
+	cells := eng.GetCells(g)
+	pending := eng.PendingMask(g)
+	printCells(g, cells, pending)
+	if n := countPending(pending); n > 0 {
+		fmt.Printf("(%d cells pending background recalc; * = stale value)\n", n)
+	}
 }
 
-func printCells(g sheet.Range, cells [][]sheet.Cell) {
+func countPending(pending [][]bool) int {
+	n := 0
+	for _, row := range pending {
+		for _, p := range row {
+			if p {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func pendingNote(pending [][]bool) string {
+	if n := countPending(pending); n > 0 {
+		return fmt.Sprintf(", %d cells pending; * = stale value", n)
+	}
+	return ""
+}
+
+// printCells renders a range; pending (nil = none) marks cells whose value
+// is stale under an in-flight background recalc with a trailing *.
+func printCells(g sheet.Range, cells [][]sheet.Cell, pending [][]bool) {
 	// Header.
 	fmt.Printf("%6s", "")
 	for c := g.From.Col; c <= g.To.Col; c++ {
@@ -672,10 +718,13 @@ func printCells(g sheet.Range, cells [][]sheet.Cell) {
 	fmt.Println()
 	for i, row := range cells {
 		fmt.Printf("%6d", g.From.Row+i)
-		for _, cell := range row {
+		for j, cell := range row {
 			text := cell.Value.Text()
-			if len(text) > 12 {
-				text = text[:11] + "…"
+			if len(text) > 11 {
+				text = text[:10] + "…"
+			}
+			if pending != nil && pending[i][j] {
+				text += "*"
 			}
 			fmt.Printf(" %-12s", text)
 		}

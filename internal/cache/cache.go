@@ -72,6 +72,10 @@ type Cache struct {
 
 	errMu   sync.Mutex
 	lastErr error
+
+	// pending is the staleness sidecar (see pending.go): bits survive
+	// block eviction and are managed by the background recalc scheduler.
+	pending pendingSet
 }
 
 // New creates a cache holding up to capacity blocks (minimum 1; zero means
@@ -262,6 +266,10 @@ func (c *Cache) shift(at, delta int, rows bool) {
 	if delta == 0 {
 		return
 	}
+	// Pending bits address pre-shift positions; the engine drains the
+	// recalc scheduler before structural edits, so the sidecar is empty
+	// here — drop anything left rather than relocate stale bits.
+	c.ClearAllPending()
 	span := BlockCols
 	if rows {
 		span = BlockRows

@@ -1,0 +1,237 @@
+package cache
+
+import (
+	"sort"
+	"sync"
+
+	"dataspread/internal/sheet"
+)
+
+// Pending-bit sidecar: one bit per cell marking "this formula's displayed
+// value is stale; a background recalculation will refresh it". Staleness is
+// state, not cache — the masks are keyed like the block map but held in a
+// separate structure that is independent of residency, so evicting a block
+// does not forget which of its cells are pending.
+//
+// The engine's background recalc scheduler (internal/core/recalc.go) is the
+// only writer in practice: edits mark the dependency cone pending, the
+// scheduler clears bits as waves commit, and readers (the serving layer's
+// get-range path) surface the bits as staleness flags. All methods are safe
+// for concurrent use and independent of the cache's block lock.
+
+// pendingWords is the mask length for one block's BlockRows×BlockCols cells.
+const pendingWords = (BlockRows*BlockCols + 63) / 64
+
+type pendingSet struct {
+	mu    sync.RWMutex
+	masks map[blockKey][]uint64
+	count int
+}
+
+func (p *pendingSet) bitFor(r sheet.Ref) (blockKey, int) {
+	k := keyFor(r)
+	return k, cellIndex(k, r)
+}
+
+// MarkPending sets the pending bit for r, reporting whether it was newly set.
+func (c *Cache) MarkPending(r sheet.Ref) bool {
+	k, bit := c.pending.bitFor(r)
+	p := &c.pending
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.masks == nil {
+		p.masks = make(map[blockKey][]uint64)
+	}
+	m := p.masks[k]
+	if m == nil {
+		m = make([]uint64, pendingWords)
+		p.masks[k] = m
+	}
+	w, b := bit/64, uint64(1)<<(bit%64)
+	if m[w]&b != 0 {
+		return false
+	}
+	m[w] |= b
+	p.count++
+	return true
+}
+
+// MarkPendingBatch sets the pending bit for every ref, returning how many
+// were newly set. One lock acquisition covers the whole batch — the edit
+// path marks 100k-cell dependency cones through this.
+func (c *Cache) MarkPendingBatch(refs []sheet.Ref) int {
+	if len(refs) == 0 {
+		return 0
+	}
+	p := &c.pending
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.masks == nil {
+		p.masks = make(map[blockKey][]uint64)
+	}
+	n := 0
+	for _, r := range refs {
+		k := keyFor(r)
+		m := p.masks[k]
+		if m == nil {
+			m = make([]uint64, pendingWords)
+			p.masks[k] = m
+		}
+		bit := cellIndex(k, r)
+		w, b := bit/64, uint64(1)<<(bit%64)
+		if m[w]&b == 0 {
+			m[w] |= b
+			p.count++
+			n++
+		}
+	}
+	return n
+}
+
+// ClearPending clears the pending bit for r, reporting whether it was set.
+func (c *Cache) ClearPending(r sheet.Ref) bool {
+	k, bit := c.pending.bitFor(r)
+	p := &c.pending
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.masks[k]
+	if m == nil {
+		return false
+	}
+	w, b := bit/64, uint64(1)<<(bit%64)
+	if m[w]&b == 0 {
+		return false
+	}
+	m[w] &^= b
+	p.count--
+	for _, word := range m {
+		if word != 0 {
+			return true
+		}
+	}
+	delete(p.masks, k)
+	return true
+}
+
+// IsPending reports whether r's displayed value awaits recalculation.
+func (c *Cache) IsPending(r sheet.Ref) bool {
+	k, bit := c.pending.bitFor(r)
+	p := &c.pending
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	m := p.masks[k]
+	if m == nil {
+		return false
+	}
+	return m[bit/64]&(uint64(1)<<(bit%64)) != 0
+}
+
+// PendingCount returns the number of cells currently marked pending.
+func (c *Cache) PendingCount() int {
+	p := &c.pending
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.count
+}
+
+// PendingInRange counts pending cells inside g.
+func (c *Cache) PendingInRange(g sheet.Range) int {
+	n := 0
+	c.visitPending(g, func(sheet.Ref) { n++ })
+	return n
+}
+
+// PendingRefs returns every pending cell, sorted row-major — the recalc
+// scheduler's rebuild source of truth.
+func (c *Cache) PendingRefs() []sheet.Ref {
+	p := &c.pending
+	p.mu.RLock()
+	var out []sheet.Ref
+	for k, m := range p.masks {
+		base := sheet.Ref{Row: k.br*BlockRows + 1, Col: k.bc*BlockCols + 1}
+		for bit := 0; bit < BlockRows*BlockCols; bit++ {
+			if m[bit/64]&(uint64(1)<<(bit%64)) != 0 {
+				out = append(out, sheet.Ref{
+					Row: base.Row + bit/BlockCols,
+					Col: base.Col + bit%BlockCols,
+				})
+			}
+		}
+	}
+	p.mu.RUnlock()
+	sortPendingRefs(out)
+	return out
+}
+
+// PendingRefsIn returns the pending cells inside g, sorted row-major —
+// the recalc scheduler's viewport fast-path seeds.
+func (c *Cache) PendingRefsIn(g sheet.Range) []sheet.Ref {
+	var out []sheet.Ref
+	c.visitPending(g, func(r sheet.Ref) { out = append(out, r) })
+	sortPendingRefs(out)
+	return out
+}
+
+// PendingMask returns a per-cell pending grid for g, or nil when no cell
+// inside g is pending (the common fast path for readers).
+func (c *Cache) PendingMask(g sheet.Range) [][]bool {
+	var mask [][]bool
+	c.visitPending(g, func(r sheet.Ref) {
+		if mask == nil {
+			mask = make([][]bool, g.To.Row-g.From.Row+1)
+			for i := range mask {
+				mask[i] = make([]bool, g.To.Col-g.From.Col+1)
+			}
+		}
+		mask[r.Row-g.From.Row][r.Col-g.From.Col] = true
+	})
+	return mask
+}
+
+// visitPending streams the pending cells inside g to fn, in arbitrary
+// order, under the sidecar's read lock.
+func (c *Cache) visitPending(g sheet.Range, fn func(sheet.Ref)) {
+	p := &c.pending
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.count == 0 {
+		return
+	}
+	for _, k := range BlockCover(g) {
+		m := p.masks[blockKey{br: k.BR, bc: k.BC}]
+		if m == nil {
+			continue
+		}
+		baseRow, baseCol := k.BR*BlockRows+1, k.BC*BlockCols+1
+		for bit := 0; bit < BlockRows*BlockCols; bit++ {
+			if m[bit/64]&(uint64(1)<<(bit%64)) == 0 {
+				continue
+			}
+			r := sheet.Ref{Row: baseRow + bit/BlockCols, Col: baseCol + bit%BlockCols}
+			if r.Row >= g.From.Row && r.Row <= g.To.Row && r.Col >= g.From.Col && r.Col <= g.To.Col {
+				fn(r)
+			}
+		}
+	}
+}
+
+// ClearAllPending drops every pending bit. Structural edits call it after
+// the engine has drained the scheduler: a shift relocates cells, and the
+// (empty, post-drain) mask must not leave bits pointing at pre-shift
+// positions.
+func (c *Cache) ClearAllPending() {
+	p := &c.pending
+	p.mu.Lock()
+	p.masks = nil
+	p.count = 0
+	p.mu.Unlock()
+}
+
+func sortPendingRefs(refs []sheet.Ref) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Row != refs[j].Row {
+			return refs[i].Row < refs[j].Row
+		}
+		return refs[i].Col < refs[j].Col
+	})
+}

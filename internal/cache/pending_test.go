@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"dataspread/internal/sheet"
+)
+
+// The pending-bit sidecar is staleness state, not cache: bits survive
+// eviction, clear exactly once, and the range views (count, refs, mask)
+// agree with the per-cell bits.
+
+func TestPendingBits(t *testing.T) {
+	c := New(&sheetBacking{s: sheet.New("t")}, 4)
+
+	a := sheet.Ref{Row: 1, Col: 1}
+	b := sheet.Ref{Row: BlockRows + 5, Col: BlockCols + 3} // different block
+	if c.IsPending(a) || c.PendingCount() != 0 {
+		t.Fatal("fresh cache has pending cells")
+	}
+	if !c.MarkPending(a) {
+		t.Fatal("first MarkPending(a) = false, want newly set")
+	}
+	if c.MarkPending(a) {
+		t.Fatal("second MarkPending(a) = true, want already set")
+	}
+	if !c.MarkPending(b) {
+		t.Fatal("MarkPending(b) = false")
+	}
+	if !c.IsPending(a) || !c.IsPending(b) || c.PendingCount() != 2 {
+		t.Fatalf("IsPending(a)=%v IsPending(b)=%v count=%d, want true/true/2",
+			c.IsPending(a), c.IsPending(b), c.PendingCount())
+	}
+
+	refs := c.PendingRefs()
+	if len(refs) != 2 || refs[0] != a || refs[1] != b {
+		t.Fatalf("PendingRefs = %v, want row-major [%v %v]", refs, a, b)
+	}
+
+	if !c.ClearPending(a) {
+		t.Fatal("ClearPending(a) = false, want it was set")
+	}
+	if c.ClearPending(a) {
+		t.Fatal("second ClearPending(a) = true, want already clear")
+	}
+	if c.IsPending(a) || c.PendingCount() != 1 {
+		t.Fatalf("after clear: IsPending(a)=%v count=%d", c.IsPending(a), c.PendingCount())
+	}
+
+	c.ClearAllPending()
+	if c.PendingCount() != 0 || c.IsPending(b) {
+		t.Fatal("ClearAllPending left pending bits")
+	}
+}
+
+func TestPendingRangeViews(t *testing.T) {
+	c := New(&sheetBacking{s: sheet.New("t")}, 4)
+	marked := []sheet.Ref{
+		{Row: 1, Col: 1},
+		{Row: 2, Col: 3},
+		{Row: BlockRows + 1, Col: 2}, // next block row
+	}
+	for _, r := range marked {
+		c.MarkPending(r)
+	}
+
+	g := sheet.NewRange(1, 1, 3, 3)
+	if n := c.PendingInRange(g); n != 2 {
+		t.Fatalf("PendingInRange(%v) = %d, want 2", g, n)
+	}
+	mask := c.PendingMask(g)
+	if mask == nil || !mask[0][0] || !mask[1][2] || mask[2][1] {
+		t.Fatalf("PendingMask(%v) = %v", g, mask)
+	}
+	// A window with no pending cells takes the nil fast path.
+	if m := c.PendingMask(sheet.NewRange(10, 10, 20, 20)); m != nil {
+		t.Fatalf("mask over clean window = %v, want nil", m)
+	}
+
+	// Bits are residency-independent: evict everything, bits remain.
+	for i := 0; i < 64; i++ {
+		c.Get(sheet.Ref{Row: i*BlockRows + 1, Col: 1})
+	}
+	if n := c.PendingCount(); n != len(marked) {
+		t.Fatalf("pending after eviction churn = %d, want %d", n, len(marked))
+	}
+}
+
+func TestPendingConcurrentMarkClear(t *testing.T) {
+	c := New(&sheetBacking{s: sheet.New("t")}, 4)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := sheet.Ref{Row: w*perWorker + i + 1, Col: 1}
+				c.MarkPending(r)
+				c.IsPending(r)
+				c.ClearPending(r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.PendingCount(); n != 0 {
+		t.Fatalf("pending after balanced mark/clear = %d, want 0", n)
+	}
+}

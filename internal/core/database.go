@@ -16,6 +16,8 @@ import (
 // inferred from the first data row) and then linked; when it exists, the
 // range must be empty and sized to the table.
 func (e *Engine) LinkTable(g sheet.Range, tableName string) (*model.TOM, error) {
+	unlock := e.lockWrites()
+	defer unlock()
 	table := e.db.Table(tableName)
 	if table == nil {
 		var err error
@@ -184,6 +186,11 @@ func (e *Engine) PlaceTable(tv *rel.TableValue, anchor sheet.Ref) (sheet.Range, 
 // incremental result (Appendix A-C2). Linked TOM regions are preserved
 // as-is.
 func (e *Engine) Optimize(algo string, eta float64) (*hybrid.IncrementalResult, error) {
+	// Drain before snapshotting: the migration replaces the cache (and its
+	// pending sidecar), so no staleness bit may be outstanding, and the
+	// snapshot must carry converged values into the new decomposition.
+	unlock := e.lockWritesDrained()
+	defer unlock()
 	bounds := sheet.NewRange(1, 1, maxI(e.maxRow, 1), maxI(e.maxCol, 1))
 	snap, err := e.store.Snapshot(e.name, bounds)
 	if err != nil {

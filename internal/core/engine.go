@@ -7,7 +7,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"dataspread/internal/cache"
@@ -28,6 +30,16 @@ type Options struct {
 	CacheBlocks int
 	// CostParams drives the hybrid optimizer (zero value: PostgresCost).
 	CostParams hybrid.CostParams
+	// AsyncRecalc enables the background recalc scheduler (the paper's
+	// LazyBrowsing direction): edits mark their dependency cone pending
+	// and return immediately; a bounded worker pool evaluates the cone in
+	// topological waves, cells inside registered viewports first. Default
+	// false: formulas evaluate inline with the edit (tests, single-user
+	// CLI). See recalc.go.
+	AsyncRecalc bool
+	// RecalcWorkers bounds the scheduler's evaluation worker pool (0:
+	// GOMAXPROCS capped at 4). Meaningful only with AsyncRecalc.
+	RecalcWorkers int
 }
 
 // Engine is one open spreadsheet bound to a database.
@@ -65,6 +77,12 @@ type Engine struct {
 	// single-goroutine use.
 	gen     atomic.Uint64
 	latches latchTable
+	// writeMu serializes edit paths against the background recalc
+	// scheduler's commit chunks. Locked only in async mode (sched != nil);
+	// synchronous engines keep their existing single-writer discipline.
+	writeMu sync.Mutex
+	// sched is the background recalc scheduler (nil in synchronous mode).
+	sched *recalcScheduler
 }
 
 // storeBacking adapts the hybrid store to the cache's Backing interface:
@@ -105,6 +123,7 @@ func New(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		cacheBlocks: opts.CacheBlocks,
 	}
 	e.cache = newEngineCache(e)
+	e.startRecalc(opts)
 	return e, nil
 }
 
@@ -142,6 +161,7 @@ func Open(db *rdbms.DB, name string, s *sheet.Sheet, algo string, opts Options) 
 		cacheBlocks: opts.CacheBlocks,
 	}
 	e.cache = newEngineCache(e)
+	e.startRecalc(opts)
 	// Register formulas and evaluate the sheet once.
 	var regErr error
 	s.EachSorted(func(r sheet.Ref, c sheet.Cell) {
@@ -263,18 +283,21 @@ func (e *Engine) Set(row, col int, input string) error {
 }
 
 // SetValue writes a plain value and recomputes dependents (updateCell of
-// Section III).
+// Section III). In async mode dependents are marked pending instead and
+// recompute in the background.
 func (e *Engine) SetValue(row, col int, v sheet.Value) error {
 	if err := e.writeGuard(); err != nil {
 		return err
 	}
+	unlock := e.lockWrites()
+	defer unlock()
 	ref := sheet.Ref{Row: row, Col: col}
 	e.dropFormula(ref)
 	if err := e.cache.Put(ref, sheet.Cell{Value: v}); err != nil {
 		return err
 	}
 	e.grow(row, col)
-	if err := e.propagate(ref); err != nil {
+	if err := e.finishEdit([]sheet.Ref{ref}); err != nil {
 		return err
 	}
 	e.bumpGeneration()
@@ -286,12 +309,14 @@ func (e *Engine) Clear(row, col int) error {
 	if err := e.writeGuard(); err != nil {
 		return err
 	}
+	unlock := e.lockWrites()
+	defer unlock()
 	ref := sheet.Ref{Row: row, Col: col}
 	e.dropFormula(ref)
 	if err := e.cache.Put(ref, sheet.Cell{}); err != nil {
 		return err
 	}
-	if err := e.propagate(ref); err != nil {
+	if err := e.finishEdit([]sheet.Ref{ref}); err != nil {
 		return err
 	}
 	e.bumpGeneration()
@@ -299,20 +324,23 @@ func (e *Engine) Clear(row, col int) error {
 }
 
 // SetFormula installs a formula (source without '='), evaluates it, and
-// recomputes dependents. Cycles poison the cell with #CYCLE!.
+// recomputes dependents. Cycles poison the cell with #CYCLE!. In async
+// mode the cell and its dependents are marked pending instead and
+// evaluate in the background.
 func (e *Engine) SetFormula(row, col int, src string) error {
 	if err := e.writeGuard(); err != nil {
 		return err
 	}
+	unlock := e.lockWrites()
+	defer unlock()
 	ref := sheet.Ref{Row: row, Col: col}
 	if err := e.installFormula(ref, src); err != nil {
 		return err
 	}
-	if _, ok := e.exprs[ref]; !ok {
-		e.bumpGeneration()
-		return nil // cycle: the cell is poisoned, nothing to propagate
-	}
-	if err := e.propagate(ref); err != nil {
+	// Finish even when the install poisoned a cycle: dependents reading
+	// the now-#CYCLE! cell must re-evaluate, exactly as the batch path's
+	// seeded propagation does.
+	if err := e.finishEdit([]sheet.Ref{ref}); err != nil {
 		return err
 	}
 	e.bumpGeneration()
@@ -321,7 +349,9 @@ func (e *Engine) SetFormula(row, col int, src string) error {
 
 // installFormula parses, registers and evaluates a formula at ref without
 // recomputing dependents (the caller propagates). Cycles poison the cell
-// with #CYCLE! and leave it unregistered.
+// with #CYCLE! and move its registration to the cycle set. In async mode
+// evaluation is deferred: the cell keeps its previous displayed value and
+// is marked pending for the scheduler.
 func (e *Engine) installFormula(ref sheet.Ref, src string) error {
 	expr, err := formula.Parse(src)
 	if err != nil {
@@ -341,6 +371,17 @@ func (e *Engine) installFormula(ref sheet.Ref, src string) error {
 	e.exprs[ref] = expr
 	e.setDeps(ref, reads)
 	e.formulasDirty = true
+	if e.sched != nil {
+		// LazyBrowsing: defer evaluation — keep whatever value the cell
+		// showed, attach the formula text, and mark the cell pending.
+		old := e.cache.Get(ref)
+		if err := e.cache.Put(ref, sheet.Cell{Value: old.Value, Formula: src}); err != nil {
+			return err
+		}
+		e.cache.MarkPending(ref)
+		e.grow(ref.Row, ref.Col)
+		return nil
+	}
 	v := formula.Eval(expr, e)
 	if err := e.cache.Put(ref, sheet.Cell{Value: v, Formula: src}); err != nil {
 		return err
@@ -400,33 +441,54 @@ func (e *Engine) ApplyCells(edits []CellEdit) error {
 			}
 		}
 	}
+	unlock := e.lockWrites()
+	defer unlock()
+	// "Edits to the same cell apply in order: the last one wins" — keep
+	// only the final edit per cell up front, so partitioning values from
+	// formulas below cannot reorder same-cell edits (a literal following
+	// a formula edit used to be overwritten by the formula's later
+	// install).
+	last := make(map[sheet.Ref]int, len(edits))
+	for i, ed := range edits {
+		last[sheet.Ref{Row: ed.Row, Col: ed.Col}] = i
+	}
 	var writes []model.CellWrite
 	type formulaEdit struct {
 		ref sheet.Ref
 		src string
 	}
 	var formulas []formulaEdit
-	refs := make([]sheet.Ref, 0, len(edits))
-	for _, ed := range edits {
+	refs := make([]sheet.Ref, 0, len(last))
+	for i, ed := range edits {
 		ref := sheet.Ref{Row: ed.Row, Col: ed.Col}
+		if last[ref] != i {
+			continue // superseded by a later edit to the same cell
+		}
 		refs = append(refs, ref)
 		if strings.HasPrefix(ed.Input, "=") {
 			formulas = append(formulas, formulaEdit{ref, ed.Input[1:]})
 			continue
 		}
-		e.dropFormula(ref)
 		var c sheet.Cell
 		if v := sheet.ParseLiteral(ed.Input); !v.IsEmpty() {
 			c = sheet.Cell{Value: v}
-			e.grow(ed.Row, ed.Col)
 		}
 		writes = append(writes, model.CellWrite{Row: ed.Row, Col: ed.Col, Cell: c})
 	}
+	// The store write runs before any in-memory mutation: if it fails
+	// (ENOSPC, a poisoned pager), formula registrations, the cache, the
+	// dependency graph and the bounds are exactly as they were — no
+	// half-applied batch.
 	if err := e.store.UpdateCells(writes); err != nil {
 		return err
 	}
 	for _, w := range writes {
-		e.cache.Poke(sheet.Ref{Row: w.Row, Col: w.Col}, w.Cell)
+		ref := sheet.Ref{Row: w.Row, Col: w.Col}
+		e.dropFormula(ref)
+		e.cache.Poke(ref, w.Cell)
+		if !w.Cell.Value.IsEmpty() {
+			e.grow(w.Row, w.Col)
+		}
 	}
 	// Formulas install after the values they (typically) read.
 	for _, f := range formulas {
@@ -436,17 +498,8 @@ func (e *Engine) ApplyCells(edits []CellEdit) error {
 	}
 	// One propagation pass seeded by the exact edited cells replaces the
 	// per-edit recomputation of Set.
-	order, cycles := e.deps.AffectedByRefs(refs)
-	for _, dep := range order {
-		if err := e.reevaluate(dep); err != nil {
-			return err
-		}
-	}
-	for _, dep := range cycles {
-		old := e.cache.Get(dep)
-		if err := e.cache.Put(dep, sheet.Cell{Value: sheet.ErrCycle, Formula: old.Formula}); err != nil {
-			return err
-		}
+	if err := e.finishEdit(refs); err != nil {
+		return err
 	}
 	e.bumpGeneration()
 	return nil
@@ -462,6 +515,44 @@ func (e *Engine) dropFormula(ref sheet.Ref) {
 	delete(e.constants, ref)
 	delete(e.cycles, ref)
 	e.deps.Remove(ref)
+	if e.sched != nil {
+		// The cell no longer computes anything: whatever is written next
+		// is its definitive value.
+		e.cache.ClearPending(ref)
+	}
+}
+
+// poisonCycles marks every ref in refs cycle-poisoned, unifying the
+// bookkeeping with installFormula's cycle path: the cell keeps its formula
+// text but displays #CYCLE!, and any live registration moves out of the
+// formula set (exprs, constants, dependency graph) into e.cycles, so the
+// persisted manifest records the poisoning — a Save/Load round-trip must
+// not silently revive the formula as a live registration that re-evaluates
+// to a value. Poisoned cells recover only when directly re-edited.
+func (e *Engine) poisonCycles(refs []sheet.Ref) error {
+	for _, ref := range refs {
+		old := e.cache.Get(ref)
+		src := old.Formula
+		if src == "" {
+			if s, ok := e.cycles[ref]; ok {
+				src = s
+			}
+		}
+		if err := e.cache.Put(ref, sheet.Cell{Value: sheet.ErrCycle, Formula: src}); err != nil {
+			return err
+		}
+		if _, ok := e.exprs[ref]; ok {
+			delete(e.exprs, ref)
+			delete(e.constants, ref)
+			e.deps.Remove(ref)
+			e.cycles[ref] = src
+			e.formulasDirty = true
+		}
+		if e.sched != nil {
+			e.cache.ClearPending(ref)
+		}
+	}
+	return nil
 }
 
 // setDeps registers a formula's reads, tracking read-less formulas in the
@@ -475,22 +566,66 @@ func (e *Engine) setDeps(ref sheet.Ref, reads []sheet.Range) {
 	}
 }
 
-// propagate re-evaluates every formula affected by a change at ref, in
-// topological order; cells on cycles get #CYCLE!.
-func (e *Engine) propagate(ref sheet.Ref) error {
-	order, cycles := e.deps.Affected(ref)
+// finishEdit completes an edit after its primary mutation: formulas whose
+// cycle the edit broke are revived (re-registered), then the affected cone
+// — the revived cells plus every dependent of the changed cells — is
+// recomputed inline, or marked pending for the background scheduler.
+func (e *Engine) finishEdit(changed []sheet.Ref) error {
+	revived := e.reviveCycles()
+	if e.sched != nil {
+		for _, r := range revived {
+			e.cache.MarkPending(r)
+		}
+		e.enqueueRecalc(append(changed, revived...))
+		return nil
+	}
+	order, cycles := e.deps.AffectedBySeeds(revived, changed)
 	for _, dep := range order {
 		if err := e.reevaluate(dep); err != nil {
 			return err
 		}
 	}
-	for _, dep := range cycles {
-		old := e.cache.Get(dep)
-		if err := e.cache.Put(dep, sheet.Cell{Value: sheet.ErrCycle, Formula: old.Formula}); err != nil {
-			return err
-		}
+	return e.poisonCycles(cycles)
+}
+
+// reviveCycles re-registers poisoned formulas whose cycle no longer exists
+// after the current edit changed the dependency graph, returning the
+// revived cells (row-major order, so a mutually-poisoned pair revives
+// deterministically; the caller re-evaluates them). Breaking a cycle
+// brings its cells back to life — standard spreadsheet behavior, and what
+// keeps per-cell Set equivalent to batched SetCells, where a cycle
+// transient within one batch never poisons at all.
+func (e *Engine) reviveCycles() []sheet.Ref {
+	if len(e.cycles) == 0 {
+		return nil
 	}
-	return nil
+	refs := make([]sheet.Ref, 0, len(e.cycles))
+	for ref := range e.cycles {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Row != refs[j].Row {
+			return refs[i].Row < refs[j].Row
+		}
+		return refs[i].Col < refs[j].Col
+	})
+	var revived []sheet.Ref
+	for _, ref := range refs {
+		expr, err := formula.Parse(e.cycles[ref])
+		if err != nil {
+			continue
+		}
+		reads := formula.Refs(expr)
+		if e.deps.HasCycleAt(ref, reads) {
+			continue
+		}
+		delete(e.cycles, ref)
+		e.exprs[ref] = expr
+		e.setDeps(ref, reads)
+		e.formulasDirty = true
+		revived = append(revived, ref)
+	}
+	return revived
 }
 
 func (e *Engine) reevaluate(ref sheet.Ref) error {
@@ -499,6 +634,11 @@ func (e *Engine) reevaluate(ref sheet.Ref) error {
 		return nil
 	}
 	v := formula.Eval(expr, e)
+	if e.sched != nil {
+		// An inline pass (RecalcAll on an async engine) computes the
+		// definitive value: the cell is no longer stale.
+		defer e.cache.ClearPending(ref)
+	}
 	old := e.cache.Get(ref)
 	if old.Value.Equal(v) {
 		return nil
@@ -509,6 +649,8 @@ func (e *Engine) reevaluate(ref sheet.Ref) error {
 // RecalcAll evaluates every formula (initial load, or after structural
 // edits), respecting dependencies.
 func (e *Engine) RecalcAll() error {
+	unlock := e.lockWrites()
+	defer unlock()
 	// Evaluate in dependency order by repeatedly relaxing; with the
 	// dependency graph acyclic this converges in one topological pass via
 	// Affected from a virtual change covering everything.
@@ -522,10 +664,9 @@ func (e *Engine) RecalcAll() error {
 	}
 	for _, ref := range cycles {
 		seen[ref] = true
-		old := e.cache.Get(ref)
-		if err := e.cache.Put(ref, sheet.Cell{Value: sheet.ErrCycle, Formula: old.Formula}); err != nil {
-			return err
-		}
+	}
+	if err := e.poisonCycles(cycles); err != nil {
+		return err
 	}
 	// Formulas reading nothing inside bounds (constants) may be missed by
 	// the range trigger; evaluate any leftovers.

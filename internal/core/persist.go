@@ -56,8 +56,19 @@ type formulaManifest struct {
 // Save persists the engine into the database and commits the write-ahead
 // log: the hybrid store manifest (only its dirty segments), the engine
 // manifest, and every dirty page become durable. On an in-memory database
-// the manifests are written but the WAL commit is a no-op.
+// the manifests are written but the WAL commit is a no-op. In async-recalc
+// mode Save serializes against the background scheduler (which mutates the
+// formula maps when it poisons cycles) but does not wait for convergence;
+// call Drain first for a converged save.
 func (e *Engine) Save() error {
+	unlock := e.lockWrites()
+	defer unlock()
+	return e.saveLocked()
+}
+
+// saveLocked is Save for callers already holding the edit lock (structural
+// edits, the scheduler's drain-save).
+func (e *Engine) saveLocked() error {
 	if err := e.saveManifests(); err != nil {
 		return err
 	}
@@ -67,6 +78,8 @@ func (e *Engine) Save() error {
 // Checkpoint is Save plus a full data-file checkpoint (pages written to
 // their slots, WAL truncated).
 func (e *Engine) Checkpoint() error {
+	unlock := e.lockWrites()
+	defer unlock()
 	if err := e.saveManifests(); err != nil {
 		return err
 	}
@@ -178,6 +191,7 @@ func Load(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		cacheBlocks: opts.CacheBlocks,
 	}
 	e.cache = newEngineCache(e)
+	e.startRecalc(opts)
 	if m.Version >= engineFormatVersion {
 		fblob, ok, err := db.MetaValue(formulasKey(name))
 		if err != nil {
@@ -206,7 +220,7 @@ func Load(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		// The registered state is by construction identical to the stored
 		// blob: the first save after a reload has nothing to re-serialize.
 		e.formulasDirty = false
-		return e, nil
+		return e.finishLoad()
 	}
 	// Legacy (v1) manifest: the formula set was not persisted; find the
 	// formulas by snapshotting the sheet, exactly as before.
@@ -226,6 +240,22 @@ func Load(db *rdbms.DB, name string, opts Options) (*Engine, error) {
 		if regErr != nil {
 			return nil, regErr
 		}
+	}
+	return e.finishLoad()
+}
+
+// finishLoad completes Load: in async mode every reloaded formula is marked
+// pending and the scheduler woken. Persisted values can lag persisted
+// formulas (the saving session may have crashed between a formula-durable
+// edit and its next drain-save), so a reloaded async sheet revalidates in
+// the background — viewport-first, like any other recalculation — instead
+// of trusting the stored values or blocking the open on a full recompute.
+func (e *Engine) finishLoad() (*Engine, error) {
+	if e.sched != nil && len(e.exprs) > 0 {
+		for ref := range e.exprs {
+			e.cache.MarkPending(ref)
+		}
+		e.sched.wake()
 	}
 	return e, nil
 }

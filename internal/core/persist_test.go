@@ -51,17 +51,24 @@ func TestLoadRestoresCyclePoisonedFormulas(t *testing.T) {
 	if !e2.GetCell(1, 2).Value.IsError() {
 		t.Fatalf("reloaded B1 = %v, want #CYCLE!", e2.GetCell(1, 2).Value)
 	}
-	// Behavioral equivalence: replacing A1 with a literal formula must
-	// leave B1 poisoned in both sessions (it is not a graph member).
+	// Behavioral equivalence: replacing A1 with a literal formula breaks
+	// the cycle, so B1's stored formula revives identically in both
+	// sessions — re-registered into the graph and re-evaluated.
 	for name, eng := range map[string]*Engine{"orig": e, "reloaded": e2} {
 		if err := eng.SetFormula(1, 1, "9"); err != nil {
 			t.Fatal(err)
 		}
-		if !eng.GetCell(1, 2).Value.IsError() {
-			t.Fatalf("%s: B1 = %v after A1 edit, want it to stay #CYCLE!", name, eng.GetCell(1, 2).Value)
+		if v := eng.GetCell(1, 2).Value; !v.Equal(sheet.Number(9)) {
+			t.Fatalf("%s: B1 = %v after A1 edit, want revived 9", name, v)
+		}
+		if _, ok := eng.cycles[b1]; ok {
+			t.Fatalf("%s: B1 still in the cycle set after revival", name)
+		}
+		if _, ok := eng.exprs[b1]; !ok {
+			t.Fatalf("%s: revived B1 missing from the expression set", name)
 		}
 	}
-	// And the cycle survives a second save/load hop.
+	// And the revived registration survives a second save/load hop.
 	if err := e2.Save(); err != nil {
 		t.Fatal(err)
 	}
@@ -69,8 +76,11 @@ func TestLoadRestoresCyclePoisonedFormulas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := e3.cycles[b1]; !ok {
-		t.Fatal("cycle set lost on the second round trip")
+	if _, ok := e3.exprs[b1]; !ok {
+		t.Fatal("revived formula lost on the second round trip")
+	}
+	if v := e3.GetCell(1, 2).Value; !v.Equal(sheet.Number(9)) {
+		t.Fatalf("second round trip B1 = %v, want 9", v)
 	}
 }
 

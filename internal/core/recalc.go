@@ -1,0 +1,606 @@
+// Background recalc scheduler — the paper's LazyBrowsing direction: an
+// edit returns as soon as its own cells are written, with the dependency
+// cone marked pending (a staleness bit in the cache sidecar, surfaced to
+// readers); a single dispatcher evaluates the cone in topological waves on
+// a bounded worker pool, prioritizing cells inside registered viewports so
+// what the user can see converges first.
+//
+// Concurrency contract (lock order: table latches → writeMu → sched.mu →
+// pending sidecar):
+//
+//   - Every edit path (SetValue/Clear/SetFormula/ApplyCells, structural
+//     edits, Optimize, Save) holds writeMu in async mode, so engine maps
+//     (exprs, constants, cycles, depgraph, bounds) have a single writer at
+//     a time.
+//   - The dispatcher commits one bounded chunk at a time: it write-latches
+//     the chunk's table segments (readers of other segments never wait),
+//     takes writeMu, evaluates the chunk's cells in parallel (reads only —
+//     chunk members are mutually independent, same topological wave), then
+//     commits serially and clears their pending bits.
+//   - Edits concurrent with a running plan set the restructure flag; the
+//     dispatcher abandons its stale plan at the next chunk boundary and
+//     rebuilds from the pending bits, whose closure property (every
+//     dependent of a pending cell is pending) makes the rebuild exact.
+//   - When the pending set drains to zero the dispatcher persists the
+//     recomputed values (manifest save + WAL flush), so a cleanly closed
+//     async engine is as durable as a synchronous one. Values computed
+//     between drains are volatile until the next drain — formulas and the
+//     edits themselves are durable at edit time (see README).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dataspread/internal/depgraph"
+	"dataspread/internal/formula"
+	"dataspread/internal/sheet"
+)
+
+// recalcChunkSize bounds how many cells one commit holds write latches
+// for: large enough to amortize latch churn and fan work to the pool,
+// small enough that a viewport read never waits behind a long commit.
+const recalcChunkSize = 512
+
+var errEngineClosed = fmt.Errorf("core: engine closed")
+
+type recalcScheduler struct {
+	e       *Engine
+	workers int
+	done    chan struct{}
+
+	mu   sync.Mutex
+	cond *sync.Cond // new work, chunk completion, viewport change, close
+
+	// restructure tells the dispatcher its plan is stale: an edit changed
+	// the pending set (or a viewport moved), so the evaluation plan must
+	// be rebuilt from the pending bits.
+	restructure bool
+	closed      bool
+	// stalled is set when an evaluation or commit error left cells
+	// pending; the dispatcher backs off until the next enqueue instead of
+	// hot-looping against a poisoned store.
+	stalled bool
+	lastErr error
+
+	viewports map[int]sheet.Range
+	nextVP    int
+}
+
+// startRecalc attaches the background scheduler when opts ask for it.
+func (e *Engine) startRecalc(opts Options) {
+	if !opts.AsyncRecalc {
+		return
+	}
+	workers := opts.RecalcWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+	}
+	s := &recalcScheduler{
+		e:         e,
+		workers:   workers,
+		done:      make(chan struct{}),
+		viewports: make(map[int]sheet.Range),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	e.sched = s
+	go s.run()
+}
+
+// AsyncRecalc reports whether this engine evaluates formulas in the
+// background (Options.AsyncRecalc).
+func (e *Engine) AsyncRecalc() bool { return e.sched != nil }
+
+// PendingCount returns how many cells await background recalculation
+// (always 0 in synchronous mode).
+func (e *Engine) PendingCount() int { return e.cache.PendingCount() }
+
+// PendingInRange counts the pending cells inside g.
+func (e *Engine) PendingInRange(g sheet.Range) int { return e.cache.PendingInRange(g) }
+
+// PendingMask returns a per-cell staleness grid for g, nil when g is fully
+// converged — the serving layer's get-range staleness flags.
+func (e *Engine) PendingMask(g sheet.Range) [][]bool { return e.cache.PendingMask(g) }
+
+// IsPending reports whether one cell's displayed value is stale.
+func (e *Engine) IsPending(row, col int) bool {
+	return e.cache.IsPending(sheet.Ref{Row: row, Col: col})
+}
+
+// RegisterViewport registers a region whose cells jump the recalc queue
+// (together with their pending ancestors), returning a handle for
+// UpdateViewport/UnregisterViewport. Sessions register the region their
+// user is looking at; 0 is returned (and ignored by the other calls) in
+// synchronous mode.
+func (e *Engine) RegisterViewport(g sheet.Range) int {
+	if e.sched == nil {
+		return 0
+	}
+	return e.sched.registerViewport(g)
+}
+
+// UpdateViewport moves a registered viewport (scrolling).
+func (e *Engine) UpdateViewport(id int, g sheet.Range) {
+	if e.sched != nil {
+		e.sched.updateViewport(id, g)
+	}
+}
+
+// UnregisterViewport drops a registered viewport (session end).
+func (e *Engine) UnregisterViewport(id int) {
+	if e.sched != nil {
+		e.sched.unregisterViewport(id)
+	}
+}
+
+// Drain blocks until no cell is pending, returning the scheduler's error
+// when it is stalled instead (poisoned store). A no-op in synchronous mode.
+func (e *Engine) Drain() error {
+	if e.sched == nil {
+		return nil
+	}
+	return e.sched.wait(func() bool { return e.cache.PendingCount() == 0 })
+}
+
+// WaitRange blocks until no cell inside g is pending — "the viewport has
+// converged". A no-op in synchronous mode.
+func (e *Engine) WaitRange(g sheet.Range) error {
+	if e.sched == nil {
+		return nil
+	}
+	return e.sched.wait(func() bool { return e.cache.PendingInRange(g) == 0 })
+}
+
+// Close stops the background recalc scheduler after a best-effort drain
+// (a stalled scheduler stops without draining; its error is returned).
+// Idempotent; a synchronous engine has nothing to stop. The engine remains
+// readable, but async edits after Close stay pending forever.
+func (e *Engine) Close() error {
+	if e.sched == nil {
+		return nil
+	}
+	return e.sched.close()
+}
+
+// lockWrites serializes an edit path against the scheduler's commit
+// chunks; a no-op in synchronous mode, preserving the existing
+// single-writer discipline there.
+func (e *Engine) lockWrites() func() {
+	if e.sched == nil {
+		return func() {}
+	}
+	e.writeMu.Lock()
+	return e.writeMu.Unlock
+}
+
+// lockWritesDrained acquires the edit lock at a moment when no cell is
+// pending: structural shifts relocate cells, and no staleness bit may be
+// left pointing at a pre-shift position. If the scheduler is stalled the
+// lock is taken anyway — the caller's writeGuard rejects the mutation on
+// the same poisoned store that stalled the scheduler.
+func (e *Engine) lockWritesDrained() func() {
+	if e.sched == nil {
+		return func() {}
+	}
+	for {
+		e.writeMu.Lock()
+		if e.cache.PendingCount() == 0 {
+			return e.writeMu.Unlock
+		}
+		e.writeMu.Unlock()
+		if err := e.Drain(); err != nil {
+			e.writeMu.Lock()
+			return e.writeMu.Unlock
+		}
+	}
+}
+
+// enqueueRecalc marks the dependency cone of the changed cells pending and
+// wakes the dispatcher. Callers hold writeMu. Marking is O(cone) — no
+// topological sort happens on the edit path; that is what makes an edit
+// touching a 100k-cell cone return immediately.
+func (e *Engine) enqueueRecalc(changed []sheet.Ref) {
+	e.cache.MarkPendingBatch(e.deps.Reach(changed))
+	e.sched.wake()
+}
+
+func (s *recalcScheduler) wake() {
+	s.mu.Lock()
+	s.restructure = true
+	s.stalled = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *recalcScheduler) registerViewport(g sheet.Range) int {
+	s.mu.Lock()
+	s.nextVP++
+	id := s.nextVP
+	s.viewports[id] = g
+	s.restructure = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return id
+}
+
+func (s *recalcScheduler) updateViewport(id int, g sheet.Range) {
+	s.mu.Lock()
+	if _, ok := s.viewports[id]; ok {
+		s.viewports[id] = g
+		s.restructure = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *recalcScheduler) unregisterViewport(id int) {
+	s.mu.Lock()
+	delete(s.viewports, id)
+	s.mu.Unlock()
+}
+
+// wait blocks until done() holds, the scheduler stalls, or it closes.
+func (s *recalcScheduler) wait(done func() bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if done() {
+			return nil
+		}
+		if s.stalled {
+			return s.lastErr
+		}
+		if s.closed {
+			if s.lastErr != nil {
+				return s.lastErr
+			}
+			return errEngineClosed
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *recalcScheduler) close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	// Best-effort drain, so recomputed values reach the store before it
+	// stops.
+	for s.e.cache.PendingCount() > 0 && !s.stalled {
+		s.cond.Wait()
+	}
+	err := s.lastErr
+	drained := !s.stalled
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+	if drained && err == nil {
+		// The dispatcher may have seen the close flag between its last
+		// commit and its drain-save; save here so a drained Close always
+		// leaves the recomputed values durable.
+		s.e.writeMu.Lock()
+		err = s.e.saveLocked()
+		s.e.writeMu.Unlock()
+	}
+	return err
+}
+
+func (s *recalcScheduler) noteErr(err error) {
+	s.mu.Lock()
+	s.stalled = true
+	s.lastErr = err
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// interrupted reports whether the current plan should be abandoned.
+func (s *recalcScheduler) interrupted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.restructure
+}
+
+// run is the dispatcher: sleep until woken, rebuild the plan from the
+// pending bits, execute it chunk by chunk.
+func (s *recalcScheduler) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for !s.closed && !s.restructure {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.restructure = false
+		s.mu.Unlock()
+		s.process()
+	}
+}
+
+// recalcChunk is one commit unit: refs are mutually independent (same
+// topological wave), or the cycle set to poison.
+type recalcChunk struct {
+	refs  []sheet.Ref
+	cycle bool
+}
+
+func (s *recalcScheduler) process() {
+	// Viewport fast path first: the pending cells a user is looking at
+	// (plus their pending ancestors) commit before the full plan's
+	// cone-wide topological sort even starts — on a 100k-cell cone the
+	// sort alone costs more than the whole hot pass.
+	for _, chunk := range s.buildHotPlan() {
+		if s.interrupted() {
+			return
+		}
+		if err := s.commitChunk(chunk); err != nil {
+			s.noteErr(err)
+			return
+		}
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	plan := s.buildPlan()
+	for _, chunk := range plan {
+		if s.interrupted() {
+			return
+		}
+		if err := s.commitChunk(chunk); err != nil {
+			s.noteErr(err)
+			return
+		}
+		s.mu.Lock()
+		s.cond.Broadcast() // wake Drain / WaitRange watchers
+		s.mu.Unlock()
+	}
+	if s.interrupted() {
+		return
+	}
+	s.drainSave()
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// buildHotPlan is the viewport fast path: pending cells inside registered
+// viewports plus their pending ancestors, in topological waves, computed
+// in O(viewport cone). Ancestors on dependency cycles are left out (and
+// left pending) — the full plan poisons them and everything downstream.
+func (s *recalcScheduler) buildHotPlan() []recalcChunk {
+	s.mu.Lock()
+	vps := make([]sheet.Range, 0, len(s.viewports))
+	for _, g := range s.viewports {
+		vps = append(vps, g)
+	}
+	s.mu.Unlock()
+	if len(vps) == 0 {
+		return nil
+	}
+	e := s.e
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	var seeds []sheet.Ref
+	for _, g := range vps {
+		seeds = append(seeds, e.cache.PendingRefsIn(g)...)
+	}
+	if len(seeds) == 0 {
+		return nil
+	}
+	pending := func(r sheet.Ref) bool { return e.cache.IsPending(r) }
+	var chunks []recalcChunk
+	for _, wave := range e.deps.UpstreamWaves(seeds, pending) {
+		for lo := 0; lo < len(wave); lo += recalcChunkSize {
+			hi := lo + recalcChunkSize
+			if hi > len(wave) {
+				hi = len(wave)
+			}
+			chunks = append(chunks, recalcChunk{refs: wave[lo:hi]})
+		}
+	}
+	return chunks
+}
+
+// buildPlan derives the evaluation plan from the pending bits: the cone
+// over the pending set, partitioned into topological waves, hot (viewport
+// cells and their pending ancestors) before cold, waves cut into bounded
+// chunks.
+func (s *recalcScheduler) buildPlan() []recalcChunk {
+	e := s.e
+	e.writeMu.Lock()
+	pending := e.cache.PendingRefs()
+	if len(pending) == 0 {
+		e.writeMu.Unlock()
+		return nil
+	}
+	cone := e.deps.ConeFrom(pending)
+	e.writeMu.Unlock()
+	if cone == nil {
+		return nil
+	}
+
+	var chunks []recalcChunk
+	// Cycle members (and everything downstream of them) poison first:
+	// their value is #CYCLE! regardless of inputs, and poisoning them
+	// unblocks nothing — but readers stop seeing them as pending.
+	for lo := 0; lo < len(cone.Cycles); lo += recalcChunkSize {
+		hi := lo + recalcChunkSize
+		if hi > len(cone.Cycles) {
+			hi = len(cone.Cycles)
+		}
+		chunks = append(chunks, recalcChunk{refs: cone.Cycles[lo:hi], cycle: true})
+	}
+
+	hot := s.hotSet(cone)
+	waves := cone.Waves()
+	appendWaves := func(want bool) {
+		for _, wave := range waves {
+			var sel []sheet.Ref
+			for _, r := range wave {
+				if hot[r] == want {
+					sel = append(sel, r)
+				}
+			}
+			for lo := 0; lo < len(sel); lo += recalcChunkSize {
+				hi := lo + recalcChunkSize
+				if hi > len(sel) {
+					hi = len(sel)
+				}
+				chunks = append(chunks, recalcChunk{refs: sel[lo:hi]})
+			}
+		}
+	}
+	if len(hot) > 0 {
+		// The hot pass is topologically closed: hotSet marks every
+		// pending ancestor of a viewport cell hot, so hot waves never
+		// read an uncommitted cold cell.
+		appendWaves(true)
+	}
+	appendWaves(false)
+	return chunks
+}
+
+// hotSet marks the cone members that should jump the queue: cells inside a
+// registered viewport, plus — walking the evaluation order in reverse —
+// every cone ancestor of a hot cell (its precedents must commit first
+// anyway, so they are promoted together).
+func (s *recalcScheduler) hotSet(cone *depgraph.Cone) map[sheet.Ref]bool {
+	s.mu.Lock()
+	vps := make([]sheet.Range, 0, len(s.viewports))
+	for _, g := range s.viewports {
+		vps = append(vps, g)
+	}
+	s.mu.Unlock()
+	if len(vps) == 0 {
+		return nil
+	}
+	inVP := func(r sheet.Ref) bool {
+		for _, g := range vps {
+			if g.Contains(r) {
+				return true
+			}
+		}
+		return false
+	}
+	hot := make(map[sheet.Ref]bool)
+	for i := len(cone.Order) - 1; i >= 0; i-- {
+		v := cone.Order[i]
+		if inVP(v) {
+			hot[v] = true
+			continue
+		}
+		for _, w := range cone.Adj[v] {
+			if hot[w] {
+				hot[v] = true
+				break
+			}
+		}
+	}
+	if len(hot) == 0 {
+		return nil
+	}
+	return hot
+}
+
+// commitChunk evaluates and commits one chunk: write-latch the chunk's
+// table segments, take the edit lock, evaluate in parallel (reads only),
+// commit serially, clear pending bits.
+func (s *recalcScheduler) commitChunk(ch recalcChunk) error {
+	e := s.e
+	release := e.WLatchRefs(ch.refs)
+	defer release()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if ch.cycle {
+		live := ch.refs[:0:0]
+		for _, r := range ch.refs {
+			if e.cache.IsPending(r) {
+				live = append(live, r)
+			}
+		}
+		return e.poisonCycles(live)
+	}
+	type job struct {
+		ref  sheet.Ref
+		expr formula.Expr
+	}
+	jobs := make([]job, 0, len(ch.refs))
+	for _, r := range ch.refs {
+		if !e.cache.IsPending(r) {
+			continue // committed or superseded since the plan was built
+		}
+		expr, ok := e.exprs[r]
+		if !ok {
+			// The formula was dropped or poisoned after planning; the
+			// cell's current contents are definitive.
+			e.cache.ClearPending(r)
+			continue
+		}
+		jobs = append(jobs, job{r, expr})
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	vals := make([]sheet.Value, len(jobs))
+	if nw := min(s.workers, len(jobs)); nw > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					vals[i] = formula.Eval(jobs[i].expr, e)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			vals[i] = formula.Eval(jobs[i].expr, e)
+		}
+	}
+	for i, j := range jobs {
+		old := e.cache.Get(j.ref)
+		if !old.Value.Equal(vals[i]) {
+			if err := e.cache.Put(j.ref, sheet.Cell{Value: vals[i], Formula: old.Formula}); err != nil {
+				return err
+			}
+		}
+		e.cache.ClearPending(j.ref)
+	}
+	return nil
+}
+
+// drainSave persists the recomputed values once the pending set is empty:
+// one manifest save plus one WAL flush, mirroring what Save would do.
+func (s *recalcScheduler) drainSave() {
+	e := s.e
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if e.cache.PendingCount() != 0 {
+		return
+	}
+	if err := e.saveManifests(); err != nil {
+		s.noteErr(err)
+		return
+	}
+	if err := e.db.FlushWAL(); err != nil {
+		s.noteErr(err)
+	}
+}

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dataspread/internal/rdbms"
+	"dataspread/internal/sheet"
+)
+
+func newAsyncEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(rdbms.Open(rdbms.Options{}), "test", Options{AsyncRecalc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+func mustDrain(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// Regression (bug 1): ApplyCells partitioned values from formulas without
+// honoring batch order per cell, so a literal following a formula edit to
+// the same cell was overwritten by the formula's later install. The last
+// edit to a cell must win, whatever the kinds involved.
+func TestApplyCellsSameCellLastWins(t *testing.T) {
+	e := newEngine(t)
+	if err := e.Set(1, 1, "10"); err != nil {
+		t.Fatal(err)
+	}
+
+	// formula then literal: the literal wins.
+	if err := e.SetCells([]CellEdit{
+		{Row: 2, Col: 1, Input: "=A1*2"},
+		{Row: 2, Col: 1, Input: "5"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c := e.GetCell(2, 1); c.HasFormula() || c.Value.Text() != "5" {
+		t.Fatalf("formula-then-literal: got %+v, want plain 5", c)
+	}
+
+	// literal then formula: the formula wins.
+	if err := e.SetCells([]CellEdit{
+		{Row: 3, Col: 1, Input: "7"},
+		{Row: 3, Col: 1, Input: "=A1+1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cellNum(t, e, 3, 1); got != 11 {
+		t.Fatalf("literal-then-formula: got %v, want 11", got)
+	}
+
+	// formula then clear: the cell ends blank and unregistered.
+	if err := e.SetCells([]CellEdit{
+		{Row: 4, Col: 1, Input: "=A1"},
+		{Row: 4, Col: 1, Input: ""},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c := e.GetCell(4, 1); !c.IsBlank() {
+		t.Fatalf("formula-then-clear: got %+v, want blank", c)
+	}
+
+	// The superseded formulas must not have left registrations behind:
+	// changing A1 may only move the surviving formula.
+	if err := e.Set(1, 1, "20"); err != nil {
+		t.Fatal(err)
+	}
+	if c := e.GetCell(2, 1); c.Value.Text() != "5" {
+		t.Fatalf("superseded formula still live: A2 = %v", c.Value)
+	}
+	if got := cellNum(t, e, 3, 1); got != 21 {
+		t.Fatalf("surviving formula: got %v, want 21", got)
+	}
+	if c := e.GetCell(4, 1); !c.IsBlank() {
+		t.Fatalf("cleared cell re-materialized: %+v", c)
+	}
+}
+
+// Regression (bug 2): ApplyCells used to drop formula registrations cell by
+// cell before the batched store write; when the store write failed the
+// batch reported an error but the registrations were already gone — the
+// engine forgot formulas that are still on disk and still displayed. The
+// store write must run before any in-memory mutation.
+func TestApplyCellsStoreFailureKeepsFormulas(t *testing.T) {
+	e := newEngine(t)
+	// A linked table provides a deterministic store-write failure: its
+	// header row rejects every update.
+	rows := [][]string{{"invid", "amount"}, {"1", "100"}, {"2", "200"}}
+	for i, r := range rows {
+		for j, v := range r {
+			if err := e.Set(i+1, j+1, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.LinkTable(sheet.NewRange(1, 1, 3, 2), "inv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set(10, 1, "4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetFormula(10, 2, "A10*2"); err != nil {
+		t.Fatal(err)
+	}
+
+	err := e.ApplyCells([]CellEdit{
+		{Row: 10, Col: 2, Input: "7"},      // would overwrite the formula...
+		{Row: 1, Col: 1, Input: "clobber"}, // ...but this header write fails
+	})
+	if err == nil {
+		t.Fatal("ApplyCells into a linked header row succeeded, want error")
+	}
+
+	// The failed batch must not have touched the formula registration.
+	if c := e.GetCell(10, 2); c.Formula != "A10*2" {
+		t.Fatalf("formula after failed batch = %q, want %q", c.Formula, "A10*2")
+	}
+	if _, ok := e.exprs[sheet.Ref{Row: 10, Col: 2}]; !ok {
+		t.Fatal("formula registration dropped by failed batch")
+	}
+	// ...and the formula is still live: its precedent propagates.
+	if err := e.Set(10, 1, "5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cellNum(t, e, 10, 2); got != 10 {
+		t.Fatalf("B10 after precedent edit = %v, want 10", got)
+	}
+}
+
+// Regression (bug 3): cells poisoned #CYCLE! by a propagation pass (not by
+// a direct install) stayed registered in e.exprs and never entered
+// e.cycles, so the persisted formula set recorded them as live formulas —
+// a Save/Load round-trip silently revived them as evaluating registrations
+// while the saving session displayed #CYCLE!. Cycle bookkeeping is now
+// unified: every poisoning moves the registration into the cycle set.
+func TestCycleSaveLoadRoundTrip(t *testing.T) {
+	db := rdbms.Open(rdbms.Options{})
+	// Open-time registration is the one path that installs formulas without
+	// cycle checks; RecalcAll then discovers the cycle during propagation.
+	s := sheet.New("cyc")
+	s.SetFormula(1, 1, "B1")   // A1: cycle member
+	s.SetFormula(1, 2, "A1")   // B1: cycle member
+	s.SetFormula(1, 3, "A1*2") // C1: downstream of the cycle
+	e, err := Open(db, "cyc", s, "rcv", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := []sheet.Ref{{Row: 1, Col: 1}, {Row: 1, Col: 2}, {Row: 1, Col: 3}}
+	checkPoisoned := func(e *Engine, when string) {
+		t.Helper()
+		for _, ref := range poisoned {
+			if v := e.GetCell(ref.Row, ref.Col).Value; !v.Equal(sheet.ErrCycle) {
+				t.Fatalf("%s: %v = %v, want #CYCLE!", when, ref, v)
+			}
+			if _, ok := e.exprs[ref]; ok {
+				t.Fatalf("%s: %v still registered in exprs", when, ref)
+			}
+			if _, ok := e.cycles[ref]; !ok {
+				t.Fatalf("%s: %v missing from cycle set", when, ref)
+			}
+		}
+	}
+	checkPoisoned(e, "after open")
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Load(db, "cyc", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The persisted formula set must carry the poisoning: reloading must
+	// not revive any of the three as a live registration.
+	checkPoisoned(e2, "after reload")
+
+	// Breaking the cycle revives the stored formulas: overwriting B1 with a
+	// literal leaves A1 ("=B1") and C1 ("=A1*2") cycle-free, so the next
+	// edit pass re-registers and evaluates them.
+	if err := e2.Set(1, 2, "5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cellNum(t, e2, 1, 1); got != 5 {
+		t.Fatalf("A1 after breaking cycle = %v, want 5", got)
+	}
+	if got := cellNum(t, e2, 1, 3); got != 10 {
+		t.Fatalf("C1 after breaking cycle = %v, want 10", got)
+	}
+	if len(e2.cycles) != 0 {
+		t.Fatalf("cycle set after revival = %v, want empty", e2.cycles)
+	}
+}
+
+// An async edit returns with its dependents pending; Drain converges the
+// sheet to exactly the synchronous result and clears every pending bit.
+func TestRecalcAsyncConverges(t *testing.T) {
+	e := newAsyncEngine(t)
+	edits := []CellEdit{{Row: 1, Col: 1, Input: "3"}}
+	for i := 1; i <= 60; i++ {
+		edits = append(edits, CellEdit{Row: i, Col: 2, Input: fmt.Sprintf("=A1*%d", i)})
+	}
+	if err := e.SetCells(edits); err != nil {
+		t.Fatal(err)
+	}
+	mustDrain(t, e)
+	if n := e.PendingCount(); n != 0 {
+		t.Fatalf("pending after drain = %d", n)
+	}
+	for i := 1; i <= 60; i++ {
+		if got := cellNum(t, e, i, 2); got != float64(3*i) {
+			t.Fatalf("B%d = %v, want %d", i, got, 3*i)
+		}
+	}
+	// A second edit re-marks the cone; before the drain the staleness must
+	// be observable through the mask API or already resolved — never a
+	// wrong value pretending to be fresh.
+	if err := e.Set(1, 1, "4"); err != nil {
+		t.Fatal(err)
+	}
+	mustDrain(t, e)
+	for i := 1; i <= 60; i++ {
+		if got := cellNum(t, e, i, 2); got != float64(4*i) {
+			t.Fatalf("after re-edit B%d = %v, want %d", i, got, 4*i)
+		}
+	}
+	if mask := e.PendingMask(sheet.NewRange(1, 1, 60, 2)); mask != nil {
+		t.Fatalf("pending mask after drain = %v, want nil", mask)
+	}
+}
+
+// Async cycle handling matches the synchronous path: poisoned cells
+// converge to #CYCLE!, enter the cycle set, and leave the graph.
+func TestRecalcAsyncCyclePoisoning(t *testing.T) {
+	e := newAsyncEngine(t)
+	if err := e.SetCells([]CellEdit{
+		{Row: 1, Col: 1, Input: "=B1"},
+		{Row: 1, Col: 2, Input: "=A1"},
+		{Row: 1, Col: 3, Input: "=A1*2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustDrain(t, e)
+	// B1's install saw the cycle inline; A1 keeps a live registration that
+	// reads a poisoned cell and must surface the error, exactly like sync.
+	sync := newEngine(t)
+	if err := sync.SetCells([]CellEdit{
+		{Row: 1, Col: 1, Input: "=B1"},
+		{Row: 1, Col: 2, Input: "=A1"},
+		{Row: 1, Col: 3, Input: "=A1*2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 3; col++ {
+		got, want := e.GetCell(1, col).Value, sync.GetCell(1, col).Value
+		if !got.Equal(want) {
+			t.Fatalf("col %d: async = %v, sync = %v", col, got, want)
+		}
+	}
+}
+
+// WaitRange returns once a registered viewport has converged; the viewport
+// API is a no-op (id 0) on synchronous engines.
+func TestRecalcViewportWaitRange(t *testing.T) {
+	sync := newEngine(t)
+	if id := sync.RegisterViewport(sheet.NewRange(1, 1, 10, 10)); id != 0 {
+		t.Fatalf("sync RegisterViewport = %d, want 0", id)
+	}
+
+	e := newAsyncEngine(t)
+	edits := []CellEdit{{Row: 1, Col: 1, Input: "2"}}
+	for i := 1; i <= 400; i++ {
+		edits = append(edits, CellEdit{Row: i, Col: 2, Input: fmt.Sprintf("=A1+%d", i)})
+	}
+	if err := e.SetCells(edits); err != nil {
+		t.Fatal(err)
+	}
+	vp := sheet.NewRange(1, 2, 20, 2)
+	id := e.RegisterViewport(vp)
+	if id == 0 {
+		t.Fatal("async RegisterViewport returned 0")
+	}
+	if err := e.Set(1, 1, "9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WaitRange(vp); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.PendingInRange(vp); n != 0 {
+		t.Fatalf("viewport pending after WaitRange = %d", n)
+	}
+	for i := 1; i <= 20; i++ {
+		if got := cellNum(t, e, i, 2); got != float64(9+i) {
+			t.Fatalf("viewport B%d = %v, want %d", i, got, 9+i)
+		}
+	}
+	e.UpdateViewport(id, sheet.NewRange(100, 2, 120, 2))
+	e.UnregisterViewport(id)
+	mustDrain(t, e)
+	for i := 1; i <= 400; i++ {
+		if got := cellNum(t, e, i, 2); got != float64(9+i) {
+			t.Fatalf("B%d = %v, want %d", i, got, 9+i)
+		}
+	}
+}
+
+// Structural edits drain the scheduler first (no staleness bit may survive
+// a shift) and then requeue the affected formulas in async mode.
+func TestRecalcAsyncStructuralEdit(t *testing.T) {
+	e := newAsyncEngine(t)
+	for i := 1; i <= 5; i++ {
+		if err := e.Set(i, 1, fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Set(1, 2, "=SUM(A1:A5)"); err != nil {
+		t.Fatal(err)
+	}
+	mustDrain(t, e)
+	if got := cellNum(t, e, 1, 2); got != 15 {
+		t.Fatalf("B1 = %v, want 15", got)
+	}
+	if err := e.InsertRowsAfter(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustDrain(t, e)
+	if c := e.GetCell(1, 2); c.Formula != "SUM(A1:A7)" {
+		t.Fatalf("B1 formula after insert = %q, want SUM(A1:A7)", c.Formula)
+	}
+	if got := cellNum(t, e, 1, 2); got != 15 {
+		t.Fatalf("B1 after insert = %v, want 15", got)
+	}
+	if err := e.Set(3, 1, "100"); err != nil {
+		t.Fatal(err)
+	}
+	mustDrain(t, e)
+	if got := cellNum(t, e, 1, 2); got != 115 {
+		t.Fatalf("B1 after filling inserted row = %v, want 115", got)
+	}
+	if err := e.DeleteRows(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustDrain(t, e)
+	if got := cellNum(t, e, 1, 2); got != 15 {
+		t.Fatalf("B1 after delete = %v, want 15", got)
+	}
+}
+
+// Close drains and persists: a cleanly closed async engine reloads with
+// every background-computed value durable.
+func TestRecalcAsyncCloseDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "async.dsdb")
+	db, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(db, "s", Options{AsyncRecalc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCells([]CellEdit{
+		{Row: 1, Col: 1, Input: "6"},
+		{Row: 1, Col: 2, Input: "=A1*7"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	e2, err := Load(db2, "s", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellNum(t, e2, 1, 2); got != 42 {
+		t.Fatalf("reloaded B1 = %v, want 42", got)
+	}
+}
+
+// An async reload marks every formula pending (persisted values can lag
+// persisted formulas after a crash) and converges in the background.
+func TestRecalcAsyncLoadRevalidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reval.dsdb")
+	db, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(db, "s", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetCells([]CellEdit{
+		{Row: 1, Col: 1, Input: "5"},
+		{Row: 1, Col: 2, Input: "=A1+1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := rdbms.OpenFile(path, rdbms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	e2, err := Load(db2, "s", Options{AsyncRecalc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	mustDrain(t, e2)
+	if got := cellNum(t, e2, 1, 2); got != 6 {
+		t.Fatalf("revalidated B1 = %v, want 6", got)
+	}
+}
+
+// A stalled scheduler (poisoned database mid-recalc) surfaces its error
+// from Drain instead of hanging, and recovers its loop on the next edit
+// attempt being rejected up front.
+func TestRecalcPendingStallSurfacesError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stall.dsdb")
+	fs := rdbms.NewFaultSchedule(3)
+	db, err := rdbms.OpenFile(path, rdbms.Options{Faults: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	e, err := New(db, "s", Options{AsyncRecalc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.SetCells([]CellEdit{
+		{Row: 1, Col: 1, Input: "1"},
+		{Row: 1, Col: 2, Input: "=A1+1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustDrain(t, e)
+	// Poison the WAL, then edit: the edit itself may commit to memory, but
+	// the scheduler's drain-save hits the poisoned pager and must not spin.
+	fs.Arm(rdbms.FaultRule{File: rdbms.FaultFileWAL, Op: rdbms.FaultSync, Kind: rdbms.FaultIOErr, Count: -1})
+	_ = e.SetCells([]CellEdit{{Row: 1, Col: 1, Input: "2"}})
+	deadline := time.Now().Add(10 * time.Second)
+	for e.PendingCount() > 0 && time.Now().Before(deadline) {
+		if err := e.Drain(); err != nil {
+			return // stalled error surfaced — the expected outcome
+		}
+	}
+	// Either the background pass finished before the poison hit (values
+	// were already durable) or Drain surfaced the stall above; both are
+	// valid terminal states. A hung Drain would have tripped the deadline.
+	if e.PendingCount() > 0 {
+		t.Fatal("pending cells neither converged nor surfaced a stall")
+	}
+}
+
+// colA converts a 1-based column to its A1-notation letter (property test
+// helper; the grid stays within 26 columns).
+func colA(col int) string { return string(rune('A' + col - 1)) }
+
+// Property (satellite): applying a batch per-cell via Set must leave the
+// same final values and formulas as one SetCells call, across positional
+// schemes and in both recalc modes — including same-cell overwrites,
+// clears, and cycle churn. Bounds may legitimately differ (per-cell clears
+// grow them, batched clears do not), so the comparison is over cell state,
+// never Bounds.
+func TestRecalcPropertySetVsSetCells(t *testing.T) {
+	const (
+		maxRow = 10
+		maxCol = 6
+		rounds = 8
+		batch  = 14
+	)
+	genInput := func(rng *rand.Rand, row, col int) string {
+		switch rng.Intn(10) {
+		case 0:
+			return "" // clear
+		case 1, 2:
+			// Formula over a random range (aggregates see clipping).
+			r1, c1 := rng.Intn(maxRow)+1, rng.Intn(maxCol)+1
+			r2, c2 := r1+rng.Intn(maxRow-r1+1), c1+rng.Intn(maxCol-c1+1)
+			return fmt.Sprintf("=SUM(%s%d:%s%d)", colA(c1), r1, colA(c2), r2)
+		case 3, 4:
+			// Single-cell formula; self-references and mutual references
+			// exercise cycle churn.
+			return fmt.Sprintf("=%s%d*2", colA(rng.Intn(maxCol)+1), rng.Intn(maxRow)+1)
+		default:
+			return fmt.Sprintf("%d", rng.Intn(100))
+		}
+	}
+	for _, scheme := range []string{"hierarchical", "position-as-is", "monotonic"} {
+		for _, async := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s_async=%v", scheme, async), func(t *testing.T) {
+				opts := Options{Scheme: scheme, AsyncRecalc: async}
+				ea, err := New(rdbms.Open(rdbms.Options{}), "percell", opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eb, err := New(rdbms.Open(rdbms.Options{}), "batched", opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ea.Close()
+				defer eb.Close()
+				rng := rand.New(rand.NewSource(int64(len(scheme)) * 7))
+				for round := 0; round < rounds; round++ {
+					edits := make([]CellEdit, 0, batch)
+					for i := 0; i < batch; i++ {
+						row, col := rng.Intn(maxRow)+1, rng.Intn(maxCol)+1
+						edits = append(edits, CellEdit{Row: row, Col: col, Input: genInput(rng, row, col)})
+					}
+					// Force same-cell churn: repeat one target with a
+					// different final kind.
+					dup := edits[rng.Intn(len(edits))]
+					edits = append(edits, CellEdit{Row: dup.Row, Col: dup.Col, Input: genInput(rng, dup.Row, dup.Col)})
+					for _, ed := range edits {
+						if err := ea.Set(ed.Row, ed.Col, ed.Input); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := eb.SetCells(edits); err != nil {
+						t.Fatal(err)
+					}
+					mustDrain(t, ea)
+					mustDrain(t, eb)
+					for row := 1; row <= maxRow; row++ {
+						for col := 1; col <= maxCol; col++ {
+							ca, cb := ea.GetCell(row, col), eb.GetCell(row, col)
+							if !ca.Value.Equal(cb.Value) || ca.Formula != cb.Formula {
+								t.Fatalf("round %d (%s,%d): per-cell %+v != batched %+v at (%d,%d)",
+									round, colA(col), row, ca, cb, row, col)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -68,6 +68,8 @@ func (e *Engine) InsertRowsAfter(row, count int) error {
 	if err := e.writeGuard(); err != nil {
 		return err
 	}
+	unlock := e.lockWritesDrained()
+	defer unlock()
 	e.lastEdit = EditStats{}
 	if err := e.store.InsertRowsAfter(row, count); err != nil {
 		return err
@@ -90,7 +92,7 @@ func (e *Engine) InsertRowsAfter(row, count int) error {
 		return err
 	}
 	e.bumpGeneration()
-	return e.Save()
+	return e.saveLocked()
 }
 
 // DeleteRow removes one spreadsheet row.
@@ -108,6 +110,8 @@ func (e *Engine) DeleteRows(row, count int) error {
 	if err := e.writeGuard(); err != nil {
 		return err
 	}
+	unlock := e.lockWritesDrained()
+	defer unlock()
 	e.lastEdit = EditStats{}
 	// Formulas reading the doomed band recompute after the shift (their
 	// aggregates lose values; single references become #REF!). Collected
@@ -130,7 +134,7 @@ func (e *Engine) DeleteRows(row, count int) error {
 		return err
 	}
 	e.bumpGeneration()
-	return e.Save()
+	return e.saveLocked()
 }
 
 // InsertColumnAfter inserts one spreadsheet column after `col`.
@@ -148,6 +152,8 @@ func (e *Engine) InsertColumnsAfter(col, count int) error {
 	if err := e.writeGuard(); err != nil {
 		return err
 	}
+	unlock := e.lockWritesDrained()
+	defer unlock()
 	e.lastEdit = EditStats{}
 	if err := e.store.InsertColumnsAfter(col, count); err != nil {
 		return err
@@ -165,7 +171,7 @@ func (e *Engine) InsertColumnsAfter(col, count int) error {
 		return err
 	}
 	e.bumpGeneration()
-	return e.Save()
+	return e.saveLocked()
 }
 
 // DeleteColumn removes one spreadsheet column.
@@ -183,6 +189,8 @@ func (e *Engine) DeleteColumns(col, count int) error {
 	if err := e.writeGuard(); err != nil {
 		return err
 	}
+	unlock := e.lockWritesDrained()
+	defer unlock()
 	e.lastEdit = EditStats{}
 	band := sheet.NewRange(1, col, maxCoord, col+count-1)
 	seeds := e.deps.DirectDependents(band)
@@ -200,7 +208,7 @@ func (e *Engine) DeleteColumns(col, count int) error {
 		return err
 	}
 	e.bumpGeneration()
-	return e.Save()
+	return e.saveLocked()
 }
 
 // maxCoord bounds the open edge of an edit band (any real reference fits).
@@ -395,7 +403,30 @@ func shiftSeeds(seeds []sheet.Ref, axis depgraph.Axis, at, count int) []sheet.Re
 // dependents in topological order (the incremental replacement for
 // RecalcAll after structural edits).
 func (e *Engine) recalcSeeds(seeds []sheet.Ref) error {
+	// A structural edit may have broken a previously-poisoned cycle (e.g. by
+	// deleting one of its members), so give stored cycle formulas a chance to
+	// come back to life alongside the shifted seeds.
+	seeds = append(seeds, e.reviveCycles()...)
 	if len(seeds) == 0 {
+		return nil
+	}
+	if e.sched != nil {
+		// Async: mark the affected cone pending and let the scheduler
+		// evaluate it viewport-first. Kahn leftovers (cycle members and
+		// their downstream) are marked too — the scheduler's cycle chunk
+		// poisons them, matching the synchronous tail below.
+		order, cycles := e.deps.AffectedFrom(seeds)
+		for _, ref := range order {
+			if _, ok := e.exprs[ref]; !ok {
+				continue
+			}
+			e.cache.MarkPending(ref)
+			e.lastEdit.Recomputed++
+		}
+		for _, ref := range cycles {
+			e.cache.MarkPending(ref)
+		}
+		e.sched.wake()
 		return nil
 	}
 	order, cycles := e.deps.AffectedFrom(seeds)
@@ -408,11 +439,5 @@ func (e *Engine) recalcSeeds(seeds []sheet.Ref) error {
 			return err
 		}
 	}
-	for _, ref := range cycles {
-		old := e.cache.Get(ref)
-		if err := e.cache.Put(ref, sheet.Cell{Value: sheet.ErrCycle, Formula: old.Formula}); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.poisonCycles(cycles)
 }

@@ -62,6 +62,16 @@ type Graph struct {
 	// keyStripes indexes entries by their own cell's row stripe, so
 	// structural shifts locate movers without scanning every formula.
 	keyStripes map[int][]*entry
+	// points indexes entries by the exact target of each single-cell read
+	// — the dominant read shape. A dependents query for one changed cell
+	// is then a map probe costing O(answer); without it, every cell in a
+	// dense row stripe (think 100 leaf formulas per row all reading that
+	// row's aggregate) drags the whole stripe bucket into every BFS step.
+	points map[sheet.Ref][]*entry
+	// pointKeys buckets the occupied point targets by row stripe, so
+	// range queries and row shifts find point readers without walking the
+	// whole points map.
+	pointKeys map[int]map[sheet.Ref]bool
 }
 
 // New returns an empty dependency graph.
@@ -70,6 +80,8 @@ func New() *Graph {
 		deps:       make(map[sheet.Ref]*entry),
 		stripes:    make(map[int][]*entry),
 		keyStripes: make(map[int][]*entry),
+		points:     make(map[sheet.Ref][]*entry),
+		pointKeys:  make(map[int]map[sheet.Ref]bool),
 	}
 }
 
@@ -96,11 +108,42 @@ func removeEntry(s []*entry, e *entry) []*entry {
 	return s
 }
 
-// registerReads files the entry's ranges into the stripe/wide buckets. Each
+func (g *Graph) registerPoint(key sheet.Ref, e *entry) {
+	g.points[key] = append(g.points[key], e)
+	s := stripeOf(key.Row)
+	b := g.pointKeys[s]
+	if b == nil {
+		b = make(map[sheet.Ref]bool)
+		g.pointKeys[s] = b
+	}
+	b[key] = true
+}
+
+func (g *Graph) unregisterPoint(key sheet.Ref, e *entry) {
+	if rest := removeEntry(g.points[key], e); len(rest) > 0 {
+		g.points[key] = rest
+		return
+	}
+	delete(g.points, key)
+	s := stripeOf(key.Row)
+	if b := g.pointKeys[s]; b != nil {
+		delete(b, key)
+		if len(b) == 0 {
+			delete(g.pointKeys, s)
+		}
+	}
+}
+
+// registerReads files the entry's ranges into the index: single-cell reads
+// into the point map, multi-cell ranges into the stripe/wide buckets. Each
 // stripe (and the wide list) holds the entry at most once.
 func (g *Graph) registerReads(e *entry) {
 	var seen map[int]bool
 	for _, r := range e.reads {
+		if r.From == r.To {
+			g.registerPoint(r.From, e)
+			continue
+		}
 		lo, hi, wide := rangeStripes(r)
 		if wide {
 			if !e.wide {
@@ -126,6 +169,10 @@ func (g *Graph) registerReads(e *entry) {
 func (g *Graph) unregisterReads(e *entry) {
 	var seen map[int]bool
 	for _, r := range e.reads {
+		if r.From == r.To {
+			g.unregisterPoint(r.From, e)
+			continue
+		}
 		lo, hi, wide := rangeStripes(r)
 		if wide {
 			continue
@@ -206,9 +253,11 @@ func (g *Graph) Precedents(ref sheet.Ref) []sheet.Range {
 	return nil
 }
 
-// stripeCandidates streams every entry whose index bucket intersects the
-// row band [fromRow, toRow] (stripe buckets plus the wide list) to fn. An
-// entry may be produced more than once; callers dedup.
+// stripeCandidates streams every range-reader entry whose index bucket
+// intersects the row band [fromRow, toRow] (stripe buckets plus the wide
+// list) to fn. Single-cell reads live in the point index instead — pair
+// with pointCandidates for full coverage. An entry may be produced more
+// than once; callers dedup.
 func (g *Graph) stripeCandidates(fromRow, toRow int, fn func(*entry)) {
 	lo, hi := stripeOf(fromRow), stripeOf(toRow)
 	if span := hi - lo + 1; span < 0 || span > len(g.stripes) {
@@ -232,12 +281,44 @@ func (g *Graph) stripeCandidates(fromRow, toRow int, fn func(*entry)) {
 	}
 }
 
+// pointCandidates streams every entry registered as a point reader of a
+// cell inside changed. Entries may repeat; callers dedup.
+func (g *Graph) pointCandidates(changed sheet.Range, fn func(*entry)) {
+	if changed.From == changed.To {
+		for _, e := range g.points[changed.From] {
+			fn(e)
+		}
+		return
+	}
+	emit := func(bucket map[sheet.Ref]bool) {
+		for key := range bucket {
+			if changed.Contains(key) {
+				for _, e := range g.points[key] {
+					fn(e)
+				}
+			}
+		}
+	}
+	lo, hi := stripeOf(changed.From.Row), stripeOf(changed.To.Row)
+	if span := hi - lo + 1; span < 0 || span > len(g.pointKeys) {
+		for s, bucket := range g.pointKeys {
+			if s >= lo && s <= hi {
+				emit(bucket)
+			}
+		}
+		return
+	}
+	for s := lo; s <= hi; s++ {
+		emit(g.pointKeys[s])
+	}
+}
+
 // DirectDependents returns formula cells that directly read any cell in
 // the changed range, in deterministic order.
 func (g *Graph) DirectDependents(changed sheet.Range) []sheet.Ref {
 	var out []sheet.Ref
 	seen := make(map[*entry]bool)
-	g.stripeCandidates(changed.From.Row, changed.To.Row, func(e *entry) {
+	collect := func(e *entry) {
 		if seen[e] {
 			return
 		}
@@ -248,7 +329,9 @@ func (g *Graph) DirectDependents(changed sheet.Range) []sheet.Ref {
 				return
 			}
 		}
-	})
+	}
+	g.pointCandidates(changed, collect)
+	g.stripeCandidates(changed.From.Row, changed.To.Row, collect)
 	sortRefs(out)
 	return out
 }
@@ -276,13 +359,29 @@ func (g *Graph) AffectedFrom(seeds []sheet.Ref) (order []sheet.Ref, cycles []she
 	return g.affectedFrom(append([]sheet.Ref(nil), seeds...))
 }
 
+// AffectedBySeeds combines AffectedFrom and AffectedByRefs into one
+// topologically ordered cone: the seed formulas themselves plus every
+// formula affected by a value change at refs. It is the engine's post-edit
+// pass, where cycle-revived formulas must re-evaluate alongside the edit's
+// dependents in a single valid order.
+func (g *Graph) AffectedBySeeds(seeds, refs []sheet.Ref) (order []sheet.Ref, cycles []sheet.Ref) {
+	return g.affectedFrom(append(g.frontierForRefs(refs), seeds...))
+}
+
 // AffectedByRefs is Affected for a set of individually changed cells (a
 // bulk edit batch): the seed is the formulas reading any of the exact
 // cells, not the batch's bounding rectangle — scattered edits do not drag
 // every formula in their envelope into the recomputation.
 func (g *Graph) AffectedByRefs(refs []sheet.Ref) (order []sheet.Ref, cycles []sheet.Ref) {
+	return g.affectedFrom(g.frontierForRefs(refs))
+}
+
+// frontierForRefs returns the formulas directly reading any of the exact
+// changed cells, deduplicated and sorted — the BFS frontier shared by
+// AffectedByRefs and ConeFromRefs.
+func (g *Graph) frontierForRefs(refs []sheet.Ref) []sheet.Ref {
 	if len(refs) == 0 {
-		return nil, nil
+		return nil
 	}
 	sorted := append([]sheet.Ref(nil), refs...)
 	sortRefs(sorted)
@@ -300,10 +399,15 @@ func (g *Graph) AffectedByRefs(refs []sheet.Ref) (order []sheet.Ref, cycles []sh
 			}
 		}
 	}
-	// One stripe probe per distinct changed row keeps the candidate walk
-	// proportional to the touched stripes, not the whole graph.
+	// Point readers resolve with one exact probe per changed cell; one
+	// stripe probe per distinct changed row covers range readers, keeping
+	// the candidate walk proportional to the touched stripes, not the
+	// whole graph.
 	lastRow := 0
 	for _, ref := range sorted {
+		for _, e := range g.points[ref] {
+			collect(e)
+		}
 		if ref.Row == lastRow {
 			continue
 		}
@@ -311,7 +415,120 @@ func (g *Graph) AffectedByRefs(refs []sheet.Ref) (order []sheet.Ref, cycles []sh
 		g.stripeCandidates(ref.Row, ref.Row, collect)
 	}
 	sortRefs(frontier)
-	return g.affectedFrom(frontier)
+	return frontier
+}
+
+// Reach returns the cells whose formulas must eventually recompute when
+// the given cells change: every formula transitively reading any of them
+// (the dependency cone's member set, in unspecified order — no sorting at
+// all). The background recalc scheduler uses it to mark staleness at edit
+// time, so it is deliberately the leanest possible BFS: point-index
+// probes plus one stripe probe per visited cell, no per-node dependent
+// sort — an edit touching a 100k-cell cone must return in milliseconds.
+func (g *Graph) Reach(refs []sheet.Ref) []sheet.Ref {
+	queue := g.frontierForRefs(refs)
+	reach := make(map[sheet.Ref]bool, len(queue))
+	for i := 0; i < len(queue); i++ {
+		ref := queue[i]
+		if reach[ref] {
+			continue
+		}
+		reach[ref] = true
+		for _, e := range g.points[ref] {
+			if !reach[e.ref] {
+				queue = append(queue, e.ref)
+			}
+		}
+		g.stripeCandidates(ref.Row, ref.Row, func(e *entry) {
+			if reach[e.ref] {
+				return
+			}
+			for _, r := range e.reads {
+				if r.Contains(ref) {
+					queue = append(queue, e.ref)
+					return
+				}
+			}
+		})
+	}
+	out := make([]sheet.Ref, 0, len(reach))
+	for ref := range reach {
+		out = append(out, ref)
+	}
+	return out
+}
+
+// UpstreamWaves returns the member-filtered transitive precedent closure
+// of seeds (the member seeds themselves plus every member ancestor),
+// partitioned into topological waves: wave k's cells read, within the
+// set, only cells of earlier waves. Set members on dependency cycles are
+// omitted — the caller's full plan poisons them. The background recalc
+// scheduler uses it with member = "is pending" to evaluate a viewport's
+// stale cells and their stale ancestors ahead of everything else, in
+// O(viewport cone), without first paying the full cone's topological
+// sort.
+func (g *Graph) UpstreamWaves(seeds []sheet.Ref, member func(sheet.Ref) bool) [][]sheet.Ref {
+	set := make(map[sheet.Ref]bool)
+	var queue []sheet.Ref
+	add := func(r sheet.Ref) bool {
+		if !set[r] && member(r) {
+			set[r] = true
+			queue = append(queue, r)
+		}
+		return false
+	}
+	for _, s := range seeds {
+		add(s)
+	}
+	for i := 0; i < len(queue); i++ {
+		if e, ok := g.deps[queue[i]]; ok {
+			for _, r := range e.reads {
+				g.formulasIn(r, add)
+			}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	indeg := make(map[sheet.Ref]int, len(set))
+	adj := make(map[sheet.Ref][]sheet.Ref, len(set))
+	for v := range set {
+		e, ok := g.deps[v]
+		if !ok {
+			continue
+		}
+		for _, r := range e.reads {
+			v := v
+			g.formulasIn(r, func(p sheet.Ref) bool {
+				if set[p] {
+					adj[p] = append(adj[p], v)
+					indeg[v]++
+				}
+				return false
+			})
+		}
+	}
+	wave := make([]sheet.Ref, 0, len(set))
+	for v := range set {
+		if indeg[v] == 0 {
+			wave = append(wave, v)
+		}
+	}
+	var waves [][]sheet.Ref
+	for len(wave) > 0 {
+		sortRefs(wave)
+		waves = append(waves, wave)
+		var next []sheet.Ref
+		for _, v := range wave {
+			for _, w := range adj[v] {
+				if indeg[w]--; indeg[w] == 0 {
+					next = append(next, w)
+				}
+			}
+		}
+		wave = next
+	}
+	return waves
 }
 
 // rangeContainsAny reports whether r contains any of the refs (sorted by
@@ -326,10 +543,80 @@ func rangeContainsAny(r sheet.Range, sorted []sheet.Ref) bool {
 	return false
 }
 
+// Cone is a dependency cone with its internal edge structure: the result
+// of a reachability query that keeps the topological machinery instead of
+// discarding it, so the background recalc scheduler can partition the cone
+// into evaluation waves and walk dependent edges without re-deriving them.
+type Cone struct {
+	// Order is a valid evaluation order of the acyclic members
+	// (precedents before dependents).
+	Order []sheet.Ref
+	// Cycles lists members on dependency cycles, sorted; they have no
+	// valid order and must be poisoned.
+	Cycles []sheet.Ref
+	// Adj maps a member u to the members reading it (edge u -> v when
+	// formula v reads cell u), restricted to the cone.
+	Adj map[sheet.Ref][]sheet.Ref
+}
+
+// Len returns the cone's member count (acyclic plus cyclic).
+func (c *Cone) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.Order) + len(c.Cycles)
+}
+
+// Waves partitions Order into topological levels: wave k holds the members
+// whose longest chain of precedents within the cone has length k, so every
+// member's cone-internal precedents complete strictly before its wave runs
+// — the members of one wave are mutually independent and may evaluate in
+// parallel on a worker pool.
+func (c *Cone) Waves() [][]sheet.Ref {
+	if c == nil || len(c.Order) == 0 {
+		return nil
+	}
+	level := make(map[sheet.Ref]int, len(c.Order))
+	var waves [][]sheet.Ref
+	for _, v := range c.Order {
+		l := level[v]
+		if l == len(waves) {
+			waves = append(waves, nil)
+		}
+		waves[l] = append(waves[l], v)
+		for _, w := range c.Adj[v] {
+			if level[w] < l+1 {
+				level[w] = l + 1
+			}
+		}
+	}
+	return waves
+}
+
+// ConeFrom is AffectedFrom returning the full cone structure: the seeds
+// verbatim plus every formula transitively reading them, with adjacency.
+func (g *Graph) ConeFrom(seeds []sheet.Ref) *Cone {
+	return g.coneFrom(append([]sheet.Ref(nil), seeds...))
+}
+
+// ConeFromRefs is AffectedByRefs returning the full cone structure.
+func (g *Graph) ConeFromRefs(refs []sheet.Ref) *Cone {
+	return g.coneFrom(g.frontierForRefs(refs))
+}
+
 // affectedFrom runs the reachability BFS and topological sort from an
 // initial frontier of directly affected formulas.
 func (g *Graph) affectedFrom(frontier []sheet.Ref) (order []sheet.Ref, cycles []sheet.Ref) {
-	// Collect the reachable set via BFS over direct-dependent edges.
+	c := g.coneFrom(frontier)
+	if c == nil {
+		return nil, nil
+	}
+	return c.Order, c.Cycles
+}
+
+// coneFrom collects the reachable set via BFS over direct-dependent edges
+// and topologically sorts it, returning the cone (nil when empty).
+func (g *Graph) coneFrom(frontier []sheet.Ref) *Cone {
 	reach := make(map[sheet.Ref]bool)
 	for len(frontier) > 0 {
 		var next []sheet.Ref
@@ -343,7 +630,7 @@ func (g *Graph) affectedFrom(frontier []sheet.Ref) (order []sheet.Ref, cycles []
 		frontier = next
 	}
 	if len(reach) == 0 {
-		return nil, nil
+		return nil
 	}
 
 	// Topologically sort the reachable subgraph: edge u -> v when formula v
@@ -373,6 +660,7 @@ func (g *Graph) affectedFrom(frontier []sheet.Ref) (order []sheet.Ref, cycles []
 			}
 		}
 	}
+	c := &Cone{Adj: adj}
 	var queue []sheet.Ref
 	for v := range reach {
 		if indeg[v] == 0 {
@@ -383,7 +671,7 @@ func (g *Graph) affectedFrom(frontier []sheet.Ref) (order []sheet.Ref, cycles []
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		order = append(order, v)
+		c.Order = append(c.Order, v)
 		next := adj[v]
 		sortRefs(next)
 		for _, w := range next {
@@ -393,15 +681,15 @@ func (g *Graph) affectedFrom(frontier []sheet.Ref) (order []sheet.Ref, cycles []
 			}
 		}
 	}
-	if len(order) < len(reach) {
+	if len(c.Order) < len(reach) {
 		for v := range reach {
 			if indeg[v] > 0 {
-				cycles = append(cycles, v)
+				c.Cycles = append(c.Cycles, v)
 			}
 		}
-		sortRefs(cycles)
+		sortRefs(c.Cycles)
 	}
-	return order, cycles
+	return c
 }
 
 // HasCycleAt reports whether installing a formula at ref that reads the
@@ -414,22 +702,24 @@ func (g *Graph) HasCycleAt(ref sheet.Ref, reads []sheet.Range) bool {
 			return true
 		}
 	}
-	seen := make(map[sheet.Ref]bool)
+	var seen map[sheet.Ref]bool
 	var stack []sheet.Ref
 	seed := func(ranges []sheet.Range) bool {
-		for dep := range g.deps {
-			if seen[dep] {
-				continue
-			}
-			for _, r := range ranges {
-				if r.Contains(dep) {
-					if dep == ref {
-						return true
+		for _, r := range ranges {
+			if g.formulasIn(r, func(dep sheet.Ref) bool {
+				if dep == ref {
+					return true
+				}
+				if !seen[dep] {
+					if seen == nil {
+						seen = make(map[sheet.Ref]bool)
 					}
 					seen[dep] = true
 					stack = append(stack, dep)
-					break
 				}
+				return false
+			}) {
+				return true
 			}
 		}
 		return false
@@ -447,6 +737,39 @@ func (g *Graph) HasCycleAt(ref sheet.Ref, reads []sheet.Range) bool {
 		}
 		if seed(g.Precedents(cur)) {
 			return true
+		}
+	}
+	return false
+}
+
+// formulasIn visits every registered formula cell inside r, early-exiting
+// (and returning true) when visit does. Single-cell ranges resolve with one
+// map probe and larger ones walk the key-stripe index, so the cost tracks
+// the range's row span rather than the total number of registered formulas
+// — HasCycleAt runs once per formula install, and scanning the whole
+// registry there turns bulk loads quadratic. A range spanning more stripe
+// slots than are populated falls back to the full registry scan.
+func (g *Graph) formulasIn(r sheet.Range, visit func(sheet.Ref) bool) bool {
+	if r.From == r.To {
+		if _, ok := g.deps[r.From]; ok {
+			return visit(r.From)
+		}
+		return false
+	}
+	lo, hi := stripeOf(r.From.Row), stripeOf(r.To.Row)
+	if hi-lo+1 > len(g.keyStripes) {
+		for ref := range g.deps {
+			if r.Contains(ref) && visit(ref) {
+				return true
+			}
+		}
+		return false
+	}
+	for s := lo; s <= hi; s++ {
+		for _, e := range g.keyStripes[s] {
+			if r.Contains(e.ref) && visit(e.ref) {
+				return true
+			}
 		}
 	}
 	return false
@@ -561,6 +884,18 @@ func (g *Graph) Shift(axis Axis, at, delta int) ShiftResult {
 			if s >= lo {
 				for _, e := range bucket {
 					collectCrosser(e)
+				}
+			}
+		}
+		// Point reads at or past the edit: any read row >= at lives in a
+		// pointKeys stripe >= lo (collectCrosser re-checks the boundary for
+		// same-stripe keys before it).
+		for s, bucket := range g.pointKeys {
+			if s >= lo {
+				for key := range bucket {
+					for _, e := range g.points[key] {
+						collectCrosser(e)
+					}
 				}
 			}
 		}

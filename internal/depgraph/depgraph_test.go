@@ -356,3 +356,74 @@ func TestGraphConcurrentReaders(t *testing.T) {
 		<-done
 	}
 }
+
+// TestHasCycleAtRangeReads exercises the stripe-indexed seeding: formula
+// cells inside a multi-cell read range must be discovered through the
+// key-stripe index (not a registry scan), including ranges that span
+// stripe boundaries and tall ranges that take the full-scan fallback.
+func TestHasCycleAtRangeReads(t *testing.T) {
+	g := New()
+	// B1 = A1; the candidate D1 = SUM(A1:C1) reads a range containing B1,
+	// and B1's precedent A1 is inside the range — but no path reaches D1.
+	g.Set(ref(1, 2), cellRange(1, 1))
+	if g.HasCycleAt(ref(1, 4), []sheet.Range{sheet.NewRange(1, 1, 1, 3)}) {
+		t.Fatal("false cycle through range read")
+	}
+	// C200 = D1 (crossing stripe boundaries); D1 = SUM(A1:C300) would close
+	// the loop through the range read.
+	g.Set(ref(200, 3), cellRange(1, 4))
+	if !g.HasCycleAt(ref(1, 4), []sheet.Range{sheet.NewRange(1, 1, 300, 3)}) {
+		t.Fatal("cycle through cross-stripe range read not detected")
+	}
+	// Tall range (more stripe slots than populated stripes: the fallback
+	// registry scan) with the same shape.
+	if !g.HasCycleAt(ref(1, 4), []sheet.Range{sheet.NewRange(1, 1, 1_000_000, 3)}) {
+		t.Fatal("cycle through tall range read not detected")
+	}
+	if g.HasCycleAt(ref(9, 9), []sheet.Range{sheet.NewRange(500, 1, 1_000_000, 3)}) {
+		t.Fatal("false cycle through tall empty range")
+	}
+}
+
+// TestAffectedBySeedsMergesFrontiers pins the engine's post-edit pass:
+// seeds (revived formulas) and the dependents of changed refs evaluate in
+// one topological order, without duplicates.
+func TestAffectedBySeedsMergesFrontiers(t *testing.T) {
+	g := New()
+	g.Set(ref(1, 2), cellRange(1, 1)) // B1 = A1
+	g.Set(ref(1, 3), cellRange(1, 2)) // C1 = B1
+	g.Set(ref(2, 2), cellRange(2, 1)) // B2 = A2 (the "revived" seed)
+
+	order, cycles := g.AffectedBySeeds([]sheet.Ref{ref(2, 2)}, []sheet.Ref{ref(1, 1)})
+	if len(cycles) != 0 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	want := map[sheet.Ref]bool{ref(1, 2): true, ref(1, 3): true, ref(2, 2): true}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want the 3 cells %v once each", order, want)
+	}
+	pos := map[sheet.Ref]int{}
+	for i, r := range order {
+		if !want[r] {
+			t.Fatalf("unexpected cell %v in order %v", r, order)
+		}
+		if _, dup := pos[r]; dup {
+			t.Fatalf("duplicate %v in order %v", r, order)
+		}
+		pos[r] = i
+	}
+	if pos[ref(1, 2)] > pos[ref(1, 3)] {
+		t.Fatalf("B1 must precede C1: %v", order)
+	}
+	// A seed that is also in the changed cone appears exactly once.
+	order, _ = g.AffectedBySeeds([]sheet.Ref{ref(1, 2)}, []sheet.Ref{ref(1, 1)})
+	n := 0
+	for _, r := range order {
+		if r == ref(1, 2) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("seed inside cone appears %d times in %v", n, order)
+	}
+}

@@ -209,6 +209,16 @@ func (c *Client) CloseSheet(name string) error {
 // GetRange reads the rectangle (r1,c1)-(r2,c2) and reports the snapshot
 // generation it was served at.
 func (c *Client) GetRange(name string, r1, c1, r2, c2 int) ([][]sheet.Cell, uint64, error) {
+	cells, _, gen, err := c.GetRangePending(name, r1, c1, r2, c2)
+	return cells, gen, err
+}
+
+// GetRangePending reads the rectangle (r1,c1)-(r2,c2) and additionally
+// returns the staleness mask: pending[i][j] is true when that cell's value
+// predates an in-flight background recalc and will be refined. The mask is
+// nil when nothing in the range is pending (always, against a synchronous
+// server).
+func (c *Client) GetRangePending(name string, r1, c1, r2, c2 int) ([][]sheet.Cell, [][]bool, uint64, error) {
 	p := appendString([]byte{OpGetRange}, name)
 	p = binary.AppendUvarint(p, uint64(r1))
 	p = binary.AppendUvarint(p, uint64(c1))
@@ -216,13 +226,40 @@ func (c *Client) GetRange(name string, r1, c1, r2, c2 int) ([][]sheet.Cell, uint
 	p = binary.AppendUvarint(p, uint64(c2))
 	d, err := c.roundTrip(p, true)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	gen, cells := d.rangeBody()
+	gen, cells, pending := d.rangeBody()
 	if err := d.done(); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	return cells, gen, nil
+	return cells, pending, gen, nil
+}
+
+// RegisterViewport registers (or moves) this connection's viewport on the
+// named sheet: the server's background recalc evaluates those cells ahead
+// of the rest of the affected cone. One viewport per sheet per connection;
+// it is dropped when the connection closes. Idempotent — re-registering
+// the same rectangle is a no-op — so it retries like other reads.
+func (c *Client) RegisterViewport(name string, r1, c1, r2, c2 int) error {
+	return c.viewportOp(name, r1, c1, r2, c2)
+}
+
+// ClearViewport drops this connection's viewport on the named sheet.
+func (c *Client) ClearViewport(name string) error {
+	return c.viewportOp(name, 0, 0, 0, 0)
+}
+
+func (c *Client) viewportOp(name string, r1, c1, r2, c2 int) error {
+	p := appendString([]byte{OpRegisterViewport}, name)
+	p = binary.AppendUvarint(p, uint64(r1))
+	p = binary.AppendUvarint(p, uint64(c1))
+	p = binary.AppendUvarint(p, uint64(r2))
+	p = binary.AppendUvarint(p, uint64(c2))
+	d, err := c.roundTrip(p, true)
+	if err != nil {
+		return err
+	}
+	return d.done()
 }
 
 // SetCells applies a batch of edits (Set semantics per cell: "=..."

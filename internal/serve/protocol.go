@@ -52,6 +52,13 @@ const (
 	// stream, terminated by a StatusOK frame with a BackupSummary (or a
 	// StatusErr frame; the chunks received so far must be discarded).
 	OpBackup
+	// OpRegisterViewport registers (or moves) this session's viewport on a
+	// sheet, so the background recalc scheduler evaluates those cells ahead
+	// of the rest of the cone (LazyBrowsing). The payload is the sheet name
+	// followed by r1,c1,r2,c2; an all-zero rectangle clears the
+	// registration. Viewports are session-scoped: the server drops them
+	// when the connection ends. A no-op on a synchronous server.
+	OpRegisterViewport
 )
 
 // Response status.
@@ -68,10 +75,15 @@ const (
 )
 
 // Cell wire encoding: one flags byte — low nibble sheet.Kind, bit 4 set
-// when a formula string follows the value — then the kind-specific value
-// payload (number: 8-byte big-endian IEEE-754; string/error: string;
-// bool: 1 byte; empty: nothing), then the formula string when flagged.
-const cellHasFormula = 0x10
+// when a formula string follows the value, bit 5 set when the cell is
+// pending (its displayed value predates an in-flight async recalc) — then
+// the kind-specific value payload (number: 8-byte big-endian IEEE-754;
+// string/error: string; bool: 1 byte; empty: nothing), then the formula
+// string when flagged.
+const (
+	cellHasFormula = 0x10
+	cellPending    = 0x20
+)
 
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
@@ -202,10 +214,13 @@ func (d *decoder) done() error {
 	return nil
 }
 
-func appendCell(b []byte, c sheet.Cell) []byte {
+func appendCell(b []byte, c sheet.Cell, pending bool) []byte {
 	flags := byte(c.Value.Kind())
 	if c.Formula != "" {
 		flags |= cellHasFormula
+	}
+	if pending {
+		flags |= cellPending
 	}
 	b = append(b, flags)
 	switch c.Value.Kind() {
@@ -228,10 +243,11 @@ func appendCell(b []byte, c sheet.Cell) []byte {
 	return b
 }
 
-func (d *decoder) cell() sheet.Cell {
+func (d *decoder) cell() (sheet.Cell, bool) {
 	flags := d.byte()
 	var c sheet.Cell
-	switch sheet.Kind(flags &^ cellHasFormula) {
+	kind := flags &^ (cellHasFormula | cellPending)
+	switch sheet.Kind(kind) {
 	case sheet.KindEmpty:
 	case sheet.KindNumber:
 		c.Value = sheet.Number(d.float())
@@ -243,18 +259,19 @@ func (d *decoder) cell() sheet.Cell {
 		c.Value = sheet.Errorf(d.str())
 	default:
 		if d.err == nil {
-			d.err = fmt.Errorf("serve: unknown cell kind %d", flags&^cellHasFormula)
+			d.err = fmt.Errorf("serve: unknown cell kind %d", kind)
 		}
 	}
 	if flags&cellHasFormula != 0 {
 		c.Formula = d.str()
 	}
-	return c
+	return c, flags&cellPending != 0
 }
 
 // appendRange encodes a get-range response body: generation, dimensions,
-// then cells in row-major order.
-func appendRange(b []byte, gen uint64, cells [][]sheet.Cell) []byte {
+// then cells in row-major order. pending (nil = nothing pending) flags
+// cells whose displayed value predates an in-flight async recalc.
+func appendRange(b []byte, gen uint64, cells [][]sheet.Cell, pending [][]bool) []byte {
 	b = binary.AppendUvarint(b, gen)
 	rows := len(cells)
 	cols := 0
@@ -263,15 +280,17 @@ func appendRange(b []byte, gen uint64, cells [][]sheet.Cell) []byte {
 	}
 	b = binary.AppendUvarint(b, uint64(rows))
 	b = binary.AppendUvarint(b, uint64(cols))
-	for _, row := range cells {
-		for _, c := range row {
-			b = appendCell(b, c)
+	for i, row := range cells {
+		for j, c := range row {
+			b = appendCell(b, c, pending != nil && pending[i][j])
 		}
 	}
 	return b
 }
 
-func (d *decoder) rangeBody() (uint64, [][]sheet.Cell) {
+// rangeBody decodes a get-range response: generation, cells, and the
+// pending mask (nil when no cell in the range was flagged).
+func (d *decoder) rangeBody() (uint64, [][]sheet.Cell, [][]bool) {
 	gen := d.uvarint()
 	rows := d.num("rows", MaxRangeCells)
 	cols := d.num("cols", MaxRangeCells)
@@ -279,17 +298,34 @@ func (d *decoder) rangeBody() (uint64, [][]sheet.Cell) {
 		if d.err == nil {
 			d.err = fmt.Errorf("serve: range %dx%d exceeds cap %d", rows, cols, MaxRangeCells)
 		}
-		return 0, nil
+		return 0, nil, nil
 	}
 	flat := make([]sheet.Cell, rows*cols)
 	out := make([][]sheet.Cell, rows)
+	var pending [][]bool
 	for i := range out {
 		out[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
 		for j := range out[i] {
-			out[i][j] = d.cell()
+			c, p := d.cell()
+			out[i][j] = c
+			if p {
+				if pending == nil {
+					pending = newMask(rows, cols)
+				}
+				pending[i][j] = true
+			}
 		}
 	}
-	return gen, out
+	return gen, out, pending
+}
+
+func newMask(rows, cols int) [][]bool {
+	flat := make([]bool, rows*cols)
+	m := make([][]bool, rows)
+	for i := range m {
+		m[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return m
 }
 
 // SheetStat is one open sheet's entry in a stats response.
@@ -298,6 +334,9 @@ type SheetStat struct {
 	// Gen is the sheet's snapshot generation: the number of mutation
 	// batches applied since it was opened by the server process.
 	Gen uint64
+	// Pending is the number of formula cells awaiting background
+	// re-evaluation (0 on a synchronous server, or once converged).
+	Pending uint64
 }
 
 // Stats is the server-wide counter snapshot returned by OpStats.
@@ -429,6 +468,7 @@ func appendStats(b []byte, st Stats) []byte {
 	for _, sh := range st.Sheets {
 		b = appendString(b, sh.Name)
 		b = binary.AppendUvarint(b, sh.Gen)
+		b = binary.AppendUvarint(b, sh.Pending)
 	}
 	return b
 }
@@ -493,7 +533,7 @@ func (d *decoder) stats() Stats {
 	}
 	st.Sheets = make([]SheetStat, n)
 	for i := range st.Sheets {
-		st.Sheets[i] = SheetStat{Name: d.str(), Gen: d.uvarint()}
+		st.Sheets[i] = SheetStat{Name: d.str(), Gen: d.uvarint(), Pending: d.uvarint()}
 	}
 	return st
 }

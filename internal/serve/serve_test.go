@@ -488,14 +488,17 @@ func TestServeProtocolCells(t *testing.T) {
 		{Value: sheet.Errorf("#CYCLE!"), Formula: "B1"},
 	}
 	var b []byte
-	for _, c := range cases {
-		b = appendCell(b, c)
+	for i, c := range cases {
+		b = appendCell(b, c, i%2 == 1) // alternate the staleness flag
 	}
 	d := decoder{b: b}
 	for i, want := range cases {
-		got := d.cell()
+		got, pending := d.cell()
 		if !got.Value.Equal(want.Value) || got.Formula != want.Formula {
 			t.Errorf("cell %d: got %+v, want %+v", i, got, want)
+		}
+		if pending != (i%2 == 1) {
+			t.Errorf("cell %d: pending = %v, want %v", i, pending, i%2 == 1)
 		}
 	}
 	if err := d.done(); err != nil {

@@ -116,6 +116,12 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name, h := range s.sheets {
+		// Stop the background recalc first: it drains outstanding pending
+		// cells (best effort) and performs its own final save, so the
+		// explicit Save below persists a converged sheet.
+		if err := h.eng.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("sheet %q recalc: %w", name, err))
+		}
 		if err := h.eng.Save(); err != nil {
 			errs = append(errs, fmt.Errorf("sheet %q: %w", name, err))
 		}
@@ -159,7 +165,11 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.Lock()
 	for name, h := range s.sheets {
-		st.Sheets = append(st.Sheets, SheetStat{Name: name, Gen: h.generation()})
+		st.Sheets = append(st.Sheets, SheetStat{
+			Name:    name,
+			Gen:     h.generation(),
+			Pending: uint64(h.eng.PendingCount()),
+		})
 	}
 	s.mu.Unlock()
 	sortSheetStats(st.Sheets)
@@ -252,6 +262,11 @@ func (s *Server) Recover() error {
 	defer s.mu.Unlock()
 	for _, h := range s.sheets {
 		h.wmu.Lock()
+		// Stop the recalc scheduler before the engine is dropped (its
+		// dispatcher would otherwise outlive the handle); on a poisoned
+		// store both the drain-save and the explicit save fail, and
+		// recovery proceeds from the last durable commit regardless.
+		_ = h.eng.Close()
 		_ = h.eng.Save()
 		h.wmu.Unlock()
 	}
@@ -305,9 +320,18 @@ func (s *Server) sheetHandleFor(name string, create bool) (*sheetHandle, error) 
 	return h, nil
 }
 
+// sessionState is the per-connection state dispatch threads through:
+// the session's viewport registrations, keyed by sheet name. Viewports
+// are dropped when the connection ends, so a disconnected scroller stops
+// steering the recalc scheduler.
+type sessionState struct {
+	viewports map[string]int
+}
+
 // session is one connection's request loop. Requests on a connection are
 // processed in order; concurrency comes from concurrent connections.
 func (s *Server) session(conn net.Conn) {
+	sess := &sessionState{}
 	defer s.wg.Done()
 	defer func() {
 		conn.Close()
@@ -315,6 +339,7 @@ func (s *Server) session(conn net.Conn) {
 		delete(s.conns, conn)
 		s.connMu.Unlock()
 		s.nconns.Add(-1)
+		s.dropViewports(sess)
 	}()
 	s.nconns.Add(1)
 	br := bufio.NewReaderSize(conn, 64<<10)
@@ -336,7 +361,7 @@ func (s *Server) session(conn net.Conn) {
 			// dispatch, which assumes one response frame per request.
 			err = s.backupSession(bw, payload)
 		} else {
-			respBuf = s.dispatch(respBuf[:0], payload)
+			respBuf = s.dispatch(respBuf[:0], payload, sess)
 			err = writeFrame(bw, respBuf)
 		}
 		s.requests.Add(1)
@@ -362,8 +387,22 @@ func appendErr(b []byte, err error) []byte {
 	return appendString(b, err.Error())
 }
 
+// dropViewports unregisters every viewport the session registered, on
+// sheets that are still open server-side.
+func (s *Server) dropViewports(sess *sessionState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, id := range sess.viewports {
+		if h, ok := s.sheets[name]; ok {
+			h.eng.UnregisterViewport(id)
+		}
+	}
+	sess.viewports = nil
+}
+
 // dispatch handles one request payload and appends the response to b.
-func (s *Server) dispatch(b, payload []byte) []byte {
+// sess carries the connection's session-scoped state (viewports).
+func (s *Server) dispatch(b, payload []byte, sess *sessionState) []byte {
 	d := &decoder{b: payload}
 	op := d.byte()
 	if d.err != nil {
@@ -415,12 +454,17 @@ func (s *Server) dispatch(b, payload []byte) []byte {
 		if err != nil {
 			return appendErr(b, err)
 		}
-		cells, gen, err := h.getRange(sheet.NewRange(r1, c1, r2, c2))
+		g := sheet.NewRange(r1, c1, r2, c2)
+		cells, gen, err := h.getRange(g)
 		if err != nil {
 			return appendErr(b, err)
 		}
 		b = append(b, StatusOK)
-		return appendRange(b, gen, cells)
+		// The staleness mask is advisory (a background commit may race the
+		// read), so it is sampled lock-free after the snapshot: a cell can
+		// at worst be flagged pending when it just converged, never the
+		// reverse for the snapshot the client received.
+		return appendRange(b, gen, cells, h.eng.PendingMask(g))
 
 	case OpSetCells:
 		name := d.str()
@@ -477,6 +521,41 @@ func (s *Server) dispatch(b, payload []byte) []byte {
 		}
 		b = append(b, StatusOK)
 		return binary.AppendUvarint(b, gen)
+
+	case OpRegisterViewport:
+		name := d.str()
+		r1 := d.num("row", 1<<30)
+		c1 := d.num("col", 1<<30)
+		r2 := d.num("row", 1<<30)
+		c2 := d.num("col", 1<<30)
+		if err := d.done(); err != nil {
+			return appendErr(b, err)
+		}
+		h, err := s.sheetHandleFor(name, false)
+		if err != nil {
+			return appendErr(b, err)
+		}
+		if r1 == 0 && c1 == 0 && r2 == 0 && c2 == 0 {
+			// Clear the session's registration on this sheet.
+			if id, ok := sess.viewports[name]; ok {
+				h.eng.UnregisterViewport(id)
+				delete(sess.viewports, name)
+			}
+			return append(b, StatusOK)
+		}
+		if r1 < 1 || c1 < 1 || r2 < r1 || c2 < c1 {
+			return appendErr(b, fmt.Errorf("serve: bad viewport (%d,%d)-(%d,%d)", r1, c1, r2, c2))
+		}
+		g := sheet.NewRange(r1, c1, r2, c2)
+		if id, ok := sess.viewports[name]; ok {
+			h.eng.UpdateViewport(id, g)
+		} else if id := h.eng.RegisterViewport(g); id != 0 {
+			if sess.viewports == nil {
+				sess.viewports = make(map[string]int)
+			}
+			sess.viewports[name] = id
+		}
+		return append(b, StatusOK)
 
 	case OpStats:
 		if err := d.done(); err != nil {

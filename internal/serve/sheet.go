@@ -137,7 +137,15 @@ func (h *sheetHandle) setCells(edits []core.CellEdit) (uint64, error) {
 		}
 		refs[i] = sheet.Ref{Row: ed.Row, Col: ed.Col}
 	}
-	affected := h.eng.AffectedRefs(refs)
+	// Async recalc: the apply only writes the edited cells themselves —
+	// dependents are marked pending and re-evaluated in the background, so
+	// pre-imaging (and latching) the whole affected cone would serialize
+	// the edit behind exactly the work the scheduler exists to take off the
+	// request path. The dirty set is just the edits.
+	affected := refs
+	if !h.eng.AsyncRecalc() {
+		affected = h.eng.AffectedRefs(refs)
+	}
 	overlay := make(map[cache.BlockKey][][]sheet.Cell)
 	for _, r := range affected {
 		k := cache.BlockKeyFor(r)
@@ -188,6 +196,14 @@ func (h *sheetHandle) setCells(edits []core.CellEdit) (uint64, error) {
 func (h *sheetHandle) structural(op func() error) (uint64, error) {
 	h.wmu.Lock()
 	defer h.wmu.Unlock()
+	// Drain the recalc scheduler before quiescing: the engine's structural
+	// path waits for pending-free state, but the scheduler's commit chunks
+	// need the table latches the exclusive latch below holds — draining
+	// under the latch would deadlock. wmu is held, so no new writer can
+	// re-mark cells pending between the drain and the latch.
+	if err := h.eng.Drain(); err != nil {
+		return h.generation(), err
+	}
 	// Park snapshot readers first: while blocks shift, resident cache
 	// content and the committed generation disagree.
 	h.mu.Lock()
